@@ -1,0 +1,50 @@
+// SWEEP-D: reproduces the Sec. 5 node-density discussion — as density
+// grows, nodes near the sinks become bottlenecks (bandwidth + buffer) and
+// the delivery ratio degrades for the relaying protocols.
+#include <iostream>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/sweep.hpp"
+#include "stats/csv.hpp"
+
+using namespace dftmsn;
+
+int main() {
+  const BenchBudget budget = bench_budget_from_env();
+  const std::vector<int> densities{50, 100, 150, 200};
+  const std::vector<ProtocolKind> protocols{
+      ProtocolKind::kOpt, ProtocolKind::kNoOpt, ProtocolKind::kZbr};
+
+  print_banner(std::cout, "SWEEP-D (Sec. 5, node density)",
+               "Impact of sensor population on delivery ratio / power / "
+               "delay (3 sinks).\nreps=" + std::to_string(budget.replications) +
+               " duration=" + std::to_string(budget.duration_s) + "s");
+
+  CsvWriter csv("density_sweep.csv",
+                {"sensors", "protocol", "delivery_ratio", "power_mw",
+                 "delay_s", "overhead_bits_per_delivery"});
+  ConsoleTable table(std::cout, {"sensors", "protocol", "ratio%", "power_mW",
+                                 "delay_s", "ovh_bits"});
+
+  for (const int n : densities) {
+    for (const ProtocolKind kind : protocols) {
+      Config config;
+      config.scenario.num_sensors = n;
+      config.scenario.duration_s = budget.duration_s;
+      const ReplicatedResult r =
+          run_replicated(config, kind, budget.replications);
+      table.row({ConsoleTable::format(n, 0), protocol_kind_name(kind),
+                 ConsoleTable::format(r.delivery_ratio.mean() * 100.0, 2),
+                 ConsoleTable::format(r.mean_power_mw.mean(), 3),
+                 ConsoleTable::format(r.mean_delay_s.mean(), 1),
+                 ConsoleTable::format(r.overhead_bits_per_delivery.mean(), 0)});
+      csv.row({static_cast<double>(n),
+               static_cast<double>(static_cast<int>(kind)),
+               r.delivery_ratio.mean(), r.mean_power_mw.mean(),
+               r.mean_delay_s.mean(), r.overhead_bits_per_delivery.mean()});
+    }
+  }
+  std::cout << "\nwrote density_sweep.csv\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// FIG2: reproduces Fig. 2(a)-(c) of the paper — delivery ratio, average
+// nodal power consumption rate, and average delivery delay as functions
+// of the number of sink nodes, for OPT / NOSLEEP / NOOPT / ZBR.
+//
+// Environment knobs: DFTMSN_BENCH_REPS, DFTMSN_BENCH_DURATION.
+// Writes fig2_sinks.csv next to the binary's working directory.
+#include <iostream>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/sweep.hpp"
+#include "stats/csv.hpp"
+
+using namespace dftmsn;
+
+int main() {
+  const BenchBudget budget = bench_budget_from_env();
+  const std::vector<int> sink_counts{1, 2, 3, 4, 5};
+  const std::vector<ProtocolKind> protocols{
+      ProtocolKind::kOpt, ProtocolKind::kNoSleep, ProtocolKind::kNoOpt,
+      ProtocolKind::kZbr};
+
+  print_banner(std::cout, "FIG2 (Fig. 2a/2b/2c)",
+               "Impact of the number of sink nodes on delivery ratio, "
+               "average nodal power and delivery delay.\n"
+               "reps=" + std::to_string(budget.replications) +
+               " duration=" + std::to_string(budget.duration_s) + "s");
+
+  CsvWriter csv("fig2_sinks.csv",
+                {"sinks", "protocol", "delivery_ratio", "power_mw",
+                 "delay_s", "overhead_bits_per_delivery", "collisions"});
+
+  ConsoleTable table(std::cout,
+                     {"sinks", "protocol", "ratio%", "power_mW", "delay_s",
+                      "ovh_bits", "collisions"});
+
+  for (const int sinks : sink_counts) {
+    for (const ProtocolKind kind : protocols) {
+      Config config;
+      config.scenario.num_sinks = sinks;
+      config.scenario.duration_s = budget.duration_s;
+      const ReplicatedResult r =
+          run_replicated(config, kind, budget.replications);
+
+      table.row({ConsoleTable::format(sinks, 0), protocol_kind_name(kind),
+                 ConsoleTable::format(r.delivery_ratio.mean() * 100.0, 2),
+                 ConsoleTable::format(r.mean_power_mw.mean(), 3),
+                 ConsoleTable::format(r.mean_delay_s.mean(), 1),
+                 ConsoleTable::format(r.overhead_bits_per_delivery.mean(), 0),
+                 ConsoleTable::format(r.collisions.mean(), 0)});
+      csv.row({static_cast<double>(sinks),
+               static_cast<double>(static_cast<int>(kind)),
+               r.delivery_ratio.mean(), r.mean_power_mw.mean(),
+               r.mean_delay_s.mean(), r.overhead_bits_per_delivery.mean(),
+               r.collisions.mean()});
+    }
+  }
+  std::cout << "\nwrote fig2_sinks.csv\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// LIFETIME: turns the Fig. 2(b) power comparison into the quantity the
+// paper's Sec. 4 motivation actually cares about — how long the sensors
+// live on a wearable battery budget, per protocol.
+#include <iostream>
+#include <vector>
+
+#include "analysis/lifetime.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/sweep.hpp"
+#include "experiment/world.hpp"
+
+using namespace dftmsn;
+
+int main() {
+  const BenchBudget budget = bench_budget_from_env();
+  print_banner(std::cout, "LIFETIME (Sec. 4 motivation)",
+               "Projected sensor lifetimes on a 2xAA budget (~21 kJ) from "
+               "measured per-node power, per protocol (3 sinks).");
+
+  const BatteryModel battery;
+  ConsoleTable table(std::cout, {"protocol", "median_days", "p20_net_days",
+                                 "min_days", "max_days"});
+
+  for (const ProtocolKind kind :
+       {ProtocolKind::kOpt, ProtocolKind::kNoOpt, ProtocolKind::kNoSleep,
+        ProtocolKind::kZbr}) {
+    Config c;
+    c.scenario.duration_s = budget.duration_s;
+    World world(c, kind);
+    world.run();
+
+    std::vector<double> watts;
+    watts.reserve(world.sensors().size());
+    for (auto& s : world.sensors()) {
+      EnergyMeter meter = s->radio().meter();
+      meter.finalize(world.sim().now());
+      watts.push_back(meter.total_joules() / world.sim().now());
+    }
+    const LifetimeStats stats = estimate_lifetimes(battery, watts, 0.2);
+    const auto days = [](double s) { return s / 86'400.0; };
+    table.row({protocol_kind_name(kind),
+               ConsoleTable::format(days(stats.median_s), 1),
+               ConsoleTable::format(days(stats.network_lifetime_s), 1),
+               ConsoleTable::format(days(stats.min_s), 1),
+               ConsoleTable::format(days(stats.max_s), 1)});
+  }
+
+  std::cout << "\nReading: adaptive sleeping (OPT) turns an ~18-day\n"
+               "always-on deployment into a multi-month one; the network\n"
+               "lifetime column (20% deaths) shows the fairness of the\n"
+               "energy load.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// MODEL-VAL: validates the simulator against the closed-form delivery
+// models of the DIRECT scheme (and the epidemic upper-bound shape), in
+// the spirit of the queueing analysis the authors performed for these
+// two basic schemes in their prior work ([5]).
+//
+// The contact rates feeding the models are measured from the simulation
+// itself (ContactProbe), so this is a self-consistency check: simulated
+// DIRECT delivery must track the exponential-contact prediction.
+#include <iostream>
+
+#include "analysis/delivery_models.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/sweep.hpp"
+#include "experiment/world.hpp"
+#include "trace/contact_analysis.hpp"
+#include "trace/contact_probe.hpp"
+#include "trace/recorder.hpp"
+
+using namespace dftmsn;
+
+int main() {
+  const BenchBudget budget = bench_budget_from_env();
+  print_banner(std::cout, "MODEL-VAL (ref [5] analysis)",
+               "Simulated DIRECT/EPIDEMIC delivery vs closed-form "
+               "exponential-contact models, per sink count.");
+
+  ConsoleTable table(std::cout,
+                     {"sinks", "lam_sink/h", "direct_sim%", "hetero_model%",
+                      "meanfield%", "epidemic_sim%", "epi_model%"});
+
+  for (const int sinks : {1, 2, 3, 5}) {
+    Config c;
+    c.scenario.num_sinks = sinks;
+    c.scenario.duration_s = budget.duration_s;
+
+    // Measure contact rates under the same mobility (protocol-agnostic).
+    World probe_world(c, ProtocolKind::kDirect);
+    TraceRecorder trace;
+    ContactProbe probe(probe_world.sim(), probe_world.mobility(),
+                       c.radio.range_m, 1.0, trace);
+    probe.start();
+    probe_world.run();
+    probe.finish();
+    const ContactStats stats =
+        analyze_contacts(trace.events(), probe_world.first_sink_id());
+
+    // Mean per-sensor sink-contact rate and pairwise sensor contact rate.
+    double sink_eps = 0.0;
+    for (const auto& [node, cnt] : stats.sink_contacts_per_node)
+      sink_eps += static_cast<double>(cnt);
+    const double lambda_sink =
+        sink_eps / c.scenario.num_sensors / c.scenario.duration_s;
+    std::size_t sensor_episodes = stats.contacts;
+    for (const auto& [node, cnt] : stats.sink_contacts_per_node)
+      sensor_episodes -= cnt;
+    const double beta = estimate_pairwise_contact_rate(
+        sensor_episodes, static_cast<std::size_t>(c.scenario.num_sensors),
+        c.scenario.duration_s);
+
+    const double direct_sim = probe_world.metrics().delivery_ratio();
+    const double direct_model =
+        direct_delivery_ratio(lambda_sink, c.scenario.duration_s);
+
+    // Heterogeneous model: feed the measured per-node rates.
+    const auto rates = sink_contact_rates(
+        stats, probe_world.first_sink_id(), probe_world.first_sink_id(),
+        c.scenario.duration_s);
+    std::vector<double> lambdas;
+    lambdas.reserve(rates.size());
+    for (const auto& [node, rate] : rates) lambdas.push_back(rate);
+    const double hetero_model =
+        direct_delivery_ratio_heterogeneous(lambdas, c.scenario.duration_s);
+
+    const RunResult epi = run_once(c, ProtocolKind::kEpidemic);
+    const double epi_model = epidemic_delivery_ratio(
+        beta, lambda_sink,
+        static_cast<std::size_t>(c.scenario.num_sensors),
+        c.scenario.duration_s, 5.0);
+
+    table.row({ConsoleTable::format(sinks, 0),
+               ConsoleTable::format(lambda_sink * 3600.0, 2),
+               ConsoleTable::format(direct_sim * 100.0, 2),
+               ConsoleTable::format(hetero_model * 100.0, 2),
+               ConsoleTable::format(direct_model * 100.0, 2),
+               ConsoleTable::format(epi.delivery_ratio * 100.0, 2),
+               ConsoleTable::format(epi_model * 100.0, 2)});
+  }
+
+  std::cout << "\nReading: direct_sim tracks the *heterogeneous* model fed\n"
+               "with measured per-node sink-contact rates; the mean-field\n"
+               "column (homogeneous rate) vastly overestimates it — the\n"
+               "Jensen gap quantifies the per-node heterogeneity that makes\n"
+               "relaying worthwhile. The epidemic model is a no-MAC upper\n"
+               "bound: the measured epidemic ratio falls far below it —\n"
+               "the cost of contention and buffers the paper's protocol\n"
+               "is designed to manage.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Pervasive air-quality monitoring — the paper's first motivating
+// application (Sec. 1): wearable sensors on people sample the toxic gas
+// they inhale; a few high-end sinks at strategic locations collect the
+// samples opportunistically.
+//
+// This example builds a district-scale scenario with sinks pinned to
+// zone centres (bus stops / transit hubs), runs the OPT protocol, and
+// reports coverage fairness: how evenly the population's exposure samples
+// reach the information base.
+//
+//   ./air_quality_monitoring [duration_seconds]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "experiment/world.hpp"
+#include "geom/zone_grid.hpp"
+
+using namespace dftmsn;
+
+int main(int argc, char** argv) {
+  Config config;
+  config.scenario.num_sensors = 120;   // one sensor per participant
+  config.scenario.num_sinks = 4;
+  config.scenario.field_m = 200.0;     // a city district
+  config.scenario.zones_per_side = 5;  // 40 m blocks
+  config.scenario.data_interval_s = 90.0;  // one exposure sample / 1.5 min
+  config.scenario.duration_s = argc > 1 ? std::atof(argv[1]) : 10'000.0;
+  config.scenario.seed = 20260706;
+
+  std::cout << "Air-quality monitoring: " << config.scenario.num_sensors
+            << " wearable sensors, " << config.scenario.num_sinks
+            << " collection points, " << config.scenario.duration_s
+            << " s simulated\n";
+
+  World world(config, ProtocolKind::kOpt);
+  world.run();
+
+  const Metrics& m = world.metrics();
+  std::cout << "\nsamples generated : " << m.generated()
+            << "\nsamples collected : " << m.delivered_unique() << " ("
+            << m.delivery_ratio() * 100.0 << " %)"
+            << "\nmean staleness    : " << m.mean_delay_s() << " s"
+            << "\nmean relay hops   : " << m.mean_hops()
+            << "\nmean sensor power : " << world.mean_sensor_power_mw()
+            << " mW\n";
+
+  // Coverage fairness: per-participant collection ratio distribution.
+  std::vector<double> ratios;
+  for (const auto& [source, counts] : m.per_source()) {
+    if (counts.generated > 0) {
+      ratios.push_back(static_cast<double>(counts.delivered) /
+                       static_cast<double>(counts.generated));
+    }
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const auto pct = [&](double p) {
+    return ratios.empty()
+               ? 0.0
+               : ratios[static_cast<std::size_t>(p * (ratios.size() - 1))];
+  };
+  std::cout << "\nper-participant collection ratio:"
+            << "\n  p10 = " << pct(0.10) * 100.0 << " %"
+            << "\n  p50 = " << pct(0.50) * 100.0 << " %"
+            << "\n  p90 = " << pct(0.90) * 100.0 << " %\n";
+
+  const std::size_t starved =
+      static_cast<std::size_t>(std::count_if(ratios.begin(), ratios.end(),
+                                             [](double r) { return r < 0.2; }));
+  std::cout << "participants with <20% coverage: " << starved << " / "
+            << ratios.size()
+            << "  (relaying rescues low-mobility participants)\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Connectivity fingerprint of a DFT-MSN scenario: runs the default world
+// with a ContactProbe attached and reports contact / inter-contact
+// statistics plus the per-node sink-contact rate distribution — the
+// ground-truth heterogeneity that the protocol's delivery probability ξ
+// is designed to learn (and that makes relaying worthwhile at all).
+//
+//   ./connectivity_report [duration_seconds]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "experiment/world.hpp"
+#include "trace/contact_analysis.hpp"
+#include "trace/contact_probe.hpp"
+#include "trace/recorder.hpp"
+
+using namespace dftmsn;
+
+int main(int argc, char** argv) {
+  Config config;
+  config.scenario.duration_s = argc > 1 ? std::atof(argv[1]) : 10'000.0;
+  config.scenario.seed = 11;
+
+  World world(config, ProtocolKind::kOpt);
+  TraceRecorder trace;
+  ContactProbe probe(world.sim(), world.mobility(), config.radio.range_m,
+                     1.0, trace);
+  probe.start();
+  world.run();
+  probe.finish();
+
+  const ContactStats stats =
+      analyze_contacts(trace.events(), world.first_sink_id());
+
+  std::cout << "Connectivity fingerprint (" << config.scenario.num_sensors
+            << " sensors, " << config.scenario.num_sinks << " sinks, "
+            << config.scenario.duration_s << " s):\n\n"
+            << "contact episodes     : " << stats.contacts << "\n"
+            << "mean contact duration: " << stats.duration_s.mean() << " s (max "
+            << stats.duration_s.max() << ")\n"
+            << "mean inter-contact   : " << stats.inter_contact_s.mean()
+            << " s\n";
+
+  const auto rates =
+      sink_contact_rates(stats, world.first_sink_id(),
+                         world.first_sink_id(), config.scenario.duration_s);
+  std::vector<double> per_hour;
+  std::size_t never = 0;
+  for (const auto& [node, r] : rates) {
+    per_hour.push_back(r * 3600.0);
+    never += r == 0.0 ? 1 : 0;
+  }
+  std::sort(per_hour.begin(), per_hour.end());
+  const auto pct = [&](double p) {
+    return per_hour[static_cast<std::size_t>(p * (per_hour.size() - 1))];
+  };
+  std::cout << "\nper-sensor sink contacts per hour:"
+            << "\n  p10 = " << pct(0.10) << "\n  p50 = " << pct(0.50)
+            << "\n  p90 = " << pct(0.90)
+            << "\n  sensors that never met a sink: " << never << " / "
+            << per_hour.size() << "\n\n";
+  std::cout << "The wide p10-p90 spread is the per-node heterogeneity the\n"
+               "delivery-probability gradient exploits: low-rate sensors\n"
+               "depend on high-rate ones to relay their data.\n";
+
+  // Delivery cross-check: messages from never-contact sensors can only
+  // arrive via relays.
+  const auto& per_source = world.metrics().per_source();
+  std::uint64_t rescued = 0;
+  for (const auto& [node, r] : rates) {
+    if (r > 0.0) continue;
+    const auto it = per_source.find(node);
+    if (it != per_source.end()) rescued += it->second.delivered;
+  }
+  std::cout << "messages delivered for never-met-a-sink sensors: " << rescued
+            << " (all via relaying)\n";
+  return 0;
+}

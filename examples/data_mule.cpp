@@ -1,0 +1,120 @@
+// Data-MULE scenario (Sec. 2, category 2 of the paper's survey): mostly
+// static environmental sensors, no fixed sink in radio range of anyone —
+// instead a mule-carried sink (a bus) patrols a fixed circuit and picks
+// data up opportunistically.
+//
+// This example shows the library's low-level API: hand-assembling a
+// world from MobilityManager + Channel + CrossLayerMac + SinkNode with a
+// custom mobility model (PatrolMobility), something the high-level World
+// does not do for you.
+//
+//   ./data_mule [duration_seconds]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "mobility/mobility_manager.hpp"
+#include "mobility/patrol_mobility.hpp"
+#include "mobility/zone_mobility.hpp"
+#include "node/sink_node.hpp"
+#include "phy/channel.hpp"
+#include "protocol/crosslayer_mac.hpp"
+#include "protocol/protocol_factory.hpp"
+#include "traffic/poisson_source.hpp"
+
+using namespace dftmsn;
+
+int main(int argc, char** argv) {
+  Config cfg;
+  cfg.scenario.duration_s = argc > 1 ? std::atof(argv[1]) : 20'000.0;
+  const int kSensors = 60;
+  const NodeId kMuleId = kSensors;  // the mule-carried sink
+
+  Simulator sim;
+  EnergyModel energy(cfg.power);
+  RandomSource rngs(424242);
+  ZoneGrid grid(cfg.scenario.field_m, cfg.scenario.zones_per_side);
+  MobilityManager mobility(sim, cfg.scenario.mobility_step_s);
+  Metrics metrics(0.0);
+  MessageIdAllocator ids;
+
+  // Sensors: near-static (speed <= 0.3 m/s), scattered over the field.
+  RandomStream place = rngs.stream("placement");
+  ZoneMobility::Params slow;
+  slow.speed_min = 0.0;
+  slow.speed_max = 0.3;
+  for (NodeId i = 0; i < static_cast<NodeId>(kSensors); ++i) {
+    const Vec2 start{place.uniform(0.0, grid.field_edge()),
+                     place.uniform(0.0, grid.field_edge())};
+    mobility.add_node(i, std::make_unique<ZoneMobility>(
+                             grid, slow, start, rngs.stream("mob", i)));
+  }
+
+  // The mule: a bus looping the field perimeter at 8 m/s, pausing 30 s at
+  // each corner "stop".
+  const double e = grid.field_edge();
+  mobility.add_node(
+      kMuleId, std::make_unique<PatrolMobility>(
+                   std::vector<Vec2>{{5, 5}, {e - 5, 5}, {e - 5, e - 5},
+                                     {5, e - 5}},
+                   8.0, 30.0));
+
+  Channel channel(sim, mobility, cfg.radio.range_m, cfg.radio.bandwidth_bps);
+
+  std::vector<std::unique_ptr<Radio>> radios;
+  std::vector<std::unique_ptr<FtdQueue>> queues;
+  std::vector<std::unique_ptr<CrossLayerMac>> macs;
+  std::vector<std::unique_ptr<PoissonSource>> sources;
+  for (NodeId i = 0; i < static_cast<NodeId>(kSensors); ++i) {
+    radios.push_back(
+        std::make_unique<Radio>(sim, energy, cfg.radio.switch_time_s));
+    queues.push_back(
+        std::make_unique<FtdQueue>(cfg.protocol.queue_capacity));
+    macs.push_back(std::make_unique<CrossLayerMac>(
+        i, sim, channel, *radios[i], *queues[i],
+        make_strategy(ProtocolKind::kOpt, cfg), cfg,
+        make_mac_options(ProtocolKind::kOpt, cfg), kMuleId, metrics,
+        rngs.stream("mac", i)));
+    channel.attach(i, *radios[i], *macs[i]);
+    CrossLayerMac* mac = macs.back().get();
+    sources.push_back(std::make_unique<PoissonSource>(
+        sim, ids, i, cfg.scenario.data_interval_s, cfg.radio.data_bits,
+        rngs.stream("traffic", i), [mac, &metrics](Message m) {
+          metrics.on_generated(m);
+          mac->enqueue(m);
+        }));
+  }
+  SinkNode mule(kMuleId, sim, channel, energy, cfg, metrics,
+                rngs.stream("sink"));
+  channel.attach(kMuleId, mule.radio(), mule);
+
+  mobility.start();
+  for (auto& m : macs) m->start();
+  for (auto& s : sources) s->start();
+
+  std::cout << "Data-MULE: " << kSensors
+            << " near-static sensors, one bus-mounted sink patrolling the "
+               "perimeter ("
+            << cfg.scenario.duration_s << " s)\n\n";
+
+  sim.run_until(cfg.scenario.duration_s);
+
+  double joules = 0.0;
+  for (auto& r : radios) {
+    r->finalize_energy(sim.now());
+    joules += r->meter().total_joules();
+  }
+  std::cout << "messages generated : " << metrics.generated()
+            << "\nmessages collected : " << metrics.delivered_unique() << " ("
+            << metrics.delivery_ratio() * 100.0 << " %)"
+            << "\nmean pickup delay  : " << metrics.mean_delay_s() << " s"
+            << "\nmean relay hops    : " << metrics.mean_hops()
+            << "\nmean sensor power  : "
+            << joules / sim.now() / kSensors * 1e3 << " mW\n\n";
+  std::cout << "Sensors near the patrol route deliver directly; interior\n"
+               "sensors rely on the delivery-probability gradient that\n"
+               "forms toward the route — the cross-layer protocol turns a\n"
+               "single mule into whole-field coverage.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Side-by-side comparison of every implemented delivery protocol on the
+// paper's default scenario: the four evaluated variants (OPT, NOOPT,
+// NOSLEEP, ZBR) plus the two classic DTN baselines (DIRECT, EPIDEMIC).
+//
+//   ./protocol_comparison [duration_seconds]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "experiment/runner.hpp"
+
+using namespace dftmsn;
+
+int main(int argc, char** argv) {
+  Config config;
+  config.scenario.duration_s = argc > 1 ? std::atof(argv[1]) : 8000.0;
+  config.scenario.seed = 99;
+
+  std::cout << "Protocol comparison on the default DFT-MSN scenario ("
+            << config.scenario.num_sensors << " sensors, "
+            << config.scenario.num_sinks << " sinks, "
+            << config.scenario.duration_s << " s):\n\n";
+
+  std::cout << std::setw(10) << "protocol" << std::setw(10) << "ratio%"
+            << std::setw(12) << "power_mW" << std::setw(11) << "delay_s"
+            << std::setw(8) << "hops" << std::setw(12) << "data_tx"
+            << std::setw(12) << "collisions" << '\n';
+
+  const std::vector<ProtocolKind> all{
+      ProtocolKind::kOpt,    ProtocolKind::kNoOpt,    ProtocolKind::kNoSleep,
+      ProtocolKind::kZbr,    ProtocolKind::kDirect,
+      ProtocolKind::kEpidemic, ProtocolKind::kSwim};
+
+  for (const ProtocolKind kind : all) {
+    const RunResult r = run_once(config, kind);
+    std::cout << std::setw(10) << protocol_kind_name(kind) << std::fixed
+              << std::setw(10) << std::setprecision(2)
+              << r.delivery_ratio * 100.0 << std::setw(12)
+              << std::setprecision(3) << r.mean_power_mw << std::setw(11)
+              << std::setprecision(1) << r.mean_delay_s << std::setw(8)
+              << std::setprecision(2) << r.mean_hops << std::setw(12)
+              << r.data_transmissions << std::setw(12) << r.collisions
+              << '\n';
+  }
+
+  std::cout << "\nExpected shape (paper Fig. 2): OPT leads delivery at the\n"
+               "lowest power; NOSLEEP burns an order of magnitude more\n"
+               "energy; ZBR delivers least; EPIDEMIC collapses under\n"
+               "contention and buffer pressure.\n";
+  return 0;
+}

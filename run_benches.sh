@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates bench_output.txt: every reproduced table/figure in sequence.
+cd "$(dirname "$0")"
+{
+  for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      "$b" 2>&1
+      echo
+    fi
+  done
+  echo "BENCH_SUITE_DONE"
+} > bench_output.txt 2>&1

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Plot the reproduced Fig. 2(a/b/c) from bench output.
+
+Usage:
+    build/bench/fig2_sinks          # writes fig2_sinks.csv
+    python3 scripts/plot_fig2.py fig2_sinks.csv [out_prefix]
+
+Produces <out_prefix>_{ratio,power,delay}.png mirroring the paper's three
+panels. Requires matplotlib.
+"""
+import csv
+import sys
+
+PROTOCOL_NAMES = {0: "OPT", 1: "NOOPT", 2: "NOSLEEP", 3: "ZBR",
+                  4: "DIRECT", 5: "EPIDEMIC"}
+
+PANELS = [
+    ("delivery_ratio", "Delivery ratio", "fig2a", 100.0),
+    ("power_mw", "Average nodal power (mW)", "fig2b", 1.0),
+    ("delay_s", "Average delivery delay (s)", "fig2c", 1.0),
+]
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    path = sys.argv[1]
+    prefix = sys.argv[2] if len(sys.argv) > 2 else "fig2"
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib")
+        return 1
+
+    series = {}  # protocol -> {column -> [(sinks, value)]}
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            proto = PROTOCOL_NAMES.get(int(float(row["protocol"])),
+                                       row["protocol"])
+            for column, _, _, scale in PANELS:
+                series.setdefault(proto, {}).setdefault(column, []).append(
+                    (float(row["sinks"]), float(row[column]) * scale))
+
+    for column, ylabel, name, _ in PANELS:
+        fig, ax = plt.subplots(figsize=(5, 4))
+        for proto, cols in sorted(series.items()):
+            points = sorted(cols[column])
+            ax.plot([p[0] for p in points], [p[1] for p in points],
+                    marker="o", label=proto)
+        ax.set_xlabel("Number of sinks")
+        ax.set_ylabel(ylabel)
+        if column == "power_mw":
+            ax.set_yscale("log")
+        ax.legend()
+        ax.grid(True, alpha=0.3)
+        fig.tight_layout()
+        out = f"{prefix}_{name}.png"
+        fig.savefig(out, dpi=150)
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

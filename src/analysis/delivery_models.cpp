@@ -1,0 +1,79 @@
+#include "analysis/delivery_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dftmsn {
+
+double direct_delivery_probability(double lambda_sink, double residual_s) {
+  if (lambda_sink < 0) throw std::invalid_argument("direct: lambda < 0");
+  if (residual_s <= 0) return 0.0;
+  return 1.0 - std::exp(-lambda_sink * residual_s);
+}
+
+double direct_delivery_ratio(double lambda_sink, double horizon_s) {
+  if (lambda_sink < 0) throw std::invalid_argument("direct: lambda < 0");
+  if (horizon_s <= 0) throw std::invalid_argument("direct: horizon <= 0");
+  const double lt = lambda_sink * horizon_s;
+  if (lt < 1e-12) return 0.0;
+  return 1.0 - (1.0 - std::exp(-lt)) / lt;
+}
+
+double direct_delivery_ratio_heterogeneous(std::span<const double> lambdas,
+                                           double horizon_s) {
+  if (lambdas.empty())
+    throw std::invalid_argument("direct heterogeneous: empty population");
+  double sum = 0.0;
+  for (const double lambda : lambdas)
+    sum += direct_delivery_ratio(lambda, horizon_s);
+  return sum / static_cast<double>(lambdas.size());
+}
+
+double epidemic_delivery_probability(double beta, double lambda_sink,
+                                     std::size_t carriers,
+                                     double residual_s, double dt) {
+  if (beta < 0 || lambda_sink < 0)
+    throw std::invalid_argument("epidemic: negative rate");
+  if (carriers == 0) throw std::invalid_argument("epidemic: no carriers");
+  if (dt <= 0) throw std::invalid_argument("epidemic: dt <= 0");
+  if (residual_s <= 0) return 0.0;
+
+  const double n = static_cast<double>(carriers);
+  double infected = 1.0;      // the source holds the first copy
+  double log_survive = 0.0;   // log P(no copy has met a sink yet)
+  for (double t = 0.0; t < residual_s; t += dt) {
+    const double step = std::min(dt, residual_s - t);
+    log_survive -= lambda_sink * infected * step;
+    infected += beta * infected * (n - infected) * step;
+    infected = std::min(infected, n);
+  }
+  return 1.0 - std::exp(log_survive);
+}
+
+double epidemic_delivery_ratio(double beta, double lambda_sink,
+                               std::size_t carriers, double horizon_s,
+                               double dt) {
+  if (horizon_s <= 0) throw std::invalid_argument("epidemic: horizon <= 0");
+  // Average P(delivered | residual = horizon - g) over g ~ U[0, horizon],
+  // sampled at 32 quadrature points.
+  constexpr int kPoints = 32;
+  double sum = 0.0;
+  for (int i = 0; i < kPoints; ++i) {
+    const double residual = horizon_s * (i + 0.5) / kPoints;
+    sum += epidemic_delivery_probability(beta, lambda_sink, carriers,
+                                         residual, dt);
+  }
+  return sum / kPoints;
+}
+
+double estimate_pairwise_contact_rate(std::size_t episodes,
+                                      std::size_t nodes, double horizon_s) {
+  if (nodes < 2) throw std::invalid_argument("contact rate: nodes < 2");
+  if (horizon_s <= 0) throw std::invalid_argument("contact rate: horizon");
+  const double pairs = static_cast<double>(nodes) *
+                       static_cast<double>(nodes - 1) / 2.0;
+  return static_cast<double>(episodes) / (pairs * horizon_s);
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,47 @@
+#include "analysis/lifetime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dftmsn {
+
+double BatteryModel::lifetime_s(double mean_power_w) const {
+  if (mean_power_w < 0)
+    throw std::invalid_argument("BatteryModel: negative power");
+  if (mean_power_w == 0) return std::numeric_limits<double>::infinity();
+  return capacity_joules / mean_power_w;
+}
+
+LifetimeStats estimate_lifetimes(const BatteryModel& battery,
+                                 const std::vector<double>& mean_power_w,
+                                 double death_fraction) {
+  if (mean_power_w.empty())
+    throw std::invalid_argument("estimate_lifetimes: empty population");
+  if (death_fraction <= 0.0 || death_fraction > 1.0)
+    throw std::invalid_argument("estimate_lifetimes: bad death fraction");
+
+  std::vector<double> lifetimes;
+  lifetimes.reserve(mean_power_w.size());
+  for (const double p : mean_power_w)
+    lifetimes.push_back(battery.lifetime_s(p));
+  std::sort(lifetimes.begin(), lifetimes.end());
+
+  LifetimeStats out;
+  out.min_s = lifetimes.front();
+  out.median_s = lifetimes[lifetimes.size() / 2];
+  out.max_s = lifetimes.back();
+  // Network lifetime: the death_fraction-quantile death time (the k-th
+  // node death where k = ceil(fraction * n)).
+  const auto k = static_cast<std::size_t>(
+      std::max<std::ptrdiff_t>(
+          0, static_cast<std::ptrdiff_t>(
+                 std::ceil(death_fraction *
+                           static_cast<double>(lifetimes.size()))) -
+                 1));
+  out.network_lifetime_s = lifetimes[std::min(k, lifetimes.size() - 1)];
+  return out;
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,86 @@
+#include "common/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dftmsn {
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument("Config: " + what);
+}
+
+}  // namespace
+
+void Config::validate() const {
+  require(radio.range_m > 0, "radio range must be positive");
+  require(radio.bandwidth_bps > 0, "bandwidth must be positive");
+  require(radio.data_bits > 0, "data message must be non-empty");
+  require(radio.control_bits > 0, "control packet must be non-empty");
+  require(radio.switch_time_s >= 0, "switch time must be non-negative");
+
+  require(power.rx_w >= 0 && power.tx_w >= 0 && power.idle_w >= 0 &&
+              power.sleep_w >= 0 && power.switch_w >= 0,
+          "power levels must be non-negative");
+  require(power.idle_w > power.sleep_w,
+          "idle power must exceed sleep power (Eq. 7 break-even)");
+
+  require(protocol.alpha >= 0.0 && protocol.alpha <= 1.0,
+          "alpha must lie in [0,1]");
+  require(protocol.xi_timeout_s > 0, "ξ timeout must be positive");
+  require(protocol.xi_update_cooldown_s >= 0,
+          "ξ update cooldown must be non-negative");
+  require(protocol.ftd_drop_threshold > 0.0 &&
+              protocol.ftd_drop_threshold <= 1.0,
+          "FTD drop threshold must lie in (0,1]");
+  require(protocol.delivery_threshold_r > 0.0 &&
+              protocol.delivery_threshold_r < 1.0,
+          "delivery threshold R must lie in (0,1)");
+  require(protocol.queue_capacity > 0, "queue capacity must be positive");
+  require(protocol.idle_cycles_before_sleep > 0, "L must be positive");
+  require(protocol.retry_gap_slots > 0, "retry gap must be positive");
+  require(protocol.max_retry_gap_slots >= protocol.retry_gap_slots,
+          "max retry gap must be >= base gap");
+  require(protocol.lone_retry_s > 0, "lone retry pause must be positive");
+
+  require(sleep.history_cycles > 0, "S must be positive");
+  require(sleep.buffer_threshold_h > 0.0 && sleep.buffer_threshold_h < 1.0,
+          "sleep buffer threshold H must lie in (0,1)");
+  require(sleep.important_ftd > 0.0 && sleep.important_ftd <= 1.0,
+          "important-FTD bound must lie in (0,1]");
+  require(sleep.t_min_floor_s >= 0, "T_min floor must be non-negative");
+
+  require(contention.tau_max_slots >= 1, "τ_max must be at least one slot");
+  require(contention.tau_cap_slots >= contention.tau_max_slots,
+          "τ_max search cap must be >= initial τ_max");
+  require(contention.rts_collision_target > 0.0 &&
+              contention.rts_collision_target < 1.0,
+          "RTS collision target must lie in (0,1)");
+  require(contention.cts_window_slots >= 1, "W must be at least one slot");
+  require(contention.cts_window_cap >= contention.cts_window_slots,
+          "W search cap must be >= initial W");
+  require(contention.cts_collision_target > 0.0 &&
+              contention.cts_collision_target < 1.0,
+          "CTS collision target must lie in (0,1)");
+
+  require(scenario.field_m > 0, "field edge must be positive");
+  require(scenario.zones_per_side > 0, "zone grid must be non-empty");
+  require(scenario.num_sensors > 0, "need at least one sensor");
+  require(scenario.num_sinks > 0, "need at least one sink");
+  require(scenario.speed_min_mps >= 0, "speed must be non-negative");
+  require(scenario.speed_max_mps >= scenario.speed_min_mps,
+          "speed_max must be >= speed_min");
+  require(scenario.zone_exit_prob >= 0.0 && scenario.zone_exit_prob <= 1.0,
+          "zone exit probability must lie in [0,1]");
+  require(scenario.home_return_prob >= 0.0 &&
+              scenario.home_return_prob <= 1.0,
+          "home return probability must lie in [0,1]");
+  require(scenario.leg_mean_s > 0, "mean leg time must be positive");
+  require(scenario.mobility_step_s > 0, "mobility step must be positive");
+  require(scenario.data_interval_s > 0, "data interval must be positive");
+  require(scenario.duration_s > 0, "duration must be positive");
+  require(scenario.warmup_s >= 0 && scenario.warmup_s < scenario.duration_s,
+          "warm-up must lie within the run");
+}
+
+}  // namespace dftmsn

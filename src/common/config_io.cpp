@@ -1,0 +1,205 @@
+#include "common/config_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace dftmsn {
+namespace {
+
+/// One addressable field: name + setter-from-string + getter-as-string.
+struct Field {
+  std::string key;
+  std::function<void(Config&, const std::string&)> set;
+  std::function<std::string(const Config&)> get;
+};
+
+double parse_double(const std::string& key, const std::string& v) {
+  std::size_t used = 0;
+  const double out = std::stod(v, &used);
+  if (used != v.size())
+    throw std::invalid_argument("config: bad number for " + key + ": " + v);
+  return out;
+}
+
+long long parse_int(const std::string& key, const std::string& v) {
+  std::size_t used = 0;
+  const long long out = std::stoll(v, &used);
+  if (used != v.size())
+    throw std::invalid_argument("config: bad integer for " + key + ": " + v);
+  return out;
+}
+
+bool parse_bool(const std::string& key, const std::string& v) {
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw std::invalid_argument("config: bad bool for " + key + ": " + v);
+}
+
+QueuePolicy parse_policy(const std::string& key, const std::string& v) {
+  if (v == "ftd") return QueuePolicy::kFtdSorted;
+  if (v == "fifo") return QueuePolicy::kFifo;
+  if (v == "random") return QueuePolicy::kRandomDrop;
+  throw std::invalid_argument("config: bad queue policy for " + key + ": " +
+                              v + " (ftd|fifo|random)");
+}
+
+std::string policy_name(QueuePolicy p) {
+  switch (p) {
+    case QueuePolicy::kFtdSorted: return "ftd";
+    case QueuePolicy::kFifo: return "fifo";
+    case QueuePolicy::kRandomDrop: return "random";
+  }
+  return "?";
+}
+
+template <typename T>
+std::string to_str(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+#define DFTMSN_FIELD_D(path)                                              \
+  Field {                                                                 \
+    #path, [](Config& c, const std::string& v) {                          \
+      c.path = parse_double(#path, v);                                    \
+    },                                                                    \
+        [](const Config& c) { return to_str(c.path); }                    \
+  }
+#define DFTMSN_FIELD_I(path, type)                                        \
+  Field {                                                                 \
+    #path, [](Config& c, const std::string& v) {                          \
+      c.path = static_cast<type>(parse_int(#path, v));                    \
+    },                                                                    \
+        [](const Config& c) { return to_str(c.path); }                    \
+  }
+#define DFTMSN_FIELD_B(path)                                              \
+  Field {                                                                 \
+    #path, [](Config& c, const std::string& v) {                          \
+      c.path = parse_bool(#path, v);                                      \
+    },                                                                    \
+        [](const Config& c) { return c.path ? "true" : "false"; }         \
+  }
+
+const std::vector<Field>& fields() {
+  static const std::vector<Field> kFields = {
+      DFTMSN_FIELD_D(radio.range_m),
+      DFTMSN_FIELD_D(radio.bandwidth_bps),
+      DFTMSN_FIELD_I(radio.data_bits, std::size_t),
+      DFTMSN_FIELD_I(radio.control_bits, std::size_t),
+      DFTMSN_FIELD_D(radio.switch_time_s),
+      DFTMSN_FIELD_D(power.rx_w),
+      DFTMSN_FIELD_D(power.tx_w),
+      DFTMSN_FIELD_D(power.idle_w),
+      DFTMSN_FIELD_D(power.sleep_w),
+      DFTMSN_FIELD_D(power.switch_w),
+      DFTMSN_FIELD_D(protocol.alpha),
+      DFTMSN_FIELD_D(protocol.xi_timeout_s),
+      DFTMSN_FIELD_D(protocol.xi_update_cooldown_s),
+      DFTMSN_FIELD_D(protocol.ftd_drop_threshold),
+      DFTMSN_FIELD_D(protocol.delivery_threshold_r),
+      DFTMSN_FIELD_I(protocol.queue_capacity, std::size_t),
+      DFTMSN_FIELD_I(protocol.idle_cycles_before_sleep, int),
+      DFTMSN_FIELD_I(protocol.retry_gap_slots, int),
+      DFTMSN_FIELD_I(protocol.max_retry_gap_slots, int),
+      DFTMSN_FIELD_D(protocol.lone_retry_s),
+      DFTMSN_FIELD_B(sleep.enabled),
+      DFTMSN_FIELD_I(sleep.history_cycles, int),
+      DFTMSN_FIELD_D(sleep.buffer_threshold_h),
+      DFTMSN_FIELD_D(sleep.important_ftd),
+      DFTMSN_FIELD_D(sleep.t_min_floor_s),
+      DFTMSN_FIELD_B(contention.adaptive),
+      DFTMSN_FIELD_I(contention.tau_max_slots, int),
+      DFTMSN_FIELD_I(contention.tau_cap_slots, int),
+      DFTMSN_FIELD_D(contention.rts_collision_target),
+      DFTMSN_FIELD_I(contention.cts_window_slots, int),
+      DFTMSN_FIELD_I(contention.cts_window_cap, int),
+      DFTMSN_FIELD_D(contention.cts_collision_target),
+      DFTMSN_FIELD_D(scenario.field_m),
+      DFTMSN_FIELD_I(scenario.zones_per_side, int),
+      DFTMSN_FIELD_I(scenario.num_sensors, int),
+      DFTMSN_FIELD_I(scenario.num_sinks, int),
+      DFTMSN_FIELD_D(scenario.speed_min_mps),
+      DFTMSN_FIELD_D(scenario.speed_max_mps),
+      DFTMSN_FIELD_D(scenario.zone_exit_prob),
+      DFTMSN_FIELD_D(scenario.home_return_prob),
+      DFTMSN_FIELD_D(scenario.leg_mean_s),
+      DFTMSN_FIELD_D(scenario.mobility_step_s),
+      DFTMSN_FIELD_D(scenario.data_interval_s),
+      DFTMSN_FIELD_D(scenario.duration_s),
+      DFTMSN_FIELD_D(scenario.warmup_s),
+      DFTMSN_FIELD_I(scenario.seed, std::uint64_t),
+      // Queue policy needs a custom parser.
+      Field{"protocol.queue_policy",
+            [](Config& c, const std::string& v) {
+              c.protocol.queue_policy =
+                  parse_policy("protocol.queue_policy", v);
+            },
+            [](const Config& c) {
+              return policy_name(c.protocol.queue_policy);
+            }},
+  };
+  return kFields;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+void apply_config_override(Config& config, const std::string& assignment) {
+  const auto eq = assignment.find('=');
+  if (eq == std::string::npos)
+    throw std::invalid_argument("config: expected key=value, got '" +
+                                assignment + "'");
+  const std::string key = trim(assignment.substr(0, eq));
+  const std::string value = trim(assignment.substr(eq + 1));
+  for (const Field& f : fields()) {
+    if (f.key == key) {
+      f.set(config, value);
+      return;
+    }
+  }
+  throw std::invalid_argument("config: unknown key '" + key + "'");
+}
+
+void apply_config_overrides(Config& config,
+                            const std::vector<std::string>& assignments) {
+  for (const std::string& a : assignments) apply_config_override(config, a);
+}
+
+void load_config_file(Config& config, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    try {
+      apply_config_override(config, line);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(path + ":" + std::to_string(lineno) +
+                                  ": " + e.what());
+    }
+  }
+}
+
+std::vector<std::string> list_config_keys(const Config& config) {
+  std::vector<std::string> out;
+  out.reserve(fields().size());
+  for (const Field& f : fields()) out.push_back(f.key + "=" + f.get(config));
+  return out;
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,29 @@
+// Textual configuration: every Config field is addressable by a dotted
+// key ("scenario.num_sinks", "protocol.alpha", ...). Supports
+// key=value override strings (CLI) and simple config files (one
+// assignment per line, '#' comments). Unknown keys are hard errors —
+// typos must not silently run the default scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace dftmsn {
+
+/// Applies one "section.field=value" assignment. Throws
+/// std::invalid_argument on unknown keys or unparsable values.
+void apply_config_override(Config& config, const std::string& assignment);
+
+/// Applies a list of assignments in order.
+void apply_config_overrides(Config& config,
+                            const std::vector<std::string>& assignments);
+
+/// Loads assignments from a file (blank lines and '#' comments ignored).
+void load_config_file(Config& config, const std::string& path);
+
+/// All recognized keys with their current values — the `--help` listing.
+std::vector<std::string> list_config_keys(const Config& config);
+
+}  // namespace dftmsn

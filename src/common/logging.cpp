@@ -1,0 +1,33 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace dftmsn {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& text) {
+  if (level < g_level) return;
+  std::cerr << "[dftmsn:" << level_name(level) << "] " << text << '\n';
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,40 @@
+// Minimal leveled logger. Simulation-grade: cheap when disabled, writes to
+// stderr, no global locking needed (single-threaded kernel).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dftmsn {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& text);
+
+namespace detail {
+
+inline void append_all(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& head, const Rest&... rest) {
+  os << head;
+  append_all(os, rest...);
+}
+
+}  // namespace detail
+
+/// Streams all arguments into one log line.
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, os.str());
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,29 @@
+// Fundamental identifiers and time types shared by every dftmsn subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dftmsn {
+
+/// Simulation time in seconds. The kernel uses a double so that sub-ms MAC
+/// timing (control slots) and multi-hour scenario horizons coexist without
+/// unit juggling.
+using SimTime = double;
+
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::infinity();
+
+/// Identifies a node (sensor or sink) within one simulation.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Globally unique identifier of a data message (not of a copy: all copies
+/// of the same sensed datum share one MessageId).
+using MessageId = std::uint64_t;
+
+/// Monotone sequence number used by the event queue for deterministic
+/// tie-breaking of same-timestamp events.
+using EventSeq = std::uint64_t;
+
+}  // namespace dftmsn

@@ -1,0 +1,39 @@
+#include "core/cts_window_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dftmsn {
+
+double CtsWindowOptimizer::collision_probability(int window, int repliers) {
+  if (window < 1) throw std::invalid_argument("CtsWindowOptimizer: W < 1");
+  if (repliers < 0)
+    throw std::invalid_argument("CtsWindowOptimizer: repliers < 0");
+  if (repliers <= 1) return 0.0;
+  if (repliers > window) return 1.0;
+  // All-distinct probability computed multiplicatively to avoid factorial
+  // overflow: Π_{k=0}^{n-1} (W-k)/W.
+  double distinct = 1.0;
+  for (int k = 0; k < repliers; ++k)
+    distinct *= static_cast<double>(window - k) / window;
+  return std::clamp(1.0 - distinct, 0.0, 1.0);
+}
+
+int CtsWindowOptimizer::min_window(int repliers, double target, int cap) {
+  const int start = std::max(1, repliers);
+  for (int w = start; w <= cap; ++w) {
+    if (collision_probability(w, repliers) <= target) return w;
+  }
+  return cap;
+}
+
+double CtsWindowOptimizer::expected_survivors(int window, int repliers) {
+  if (window < 1) throw std::invalid_argument("CtsWindowOptimizer: W < 1");
+  if (repliers <= 0) return 0.0;
+  const double p_alone =
+      std::pow(static_cast<double>(window - 1) / window, repliers - 1);
+  return repliers * p_alone;
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,26 @@
+// CTS contention-window optimizer (Sec. 4.3, Eq. 14). With n qualified
+// neighbours each picking a uniform slot in [1, W], the probability that
+// all slots are distinct is the birthday-problem permanent
+//   C(W, n) · n! / Wⁿ = W! / ((W-n)! · Wⁿ),
+// and γ_o is its complement. The optimizer returns the smallest W meeting
+// a target γ_o.
+#pragma once
+
+namespace dftmsn {
+
+class CtsWindowOptimizer {
+ public:
+  /// γ_o of Eq. (14) for `n` repliers in a window of `W` slots.
+  /// n <= 1 yields 0; n > W yields 1 (pigeonhole).
+  static double collision_probability(int window, int repliers);
+
+  /// Smallest W in [max(1, repliers), cap] with γ_o <= target; `cap` if
+  /// unattainable.
+  static int min_window(int repliers, double target, int cap);
+
+  /// Expected number of repliers whose CTS survives (lands in a slot no
+  /// one else picked): n · ((W-1)/W)^(n-1). Used by tests and benches.
+  static double expected_survivors(int window, int repliers);
+};
+
+}  // namespace dftmsn

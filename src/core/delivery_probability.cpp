@@ -1,0 +1,23 @@
+#include "core/delivery_probability.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dftmsn {
+
+DeliveryProbability::DeliveryProbability(double alpha, double initial)
+    : alpha_(alpha), xi_(initial) {
+  if (alpha < 0.0 || alpha > 1.0)
+    throw std::invalid_argument("DeliveryProbability: alpha outside [0,1]");
+  if (initial < 0.0 || initial > 1.0)
+    throw std::invalid_argument("DeliveryProbability: initial outside [0,1]");
+}
+
+void DeliveryProbability::on_transmission(double receiver_xi) {
+  const double rx = std::clamp(receiver_xi, 0.0, 1.0);
+  xi_ = (1.0 - alpha_) * xi_ + alpha_ * rx;
+}
+
+void DeliveryProbability::on_timeout() { xi_ = (1.0 - alpha_) * xi_; }
+
+}  // namespace dftmsn

@@ -1,0 +1,31 @@
+// Nodal delivery probability ξ (Sec. 3.1.1, Eq. 1): an EWMA of the
+// node's recent ability to push messages toward a sink.
+#pragma once
+
+namespace dftmsn {
+
+class DeliveryProbability {
+ public:
+  /// `alpha` in [0,1] is the EWMA weight of Eq. (1); higher = shorter memory.
+  explicit DeliveryProbability(double alpha, double initial = 0.0);
+
+  /// Current ξ in [0,1].
+  [[nodiscard]] double value() const { return xi_; }
+
+  /// Eq. (1), transmission branch: ξ <- (1-α)ξ + α·ξ_k, where ξ_k is the
+  /// delivery probability of the receiver the message went to (1 for a
+  /// sink). With multicast we pass the best receiver's ξ (see DESIGN.md).
+  void on_transmission(double receiver_xi);
+
+  /// Eq. (1), timeout branch: ξ <- (1-α)ξ. Called when the no-transmission
+  /// timer (interval Δ) expires.
+  void on_timeout();
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double xi_;
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,37 @@
+#include "core/ftd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dftmsn {
+namespace {
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+double receiver_copy_ftd(double sender_ftd, double sender_xi,
+                         std::span<const double> phi_xis, std::size_t j) {
+  if (j >= phi_xis.size())
+    throw std::out_of_range("receiver_copy_ftd: j outside Φ");
+  double survive = (1.0 - clamp01(sender_ftd)) * (1.0 - clamp01(sender_xi));
+  for (std::size_t m = 0; m < phi_xis.size(); ++m) {
+    if (m == j) continue;
+    survive *= 1.0 - clamp01(phi_xis[m]);
+  }
+  return 1.0 - survive;
+}
+
+double sender_ftd_after_multicast(double sender_ftd,
+                                  std::span<const double> phi_xis) {
+  double survive = 1.0 - clamp01(sender_ftd);
+  for (const double xi : phi_xis) survive *= 1.0 - clamp01(xi);
+  return 1.0 - survive;
+}
+
+double aggregate_delivery_probability(double message_ftd,
+                                      std::span<const double> phi_xis) {
+  return sender_ftd_after_multicast(message_ftd, phi_xis);
+}
+
+}  // namespace dftmsn

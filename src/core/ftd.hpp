@@ -1,0 +1,29 @@
+// Fault-tolerance-degree arithmetic (Sec. 3.1.2, Eqs. 2-3). The FTD of a
+// message copy is the probability that at least one *other* copy reaches
+// a sink; importance decreases as FTD grows.
+#pragma once
+
+#include <span>
+
+namespace dftmsn {
+
+/// Eq. (2): FTD attached to the copy handed to receiver j when sender i
+/// (delivery prob `sender_xi`, current copy FTD `sender_ftd`) multicasts
+/// to the receiver set Φ whose delivery probabilities are `phi_xis`.
+///   F_j = 1 - (1 - F_i)(1 - ξ_i) · Π_{m∈Φ, m≠j} (1 - ξ_m)
+/// `j` indexes into `phi_xis`.
+double receiver_copy_ftd(double sender_ftd, double sender_xi,
+                         std::span<const double> phi_xis, std::size_t j);
+
+/// Eq. (3): the sender's own copy FTD after the multicast:
+///   F_i' = 1 - (1 - F_i) · Π_{m∈Φ} (1 - ξ_m)
+double sender_ftd_after_multicast(double sender_ftd,
+                                  std::span<const double> phi_xis);
+
+/// Aggregate delivery probability used by the Sec. 3.2.2 selection loop:
+///   1 - (1 - F_i) · Π_{m∈Φ} (1 - ξ_m)
+/// (identical in form to Eq. 3; named separately for intent).
+double aggregate_delivery_probability(double message_ftd,
+                                      std::span<const double> phi_xis);
+
+}  // namespace dftmsn

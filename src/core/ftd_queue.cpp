@@ -1,0 +1,150 @@
+#include "core/ftd_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <stdexcept>
+
+namespace dftmsn {
+
+FtdQueue::FtdQueue(std::size_t capacity, QueueDiscipline discipline)
+    : capacity_(capacity), discipline_(discipline) {
+  if (capacity == 0) throw std::invalid_argument("FtdQueue: capacity == 0");
+}
+
+std::size_t FtdQueue::position_for(double ftd) const {
+  // First position whose FTD exceeds `ftd` — equal-FTD messages keep
+  // arrival order (stable).
+  const auto it = std::upper_bound(
+      items_.begin(), items_.end(), ftd,
+      [](double value, const QueuedMessage& q) { return value < q.ftd; });
+  return static_cast<std::size_t>(it - items_.begin());
+}
+
+std::optional<FtdQueue::DropRecord> FtdQueue::insert(QueuedMessage qm,
+                                                     double random01) {
+  // Merge duplicate copies, keeping the smaller (more conservative) FTD.
+  for (auto& existing : items_) {
+    if (existing.msg.id == qm.msg.id) {
+      if (qm.ftd < existing.ftd) {
+        const Message kept = existing.msg;
+        remove(kept.id);
+        qm.msg = kept;  // keep original hop/creation bookkeeping
+        return insert(std::move(qm), random01);
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<DropRecord> dropped;
+  if (full()) {
+    switch (discipline_) {
+      case QueueDiscipline::kFtdSorted: {
+        // Evict the least important (tail). If the newcomer is itself the
+        // least important, it is the one dropped.
+        if (qm.ftd >= items_.back().ftd) {
+          return DropRecord{qm.msg, DropReason::kOverflow};
+        }
+        dropped = DropRecord{items_.back().msg, DropReason::kOverflow};
+        items_.pop_back();
+        break;
+      }
+      case QueueDiscipline::kFifo: {
+        // Newest loses.
+        return DropRecord{qm.msg, DropReason::kOverflow};
+      }
+      case QueueDiscipline::kRandomDrop: {
+        const std::size_t victim =
+            std::min(items_.size() - 1,
+                     static_cast<std::size_t>(random01 * items_.size()));
+        dropped = DropRecord{items_[victim].msg, DropReason::kOverflow};
+        items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(victim));
+        break;
+      }
+    }
+  }
+
+  if (discipline_ == QueueDiscipline::kFtdSorted) {
+    const std::size_t pos = position_for(qm.ftd);
+    items_.insert(items_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  std::move(qm));
+  } else {
+    items_.push_back(std::move(qm));
+  }
+  return dropped;
+}
+
+const QueuedMessage& FtdQueue::head() const {
+  if (items_.empty()) throw std::logic_error("FtdQueue: head() on empty queue");
+  return items_.front();
+}
+
+QueuedMessage FtdQueue::pop_head() {
+  if (items_.empty())
+    throw std::logic_error("FtdQueue: pop_head() on empty queue");
+  QueuedMessage out = std::move(items_.front());
+  items_.erase(items_.begin());
+  return out;
+}
+
+std::optional<FtdQueue::DropRecord> FtdQueue::update_head_ftd(
+    double new_ftd, double drop_threshold) {
+  if (items_.empty())
+    throw std::logic_error("FtdQueue: update_head_ftd() on empty queue");
+  return update_ftd(items_.front().msg.id, new_ftd, drop_threshold);
+}
+
+std::optional<FtdQueue::DropRecord> FtdQueue::update_ftd(
+    MessageId id, double new_ftd, double drop_threshold) {
+  const auto it =
+      std::find_if(items_.begin(), items_.end(),
+                   [id](const QueuedMessage& q) { return q.msg.id == id; });
+  if (it == items_.end()) return std::nullopt;
+  QueuedMessage qm = std::move(*it);
+  items_.erase(it);
+  qm.ftd = new_ftd;
+  if (new_ftd >= 1.0) return DropRecord{qm.msg, DropReason::kDelivered};
+  if (new_ftd > drop_threshold)
+    return DropRecord{qm.msg, DropReason::kFtdThreshold};
+  insert(std::move(qm));
+  return std::nullopt;
+}
+
+void FtdQueue::remove_head() {
+  if (items_.empty())
+    throw std::logic_error("FtdQueue: remove_head() on empty queue");
+  items_.erase(items_.begin());
+}
+
+bool FtdQueue::remove(MessageId id) {
+  const auto it =
+      std::find_if(items_.begin(), items_.end(),
+                   [id](const QueuedMessage& q) { return q.msg.id == id; });
+  if (it == items_.end()) return false;
+  items_.erase(it);
+  return true;
+}
+
+std::size_t FtdQueue::available_space_for(double ftd) const {
+  std::size_t occupied_by_important = 0;
+  for (const auto& q : items_) {
+    if (q.ftd <= ftd) ++occupied_by_important;
+  }
+  assert(occupied_by_important <= capacity_);
+  return capacity_ - occupied_by_important;
+}
+
+std::size_t FtdQueue::count_more_important_than(double bound) const {
+  std::size_t n = 0;
+  for (const auto& q : items_) {
+    if (q.ftd < bound) ++n;
+  }
+  return n;
+}
+
+bool FtdQueue::contains(MessageId id) const {
+  return std::any_of(items_.begin(), items_.end(),
+                     [id](const QueuedMessage& q) { return q.msg.id == id; });
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,92 @@
+// FTD-sorted data queue (Sec. 3.1.2): lowest FTD (most important) at the
+// head; tail-drop on overflow; threshold-drop of well-replicated copies.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace dftmsn {
+
+/// Why a queued copy was discarded (metrics accounting).
+enum class DropReason {
+  kOverflow,        ///< queue full, lowest-importance tail evicted
+  kFtdThreshold,    ///< FTD exceeded the configured threshold
+  kDelivered,       ///< copy reached a sink (FTD = 1)
+};
+
+/// Ordering discipline — kFtdSorted reproduces the paper; the others exist
+/// for the ABL-QUEUE ablation.
+enum class QueueDiscipline { kFtdSorted, kFifo, kRandomDrop };
+
+class FtdQueue {
+ public:
+  struct DropRecord {
+    Message msg;
+    DropReason reason;
+  };
+
+  explicit FtdQueue(std::size_t capacity,
+                    QueueDiscipline discipline = QueueDiscipline::kFtdSorted);
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
+
+  /// Inserts a copy at its FTD position. If the same message id is already
+  /// queued, the two copies merge keeping the smaller FTD (returns nullopt,
+  /// reports a duplicate via the return flag of `contains`). If the queue
+  /// overflows, returns the evicted entry.
+  /// `random01` feeds the kRandomDrop discipline (pass any value for others).
+  std::optional<DropRecord> insert(QueuedMessage qm, double random01 = 0.0);
+
+  /// Head of the queue (smallest FTD). Precondition: !empty().
+  [[nodiscard]] const QueuedMessage& head() const;
+
+  /// Removes and returns the head. Precondition: !empty().
+  QueuedMessage pop_head();
+
+  /// Replaces the head's FTD (after a multicast, Eq. 3) and re-sorts.
+  /// If the new FTD exceeds `drop_threshold`, the head is dropped instead;
+  /// the dropped entry is returned.
+  std::optional<DropRecord> update_head_ftd(double new_ftd,
+                                            double drop_threshold);
+
+  /// Same as update_head_ftd but addressed by message id (the in-flight
+  /// message may no longer be at the head when the ACKs arrive). No-op
+  /// returning nullopt if the id is no longer queued.
+  std::optional<DropRecord> update_ftd(MessageId id, double new_ftd,
+                                       double drop_threshold);
+
+  /// Removes the head entirely (e.g., single-copy schemes after handoff).
+  void remove_head();
+
+  /// Removes a message by id wherever it sits; true if found.
+  bool remove(MessageId id);
+
+  /// B(F) of the paper: slots empty or holding messages with FTD > F.
+  [[nodiscard]] std::size_t available_space_for(double ftd) const;
+
+  /// Number of queued messages with FTD strictly below `bound` (the K_i^F
+  /// of Eq. 5).
+  [[nodiscard]] std::size_t count_more_important_than(double bound) const;
+
+  [[nodiscard]] bool contains(MessageId id) const;
+
+  /// Read-only view of the queue, head first.
+  [[nodiscard]] const std::vector<QueuedMessage>& items() const {
+    return items_;
+  }
+
+ private:
+  std::size_t position_for(double ftd) const;
+
+  std::size_t capacity_;
+  QueueDiscipline discipline_;
+  std::vector<QueuedMessage> items_;  ///< ascending FTD (kFtdSorted) or arrival order
+};
+
+}  // namespace dftmsn

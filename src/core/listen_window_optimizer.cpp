@@ -1,0 +1,66 @@
+#include "core/listen_window_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dftmsn {
+
+int ListenWindowOptimizer::sigma(double xi, int tau_max) {
+  const double clamped_xi = std::clamp(xi, kXiFloor, 1.0);
+  const int s = static_cast<int>(std::lround(clamped_xi * tau_max));
+  return std::max(1, s);
+}
+
+double ListenWindowOptimizer::grasp_probability(std::span<const double> xis,
+                                                std::size_t i, int tau_max) {
+  const int sigma_i = sigma(xis[i], tau_max);
+  double p = 0.0;
+  for (int tau = 1; tau <= sigma_i; ++tau) {
+    // Probability every other contender picks a strictly larger slot
+    // (Eq. 11: θ_ij = σ_j - τ_i when σ_j > τ_i, else 0).
+    double others_larger = 1.0;
+    for (std::size_t j = 0; j < xis.size(); ++j) {
+      if (j == i) continue;
+      const int sigma_j = sigma(xis[j], tau_max);
+      const double theta = sigma_j > tau ? sigma_j - tau : 0.0;
+      others_larger *= theta / sigma_j;
+      if (others_larger == 0.0) break;
+    }
+    p += others_larger / sigma_i;
+  }
+  return p;
+}
+
+double ListenWindowOptimizer::collision_probability(
+    std::span<const double> xis, int tau_max) {
+  if (xis.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xis.size(); ++i)
+    sum += grasp_probability(xis, i, tau_max);
+  return std::clamp(1.0 - sum, 0.0, 1.0);
+}
+
+int ListenWindowOptimizer::min_tau_max(std::span<const double> xis,
+                                       double target, int cap) {
+  if (xis.size() < 2) return 1;
+  // γ decreases (essentially monotonically) in τ_max: gallop to bracket
+  // the answer, then binary-search. O(log cap) evaluations instead of cap.
+  if (collision_probability(xis, 1) <= target) return 1;
+  int lo = 1, hi = 2;
+  while (hi < cap && collision_probability(xis, hi) > target) {
+    lo = hi;
+    hi = std::min(cap, hi * 2);
+  }
+  if (collision_probability(xis, hi) > target) return cap;
+  while (lo + 1 < hi) {
+    const int mid = (lo + hi) / 2;
+    if (collision_probability(xis, mid) <= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,67 @@
+// RTS collision-avoidance optimizer (Sec. 4.2, Eqs. 9-13). Models an
+// independent cell of m contenders, each listening for τ_j ~ U{1..σ_j}
+// slots with σ_j = ξ_j · τ_max; the shortest listener wins the channel.
+// Finds the minimum τ_max keeping the collision probability γ under H.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dftmsn {
+
+class ListenWindowOptimizer {
+ public:
+  /// Effective floor on ξ inside Eq. (9). With σ_j = ξ_j·τ_max taken
+  /// literally, two contenders with ξ ≈ 0 both get σ = 1 and collide on
+  /// *every* attempt, deadlocking a contact window. Flooring the metric
+  /// keeps the paper's lower-ξ-listens-less property while letting the
+  /// τ_max optimizer restore randomization (see DESIGN.md).
+  static constexpr double kXiFloor = 0.1;
+
+  /// σ_j of Eq. (9), quantized to slots and clamped to >= 1.
+  static int sigma(double xi, int tau_max);
+
+  /// P_i of Eq. (10): probability that contender `i` (index into `xis`)
+  /// grasps the channel, i.e. its listen period strictly undercuts every
+  /// other contender's.
+  static double grasp_probability(std::span<const double> xis, std::size_t i,
+                                  int tau_max);
+
+  /// γ of Eq. (12): probability that no contender uniquely grasps the
+  /// channel (two or more tie on the minimum slot).
+  static double collision_probability(std::span<const double> xis,
+                                      int tau_max);
+
+  /// Eq. (13): smallest τ_max in [1, cap] with γ <= target; returns `cap`
+  /// if the target is unattainable (γ still decreases monotonically).
+  static int min_tau_max(std::span<const double> xis, double target, int cap);
+
+  /// Monte-Carlo estimate of γ for validation (`draws` independent cells,
+  /// `rng01` must yield U[0,1) numbers).
+  template <typename Rng>
+  static double collision_probability_mc(std::span<const double> xis,
+                                         int tau_max, int draws, Rng&& rng01) {
+    if (xis.size() < 2) return 0.0;
+    int collisions = 0;
+    std::vector<int> sigmas;
+    sigmas.reserve(xis.size());
+    for (const double xi : xis) sigmas.push_back(sigma(xi, tau_max));
+    for (int d = 0; d < draws; ++d) {
+      int best = 1 << 30;
+      int best_count = 0;
+      for (const int s : sigmas) {
+        const int tau = 1 + static_cast<int>(rng01() * s);
+        if (tau < best) {
+          best = tau;
+          best_count = 1;
+        } else if (tau == best) {
+          ++best_count;
+        }
+      }
+      if (best_count != 1) ++collisions;
+    }
+    return static_cast<double>(collisions) / draws;
+  }
+};
+
+}  // namespace dftmsn

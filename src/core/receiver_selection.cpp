@@ -1,0 +1,30 @@
+#include "core/receiver_selection.hpp"
+
+#include <algorithm>
+
+#include "core/ftd.hpp"
+
+namespace dftmsn {
+
+Selection select_receivers(double sender_metric, double message_ftd,
+                           double threshold_r,
+                           std::vector<Candidate> candidates) {
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.metric > b.metric;
+                   });
+
+  Selection out;
+  std::vector<double> xis;
+  for (const Candidate& c : candidates) {
+    if (c.metric > sender_metric && c.buffer_space > 0) {
+      out.receivers.push_back(c);
+      xis.push_back(c.metric);
+    }
+    out.aggregate_probability = aggregate_delivery_probability(message_ftd, xis);
+    if (out.aggregate_probability > threshold_r) break;
+  }
+  return out;
+}
+
+}  // namespace dftmsn

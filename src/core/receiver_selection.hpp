@@ -1,0 +1,33 @@
+// Greedy receiver-subset selection of the synchronous phase (Sec. 3.2.2):
+// walk candidates in decreasing delivery probability, adding qualified
+// ones until the aggregate delivery probability of the message reaches R.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dftmsn {
+
+/// A neighbour that answered CTS.
+struct Candidate {
+  NodeId id = kInvalidNode;
+  double metric = 0.0;            ///< advertised delivery probability ξ
+  std::size_t buffer_space = 0;   ///< B(F) it reported
+  bool is_sink = false;           ///< high-end sink node (ξ = 1)
+};
+
+struct Selection {
+  std::vector<Candidate> receivers;  ///< Φ, in schedule (ACK-slot) order
+  double aggregate_probability = 0.0;
+};
+
+/// Implements the paper's pseudo-code. `sender_metric` is ξ_i,
+/// `message_ftd` is F_i^M, `threshold_r` is R. Candidates may arrive in
+/// any order; they are sorted by decreasing metric internally.
+Selection select_receivers(double sender_metric, double message_ftd,
+                           double threshold_r,
+                           std::vector<Candidate> candidates);
+
+}  // namespace dftmsn

@@ -1,0 +1,51 @@
+#include "core/sleep_controller.hpp"
+
+#include <algorithm>
+
+namespace dftmsn {
+
+SleepController::SleepController(const SleepConfig& cfg,
+                                 const EnergyModel& energy,
+                                 double radio_switch_time_s)
+    : cfg_(cfg),
+      t_min_(std::max(cfg.t_min_floor_s,
+                      energy.min_sleep_for_saving(radio_switch_time_s))) {}
+
+void SleepController::record_cycle(bool transmitted) {
+  history_.push_back(transmitted);
+  while (history_.size() > static_cast<std::size_t>(cfg_.history_cycles))
+    history_.pop_front();
+}
+
+double SleepController::rho() const {
+  const double s = static_cast<double>(cfg_.history_cycles);
+  const auto successes =
+      static_cast<double>(std::count(history_.begin(), history_.end(), true));
+  if (successes == 0.0) return 1.0 / s;
+  return successes / s;
+}
+
+double SleepController::alpha(std::size_t important_count,
+                              std::size_t buffer_capacity) const {
+  if (buffer_capacity == 0) return 0.0;
+  return static_cast<double>(important_count) /
+         static_cast<double>(buffer_capacity);
+}
+
+double SleepController::sleep_period(std::size_t important_count,
+                                     std::size_t buffer_capacity) const {
+  const double r = rho();
+  const double a = alpha(important_count, buffer_capacity);
+  // Eq. (6). The denominator 1 - H + α shrinks the period when the buffer
+  // fills with important messages (α >= H) and stretches it when idle.
+  const double period = t_min_ / r / (1.0 - cfg_.buffer_threshold_h + a);
+  return std::clamp(period, t_min_, t_max());
+}
+
+double SleepController::t_max() const {
+  // Eq. (8): worst case ρ = 1/S and an empty buffer (α = 0).
+  return t_min_ * static_cast<double>(cfg_.history_cycles) /
+         (1.0 - cfg_.buffer_threshold_h);
+}
+
+}  // namespace dftmsn

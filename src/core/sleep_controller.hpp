@@ -1,0 +1,52 @@
+// Periodic-sleeping optimizer (Sec. 4.1, Eqs. 4-8). Decides how long a
+// node sleeps based on its recent transmission success rate ρ and the
+// importance-weighted occupancy of its buffer α.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/config.hpp"
+#include "phy/energy_model.hpp"
+
+namespace dftmsn {
+
+class SleepController {
+ public:
+  /// `radio_switch_time_s` feeds the Eq. (7) break-even bound for T_min.
+  SleepController(const SleepConfig& cfg, const EnergyModel& energy,
+                  double radio_switch_time_s);
+
+  /// Records the outcome of one working cycle (did the node transmit
+  /// successfully?). Keeps the last S cycles.
+  void record_cycle(bool transmitted);
+
+  /// ρ_i of Eq. (4): fraction of the last S cycles with a successful
+  /// transmission; 1/S when none (so T_i stays finite).
+  [[nodiscard]] double rho() const;
+
+  /// α_i of Eq. (5): K^F / K, given the count of queued messages more
+  /// important than F̄ and the total buffer capacity K.
+  [[nodiscard]] double alpha(std::size_t important_count,
+                             std::size_t buffer_capacity) const;
+
+  /// T_i of Eq. (6): max(T_min, T_min · (1/ρ) · 1/(1 - H + α)).
+  [[nodiscard]] double sleep_period(std::size_t important_count,
+                                    std::size_t buffer_capacity) const;
+
+  /// Effective T_min: Eq. (7) break-even bound, raised to the configured
+  /// floor (see DESIGN.md).
+  [[nodiscard]] double t_min() const { return t_min_; }
+
+  /// T_max (Eq. 8): Eq. (6) evaluated at the worst case ρ = 1/S, α = 0.
+  [[nodiscard]] double t_max() const;
+
+  [[nodiscard]] const SleepConfig& config() const { return cfg_; }
+
+ private:
+  SleepConfig cfg_;
+  double t_min_;
+  std::deque<bool> history_;  ///< most recent cycle at the back
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,39 @@
+// Umbrella header: everything a downstream user of the dftmsn library
+// normally needs. Individual subsystem headers remain available for
+// finer-grained includes.
+//
+//   #include "dftmsn.hpp"
+//
+//   dftmsn::Config config;                 // paper-default scenario
+//   auto result = dftmsn::run_once(config, dftmsn::ProtocolKind::kOpt);
+#pragma once
+
+// Configuration and identifiers.
+#include "common/config.hpp"
+#include "common/config_io.hpp"
+#include "common/types.hpp"
+
+// High-level experiment API.
+#include "experiment/presets.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/world.hpp"
+
+// Building blocks for hand-assembled scenarios.
+#include "mobility/mobility_manager.hpp"
+#include "mobility/patrol_mobility.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/zone_mobility.hpp"
+#include "node/sensor_node.hpp"
+#include "node/sink_node.hpp"
+#include "phy/channel.hpp"
+#include "protocol/crosslayer_mac.hpp"
+#include "protocol/protocol_factory.hpp"
+
+// Analysis and tracing.
+#include "analysis/delivery_models.hpp"
+#include "analysis/lifetime.hpp"
+#include "stats/metrics.hpp"
+#include "stats/summary.hpp"
+#include "trace/contact_analysis.hpp"
+#include "trace/contact_probe.hpp"
+#include "trace/recorder.hpp"

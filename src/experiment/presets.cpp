@@ -1,0 +1,41 @@
+#include "experiment/presets.hpp"
+
+namespace dftmsn {
+
+std::optional<Config> scenario_preset(const std::string& name) {
+  Config c;  // the paper's Sec. 5 defaults
+  if (name == "paper") return c;
+
+  if (name == "air") {
+    c.scenario.num_sensors = 120;
+    c.scenario.num_sinks = 4;
+    c.scenario.field_m = 200.0;
+    c.scenario.data_interval_s = 90.0;
+    return c;
+  }
+  if (name == "flu") {
+    c.scenario.num_sinks = 2;
+    c.scenario.duration_s = 10'000.0;
+    return c;
+  }
+  if (name == "sparse") {
+    c.scenario.num_sensors = 40;
+    c.scenario.num_sinks = 1;
+    c.scenario.field_m = 400.0;
+    c.scenario.zones_per_side = 8;
+    return c;
+  }
+  if (name == "pressure") {
+    c.scenario.data_interval_s = 45.0;
+    c.protocol.queue_capacity = 40;
+    c.scenario.num_sinks = 2;
+    return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> scenario_preset_names() {
+  return {"paper", "air", "flu", "sparse", "pressure"};
+}
+
+}  // namespace dftmsn

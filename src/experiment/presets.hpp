@@ -1,0 +1,25 @@
+// Named scenario presets: the paper's default plus the application
+// scenarios from its introduction, ready for the CLI (--preset) and for
+// tests/examples.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace dftmsn {
+
+/// Returns the preset named `name`, or nullopt if unknown. Names:
+///   paper      — Sec. 5 default (100 sensors, 3 sinks, 150 m, 25 000 s)
+///   air        — district-scale air-quality monitoring (denser traffic)
+///   flu        — flu tracking (2 collection points, reporting windows)
+///   sparse     — ultra-sparse wide-area deployment
+///   pressure   — buffer/bandwidth pressure (small queues, fast traffic)
+std::optional<Config> scenario_preset(const std::string& name);
+
+/// All preset names, for help listings.
+std::vector<std::string> scenario_preset_names();
+
+}  // namespace dftmsn

@@ -1,0 +1,69 @@
+#include "experiment/runner.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "experiment/world.hpp"
+
+namespace dftmsn {
+
+RunResult run_once(const Config& config, ProtocolKind kind) {
+  World world(config, kind);
+  world.run();
+
+  const Metrics& m = world.metrics();
+  const Channel::Counters& ch = world.channel().counters();
+
+  RunResult r;
+  r.delivery_ratio = m.delivery_ratio();
+  r.mean_power_mw = world.mean_sensor_power_mw();
+  r.mean_delay_s = m.mean_delay_s();
+  r.mean_hops = m.mean_hops();
+  r.generated = m.generated();
+  r.delivered = m.delivered_unique();
+  r.collisions = ch.collisions;
+  r.attempts = m.attempts();
+  r.failed_attempts = m.failed_attempts();
+  r.data_transmissions = m.data_transmissions();
+  r.drops_overflow = m.drops(DropReason::kOverflow);
+  r.drops_threshold = m.drops(DropReason::kFtdThreshold);
+  r.events_executed = world.sim().events_executed();
+  if (m.delivered_unique() > 0) {
+    r.overhead_bits_per_delivery =
+        static_cast<double>(ch.data_bits_sent + ch.control_bits_sent) /
+        static_cast<double>(m.delivered_unique());
+  }
+  return r;
+}
+
+ReplicatedResult run_replicated(Config config, ProtocolKind kind,
+                                int replications) {
+  ReplicatedResult out;
+  out.replications = replications;
+  const std::uint64_t base_seed = config.scenario.seed;
+  for (int rep = 0; rep < replications; ++rep) {
+    config.scenario.seed = base_seed + static_cast<std::uint64_t>(rep);
+    const RunResult r = run_once(config, kind);
+    out.delivery_ratio.add(r.delivery_ratio);
+    out.mean_power_mw.add(r.mean_power_mw);
+    out.mean_delay_s.add(r.mean_delay_s);
+    out.overhead_bits_per_delivery.add(r.overhead_bits_per_delivery);
+    out.collisions.add(static_cast<double>(r.collisions));
+  }
+  return out;
+}
+
+BenchBudget bench_budget_from_env() {
+  BenchBudget b;
+  if (const char* reps = std::getenv("DFTMSN_BENCH_REPS")) {
+    const int v = std::atoi(reps);
+    if (v > 0) b.replications = v;
+  }
+  if (const char* dur = std::getenv("DFTMSN_BENCH_DURATION")) {
+    const double v = std::atof(dur);
+    if (v > 0) b.duration_s = v;
+  }
+  return b;
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,59 @@
+// Runs configured scenarios and reduces them to the paper's metrics,
+// with replication over seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "protocol/mac_common.hpp"
+#include "stats/summary.hpp"
+
+namespace dftmsn {
+
+/// Headline metrics of one finished run.
+struct RunResult {
+  double delivery_ratio = 0.0;       ///< Fig. 2(a)
+  double mean_power_mw = 0.0;        ///< Fig. 2(b): avg nodal power rate
+  double mean_delay_s = 0.0;         ///< Fig. 2(c): avg delivery delay
+  double mean_hops = 0.0;
+  double overhead_bits_per_delivery = 0.0;  ///< all bits sent / delivered msg
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t data_transmissions = 0;
+  std::uint64_t drops_overflow = 0;
+  std::uint64_t drops_threshold = 0;
+  std::uint64_t events_executed = 0;
+};
+
+/// Mean ± CI over replicated runs.
+struct ReplicatedResult {
+  Summary delivery_ratio;
+  Summary mean_power_mw;
+  Summary mean_delay_s;
+  Summary overhead_bits_per_delivery;
+  Summary collisions;
+  int replications = 0;
+};
+
+/// Builds a World from `config`, runs it to the horizon, reduces metrics.
+RunResult run_once(const Config& config, ProtocolKind kind);
+
+/// Runs `replications` seeds (config.scenario.seed + r) and aggregates.
+ReplicatedResult run_replicated(Config config, ProtocolKind kind,
+                                int replications);
+
+/// Benchmark knobs shared by the bench/ binaries, overridable from the
+/// environment so the full harness can be dialed down for smoke runs:
+///   DFTMSN_BENCH_REPS      (default 3)  replications per point
+///   DFTMSN_BENCH_DURATION  (default 25000) seconds of simulated time
+struct BenchBudget {
+  int replications = 3;
+  double duration_s = 25'000.0;
+};
+BenchBudget bench_budget_from_env();
+
+}  // namespace dftmsn

@@ -1,0 +1,46 @@
+#include "experiment/sweep.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dftmsn {
+
+ConsoleTable::ConsoleTable(std::ostream& os, std::vector<std::string> columns,
+                           int width)
+    : os_(os), columns_(columns.size()), width_(width) {
+  if (columns.empty()) throw std::invalid_argument("ConsoleTable: no columns");
+  for (const auto& c : columns) os_ << std::setw(width_) << c;
+  os_ << '\n';
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    os_ << std::setw(width_) << std::string(width_ - 2, '-');
+  os_ << '\n';
+}
+
+void ConsoleTable::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("ConsoleTable: row arity mismatch");
+  for (const auto& c : cells) os_ << std::setw(width_) << c;
+  os_ << '\n';
+}
+
+void ConsoleTable::row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) cells.push_back(format(v, precision));
+  row(cells);
+}
+
+std::string ConsoleTable::format(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& description) {
+  os << "==== " << experiment_id << " ====\n" << description << "\n\n";
+}
+
+}  // namespace dftmsn

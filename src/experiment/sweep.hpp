@@ -1,0 +1,34 @@
+// Table-formatting helpers shared by the bench binaries that regenerate
+// the paper's figures (aligned console output + optional CSV mirror).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dftmsn {
+
+/// Fixed-width console table. Construction prints the header.
+class ConsoleTable {
+ public:
+  ConsoleTable(std::ostream& os, std::vector<std::string> columns,
+               int width = 14);
+
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  void row(const std::vector<double>& values, int precision = 4);
+
+  static std::string format(double v, int precision);
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_;
+  int width_;
+};
+
+/// Prints the standard bench banner (experiment id + paper reference).
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& description);
+
+}  // namespace dftmsn

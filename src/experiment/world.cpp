@@ -1,0 +1,90 @@
+#include "experiment/world.hpp"
+
+#include <stdexcept>
+
+#include "mobility/zone_mobility.hpp"
+
+namespace dftmsn {
+
+World::World(Config config, ProtocolKind kind)
+    : cfg_(std::move(config)),
+      kind_(kind),
+      energy_(cfg_.power),
+      rngs_(cfg_.scenario.seed),
+      grid_(cfg_.scenario.field_m, cfg_.scenario.zones_per_side),
+      mobility_(sim_, cfg_.scenario.mobility_step_s),
+      channel_(sim_, mobility_, cfg_.radio.range_m, cfg_.radio.bandwidth_bps),
+      metrics_(cfg_.scenario.warmup_s) {
+  cfg_.validate();
+
+  const int n = cfg_.scenario.num_sensors;
+  const int k = cfg_.scenario.num_sinks;
+
+  // Sensors: random start (= home zone), zone-based mobility.
+  RandomStream placement = rngs_.stream("placement");
+  ZoneMobility::Params mob;
+  mob.speed_min = cfg_.scenario.speed_min_mps;
+  mob.speed_max = cfg_.scenario.speed_max_mps;
+  mob.exit_prob = cfg_.scenario.zone_exit_prob;
+  mob.home_return_prob = cfg_.scenario.home_return_prob;
+  mob.leg_mean_s = cfg_.scenario.leg_mean_s;
+
+  for (int i = 0; i < n; ++i) {
+    const Vec2 start{placement.uniform(0.0, grid_.field_edge()),
+                     placement.uniform(0.0, grid_.field_edge())};
+    mobility_.add_node(
+        static_cast<NodeId>(i),
+        std::make_unique<ZoneMobility>(
+            grid_, mob, start, rngs_.stream("mobility", static_cast<NodeId>(i))));
+  }
+
+  // Sinks: static, randomly scattered (Sec. 5).
+  for (int s = 0; s < k; ++s) {
+    const Vec2 pos{placement.uniform(0.0, grid_.field_edge()),
+                   placement.uniform(0.0, grid_.field_edge())};
+    mobility_.add_node(static_cast<NodeId>(n + s),
+                       std::make_unique<StaticMobility>(pos));
+  }
+
+  // Nodes attach to the channel in id order: sensors first, then sinks.
+  const NodeId first_sink = first_sink_id();
+  for (int i = 0; i < n; ++i) {
+    sensors_.push_back(std::make_unique<SensorNode>(
+        static_cast<NodeId>(i), sim_, channel_, energy_, cfg_, kind_,
+        first_sink, metrics_, ids_, rngs_));
+  }
+  for (int s = 0; s < k; ++s) {
+    const NodeId id = static_cast<NodeId>(n + s);
+    auto sink = std::make_unique<SinkNode>(id, sim_, channel_, energy_, cfg_,
+                                           metrics_, rngs_.stream("sink", id));
+    channel_.attach(id, sink->radio(), *sink);
+    sinks_.push_back(std::move(sink));
+  }
+}
+
+void World::run_until(SimTime until) {
+  if (until > cfg_.scenario.duration_s)
+    throw std::invalid_argument("World: run_until beyond configured duration");
+  if (!started_) {
+    started_ = true;
+    mobility_.start();
+    for (auto& s : sensors_) s->start();
+  }
+  sim_.run_until(until);
+}
+
+void World::run() { run_until(cfg_.scenario.duration_s); }
+
+double World::mean_sensor_power_mw() const {
+  if (sensors_.empty() || sim_.now() <= 0.0) return 0.0;
+  double joules = 0.0;
+  for (const auto& s : sensors_) {
+    EnergyMeter meter = s->radio().meter();  // copy; finalize non-destructively
+    meter.finalize(sim_.now());
+    joules += meter.total_joules();
+  }
+  const double watts = joules / sim_.now() / static_cast<double>(sensors_.size());
+  return watts * 1e3;
+}
+
+}  // namespace dftmsn

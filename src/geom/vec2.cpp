@@ -1,0 +1,19 @@
+#include "geom/vec2.hpp"
+
+namespace dftmsn {
+
+Vec2 Vec2::normalized() const {
+  const double n = norm();
+  if (n == 0.0) return {};
+  return {x / n, y / n};
+}
+
+double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+double distance2(const Vec2& a, const Vec2& b) { return (a - b).norm2(); }
+
+Vec2 unit_from_angle(double radians) {
+  return {std::cos(radians), std::sin(radians)};
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,38 @@
+// 2-D vector math used by mobility and the channel range model.
+#pragma once
+
+#include <cmath>
+
+namespace dftmsn {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+
+  [[nodiscard]] double norm2() const { return x * x + y * y; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  [[nodiscard]] Vec2 normalized() const;
+};
+
+/// Euclidean distance between two points.
+double distance(const Vec2& a, const Vec2& b);
+
+/// Squared distance — preferred for range tests (no sqrt).
+double distance2(const Vec2& a, const Vec2& b);
+
+/// Unit vector at angle `radians` from the +x axis.
+Vec2 unit_from_angle(double radians);
+
+}  // namespace dftmsn

@@ -1,0 +1,52 @@
+#include "geom/zone_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dftmsn {
+
+ZoneGrid::ZoneGrid(double field_edge, int per_side)
+    : field_edge_(field_edge),
+      per_side_(per_side),
+      zone_edge_(field_edge / per_side) {
+  if (field_edge <= 0) throw std::invalid_argument("ZoneGrid: field edge <= 0");
+  if (per_side <= 0) throw std::invalid_argument("ZoneGrid: per_side <= 0");
+}
+
+ZoneId ZoneGrid::zone_of(const Vec2& p) const {
+  const auto idx = [&](double v) {
+    const int i = static_cast<int>(std::floor(v / zone_edge_));
+    return std::clamp(i, 0, per_side_ - 1);
+  };
+  return idx(p.y) * per_side_ + idx(p.x);
+}
+
+void ZoneGrid::check_zone(ZoneId z) const {
+  if (z < 0 || z >= zone_count())
+    throw std::out_of_range("ZoneGrid: bad zone id");
+}
+
+Vec2 ZoneGrid::zone_center(ZoneId z) const {
+  check_zone(z);
+  const int col = z % per_side_;
+  const int row = z / per_side_;
+  return {(col + 0.5) * zone_edge_, (row + 0.5) * zone_edge_};
+}
+
+ZoneGrid::Bounds ZoneGrid::zone_bounds(ZoneId z) const {
+  check_zone(z);
+  const int col = z % per_side_;
+  const int row = z / per_side_;
+  return {{col * zone_edge_, row * zone_edge_},
+          {(col + 1) * zone_edge_, (row + 1) * zone_edge_}};
+}
+
+bool ZoneGrid::contains(ZoneId z, const Vec2& p) const {
+  return zone_of(p) == z;
+}
+
+Vec2 ZoneGrid::clamp_to_field(const Vec2& p) const {
+  return {std::clamp(p.x, 0.0, field_edge_), std::clamp(p.y, 0.0, field_edge_)};
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,53 @@
+// Partition of the square field into an NxN grid of zones (the paper uses
+// 5x5 = 25). Zone ids are row-major, zone (0,0) at the field origin.
+#pragma once
+
+#include <stdexcept>
+
+#include "geom/vec2.hpp"
+
+namespace dftmsn {
+
+using ZoneId = int;
+
+class ZoneGrid {
+ public:
+  /// `field_edge` is the side of the square field in metres; `per_side`
+  /// the number of zones along each axis.
+  ZoneGrid(double field_edge, int per_side);
+
+  [[nodiscard]] double field_edge() const { return field_edge_; }
+  [[nodiscard]] int per_side() const { return per_side_; }
+  [[nodiscard]] int zone_count() const { return per_side_ * per_side_; }
+  [[nodiscard]] double zone_edge() const { return zone_edge_; }
+
+  /// Zone containing point `p`. Points outside the field are clamped to
+  /// the nearest zone (mobility keeps nodes inside, but float round-off at
+  /// the boundary must not produce an invalid id).
+  [[nodiscard]] ZoneId zone_of(const Vec2& p) const;
+
+  /// Centre point of a zone.
+  [[nodiscard]] Vec2 zone_center(ZoneId z) const;
+
+  /// Axis-aligned bounds of a zone: [min, max) on each axis.
+  struct Bounds {
+    Vec2 min;
+    Vec2 max;
+  };
+  [[nodiscard]] Bounds zone_bounds(ZoneId z) const;
+
+  /// True if `p` lies inside zone `z` (boundary-inclusive on the low edge).
+  [[nodiscard]] bool contains(ZoneId z, const Vec2& p) const;
+
+  /// Clamps `p` into the field: [0, edge] on both axes.
+  [[nodiscard]] Vec2 clamp_to_field(const Vec2& p) const;
+
+ private:
+  void check_zone(ZoneId z) const;
+
+  double field_edge_;
+  int per_side_;
+  double zone_edge_;
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,60 @@
+#include "mobility/mobility_manager.hpp"
+
+#include <stdexcept>
+
+namespace dftmsn {
+
+MobilityManager::MobilityManager(Simulator& sim, double step)
+    : sim_(sim), step_(step) {
+  if (step <= 0) throw std::invalid_argument("MobilityManager: step <= 0");
+}
+
+void MobilityManager::add_node(NodeId id, std::unique_ptr<MobilityModel> model) {
+  if (id != models_.size())
+    throw std::invalid_argument("MobilityManager: nodes must be added in id order");
+  if (!model) throw std::invalid_argument("MobilityManager: null model");
+  models_.push_back(std::move(model));
+}
+
+void MobilityManager::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.schedule_in(step_, [this] { tick(); });
+}
+
+void MobilityManager::tick() {
+  for (auto& m : models_) m->step(step_);
+  sim_.schedule_in(step_, [this] { tick(); });
+}
+
+Vec2 MobilityManager::position(NodeId id) const {
+  return models_.at(id)->position();
+}
+
+std::vector<NodeId> MobilityManager::neighbors_of(NodeId id,
+                                                  double range) const {
+  const Vec2 p = position(id);
+  const double r2 = range * range;
+  std::vector<NodeId> out;
+  for (NodeId other = 0; other < models_.size(); ++other) {
+    if (other == id) continue;
+    if (distance2(p, models_[other]->position()) <= r2) out.push_back(other);
+  }
+  return out;
+}
+
+std::vector<NodeId> MobilityManager::nodes_in_range(const Vec2& p,
+                                                    double range) const {
+  const double r2 = range * range;
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < models_.size(); ++id) {
+    if (distance2(p, models_[id]->position()) <= r2) out.push_back(id);
+  }
+  return out;
+}
+
+double MobilityManager::distance_between(NodeId a, NodeId b) const {
+  return distance(position(a), position(b));
+}
+
+}  // namespace dftmsn

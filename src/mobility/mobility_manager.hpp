@@ -1,0 +1,55 @@
+// Owns every node's mobility model, advances them on a fixed simulator
+// tick, and answers position / neighbourhood queries for the channel.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mobility/mobility_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace dftmsn {
+
+class MobilityManager {
+ public:
+  /// `step` is the mobility tick in seconds.
+  MobilityManager(Simulator& sim, double step);
+
+  /// Registers a node's model; node ids must be added in order 0,1,2,...
+  /// (they index the internal table).
+  void add_node(NodeId id, std::unique_ptr<MobilityModel> model);
+
+  /// Starts the periodic tick. Call once after all nodes are added.
+  void start();
+
+  [[nodiscard]] std::size_t node_count() const { return models_.size(); }
+
+  [[nodiscard]] Vec2 position(NodeId id) const;
+
+  /// Read-only access to a node's model (diagnostics / tests).
+  [[nodiscard]] const MobilityModel& model(NodeId id) const {
+    return *models_.at(id);
+  }
+
+  /// All nodes (other than `id`) within `range` metres of node `id`.
+  [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId id,
+                                                 double range) const;
+
+  /// All nodes within `range` of an arbitrary point.
+  [[nodiscard]] std::vector<NodeId> nodes_in_range(const Vec2& p,
+                                                   double range) const;
+
+  /// Distance between two registered nodes.
+  [[nodiscard]] double distance_between(NodeId a, NodeId b) const;
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  double step_;
+  bool started_ = false;
+  std::vector<std::unique_ptr<MobilityModel>> models_;
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,32 @@
+// Abstract per-node mobility model, advanced in fixed steps by the
+// MobilityManager.
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace dftmsn {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Current position of the node.
+  [[nodiscard]] virtual Vec2 position() const = 0;
+
+  /// Advances the node by `dt` seconds.
+  virtual void step(double dt) = 0;
+};
+
+/// A node that never moves (e.g., a sink deployed at a strategic location).
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Vec2 position) : position_(position) {}
+
+  [[nodiscard]] Vec2 position() const override { return position_; }
+  void step(double) override {}
+
+ private:
+  Vec2 position_;
+};
+
+}  // namespace dftmsn

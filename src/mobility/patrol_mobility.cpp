@@ -1,0 +1,47 @@
+#include "mobility/patrol_mobility.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dftmsn {
+
+PatrolMobility::PatrolMobility(std::vector<Vec2> waypoints, double speed_mps,
+                               double dwell_s)
+    : waypoints_(std::move(waypoints)),
+      speed_(speed_mps),
+      dwell_s_(dwell_s),
+      position_(waypoints_.empty() ? Vec2{} : waypoints_.front()) {
+  if (waypoints_.size() < 2)
+    throw std::invalid_argument("PatrolMobility: need at least two waypoints");
+  if (speed_mps <= 0)
+    throw std::invalid_argument("PatrolMobility: speed must be positive");
+  if (dwell_s < 0)
+    throw std::invalid_argument("PatrolMobility: dwell must be non-negative");
+}
+
+void PatrolMobility::step(double dt) {
+  double budget = dt;
+  while (budget > 1e-12) {
+    if (dwell_remaining_ > 0.0) {
+      const double pause = std::min(dwell_remaining_, budget);
+      dwell_remaining_ -= pause;
+      budget -= pause;
+      continue;
+    }
+    const Vec2 target = waypoints_[next_];
+    const Vec2 to_go = target - position_;
+    const double dist = to_go.norm();
+    const double travel_time = dist / speed_;
+    if (travel_time <= budget) {
+      position_ = target;
+      budget -= travel_time;
+      next_ = (next_ + 1) % waypoints_.size();
+      dwell_remaining_ = dwell_s_;
+    } else {
+      position_ += to_go.normalized() * (speed_ * budget);
+      budget = 0.0;
+    }
+  }
+}
+
+}  // namespace dftmsn

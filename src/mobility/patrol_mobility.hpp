@@ -1,0 +1,36 @@
+// Patrol mobility: a node endlessly cycling through a fixed circuit of
+// waypoints at constant speed — the "managed mobile node" of the Data
+// MULE architecture the paper surveys (Sec. 2, category 2). Used to model
+// mule-carried sinks (buses, mail vans) in the data_mule example.
+#pragma once
+
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+
+namespace dftmsn {
+
+class PatrolMobility final : public MobilityModel {
+ public:
+  /// Travels `waypoints[0] -> waypoints[1] -> ... -> waypoints[0] -> ...`
+  /// at `speed_mps`, pausing `dwell_s` at each waypoint. Requires at
+  /// least two waypoints and a positive speed.
+  PatrolMobility(std::vector<Vec2> waypoints, double speed_mps,
+                 double dwell_s = 0.0);
+
+  [[nodiscard]] Vec2 position() const override { return position_; }
+  void step(double dt) override;
+
+  /// Index of the waypoint currently being approached.
+  [[nodiscard]] std::size_t next_waypoint() const { return next_; }
+
+ private:
+  std::vector<Vec2> waypoints_;
+  double speed_;
+  double dwell_s_;
+  Vec2 position_;
+  std::size_t next_ = 1;
+  double dwell_remaining_ = 0.0;
+};
+
+}  // namespace dftmsn

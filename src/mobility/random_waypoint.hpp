@@ -1,0 +1,40 @@
+// Classic random-waypoint mobility (extension; not used by the paper's
+// default scenario). Pick a uniform waypoint, travel at a uniform speed,
+// optionally pause, repeat.
+#pragma once
+
+#include "geom/zone_grid.hpp"
+#include "mobility/mobility_model.hpp"
+#include "sim/random.hpp"
+
+namespace dftmsn {
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  struct Params {
+    double speed_min = 0.5;  ///< m/s; > 0 avoids the well-known RWP stall
+    double speed_max = 5.0;  ///< m/s
+    double pause_max_s = 0.0;
+  };
+
+  RandomWaypoint(const ZoneGrid& grid, Params params, Vec2 start,
+                 RandomStream rng);
+
+  [[nodiscard]] Vec2 position() const override { return position_; }
+  void step(double dt) override;
+
+  [[nodiscard]] Vec2 waypoint() const { return waypoint_; }
+
+ private:
+  void pick_waypoint();
+
+  const ZoneGrid& grid_;
+  Params params_;
+  RandomStream rng_;
+  Vec2 position_;
+  Vec2 waypoint_;
+  double speed_ = 0.0;
+  double pause_remaining_s_ = 0.0;
+};
+
+}  // namespace dftmsn

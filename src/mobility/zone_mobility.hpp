@@ -1,0 +1,60 @@
+// The paper's mobility model (Sec. 5): each sensor has a home zone inside
+// a 5x5 grid; it moves with a uniformly random speed, bounces off zone
+// boundaries with probability 1-p_exit, crosses with p_exit, and always
+// re-enters its home zone when reaching a boundary shared with it.
+#pragma once
+
+#include "geom/zone_grid.hpp"
+#include "mobility/mobility_model.hpp"
+#include "sim/random.hpp"
+
+namespace dftmsn {
+
+class ZoneMobility final : public MobilityModel {
+ public:
+  struct Params {
+    double speed_min = 0.0;         ///< m/s (per-node speed drawn once)
+    double speed_max = 5.0;         ///< m/s
+    double exit_prob = 0.2;         ///< cross a non-home zone boundary
+    double home_return_prob = 1.0;  ///< cross a boundary into the home zone
+    double leg_mean_s = 30.0;       ///< mean travel time before re-picking direction
+  };
+
+  /// The node starts at `start` (must lie within the grid); its home zone
+  /// is the zone containing `start`.
+  ZoneMobility(const ZoneGrid& grid, Params params, Vec2 start,
+               RandomStream rng);
+
+  [[nodiscard]] Vec2 position() const override { return position_; }
+  void step(double dt) override;
+
+  [[nodiscard]] ZoneId home_zone() const { return home_zone_; }
+  [[nodiscard]] ZoneId current_zone() const { return current_zone_; }
+
+  /// The node's fixed travel speed. Drawn once per node (uniform in
+  /// [speed_min, speed_max]): sensors are worn by *people*, whose
+  /// activity levels differ persistently — this per-node heterogeneity
+  /// is what gives different sensors different delivery probabilities
+  /// (Sec. 5 of the paper; see DESIGN.md).
+  [[nodiscard]] double speed() const { return speed_; }
+
+ private:
+  /// Picks a fresh uniform direction and a new leg duration.
+  void repick_velocity();
+
+  /// Picks a direction pointing from `position_` toward the interior of
+  /// the current zone (used after bouncing off a boundary).
+  void turn_into_current_zone();
+
+  const ZoneGrid& grid_;
+  Params params_;
+  RandomStream rng_;
+  Vec2 position_;
+  double speed_;   ///< fixed per-node speed, m/s
+  Vec2 velocity_;  ///< m/s vector
+  ZoneId home_zone_;
+  ZoneId current_zone_;
+  double leg_remaining_s_ = 0.0;
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,19 @@
+#include "net/frame.hpp"
+
+namespace dftmsn {
+
+std::string frame_type_name(const Frame& f) {
+  struct Visitor {
+    std::string operator()(const PreambleFrame&) const { return "PREAMBLE"; }
+    std::string operator()(const RtsFrame&) const { return "RTS"; }
+    std::string operator()(const CtsFrame&) const { return "CTS"; }
+    std::string operator()(const ScheduleFrame&) const { return "SCHEDULE"; }
+    std::string operator()(const DataFrame&) const { return "DATA"; }
+    std::string operator()(const AckFrame&) const { return "ACK"; }
+  };
+  return std::visit(Visitor{}, f.payload);
+}
+
+bool is_data_frame(const Frame& f) { return f.is<DataFrame>(); }
+
+}  // namespace dftmsn

@@ -1,0 +1,85 @@
+// MAC-layer frames exchanged over the channel. A Frame is a tagged union
+// (std::variant) of the six frame kinds of the cross-layer protocol:
+// PREAMBLE, RTS, CTS, SCHEDULE, DATA, ACK.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace dftmsn {
+
+/// Channel-occupation announcement preceding an RTS (Sec. 3.2.1).
+struct PreambleFrame {};
+
+/// Request-To-Send: carries the sender's delivery probability, the FTD of
+/// the message about to be sent, and the CTS contention window length.
+struct RtsFrame {
+  double sender_metric = 0.0;  ///< ξ_i (or the variant's history metric)
+  double message_ftd = 0.0;    ///< F_i^M
+  int contention_window = 16;  ///< W, in slots
+  MessageId message_id = 0;    ///< id of the message about to be multicast
+};
+
+/// Clear-To-Send from a qualified receiver: its own delivery probability
+/// and available buffer space for messages at the advertised FTD.
+struct CtsFrame {
+  NodeId rts_sender = kInvalidNode;  ///< which RTS this answers
+  double receiver_metric = 0.0;      ///< ξ_j
+  std::size_t buffer_space = 0;      ///< B_j(F_i^M)
+};
+
+/// Per-receiver entry of a SCHEDULE frame: the FTD the receiver must
+/// attach to its copy (Eq. 2) and, implicitly by position, its ACK slot.
+struct ScheduleEntry {
+  NodeId receiver = kInvalidNode;
+  double ftd = 0.0;
+};
+
+/// Transmission schedule opening the synchronous phase. Non-listed
+/// overhearers use `nav_duration` to defer (NAV).
+struct ScheduleFrame {
+  std::vector<ScheduleEntry> entries;
+  double nav_duration = 0.0;  ///< seconds the channel stays reserved
+};
+
+/// The multicast data message itself.
+struct DataFrame {
+  Message message;
+};
+
+/// Slotted acknowledgement from receiver k of the schedule.
+struct AckFrame {
+  NodeId data_sender = kInvalidNode;
+  MessageId message_id = 0;
+};
+
+using FramePayload = std::variant<PreambleFrame, RtsFrame, CtsFrame,
+                                  ScheduleFrame, DataFrame, AckFrame>;
+
+struct Frame {
+  NodeId sender = kInvalidNode;
+  std::size_t bits = 50;
+  FramePayload payload;
+
+  template <typename T>
+  [[nodiscard]] bool is() const {
+    return std::holds_alternative<T>(payload);
+  }
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return std::get<T>(payload);
+  }
+};
+
+/// Human-readable frame kind, for logs and tests.
+std::string frame_type_name(const Frame& f);
+
+/// True for DATA frames (used by the channel's traffic accounting).
+bool is_data_frame(const Frame& f);
+
+}  // namespace dftmsn

@@ -1,0 +1,4 @@
+#include "net/message.hpp"
+
+// Message/QueuedMessage are plain data; this TU exists so the module has a
+// home for future out-of-line helpers and keeps the build graph uniform.

@@ -1,0 +1,33 @@
+// Data messages (Layer-3 payload) and their queued form.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace dftmsn {
+
+/// One sensed datum. All copies replicated through the network share the
+/// same id; per-copy state (the FTD) lives outside this struct.
+struct Message {
+  MessageId id = 0;
+  NodeId source = kInvalidNode;
+  SimTime created = 0.0;
+  std::size_t bits = 1000;
+  int hops = 0;  ///< hops taken by *this copy* so far
+
+  bool operator==(const Message& o) const {
+    return id == o.id && source == o.source;
+  }
+};
+
+/// A copy of a message held in a sensor's data queue, together with its
+/// fault-tolerance degree (FTD, Sec. 3.1.2): the probability that at least
+/// one other copy reaches a sink. Lower FTD = more important.
+struct QueuedMessage {
+  Message msg;
+  double ftd = 0.0;
+  SimTime enqueued = 0.0;
+};
+
+}  // namespace dftmsn

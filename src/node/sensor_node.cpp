@@ -1,0 +1,47 @@
+#include "node/sensor_node.hpp"
+
+namespace dftmsn {
+namespace {
+
+QueueDiscipline to_discipline(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kFtdSorted: return QueueDiscipline::kFtdSorted;
+    case QueuePolicy::kFifo: return QueueDiscipline::kFifo;
+    case QueuePolicy::kRandomDrop: return QueueDiscipline::kRandomDrop;
+  }
+  return QueueDiscipline::kFtdSorted;
+}
+
+}  // namespace
+
+SensorNode::SensorNode(NodeId id, Simulator& sim, Channel& channel,
+                       const EnergyModel& energy, const Config& config,
+                       ProtocolKind kind, NodeId first_sink_id,
+                       Metrics& metrics, MessageIdAllocator& ids,
+                       const RandomSource& rngs)
+    : id_(id),
+      metrics_(metrics),
+      radio_(sim, energy, config.radio.switch_time_s),
+      queue_(config.protocol.queue_capacity,
+             to_discipline(config.protocol.queue_policy)) {
+  mac_ = std::make_unique<CrossLayerMac>(
+      id, sim, channel, radio_, queue_, make_strategy(kind, config), config,
+      make_mac_options(kind, config), first_sink_id, metrics,
+      rngs.stream("mac", id));
+
+  source_ = std::make_unique<PoissonSource>(
+      sim, ids, id, config.scenario.data_interval_s, config.radio.data_bits,
+      rngs.stream("traffic", id), [this](Message m) {
+        metrics_.on_generated(m);
+        mac_->enqueue(m);
+      });
+
+  channel.attach(id, radio_, *mac_);
+}
+
+void SensorNode::start() {
+  mac_->start();
+  source_->start();
+}
+
+}  // namespace dftmsn

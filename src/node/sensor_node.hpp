@@ -1,0 +1,45 @@
+// Wearable sensor node: radio + FTD queue + cross-layer MAC + Poisson
+// traffic source, wired together for one protocol variant.
+#pragma once
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "phy/channel.hpp"
+#include "phy/radio.hpp"
+#include "protocol/crosslayer_mac.hpp"
+#include "protocol/protocol_factory.hpp"
+#include "sim/random.hpp"
+#include "stats/metrics.hpp"
+#include "traffic/poisson_source.hpp"
+
+namespace dftmsn {
+
+class SensorNode {
+ public:
+  /// Builds the full node and attaches it to `channel` under id `id`.
+  SensorNode(NodeId id, Simulator& sim, Channel& channel,
+             const EnergyModel& energy, const Config& config,
+             ProtocolKind kind, NodeId first_sink_id, Metrics& metrics,
+             MessageIdAllocator& ids, const RandomSource& rngs);
+
+  /// Starts the MAC working cycle and the traffic source. Call once.
+  void start();
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Radio& radio() { return radio_; }
+  [[nodiscard]] const Radio& radio() const { return radio_; }
+  [[nodiscard]] CrossLayerMac& mac() { return *mac_; }
+  [[nodiscard]] const CrossLayerMac& mac() const { return *mac_; }
+  [[nodiscard]] const FtdQueue& queue() const { return queue_; }
+
+ private:
+  NodeId id_;
+  Metrics& metrics_;
+  Radio radio_;
+  FtdQueue queue_;
+  std::unique_ptr<CrossLayerMac> mac_;
+  std::unique_ptr<PoissonSource> source_;
+};
+
+}  // namespace dftmsn

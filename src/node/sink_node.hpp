@@ -1,0 +1,66 @@
+// High-end sink node: always awake, always a qualified receiver (ξ = 1,
+// ample buffer), never initiates transmissions. Records message arrivals
+// into the run metrics.
+#pragma once
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "phy/channel.hpp"
+#include "phy/radio.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
+
+namespace dftmsn {
+
+class SinkNode final : public ChannelListener {
+ public:
+  /// The caller must attach this node to the channel after construction:
+  /// channel.attach(id, sink.radio(), sink).
+  SinkNode(NodeId id, Simulator& sim, Channel& channel,
+           const EnergyModel& energy, const Config& config, Metrics& metrics,
+           RandomStream rng);
+
+  [[nodiscard]] Radio& radio() { return radio_; }
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  /// Total distinct DATA frames this sink heard (diagnostics).
+  [[nodiscard]] std::uint64_t data_heard() const { return data_heard_; }
+
+  // --- ChannelListener ------------------------------------------------
+  void on_frame_received(const Frame& frame) override;
+  void on_collision() override {}
+  void on_channel_busy() override {}
+  void on_channel_idle() override {}
+
+ private:
+  void handle_rts(const Frame& frame);
+  void handle_schedule(const Frame& frame);
+  void handle_data(const Frame& frame);
+  void send_cts();
+  void send_ack();
+  [[nodiscard]] bool can_transmit() const;
+  void force_transmit(Frame frame);
+
+  NodeId id_;
+  Simulator& sim_;
+  Channel& channel_;
+  Radio radio_;
+  const Config& cfg_;
+  Metrics& metrics_;
+  RandomStream rng_;
+  double slot_s_;
+
+  // Current exchange context (a sink only tracks one sender at a time;
+  // overlapping senders in range would collide on the air anyway).
+  NodeId current_sender_ = kInvalidNode;
+  MessageId expected_message_ = 0;
+  int ack_slot_ = 0;
+  bool awaiting_data_ = false;
+  EventHandle cts_timer_;
+  EventHandle ack_timer_;
+  EventHandle reset_timer_;
+  std::uint64_t data_heard_ = 0;
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,125 @@
+#include "phy/channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dftmsn {
+
+Channel::Channel(Simulator& sim, const MobilityManager& mobility,
+                 double range_m, double bandwidth_bps)
+    : sim_(sim),
+      mobility_(mobility),
+      range_m_(range_m),
+      bandwidth_bps_(bandwidth_bps) {
+  if (range_m <= 0) throw std::invalid_argument("Channel: range <= 0");
+  if (bandwidth_bps <= 0) throw std::invalid_argument("Channel: bandwidth <= 0");
+}
+
+void Channel::attach(NodeId id, Radio& radio, ChannelListener& listener) {
+  if (id != nodes_.size())
+    throw std::invalid_argument("Channel: nodes must attach in id order");
+  nodes_.push_back(NodeRx{&radio, &listener, {}, 0, false});
+}
+
+SimTime Channel::tx_duration(std::size_t bits) const {
+  return static_cast<double>(bits) / bandwidth_bps_;
+}
+
+bool Channel::busy(NodeId id) const { return !nodes_.at(id).hearing.empty(); }
+
+bool Channel::anyone_in_range(NodeId id) const {
+  return !mobility_.neighbors_of(id, range_m_).empty();
+}
+
+bool Channel::erase_value(std::vector<TxId>& v, TxId value) {
+  const auto it = std::find(v.begin(), v.end(), value);
+  if (it == v.end()) return false;
+  v.erase(it);
+  return true;
+}
+
+void Channel::forget(NodeId id) {
+  NodeRx& n = nodes_.at(id);
+  if (n.locked != 0 && n.radio->state() == RadioState::kRx) n.radio->end_rx();
+  n.locked = 0;
+  n.locked_clean = false;
+  n.hearing.clear();
+}
+
+SimTime Channel::transmit(NodeId sender, Frame frame) {
+  NodeRx& s = nodes_.at(sender);
+  frame.sender = sender;
+  const SimTime duration = tx_duration(frame.bits);
+  const TxId id = next_tx_id_++;
+
+  ++counters_.frames_sent;
+  if (is_data_frame(frame)) {
+    counters_.data_bits_sent += frame.bits;
+  } else {
+    counters_.control_bits_sent += frame.bits;
+  }
+
+  s.radio->begin_tx();  // throws if the radio is not IDLE (MAC bug)
+
+  // Audience snapshot at frame start: awake nodes in range that are not
+  // themselves transmitting. A node that wakes mid-frame misses it.
+  std::vector<NodeId> audience;
+  for (const NodeId nb : mobility_.neighbors_of(sender, range_m_)) {
+    if (nb >= nodes_.size()) continue;
+    NodeRx& n = nodes_[nb];
+    const RadioState st = n.radio->state();
+    if (st != RadioState::kIdle && st != RadioState::kRx) continue;
+    audience.push_back(nb);
+
+    const bool was_quiet = n.hearing.empty();
+    n.hearing.push_back(id);
+    if (was_quiet) {
+      // The node locks onto this frame and starts decoding it.
+      n.locked = id;
+      n.locked_clean = true;
+      n.radio->begin_rx();
+      n.listener->on_channel_busy();
+    } else {
+      // Overlap: both the locked frame and this one are corrupted.
+      n.locked_clean = false;
+    }
+  }
+
+  sim_.schedule_in(duration, [this, id, sender, frame = std::move(frame),
+                              audience = std::move(audience)]() mutable {
+    finish_tx(id, sender, frame, std::move(audience));
+  });
+  return duration;
+}
+
+void Channel::finish_tx(TxId id, NodeId sender, const Frame& frame,
+                        std::vector<NodeId> audience) {
+  nodes_.at(sender).radio->end_tx();
+
+  for (const NodeId nb : audience) {
+    NodeRx& n = nodes_.at(nb);
+    // If the node slept meanwhile, forget() wiped its bookkeeping.
+    if (!erase_value(n.hearing, id)) continue;
+
+    if (n.locked == id) {
+      const bool clean = n.locked_clean;
+      n.locked = 0;
+      n.locked_clean = false;
+      if (n.radio->state() == RadioState::kRx) n.radio->end_rx();
+      // Deliver only if still in range at frame end (link survived).
+      const bool in_range =
+          mobility_.distance_between(sender, nb) <= range_m_;
+      if (clean && in_range) {
+        ++counters_.frames_delivered;
+        n.listener->on_frame_received(frame);
+      } else {
+        ++counters_.collisions;
+        n.listener->on_collision();
+      }
+    }
+    if (n.hearing.empty() && n.radio->awake()) n.listener->on_channel_idle();
+  }
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,102 @@
+// Shared broadcast medium. A transmission is heard by every awake node in
+// range; two transmissions overlapping at a receiver corrupt each other
+// (no capture). Also provides carrier sense (busy/idle edges) and global
+// traffic/collision accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mobility/mobility_manager.hpp"
+#include "net/frame.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace dftmsn {
+
+/// Callbacks a node's MAC receives from the channel.
+class ChannelListener {
+ public:
+  virtual ~ChannelListener() = default;
+
+  /// A frame finished arriving cleanly.
+  virtual void on_frame_received(const Frame& frame) = 0;
+
+  /// A reception finished but was corrupted by an overlapping transmission.
+  virtual void on_collision() = 0;
+
+  /// Carrier sense: the channel at this node just became busy / idle.
+  virtual void on_channel_busy() = 0;
+  virtual void on_channel_idle() = 0;
+};
+
+class Channel {
+ public:
+  struct Counters {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t collisions = 0;      ///< corrupted receptions
+    std::uint64_t data_bits_sent = 0;
+    std::uint64_t control_bits_sent = 0;
+  };
+
+  Channel(Simulator& sim, const MobilityManager& mobility, double range_m,
+          double bandwidth_bps);
+
+  /// Registers a node. Ids must be added in order 0,1,2,...
+  void attach(NodeId id, Radio& radio, ChannelListener& listener);
+
+  /// Broadcasts `frame` from `sender` (radio must be IDLE). Returns the
+  /// transmission duration. The sender's radio is held in TX for that long.
+  SimTime transmit(NodeId sender, Frame frame);
+
+  /// Airtime of a frame of `bits` bits.
+  [[nodiscard]] SimTime tx_duration(std::size_t bits) const;
+
+  /// Carrier sense query: is any transmission audible at `id` right now?
+  [[nodiscard]] bool busy(NodeId id) const;
+
+  /// True if any node (regardless of radio state) is within radio range
+  /// of `id` — the lone-sender fast-path check.
+  [[nodiscard]] bool anyone_in_range(NodeId id) const;
+
+  /// Clears `id`'s reception state (call just before putting its radio to
+  /// sleep; an in-progress reception is abandoned without callbacks).
+  void forget(NodeId id);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  using TxId = std::uint64_t;
+
+  struct ActiveTx {
+    TxId id;
+    NodeId sender;
+    Frame frame;
+  };
+
+  /// Per-node reception bookkeeping.
+  struct NodeRx {
+    Radio* radio = nullptr;
+    ChannelListener* listener = nullptr;
+    std::vector<TxId> hearing;       ///< transmissions currently audible
+    TxId locked = 0;                 ///< frame being decoded (0 = none)
+    bool locked_clean = false;
+  };
+
+  void finish_tx(TxId id, NodeId sender, const Frame& frame,
+                 std::vector<NodeId> audience);
+
+  static bool erase_value(std::vector<TxId>& v, TxId value);
+
+  Simulator& sim_;
+  const MobilityManager& mobility_;
+  double range_m_;
+  double bandwidth_bps_;
+  std::vector<NodeRx> nodes_;
+  TxId next_tx_id_ = 1;
+  Counters counters_;
+};
+
+}  // namespace dftmsn

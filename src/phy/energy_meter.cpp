@@ -1,0 +1,42 @@
+#include "phy/energy_meter.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dftmsn {
+
+EnergyMeter::EnergyMeter(const EnergyModel& model, RadioState initial,
+                         SimTime start)
+    : model_(model), state_(initial), last_change_(start) {}
+
+void EnergyMeter::accumulate(SimTime now) {
+  if (now < last_change_)
+    throw std::invalid_argument("EnergyMeter: time went backwards");
+  const double dt = now - last_change_;
+  joules_[index(state_)] += dt * model_.power(state_);
+  seconds_[index(state_)] += dt;
+  last_change_ = now;
+}
+
+void EnergyMeter::on_state_change(RadioState next, SimTime now) {
+  accumulate(now);
+  state_ = next;
+}
+
+void EnergyMeter::finalize(SimTime now) { accumulate(now); }
+
+void EnergyMeter::add_extra(RadioState s, double joules) {
+  joules_[index(s)] += joules;
+}
+
+double EnergyMeter::total_joules() const {
+  return std::accumulate(joules_.begin(), joules_.end(), 0.0);
+}
+
+double EnergyMeter::joules_in(RadioState s) const { return joules_[index(s)]; }
+
+double EnergyMeter::seconds_in(RadioState s) const {
+  return seconds_[index(s)];
+}
+
+}  // namespace dftmsn

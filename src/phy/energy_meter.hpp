@@ -1,0 +1,54 @@
+// Integrates a node's radio power over time, broken down per state.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "phy/energy_model.hpp"
+
+namespace dftmsn {
+
+class EnergyMeter {
+ public:
+  /// Starts metering at `start` in the given state.
+  EnergyMeter(const EnergyModel& model, RadioState initial, SimTime start);
+
+  /// Records a state change at time `now` (accumulates the elapsed span
+  /// in the previous state first). `now` must be non-decreasing.
+  void on_state_change(RadioState next, SimTime now);
+
+  /// Closes the current span at `now` without changing state, so totals
+  /// are exact at the moment of the query (call at end of run).
+  void finalize(SimTime now);
+
+  /// Books extra energy onto a state's account without a state change
+  /// (used by the lone-sender fast path: the preamble+RTS airtime is
+  /// charged analytically instead of simulating the frames).
+  void add_extra(RadioState s, double joules);
+
+  /// Joules consumed so far (up to the last recorded change/finalize).
+  [[nodiscard]] double total_joules() const;
+
+  /// Joules spent in one particular state.
+  [[nodiscard]] double joules_in(RadioState s) const;
+
+  /// Seconds spent in one particular state.
+  [[nodiscard]] double seconds_in(RadioState s) const;
+
+  [[nodiscard]] RadioState state() const { return state_; }
+
+ private:
+  static constexpr std::size_t kStates = 5;
+  static std::size_t index(RadioState s) { return static_cast<std::size_t>(s); }
+
+  void accumulate(SimTime now);
+
+  const EnergyModel& model_;
+  RadioState state_;
+  SimTime last_change_;
+  std::array<double, kStates> joules_{};
+  std::array<double, kStates> seconds_{};
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,32 @@
+#include "phy/energy_model.hpp"
+
+namespace dftmsn {
+
+const char* radio_state_name(RadioState s) {
+  switch (s) {
+    case RadioState::kSleep: return "SLEEP";
+    case RadioState::kIdle: return "IDLE";
+    case RadioState::kRx: return "RX";
+    case RadioState::kTx: return "TX";
+    case RadioState::kSwitching: return "SWITCHING";
+  }
+  return "?";
+}
+
+double EnergyModel::power(RadioState s) const {
+  switch (s) {
+    case RadioState::kSleep: return power_.sleep_w;
+    case RadioState::kIdle: return power_.idle_w;
+    case RadioState::kRx: return power_.rx_w;
+    case RadioState::kTx: return power_.tx_w;
+    case RadioState::kSwitching: return power_.switch_w;
+  }
+  return 0.0;
+}
+
+double EnergyModel::min_sleep_for_saving(double switch_time_s) const {
+  const double delta = power_.idle_w - power_.sleep_w;
+  return 2.0 * power_.switch_w * switch_time_s / delta;
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,31 @@
+// Maps radio states to power draw (Berkeley-mote numbers by default) and
+// provides the Eq. (7) sleep break-even helper.
+#pragma once
+
+#include "common/config.hpp"
+
+namespace dftmsn {
+
+enum class RadioState { kSleep, kIdle, kRx, kTx, kSwitching };
+
+const char* radio_state_name(RadioState s);
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(const PowerConfig& power) : power_(power) {}
+
+  /// Instantaneous power draw (watts) in the given state.
+  [[nodiscard]] double power(RadioState s) const;
+
+  /// Minimum sleeping period for a net energy saving (Eq. 7 intent):
+  /// sleeping must recoup the energy of two radio transitions,
+  ///   T_min = 2 * P_change * t_switch / (P_idle - P_sleep).
+  [[nodiscard]] double min_sleep_for_saving(double switch_time_s) const;
+
+  [[nodiscard]] const PowerConfig& config() const { return power_; }
+
+ private:
+  PowerConfig power_;
+};
+
+}  // namespace dftmsn

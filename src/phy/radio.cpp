@@ -1,0 +1,59 @@
+#include "phy/radio.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dftmsn {
+
+Radio::Radio(Simulator& sim, const EnergyModel& model, double switch_time_s)
+    : sim_(sim),
+      switch_time_s_(switch_time_s),
+      meter_(model, RadioState::kIdle, sim.now()) {}
+
+void Radio::set_state(RadioState next) {
+  meter_.on_state_change(next, sim_.now());
+}
+
+void Radio::require_state(RadioState expected, const char* op) const {
+  if (state() != expected)
+    throw std::logic_error(std::string("Radio: ") + op + " while " +
+                           radio_state_name(state()));
+}
+
+void Radio::sleep() {
+  require_state(RadioState::kIdle, "sleep()");
+  set_state(RadioState::kSwitching);
+  sim_.schedule_in(switch_time_s_, [this] { set_state(RadioState::kSleep); });
+}
+
+void Radio::wake(std::function<void()> on_awake) {
+  require_state(RadioState::kSleep, "wake()");
+  set_state(RadioState::kSwitching);
+  sim_.schedule_in(switch_time_s_, [this, cb = std::move(on_awake)] {
+    set_state(RadioState::kIdle);
+    if (cb) cb();
+  });
+}
+
+void Radio::begin_tx() {
+  require_state(RadioState::kIdle, "begin_tx()");
+  set_state(RadioState::kTx);
+}
+
+void Radio::end_tx() {
+  require_state(RadioState::kTx, "end_tx()");
+  set_state(RadioState::kIdle);
+}
+
+void Radio::begin_rx() {
+  require_state(RadioState::kIdle, "begin_rx()");
+  set_state(RadioState::kRx);
+}
+
+void Radio::end_rx() {
+  require_state(RadioState::kRx, "end_rx()");
+  set_state(RadioState::kIdle);
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,62 @@
+// Per-node radio finite-state machine. The MAC drives sleep/wake (through
+// the SWITCHING state, which costs 4x listening power); the Channel drives
+// IDLE <-> RX/TX while frames are in flight.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "phy/energy_meter.hpp"
+#include "sim/simulator.hpp"
+
+namespace dftmsn {
+
+class Radio {
+ public:
+  /// The radio starts awake (IDLE) at the simulator's current time.
+  Radio(Simulator& sim, const EnergyModel& model, double switch_time_s);
+
+  [[nodiscard]] RadioState state() const { return meter_.state(); }
+
+  /// Awake = can hear or emit frames right now.
+  [[nodiscard]] bool awake() const {
+    const RadioState s = state();
+    return s == RadioState::kIdle || s == RadioState::kRx ||
+           s == RadioState::kTx;
+  }
+
+  [[nodiscard]] bool asleep() const { return state() == RadioState::kSleep; }
+
+  /// IDLE -> SWITCHING -> SLEEP. Precondition: state is IDLE.
+  void sleep();
+
+  /// SLEEP -> SWITCHING -> IDLE; `on_awake` fires once IDLE is reached.
+  /// Precondition: state is SLEEP.
+  void wake(std::function<void()> on_awake);
+
+  // --- Channel-driven transitions -----------------------------------
+  void begin_tx();  ///< IDLE -> TX
+  void end_tx();    ///< TX -> IDLE
+  void begin_rx();  ///< IDLE -> RX
+  void end_rx();    ///< RX -> IDLE
+
+  /// Closes the energy accounting at `now` (end of run).
+  void finalize_energy(SimTime now) { meter_.finalize(now); }
+
+  /// Books analytically-computed extra energy (lone-sender fast path).
+  void charge_extra(RadioState s, double joules) {
+    meter_.add_extra(s, joules);
+  }
+
+  [[nodiscard]] const EnergyMeter& meter() const { return meter_; }
+
+ private:
+  void set_state(RadioState next);
+  void require_state(RadioState expected, const char* op) const;
+
+  Simulator& sim_;
+  double switch_time_s_;
+  EnergyMeter meter_;
+};
+
+}  // namespace dftmsn

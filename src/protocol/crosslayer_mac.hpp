@@ -1,0 +1,185 @@
+// The two-phase cross-layer data delivery protocol (Sec. 3.2), as a
+// per-sensor event-driven state machine:
+//
+//   asynchronous phase:  [listen τ_i] -> PREAMBLE -> RTS -> [CTS window W]
+//   synchronous phase:   SCHEDULE -> DATA -> [slotted ACKs]
+//
+// plus the Sec. 4 optimizations: adaptive periodic sleeping (Eq. 6),
+// adaptive listen window τ_max (Eq. 13) and adaptive CTS window W
+// (Eq. 14). The forwarding decisions themselves are delegated to a
+// ForwardingStrategy so the same MAC hosts OPT/NOOPT/NOSLEEP, ZBR and
+// the DIRECT/EPIDEMIC baselines.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/ftd_queue.hpp"
+#include "core/sleep_controller.hpp"
+#include "net/frame.hpp"
+#include "phy/channel.hpp"
+#include "protocol/forwarding_strategy.hpp"
+#include "protocol/mac_common.hpp"
+#include "protocol/neighbor_table.hpp"
+#include "sim/random.hpp"
+#include "stats/metrics.hpp"
+
+namespace dftmsn {
+
+enum class MacState {
+  kIdle,            ///< awake, between cycles
+  kSleeping,
+  kListening,       ///< async phase: counting idle listen slots
+  kTxPreamble,
+  kTxRts,
+  kCollectCts,      ///< waiting out the contention window
+  kTxSchedule,
+  kTxData,
+  kWaitAcks,
+  kRxAwaitRts,      ///< heard activity; expecting an RTS
+  kRxAwaitSchedule, ///< answered (or about to answer) CTS
+  kRxAwaitData,     ///< listed in a SCHEDULE; expecting the DATA
+};
+
+const char* mac_state_name(MacState s);
+
+class CrossLayerMac final : public ChannelListener {
+ public:
+  /// Per-MAC diagnostic counters (global protocol metrics live in Metrics).
+  struct Stats {
+    std::uint64_t cycles = 0;
+    std::uint64_t sleeps = 0;
+    std::uint64_t cts_sent = 0;
+    std::uint64_t data_received = 0;
+    std::uint64_t rx_collisions = 0;
+  };
+
+  /// Node ids >= `first_sink_id` are sinks. The MAC does not own the
+  /// radio/queue/strategy lifetimes beyond the owning SensorNode's.
+  CrossLayerMac(NodeId id, Simulator& sim, Channel& channel, Radio& radio,
+                FtdQueue& queue, std::unique_ptr<ForwardingStrategy> strategy,
+                const Config& config, const MacOptions& options,
+                NodeId first_sink_id, Metrics& metrics, RandomStream rng);
+
+  /// Kicks off the first working cycle and the ξ-decay timer. Call once.
+  void start();
+
+  /// Traffic entry point: a freshly sensed message enters the data queue.
+  void enqueue(Message m);
+
+  // --- ChannelListener ----------------------------------------------
+  void on_frame_received(const Frame& frame) override;
+  void on_collision() override;
+  void on_channel_busy() override;
+  void on_channel_idle() override;
+
+  // --- introspection (tests, benches) --------------------------------
+  [[nodiscard]] MacState state() const { return state_; }
+  [[nodiscard]] const ForwardingStrategy& strategy() const {
+    return *strategy_;
+  }
+  [[nodiscard]] const FtdQueue& queue() const { return queue_; }
+  [[nodiscard]] int tau_max() const { return tau_max_; }
+  [[nodiscard]] int cts_window() const { return cts_window_; }
+  [[nodiscard]] const NeighborTable& neighbors() const { return neighbors_; }
+  [[nodiscard]] const Stats& stats() const { return mac_stats_; }
+  [[nodiscard]] const SleepController& sleep_controller() const {
+    return sleep_ctl_;
+  }
+
+ private:
+  // Sender-side cycle progression.
+  void begin_cycle();
+  void on_listen_done();
+  void on_preamble_done();
+  void on_rts_done();
+  void on_cts_window_end();
+  void on_schedule_done();
+  void on_data_done();
+  void on_ack_window_end();
+  void fail_cycle();
+  void finish_cycle(bool transmitted);
+
+  // Receiver-side handlers.
+  void handle_rts(const Frame& frame);
+  void handle_cts(const Frame& frame);
+  void handle_schedule(const Frame& frame);
+  void handle_data(const Frame& frame);
+  void handle_ack(const Frame& frame);
+  void send_cts();
+  void send_ack();
+  void resume_idle(double extra_delay_slots = 1.0);
+
+  // Housekeeping.
+  void schedule_next_cycle(SimTime delay);
+  void go_to_sleep();
+  void wake_up();
+  [[nodiscard]] bool should_sleep() const;
+  [[nodiscard]] SimTime sleep_period();
+  [[nodiscard]] SimTime backoff_delay();
+  void note_activity(bool active);
+  void maybe_recompute_contention();
+  void xi_decay_tick();
+  [[nodiscard]] bool can_transmit() const;
+
+  /// Committed transmission: a node that has decided to send (end of its
+  /// listen window, its CTS/ACK slot, or mid-sequence) transmits even if
+  /// a frame started arriving within the last turnaround slot — that is
+  /// precisely how same-slot contenders collide in the paper's model
+  /// (Eqs. 10-12, 14). An in-progress reception is abandoned. Returns the
+  /// airtime, or 0 if the radio cannot transmit at all (asleep/switching).
+  SimTime force_transmit(Frame frame);
+  [[nodiscard]] bool is_sink_id(NodeId n) const { return n >= first_sink_id_; }
+  [[nodiscard]] Frame make_control(FramePayload payload) const;
+
+  // --- wiring ---------------------------------------------------------
+  NodeId id_;
+  Simulator& sim_;
+  Channel& channel_;
+  Radio& radio_;
+  FtdQueue& queue_;
+  std::unique_ptr<ForwardingStrategy> strategy_;
+  const Config& cfg_;
+  MacOptions options_;
+  NodeId first_sink_id_;
+  Metrics& metrics_;
+  RandomStream rng_;
+  MacTiming timing_;
+
+  // --- protocol state ---------------------------------------------------
+  MacState state_ = MacState::kIdle;
+  EventHandle timer_;      ///< primary FSM progression / timeout
+  EventHandle aux_timer_;  ///< slotted CTS/ACK transmissions
+  EventHandle xi_timer_;
+
+  SleepController sleep_ctl_;
+  NeighborTable neighbors_;
+  int tau_max_;
+  int cts_window_;
+  SimTime last_contention_update_ = -1e18;
+
+  // Sender-side cycle context.
+  Message inflight_msg_;
+  double inflight_ftd_ = 0.0;
+  std::vector<Candidate> cts_candidates_;
+  std::vector<ScheduledReceiver> scheduled_;
+  std::unordered_set<NodeId> acked_;
+  int consecutive_failures_ = 0;
+
+  // Receiver-side context.
+  RtsInfo current_rts_;
+  double my_sched_ftd_ = 0.0;
+  int my_ack_slot_ = 0;
+
+  // Sleep bookkeeping (Sec. 3.2: idle for the past L transmissions).
+  std::deque<bool> recent_activity_;
+  SimTime last_data_tx_ = 0.0;
+
+  Stats mac_stats_;
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,25 @@
+#include "protocol/direct_strategy.hpp"
+
+#include <algorithm>
+
+namespace dftmsn {
+
+std::vector<ScheduledReceiver> DirectStrategy::select_receivers(
+    double, const std::vector<Candidate>& candidates) const {
+  // Hand the message to one sink (one suffices: it is delivered).
+  const auto sink = std::find_if(candidates.begin(), candidates.end(),
+                                 [](const Candidate& c) { return c.is_sink; });
+  if (sink == candidates.end()) return {};
+  return {ScheduledReceiver{sink->id, sink->metric, 1.0, true}};
+}
+
+TransmissionOutcome DirectStrategy::on_transmission_complete(
+    double, const std::vector<ScheduledReceiver>& acked, SimTime) {
+  const bool delivered = std::any_of(acked.begin(), acked.end(),
+                                     [](const auto& r) { return r.is_sink; });
+  return {delivered ? TransmissionOutcome::Disposition::kRemove
+                    : TransmissionOutcome::Disposition::kKeep,
+          0.0};
+}
+
+}  // namespace dftmsn

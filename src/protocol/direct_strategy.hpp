@@ -1,0 +1,32 @@
+// DIRECT baseline ([5]): a sensor holds its data until it meets a sink;
+// sensors never relay for each other. Lowest overhead, lowest delivery
+// ratio in sparse networks.
+#pragma once
+
+#include "protocol/forwarding_strategy.hpp"
+
+namespace dftmsn {
+
+class DirectStrategy final : public ForwardingStrategy {
+ public:
+  [[nodiscard]] double local_metric() const override { return 0.0; }
+
+  /// Sensors never accept relayed traffic.
+  [[nodiscard]] bool qualifies_as_receiver(const RtsInfo&,
+                                           const FtdQueue&) const override {
+    return false;
+  }
+
+  /// Only sinks are ever scheduled.
+  [[nodiscard]] std::vector<ScheduledReceiver> select_receivers(
+      double message_ftd,
+      const std::vector<Candidate>& candidates) const override;
+
+  TransmissionOutcome on_transmission_complete(
+      double message_ftd, const std::vector<ScheduledReceiver>& acked,
+      SimTime now) override;
+
+  void on_idle_timeout() override {}
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,34 @@
+#include "protocol/epidemic_strategy.hpp"
+
+#include <algorithm>
+
+namespace dftmsn {
+
+bool EpidemicStrategy::qualifies_as_receiver(const RtsInfo& rts,
+                                             const FtdQueue& queue) const {
+  return !queue.contains(rts.message_id) &&
+         queue.available_space_for(0.0) > 0;
+}
+
+std::vector<ScheduledReceiver> EpidemicStrategy::select_receivers(
+    double, const std::vector<Candidate>& candidates) const {
+  std::vector<ScheduledReceiver> out;
+  out.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    if (c.buffer_space == 0) continue;
+    out.push_back(ScheduledReceiver{c.id, c.metric, 0.0, c.is_sink});
+  }
+  return out;
+}
+
+TransmissionOutcome EpidemicStrategy::on_transmission_complete(
+    double, const std::vector<ScheduledReceiver>& acked, SimTime) {
+  // The sender keeps replicating until a sink takes the copy.
+  const bool to_sink = std::any_of(acked.begin(), acked.end(),
+                                   [](const auto& r) { return r.is_sink; });
+  return {to_sink ? TransmissionOutcome::Disposition::kRemove
+                  : TransmissionOutcome::Disposition::kKeep,
+          0.0};
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,35 @@
+// EPIDEMIC (flooding) baseline ([5]): replicate to every neighbour with
+// buffer room that does not already hold the message. Best-possible
+// delivery ratio/delay at maximal transmission and buffer cost.
+#pragma once
+
+#include "protocol/forwarding_strategy.hpp"
+
+namespace dftmsn {
+
+class EpidemicStrategy final : public ForwardingStrategy {
+ public:
+  /// All sensors advertise the same mid-range metric so that qualification
+  /// cannot be gated on a gradient (sinks still advertise 1.0).
+  static constexpr double kFlatMetric = 0.5;
+
+  [[nodiscard]] double local_metric() const override { return kFlatMetric; }
+
+  [[nodiscard]] bool qualifies_as_receiver(const RtsInfo& rts,
+                                           const FtdQueue& queue) const override;
+
+  [[nodiscard]] std::vector<ScheduledReceiver> select_receivers(
+      double message_ftd,
+      const std::vector<Candidate>& candidates) const override;
+
+  TransmissionOutcome on_transmission_complete(
+      double message_ftd, const std::vector<ScheduledReceiver>& acked,
+      SimTime now) override;
+
+  void on_idle_timeout() override {}
+
+  /// Flooded copies carry no meaningful FTD.
+  [[nodiscard]] double receive_ftd(double) const override { return 0.0; }
+};
+
+}  // namespace dftmsn

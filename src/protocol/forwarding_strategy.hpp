@@ -1,0 +1,74 @@
+// Strategy interface separating the *forwarding decision logic* from the
+// two-phase MAC machinery. The paper's FTD multicast scheme (OPT/NOOPT/
+// NOSLEEP), ZebraNet's history scheme (ZBR) and the classic baselines
+// (DIRECT, EPIDEMIC) are all instances plugged into the same MAC.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/ftd_queue.hpp"
+#include "core/receiver_selection.hpp"
+
+namespace dftmsn {
+
+/// Decoded contents of a received RTS, as seen by a potential receiver.
+struct RtsInfo {
+  NodeId sender = kInvalidNode;
+  double sender_metric = 0.0;
+  double message_ftd = 0.0;
+  MessageId message_id = 0;
+};
+
+/// One receiver chosen for the SCHEDULE frame.
+struct ScheduledReceiver {
+  NodeId id = kInvalidNode;
+  double metric = 0.0;
+  double ftd_for_copy = 0.0;  ///< Eq. (2) value carried in the SCHEDULE
+  bool is_sink = false;
+};
+
+/// What to do with the sender's local copy once the ACKs are in.
+struct TransmissionOutcome {
+  enum class Disposition { kKeep, kRemove };
+  Disposition disposition = Disposition::kKeep;
+  double new_ftd = 0.0;  ///< meaningful when kKeep (checked against the drop threshold)
+};
+
+class ForwardingStrategy {
+ public:
+  virtual ~ForwardingStrategy() = default;
+
+  /// Metric this node advertises in its RTS/CTS frames (ξ for the paper's
+  /// scheme, the direct-sink history value for ZBR, ...). Always in [0,1].
+  [[nodiscard]] virtual double local_metric() const = 0;
+
+  /// Receiver side: should this node answer the RTS with a CTS?
+  /// `queue` is the node's own data queue (for the buffer-space check).
+  [[nodiscard]] virtual bool qualifies_as_receiver(
+      const RtsInfo& rts, const FtdQueue& queue) const = 0;
+
+  /// Sender side: choose the receiver set Φ (and per-copy FTDs) from the
+  /// neighbours that answered CTS.
+  [[nodiscard]] virtual std::vector<ScheduledReceiver> select_receivers(
+      double message_ftd, const std::vector<Candidate>& candidates) const = 0;
+
+  /// Sender side, after the ACK window: update the local metric and decide
+  /// the fate of the local copy. `acked` holds only receivers whose ACK
+  /// arrived; `now` is the simulation clock (metric updates are
+  /// rate-limited per contact, see ProtocolConfig::xi_update_cooldown_s).
+  virtual TransmissionOutcome on_transmission_complete(
+      double message_ftd, const std::vector<ScheduledReceiver>& acked,
+      SimTime now) = 0;
+
+  /// Called when the Δ no-transmission timer expires (Eq. 1 decay, or the
+  /// variant's equivalent).
+  virtual void on_idle_timeout() = 0;
+
+  /// FTD to attach to a copy received with `scheduled_ftd` in the SCHEDULE.
+  [[nodiscard]] virtual double receive_ftd(double scheduled_ftd) const {
+    return scheduled_ftd;
+  }
+};
+
+}  // namespace dftmsn

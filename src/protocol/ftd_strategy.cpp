@@ -1,0 +1,72 @@
+#include "protocol/ftd_strategy.hpp"
+
+#include <algorithm>
+
+#include "core/ftd.hpp"
+
+namespace dftmsn {
+
+FtdStrategy::FtdStrategy(const ProtocolConfig& cfg)
+    : cfg_(cfg), xi_(cfg.alpha) {}
+
+double FtdStrategy::local_metric() const { return xi_.value(); }
+
+bool FtdStrategy::qualifies_as_receiver(const RtsInfo& rts,
+                                        const FtdQueue& queue) const {
+  // Sec. 3.2.1: a qualified receiver has strictly higher delivery
+  // probability and buffer room for a message at the advertised FTD.
+  return xi_.value() > rts.sender_metric &&
+         queue.available_space_for(rts.message_ftd) > 0;
+}
+
+std::vector<ScheduledReceiver> FtdStrategy::select_receivers(
+    double message_ftd, const std::vector<Candidate>& candidates) const {
+  const Selection sel = dftmsn::select_receivers(
+      xi_.value(), message_ftd, cfg_.delivery_threshold_r, candidates);
+
+  std::vector<double> phi_xis;
+  phi_xis.reserve(sel.receivers.size());
+  for (const Candidate& c : sel.receivers) phi_xis.push_back(c.metric);
+
+  std::vector<ScheduledReceiver> out;
+  out.reserve(sel.receivers.size());
+  for (std::size_t j = 0; j < sel.receivers.size(); ++j) {
+    const Candidate& c = sel.receivers[j];
+    out.push_back(ScheduledReceiver{
+        c.id, c.metric,
+        receiver_copy_ftd(message_ftd, xi_.value(), phi_xis, j), c.is_sink});
+  }
+  return out;
+}
+
+TransmissionOutcome FtdStrategy::on_transmission_complete(
+    double message_ftd, const std::vector<ScheduledReceiver>& acked,
+    SimTime now) {
+  if (acked.empty()) return {TransmissionOutcome::Disposition::kKeep,
+                             message_ftd};
+
+  // Eq. (3) over the receivers that actually acknowledged.
+  std::vector<double> xis;
+  xis.reserve(acked.size());
+  double best_xi = 0.0;
+  for (const ScheduledReceiver& r : acked) {
+    const double xi = r.is_sink ? 1.0 : r.metric;
+    xis.push_back(xi);
+    best_xi = std::max(best_xi, xi);
+  }
+  const double new_ftd = sender_ftd_after_multicast(message_ftd, xis);
+
+  // Eq. (1), transmission branch, using the best receiver. Rate-limited:
+  // a burst of transmissions within one contact is a single delivery
+  // opportunity, not n independent ones (DESIGN.md).
+  if (now - last_metric_update_ >= cfg_.xi_update_cooldown_s) {
+    xi_.on_transmission(best_xi);
+    last_metric_update_ = now;
+  }
+
+  return {TransmissionOutcome::Disposition::kKeep, new_ftd};
+}
+
+void FtdStrategy::on_idle_timeout() { xi_.on_timeout(); }
+
+}  // namespace dftmsn

@@ -1,0 +1,41 @@
+// The paper's forwarding scheme: delivery-probability gradient (Eq. 1),
+// FTD-based multicast with the Sec. 3.2.2 greedy receiver selection and
+// the Eq. (2)/(3) FTD bookkeeping.
+#pragma once
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "core/delivery_probability.hpp"
+#include "protocol/forwarding_strategy.hpp"
+
+namespace dftmsn {
+
+class FtdStrategy final : public ForwardingStrategy {
+ public:
+  explicit FtdStrategy(const ProtocolConfig& cfg);
+
+  [[nodiscard]] double local_metric() const override;
+
+  [[nodiscard]] bool qualifies_as_receiver(
+      const RtsInfo& rts, const FtdQueue& queue) const override;
+
+  [[nodiscard]] std::vector<ScheduledReceiver> select_receivers(
+      double message_ftd,
+      const std::vector<Candidate>& candidates) const override;
+
+  TransmissionOutcome on_transmission_complete(
+      double message_ftd, const std::vector<ScheduledReceiver>& acked,
+      SimTime now) override;
+
+  void on_idle_timeout() override;
+
+  [[nodiscard]] const DeliveryProbability& xi() const { return xi_; }
+
+ private:
+  ProtocolConfig cfg_;
+  DeliveryProbability xi_;
+  SimTime last_metric_update_ = -1e18;  ///< rate-limit for Eq. (1) updates
+};
+
+}  // namespace dftmsn

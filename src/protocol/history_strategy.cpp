@@ -1,0 +1,54 @@
+#include "protocol/history_strategy.hpp"
+
+#include <algorithm>
+
+namespace dftmsn {
+
+HistoryStrategy::HistoryStrategy(const ProtocolConfig& cfg)
+    : cfg_(cfg), history_(cfg.alpha) {}
+
+double HistoryStrategy::local_metric() const { return history_.value(); }
+
+bool HistoryStrategy::qualifies_as_receiver(const RtsInfo& rts,
+                                            const FtdQueue& queue) const {
+  // Non-strict so that the all-zero-history regime still forwards (random
+  // walk; see the class comment). Duplicate copies are pointless with
+  // single-copy handoff, hence the contains() check.
+  return history_.value() >= rts.sender_metric &&
+         !queue.contains(rts.message_id) && queue.available_space_for(0.0) > 0;
+}
+
+std::vector<ScheduledReceiver> HistoryStrategy::select_receivers(
+    double, const std::vector<Candidate>& candidates) const {
+  // Replicate to every qualified responder — no subset selection, no
+  // redundancy control (contrast with the Sec. 3.2.2 greedy algorithm).
+  std::vector<ScheduledReceiver> out;
+  out.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    if (c.buffer_space == 0) continue;
+    out.push_back(ScheduledReceiver{c.id, c.metric, 0.0, c.is_sink});
+  }
+  return out;
+}
+
+TransmissionOutcome HistoryStrategy::on_transmission_complete(
+    double, const std::vector<ScheduledReceiver>& acked, SimTime now) {
+  if (acked.empty()) return {TransmissionOutcome::Disposition::kKeep, 0.0};
+  // ZebraNet history counts *direct* sink deliveries only. Rate-limited
+  // the same way as FtdStrategy so a queue drained in one sink contact
+  // counts as one success observation.
+  const bool to_sink = std::any_of(acked.begin(), acked.end(),
+                                   [](const auto& r) { return r.is_sink; });
+  if (to_sink && now - last_metric_update_ >= cfg_.xi_update_cooldown_s) {
+    history_.on_transmission(1.0);
+    last_metric_update_ = now;
+  }
+  // Copies propagate; the local one is released only once a sink took it.
+  return {to_sink ? TransmissionOutcome::Disposition::kRemove
+                  : TransmissionOutcome::Disposition::kKeep,
+          0.0};
+}
+
+void HistoryStrategy::on_idle_timeout() { history_.on_timeout(); }
+
+}  // namespace dftmsn

@@ -1,0 +1,49 @@
+// ZBR: ZebraNet's history-based forwarding ([12], as described in Sec. 5).
+// Each node tracks an EWMA of its past success at delivering data packets
+// *directly* to a sink; when a sensor meets others, it replicates the
+// packet to every neighbour with a higher success rate (history-restricted
+// flooding — ZebraNet propagates copies, it does not do custody transfer).
+// There is no FTD bookkeeping and no selective subset: this is the
+// "inefficient transmission control" the paper contrasts OPT against.
+//
+// Nodes that have never met a sink all sit at history 0; the paper notes
+// their transmissions "become random". We reproduce that by using a
+// non-strict comparison (>=) so zero-history nodes still exchange packets
+// (a random walk), matching the observed inefficiency.
+#pragma once
+
+#include "common/config.hpp"
+#include "core/delivery_probability.hpp"
+#include "protocol/forwarding_strategy.hpp"
+
+namespace dftmsn {
+
+class HistoryStrategy final : public ForwardingStrategy {
+ public:
+  explicit HistoryStrategy(const ProtocolConfig& cfg);
+
+  [[nodiscard]] double local_metric() const override;
+
+  [[nodiscard]] bool qualifies_as_receiver(
+      const RtsInfo& rts, const FtdQueue& queue) const override;
+
+  [[nodiscard]] std::vector<ScheduledReceiver> select_receivers(
+      double message_ftd,
+      const std::vector<Candidate>& candidates) const override;
+
+  TransmissionOutcome on_transmission_complete(
+      double message_ftd, const std::vector<ScheduledReceiver>& acked,
+      SimTime now) override;
+
+  void on_idle_timeout() override;
+
+  /// Copies carry no FTD in ZBR; queue order degenerates to FIFO.
+  [[nodiscard]] double receive_ftd(double) const override { return 0.0; }
+
+ private:
+  ProtocolConfig cfg_;
+  DeliveryProbability history_;  ///< EWMA of direct-sink delivery success
+  SimTime last_metric_update_ = -1e18;  ///< same rate-limit as FtdStrategy
+};
+
+}  // namespace dftmsn

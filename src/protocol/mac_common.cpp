@@ -1,0 +1,18 @@
+#include "protocol/mac_common.hpp"
+
+namespace dftmsn {
+
+const char* protocol_kind_name(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kOpt: return "OPT";
+    case ProtocolKind::kNoOpt: return "NOOPT";
+    case ProtocolKind::kNoSleep: return "NOSLEEP";
+    case ProtocolKind::kZbr: return "ZBR";
+    case ProtocolKind::kDirect: return "DIRECT";
+    case ProtocolKind::kEpidemic: return "EPIDEMIC";
+    case ProtocolKind::kSwim: return "SWIM";
+  }
+  return "?";
+}
+
+}  // namespace dftmsn

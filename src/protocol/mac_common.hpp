@@ -1,0 +1,58 @@
+// Shared MAC parameters and the per-variant option block.
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+
+namespace dftmsn {
+
+/// The four protocols the paper evaluates, plus three classic baselines
+/// implemented as extensions (SWIM is the controlled-replication scheme
+/// the paper declined to simulate; see SprayStrategy).
+enum class ProtocolKind {
+  kOpt,
+  kNoOpt,
+  kNoSleep,
+  kZbr,
+  kDirect,
+  kEpidemic,
+  kSwim,
+};
+
+const char* protocol_kind_name(ProtocolKind k);
+
+/// Per-variant knobs applied on top of the common Config. The factory
+/// (protocol_factory.hpp) fills these per ProtocolKind.
+struct MacOptions {
+  bool sleeping_enabled = true;     ///< false for NOSLEEP
+  bool adaptive_sleep = true;       ///< Eq. (6) T_i; false = fixed period (NOOPT)
+  double fixed_sleep_s = 5.0;        ///< NOOPT's constant sleeping period
+  bool adaptive_contention = true;  ///< optimize τ_max (Eq. 13) and W (Eq. 14)
+  double neighbor_ttl_s = 60.0;     ///< soft-state lifetime of table entries
+  double idle_poll_s = 1.0;         ///< cycle cadence when the queue is empty
+};
+
+/// MAC-level timing derived from the radio config. All contention windows
+/// are quantized to control-packet slots.
+struct MacTiming {
+  double slot_s;        ///< one control-packet airtime
+  double data_s;        ///< one data-message airtime
+  double guard_s;       ///< margin appended to every wait-for-reply window
+
+  explicit MacTiming(const RadioConfig& radio)
+      : slot_s(radio.control_tx_time()),
+        data_s(radio.data_tx_time()),
+        guard_s(0.5 * radio.control_tx_time()) {}
+
+  /// Sender-side wait after the RTS: W slots of CTS opportunity + guard.
+  [[nodiscard]] double cts_window(int w_slots) const {
+    return w_slots * slot_s + guard_s;
+  }
+  /// Sender-side wait after the DATA: one ACK slot per receiver + guard.
+  [[nodiscard]] double ack_window(int receivers) const {
+    return receivers * slot_s + guard_s;
+  }
+};
+
+}  // namespace dftmsn

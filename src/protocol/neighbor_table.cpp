@@ -1,0 +1,46 @@
+#include "protocol/neighbor_table.hpp"
+
+#include <stdexcept>
+
+namespace dftmsn {
+
+NeighborTable::NeighborTable(double ttl_s) : ttl_s_(ttl_s) {
+  if (ttl_s <= 0) throw std::invalid_argument("NeighborTable: ttl <= 0");
+}
+
+void NeighborTable::observe(NodeId id, double metric, SimTime now) {
+  entries_[id] = Entry{metric, now};
+}
+
+std::vector<double> NeighborTable::live_metrics(SimTime now) const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    if (live(e, now)) out.push_back(e.metric);
+  }
+  return out;
+}
+
+std::size_t NeighborTable::count_better_than(double metric,
+                                             SimTime now) const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : entries_) {
+    if (live(e, now) && e.metric > metric) ++n;
+  }
+  return n;
+}
+
+std::size_t NeighborTable::live_count(SimTime now) const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : entries_) {
+    if (live(e, now)) ++n;
+  }
+  return n;
+}
+
+void NeighborTable::expire(SimTime now) {
+  std::erase_if(entries_,
+                [&](const auto& kv) { return !live(kv.second, now); });
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,49 @@
+// Soft-state table of recently overheard neighbours and their advertised
+// metrics, built from RTS/CTS frames (Sec. 3.2.1). Feeds the τ_max and W
+// optimizers of Sec. 4.2/4.3.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dftmsn {
+
+class NeighborTable {
+ public:
+  /// Entries not refreshed within `ttl_s` are dropped on the next query.
+  explicit NeighborTable(double ttl_s);
+
+  /// Records/refreshes a neighbour sighting at time `now`.
+  void observe(NodeId id, double metric, SimTime now);
+
+  /// Metrics of all live entries as of `now` (unordered).
+  [[nodiscard]] std::vector<double> live_metrics(SimTime now) const;
+
+  /// Number of live entries whose metric exceeds `metric` — the expected
+  /// count of qualified CTS repliers for the W optimizer.
+  [[nodiscard]] std::size_t count_better_than(double metric,
+                                              SimTime now) const;
+
+  [[nodiscard]] std::size_t live_count(SimTime now) const;
+
+  /// Drops expired entries (also done lazily by the queries).
+  void expire(SimTime now);
+
+ private:
+  struct Entry {
+    double metric;
+    SimTime last_seen;
+  };
+
+  [[nodiscard]] bool live(const Entry& e, SimTime now) const {
+    return now - e.last_seen <= ttl_s_;
+  }
+
+  double ttl_s_;
+  std::unordered_map<NodeId, Entry> entries_;
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,71 @@
+#include "protocol/protocol_factory.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "protocol/direct_strategy.hpp"
+#include "protocol/epidemic_strategy.hpp"
+#include "protocol/ftd_strategy.hpp"
+#include "protocol/history_strategy.hpp"
+#include "protocol/spray_strategy.hpp"
+
+namespace dftmsn {
+
+std::unique_ptr<ForwardingStrategy> make_strategy(ProtocolKind kind,
+                                                  const Config& config) {
+  switch (kind) {
+    case ProtocolKind::kOpt:
+    case ProtocolKind::kNoOpt:
+    case ProtocolKind::kNoSleep:
+      return std::make_unique<FtdStrategy>(config.protocol);
+    case ProtocolKind::kZbr:
+      return std::make_unique<HistoryStrategy>(config.protocol);
+    case ProtocolKind::kDirect:
+      return std::make_unique<DirectStrategy>();
+    case ProtocolKind::kEpidemic:
+      return std::make_unique<EpidemicStrategy>();
+    case ProtocolKind::kSwim:
+      return std::make_unique<SprayStrategy>();
+  }
+  return nullptr;
+}
+
+MacOptions make_mac_options(ProtocolKind kind, const Config& config) {
+  MacOptions opt;
+  opt.sleeping_enabled = config.sleep.enabled;
+  opt.adaptive_sleep = true;
+  opt.adaptive_contention = true;
+
+  switch (kind) {
+    case ProtocolKind::kOpt:
+    case ProtocolKind::kZbr:
+    case ProtocolKind::kDirect:
+    case ProtocolKind::kEpidemic:
+    case ProtocolKind::kSwim:
+      break;
+    case ProtocolKind::kNoOpt:
+      opt.adaptive_sleep = false;
+      opt.adaptive_contention = false;
+      break;
+    case ProtocolKind::kNoSleep:
+      opt.sleeping_enabled = false;
+      break;
+  }
+  return opt;
+}
+
+std::optional<ProtocolKind> parse_protocol_kind(const std::string& name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "OPT") return ProtocolKind::kOpt;
+  if (upper == "NOOPT") return ProtocolKind::kNoOpt;
+  if (upper == "NOSLEEP") return ProtocolKind::kNoSleep;
+  if (upper == "ZBR") return ProtocolKind::kZbr;
+  if (upper == "DIRECT") return ProtocolKind::kDirect;
+  if (upper == "EPIDEMIC") return ProtocolKind::kEpidemic;
+  if (upper == "SWIM") return ProtocolKind::kSwim;
+  return std::nullopt;
+}
+
+}  // namespace dftmsn

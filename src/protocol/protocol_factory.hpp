@@ -1,0 +1,29 @@
+// Builds the (strategy, MAC options) pair for each evaluated protocol.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/config.hpp"
+#include "protocol/forwarding_strategy.hpp"
+#include "protocol/mac_common.hpp"
+
+namespace dftmsn {
+
+/// Fresh forwarding strategy instance for one sensor node.
+std::unique_ptr<ForwardingStrategy> make_strategy(ProtocolKind kind,
+                                                  const Config& config);
+
+/// MAC option block for the protocol variant:
+///   OPT      — adaptive sleeping + adaptive τ_max/W
+///   NOOPT    — fixed sleeping period, fixed τ_max/W
+///   NOSLEEP  — adaptive contention, radios never sleep
+///   ZBR      — OPT's MAC options, ZebraNet forwarding
+///   DIRECT / EPIDEMIC — OPT's MAC options, baseline forwarding
+MacOptions make_mac_options(ProtocolKind kind, const Config& config);
+
+/// Parses "OPT", "NOOPT", ... (case-insensitive); nullopt when unknown.
+std::optional<ProtocolKind> parse_protocol_kind(const std::string& name);
+
+}  // namespace dftmsn

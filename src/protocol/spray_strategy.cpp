@@ -1,0 +1,56 @@
+#include "protocol/spray_strategy.hpp"
+
+#include <algorithm>
+
+namespace dftmsn {
+
+bool SprayStrategy::qualifies_as_receiver(const RtsInfo& rts,
+                                          const FtdQueue& queue) const {
+  // Only spray-phase copies are accepted (wait-phase copies move to
+  // sinks only, and the sink answers RTS itself). A node never takes a
+  // second copy of the same message.
+  return rts.message_ftd < kCarrierFtd && !queue.contains(rts.message_id) &&
+         queue.available_space_for(kCarrierFtd) > 0;
+}
+
+std::vector<ScheduledReceiver> SprayStrategy::select_receivers(
+    double message_ftd, const std::vector<Candidate>& candidates) const {
+  std::vector<ScheduledReceiver> out;
+  // A sink always takes the message, whatever the phase.
+  for (const Candidate& c : candidates) {
+    if (c.is_sink) {
+      out.push_back(ScheduledReceiver{c.id, c.metric, 1.0, true});
+      return out;  // delivered; no further spraying needed this round
+    }
+  }
+  if (message_ftd >= kCarrierFtd) return out;  // wait phase: sinks only
+
+  // Spray phase: hand copies to every responder within the remaining
+  // budget (each costs kSprayStep of budget).
+  const int remaining = static_cast<int>(
+      (kCarrierFtd - message_ftd) / kSprayStep + 1e-9) + 1;
+  for (const Candidate& c : candidates) {
+    if (static_cast<int>(out.size()) >= remaining) break;
+    if (c.buffer_space == 0) continue;
+    out.push_back(ScheduledReceiver{c.id, c.metric, kCarrierFtd, false});
+  }
+  return out;
+}
+
+TransmissionOutcome SprayStrategy::on_transmission_complete(
+    double message_ftd, const std::vector<ScheduledReceiver>& acked,
+    SimTime) {
+  const bool to_sink = std::any_of(acked.begin(), acked.end(),
+                                   [](const auto& r) { return r.is_sink; });
+  if (to_sink) return {TransmissionOutcome::Disposition::kRemove, 0.0};
+  if (acked.empty())
+    return {TransmissionOutcome::Disposition::kKeep, message_ftd};
+  // Budget spent: one step per copy that actually landed. The copy never
+  // exceeds the wait-phase marker (and so never hits the drop threshold:
+  // SWIM carriers keep their copy until a sink takes it).
+  const double new_ftd = std::min(
+      kCarrierFtd, message_ftd + kSprayStep * static_cast<double>(acked.size()));
+  return {TransmissionOutcome::Disposition::kKeep, new_ftd};
+}
+
+}  // namespace dftmsn

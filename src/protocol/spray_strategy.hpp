@@ -1,0 +1,53 @@
+// SWIM-style controlled replication ([13,14], surveyed in Sec. 2): the
+// source distributes a fixed number of copies to the first nodes it
+// meets (no gradient — SWIM assumes every node is equally likely to meet
+// the sink); carriers hold their copy until they meet a sink directly.
+//
+// The paper deliberately did not simulate SWIM because its uniform-
+// mobility assumption fails in DFT-MSN ("different sensor nodes have
+// different delivery probabilities"). We implement it as an extension
+// baseline precisely to quantify that failure.
+//
+// Implementation note: the copy's FTD field doubles as the spray state —
+// a source copy starts at 0 and gains kSprayStep per handed-out copy;
+// once it crosses kCarrierFtd the copy (like every received copy, which
+// is born at kCarrierFtd) is in the "wait" phase: only sinks qualify as
+// receivers for it. This reuses the queue/threshold machinery unchanged.
+#pragma once
+
+#include "protocol/forwarding_strategy.hpp"
+
+namespace dftmsn {
+
+class SprayStrategy final : public ForwardingStrategy {
+ public:
+  /// FTD value marking a wait-phase (carrier) copy.
+  static constexpr double kCarrierFtd = 0.5;
+  /// FTD increment per copy sprayed; ~kCarrierFtd/kSprayStep copies are
+  /// distributed before the source itself enters the wait phase.
+  static constexpr double kSprayStep = 0.085;  // ~6 copies
+  /// All sensors advertise this flat metric (no gradient in SWIM).
+  static constexpr double kFlatMetric = 0.5;
+
+  [[nodiscard]] double local_metric() const override { return kFlatMetric; }
+
+  [[nodiscard]] bool qualifies_as_receiver(const RtsInfo& rts,
+                                           const FtdQueue& queue) const override;
+
+  [[nodiscard]] std::vector<ScheduledReceiver> select_receivers(
+      double message_ftd,
+      const std::vector<Candidate>& candidates) const override;
+
+  TransmissionOutcome on_transmission_complete(
+      double message_ftd, const std::vector<ScheduledReceiver>& acked,
+      SimTime now) override;
+
+  void on_idle_timeout() override {}
+
+  /// Received copies are wait-phase carriers.
+  [[nodiscard]] double receive_ftd(double) const override {
+    return kCarrierFtd;
+  }
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dftmsn {
+
+EventHandle EventQueue::schedule(SimTime at, Callback cb) {
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Entry{at, next_seq_++, std::move(cb), cancelled});
+  return EventHandle{std::move(cancelled)};
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  skip_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  skip_cancelled();
+  return heap_.empty() ? kTimeNever : heap_.top().at;
+}
+
+SimTime EventQueue::pop_and_run() {
+  Popped p = pop();
+  p.cb();
+  return p.at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty() && "pop on empty queue");
+  // Copy the entry out before running: the callback may schedule new events
+  // and reallocate the heap's storage.
+  Entry entry = heap_.top();
+  heap_.pop();
+  *entry.cancelled = true;  // mark fired so stale handles report !pending()
+  return Popped{entry.at, std::move(entry.cb)};
+}
+
+std::size_t EventQueue::size() const {
+  // priority_queue lacks iteration; count via a copy. Diagnostic-only.
+  auto copy = heap_;
+  std::size_t live = 0;
+  while (!copy.empty()) {
+    if (!*copy.top().cancelled) ++live;
+    copy.pop();
+  }
+  return live;
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,61 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dftmsn {
+
+double RandomStream::uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double RandomStream::uniform(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("RandomStream::uniform: lo > hi");
+  if (lo == hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int RandomStream::uniform_int(int lo, int hi) {
+  if (lo > hi) throw std::invalid_argument("RandomStream::uniform_int: lo > hi");
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+double RandomStream::exponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument("RandomStream::exponential: mean <= 0");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+bool RandomStream::bernoulli(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  return uniform01() < clamped;
+}
+
+namespace {
+
+/// FNV-1a 64-bit over the name bytes, then mixed with seed and index via
+/// splitmix64 finalization steps.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+RandomStream RandomSource::stream(std::string_view name,
+                                  std::uint64_t index) const {
+  const std::uint64_t seed = mix(root_ ^ mix(fnv1a(name) ^ mix(index)));
+  return RandomStream{seed};
+}
+
+}  // namespace dftmsn

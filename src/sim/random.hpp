@@ -1,0 +1,54 @@
+// Seeded random streams. Each consumer gets its own named substream so
+// adding a new random draw in one subsystem does not perturb another.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace dftmsn {
+
+/// One random stream: thin, convenience-wrapped mt19937_64.
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Root seed from which named substreams are derived. Substream seeds are
+/// stable hashes of (root seed, name, index), so e.g. node 7's mobility
+/// stream is the same regardless of how many other streams exist.
+class RandomSource {
+ public:
+  explicit RandomSource(std::uint64_t root_seed) : root_(root_seed) {}
+
+  /// Derives the deterministic substream for (name, index).
+  [[nodiscard]] RandomStream stream(std::string_view name,
+                                    std::uint64_t index = 0) const;
+
+  [[nodiscard]] std::uint64_t root_seed() const { return root_; }
+
+ private:
+  std::uint64_t root_;
+};
+
+}  // namespace dftmsn

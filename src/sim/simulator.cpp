@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace dftmsn {
+
+EventHandle Simulator::schedule_in(SimTime delay, Callback cb) {
+  if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulator::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) throw std::invalid_argument("Simulator: schedule in the past");
+  return queue_.schedule(at, std::move(cb));
+}
+
+void Simulator::run_until(SimTime end) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= end) {
+    // Advance the clock before invoking the callback so the event observes
+    // its own timestamp via now().
+    EventQueue::Popped p = queue_.pop();
+    now_ = p.at;
+    p.cb();
+    ++executed_;
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Simulator::run_all() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    EventQueue::Popped p = queue_.pop();
+    now_ = p.at;
+    p.cb();
+    ++executed_;
+  }
+}
+
+}  // namespace dftmsn

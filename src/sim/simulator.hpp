@@ -1,0 +1,50 @@
+// The simulation clock + event loop. Owns nothing but time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+
+namespace dftmsn {
+
+/// Single-threaded discrete-event simulator. Components hold a reference
+/// and schedule callbacks relative to now().
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Current simulation time in seconds.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(SimTime delay, Callback cb);
+
+  /// Schedules `cb` at absolute time `at` (at >= now()).
+  EventHandle schedule_at(SimTime at, Callback cb);
+
+  /// Runs events until the queue drains or the clock would pass `end`.
+  /// The clock is left at min(end, last event time past end). Events at
+  /// exactly `end` do fire.
+  void run_until(SimTime end);
+
+  /// Runs until the event queue is empty.
+  void run_all();
+
+  /// Stops a run_* loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (diagnostics/perf reporting).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace dftmsn

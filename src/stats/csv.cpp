@@ -1,0 +1,34 @@
+#include "stats/csv.hpp"
+
+#include <stdexcept>
+
+namespace dftmsn {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> columns)
+    : out_(path), columns_(columns.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (columns.empty()) throw std::invalid_argument("CsvWriter: no columns");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  row(std::vector<double>(values));
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != columns_)
+    throw std::invalid_argument("CsvWriter: row arity mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace dftmsn

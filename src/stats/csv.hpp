@@ -1,0 +1,29 @@
+// Tiny CSV writer used by the benchmark harnesses to dump series that
+// regenerate the paper's figures.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dftmsn {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Appends one data row; must match the header arity.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,55 @@
+#include "stats/metrics.hpp"
+
+namespace dftmsn {
+
+void Metrics::on_generated(const Message& m) {
+  if (m.created < warmup_end_) return;
+  ++generated_;
+  counted_.insert(m.id);
+  ++per_source_[m.source].generated;
+}
+
+void Metrics::on_delivered(const Message& m, SimTime at) {
+  if (!counted_.contains(m.id)) return;  // warm-up message
+  ++delivered_copies_;
+  if (!delivered_.insert(m.id).second) return;  // duplicate arrival
+  ++delivered_unique_;
+  total_delay_ += at - m.created;
+  total_hops_ += static_cast<std::uint64_t>(m.hops);
+  ++per_source_[m.source].delivered;
+}
+
+void Metrics::on_dropped(const Message& m, DropReason reason) {
+  if (!counted_.contains(m.id)) return;
+  ++drops_[static_cast<int>(reason)];
+}
+
+double Metrics::delivery_ratio() const {
+  if (generated_ == 0) return 0.0;
+  return static_cast<double>(delivered_unique_) /
+         static_cast<double>(generated_);
+}
+
+double Metrics::mean_delay_s() const {
+  if (delivered_unique_ == 0) return 0.0;
+  return total_delay_ / static_cast<double>(delivered_unique_);
+}
+
+double Metrics::mean_hops() const {
+  if (delivered_unique_ == 0) return 0.0;
+  return static_cast<double>(total_hops_) /
+         static_cast<double>(delivered_unique_);
+}
+
+std::uint64_t Metrics::drops(DropReason reason) const {
+  const auto it = drops_.find(static_cast<int>(reason));
+  return it == drops_.end() ? 0 : it->second;
+}
+
+double Metrics::mean_receivers_per_tx() const {
+  if (data_transmissions_ == 0) return 0.0;
+  return static_cast<double>(receivers_scheduled_) /
+         static_cast<double>(data_transmissions_);
+}
+
+}  // namespace dftmsn

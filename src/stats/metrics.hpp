@@ -1,0 +1,87 @@
+// Run-level metric collection: message life-cycle events, drops, MAC
+// activity. The experiment runner combines these with channel counters
+// and energy meters into the paper's three headline metrics.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "core/ftd_queue.hpp"
+#include "net/message.hpp"
+
+namespace dftmsn {
+
+class Metrics {
+ public:
+  /// Messages generated before `warmup_end` are excluded from ratios.
+  explicit Metrics(SimTime warmup_end = 0.0) : warmup_end_(warmup_end) {}
+
+  /// A sensor generated a fresh message.
+  void on_generated(const Message& m);
+
+  /// A copy of message `m` arrived at a sink. Only the first arrival of
+  /// each id counts toward the delivery ratio and delay.
+  void on_delivered(const Message& m, SimTime at);
+
+  /// A queued copy was discarded.
+  void on_dropped(const Message& m, DropReason reason);
+
+  /// MAC bookkeeping hooks.
+  void on_attempt() { ++attempts_; }
+  void on_attempt_failed() { ++failed_attempts_; }
+  void on_data_tx(std::size_t receiver_count) {
+    ++data_transmissions_;
+    receivers_scheduled_ += receiver_count;
+  }
+
+  // --- results -------------------------------------------------------
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+  [[nodiscard]] std::uint64_t delivered_unique() const {
+    return delivered_unique_;
+  }
+  [[nodiscard]] std::uint64_t delivered_copies() const {
+    return delivered_copies_;
+  }
+  [[nodiscard]] double delivery_ratio() const;
+  [[nodiscard]] double mean_delay_s() const;
+  [[nodiscard]] double mean_hops() const;
+  [[nodiscard]] std::uint64_t drops(DropReason reason) const;
+  [[nodiscard]] std::uint64_t attempts() const { return attempts_; }
+  [[nodiscard]] std::uint64_t failed_attempts() const {
+    return failed_attempts_;
+  }
+  [[nodiscard]] std::uint64_t data_transmissions() const {
+    return data_transmissions_;
+  }
+  [[nodiscard]] double mean_receivers_per_tx() const;
+
+  /// Per-source message counts (diagnostics: delivery fairness by node).
+  struct SourceCounts {
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;
+  };
+  [[nodiscard]] const std::unordered_map<NodeId, SourceCounts>& per_source()
+      const {
+    return per_source_;
+  }
+
+ private:
+  SimTime warmup_end_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t delivered_unique_ = 0;
+  std::uint64_t delivered_copies_ = 0;
+  double total_delay_ = 0.0;
+  std::uint64_t total_hops_ = 0;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t failed_attempts_ = 0;
+  std::uint64_t data_transmissions_ = 0;
+  std::uint64_t receivers_scheduled_ = 0;
+  std::unordered_set<MessageId> counted_;    ///< generated post-warmup
+  std::unordered_set<MessageId> delivered_;  ///< first-arrival dedupe
+  std::unordered_map<int, std::uint64_t> drops_;
+  std::unordered_map<NodeId, SourceCounts> per_source_;
+};
+
+}  // namespace dftmsn

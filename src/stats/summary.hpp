@@ -1,0 +1,32 @@
+// Streaming summary statistics (Welford) with confidence intervals, used
+// to aggregate replicated simulation runs.
+#pragma once
+
+#include <cstddef>
+
+namespace dftmsn {
+
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Half-width of the ~95% normal-approximation confidence interval
+  /// (1.96 · s/√n); 0 with fewer than two samples.
+  [[nodiscard]] double ci95_half_width() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,58 @@
+#include "trace/contact_analysis.hpp"
+
+#include <stdexcept>
+
+namespace dftmsn {
+
+ContactStats analyze_contacts(const std::vector<TraceEvent>& events,
+                              NodeId first_sink_id) {
+  ContactStats out;
+  // Last end-time per pair, for inter-contact gaps.
+  std::unordered_map<std::uint64_t, SimTime> last_end;
+  const auto pair_key = [](NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+
+  for (const TraceEvent& e : events) {
+    if (e.type == TraceEventType::kContactStart) {
+      const auto it = last_end.find(pair_key(e.node, e.peer));
+      if (it != last_end.end()) {
+        out.inter_contact_s.add(e.time - it->second);
+      }
+      continue;
+    }
+    if (e.type != TraceEventType::kContactEnd) continue;
+
+    ++out.contacts;
+    out.duration_s.add(e.value);
+    last_end[pair_key(e.node, e.peer)] = e.time;
+    ++out.contacts_per_node[e.node];
+    ++out.contacts_per_node[e.peer];
+    const bool with_sink = e.node >= first_sink_id || e.peer >= first_sink_id;
+    if (with_sink) {
+      const NodeId sensor = e.node >= first_sink_id ? e.peer : e.node;
+      if (sensor < first_sink_id) ++out.sink_contacts_per_node[sensor];
+    }
+  }
+  return out;
+}
+
+std::unordered_map<NodeId, double> sink_contact_rates(
+    const ContactStats& stats, NodeId first_sink_id, NodeId num_sensors,
+    SimTime horizon) {
+  if (horizon <= 0) throw std::invalid_argument("sink_contact_rates: horizon");
+  if (num_sensors > first_sink_id)
+    throw std::invalid_argument("sink_contact_rates: sensor/sink id overlap");
+  std::unordered_map<NodeId, double> rates;
+  for (NodeId i = 0; i < num_sensors; ++i) {
+    const auto it = stats.sink_contacts_per_node.find(i);
+    const double n =
+        it == stats.sink_contacts_per_node.end()
+            ? 0.0
+            : static_cast<double>(it->second);
+    rates[i] = n / horizon;
+  }
+  return rates;
+}
+
+}  // namespace dftmsn

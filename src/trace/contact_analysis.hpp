@@ -1,0 +1,35 @@
+// Post-run analysis of contact traces: contact/inter-contact duration
+// statistics and per-node contact rates — the connectivity fingerprint of
+// a DFT-MSN scenario (and the ground truth the ξ gradient tries to learn).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stats/summary.hpp"
+#include "trace/recorder.hpp"
+
+namespace dftmsn {
+
+struct ContactStats {
+  std::size_t contacts = 0;          ///< completed contact episodes
+  Summary duration_s;                ///< per-episode durations
+  Summary inter_contact_s;           ///< gaps between episodes of one pair
+  std::unordered_map<NodeId, std::size_t> contacts_per_node;
+  std::unordered_map<NodeId, std::size_t> sink_contacts_per_node;
+};
+
+/// Reduces CONTACT_START/END events. Nodes with id >= `first_sink_id`
+/// are sinks for the per-node sink-contact tally.
+ContactStats analyze_contacts(const std::vector<TraceEvent>& events,
+                              NodeId first_sink_id);
+
+/// Per-node sink-contact *rate* (episodes per simulated second), the
+/// quantity a node's delivery probability ξ is meant to track. Nodes
+/// without any sink contact are included with rate 0.
+std::unordered_map<NodeId, double> sink_contact_rates(
+    const ContactStats& stats, NodeId first_sink_id, NodeId num_sensors,
+    SimTime horizon);
+
+}  // namespace dftmsn

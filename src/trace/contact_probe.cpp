@@ -1,0 +1,71 @@
+#include "trace/contact_probe.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace dftmsn {
+
+ContactProbe::ContactProbe(Simulator& sim, const MobilityManager& mobility,
+                           double range_m, double sample_period_s,
+                           TraceSink& sink)
+    : sim_(sim),
+      mobility_(mobility),
+      range_m_(range_m),
+      period_s_(sample_period_s),
+      sink_(sink) {
+  if (range_m <= 0) throw std::invalid_argument("ContactProbe: range <= 0");
+  if (sample_period_s <= 0)
+    throw std::invalid_argument("ContactProbe: period <= 0");
+}
+
+void ContactProbe::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.schedule_in(period_s_, [this] { sample(); });
+}
+
+void ContactProbe::sample() {
+  const auto n = static_cast<NodeId>(mobility_.node_count());
+  const SimTime now = sim_.now();
+
+  // Mark everything unseen, then walk current pairs.
+  std::vector<std::uint64_t> still_active;
+  for (NodeId a = 0; a < n; ++a) {
+    for (const NodeId b : mobility_.neighbors_of(a, range_m_)) {
+      if (b <= a) continue;
+      const std::uint64_t k = key(a, b);
+      still_active.push_back(k);
+      if (active_.emplace(k, now).second) {
+        sink_.record(TraceEvent{TraceEventType::kContactStart, now, a, b, 0,
+                                0.0});
+      }
+    }
+  }
+
+  // Close contacts that no longer exist.
+  std::erase_if(active_, [&](const auto& kv) {
+    for (const std::uint64_t k : still_active) {
+      if (k == kv.first) return false;
+    }
+    const auto a = static_cast<NodeId>(kv.first >> 32);
+    const auto b = static_cast<NodeId>(kv.first & 0xffffffffu);
+    sink_.record(TraceEvent{TraceEventType::kContactEnd, now, a, b, 0,
+                            now - kv.second});
+    return true;
+  });
+
+  sim_.schedule_in(period_s_, [this] { sample(); });
+}
+
+void ContactProbe::finish() {
+  const SimTime now = sim_.now();
+  for (const auto& [k, start] : active_) {
+    const auto a = static_cast<NodeId>(k >> 32);
+    const auto b = static_cast<NodeId>(k & 0xffffffffu);
+    sink_.record(
+        TraceEvent{TraceEventType::kContactEnd, now, a, b, 0, now - start});
+  }
+  active_.clear();
+}
+
+}  // namespace dftmsn

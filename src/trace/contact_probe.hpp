@@ -1,0 +1,48 @@
+// Samples the mobility state on a fixed period and emits CONTACT_START /
+// CONTACT_END trace events whenever a pair of nodes enters/leaves radio
+// range. A pure observer: protocols are unaffected.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "mobility/mobility_manager.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace dftmsn {
+
+class ContactProbe {
+ public:
+  /// Watches all registered nodes; a contact is an (a < b) pair within
+  /// `range_m`. `sample_period_s` bounds the timing resolution.
+  ContactProbe(Simulator& sim, const MobilityManager& mobility,
+               double range_m, double sample_period_s, TraceSink& sink);
+
+  /// Starts sampling. Call once, after all nodes are registered.
+  void start();
+
+  /// Emits CONTACT_END for every still-open contact (call at end of run
+  /// so duration statistics include the tail).
+  void finish();
+
+  [[nodiscard]] std::size_t open_contacts() const { return active_.size(); }
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  void sample();
+
+  Simulator& sim_;
+  const MobilityManager& mobility_;
+  double range_m_;
+  double period_s_;
+  TraceSink& sink_;
+  bool started_ = false;
+  std::unordered_map<std::uint64_t, SimTime> active_;  ///< pair -> start time
+};
+
+}  // namespace dftmsn

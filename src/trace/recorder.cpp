@@ -1,0 +1,26 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dftmsn {
+
+std::size_t TraceRecorder::count(TraceEventType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [type](const TraceEvent& e) { return e.type == type; }));
+}
+
+CsvTraceSink::CsvTraceSink(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvTraceSink: cannot open " + path);
+  out_ << "type,time,node,peer,message,value\n";
+}
+
+void CsvTraceSink::record(const TraceEvent& event) {
+  out_ << trace_event_name(event.type) << ',' << event.time << ','
+       << event.node << ',' << event.peer << ',' << event.message << ','
+       << event.value << '\n';
+  ++written_;
+}
+
+}  // namespace dftmsn

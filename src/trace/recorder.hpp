@@ -1,0 +1,55 @@
+// TraceSink implementations: an in-memory recorder (analysis, tests) and
+// a streaming CSV writer (offline tooling).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dftmsn {
+
+/// Buffers every event in memory; the analyzers consume it afterwards.
+class TraceRecorder final : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t count(TraceEventType type) const;
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Streams events to a CSV file: type,time,node,peer,message,value.
+class CsvTraceSink final : public TraceSink {
+ public:
+  explicit CsvTraceSink(const std::string& path);
+
+  void record(const TraceEvent& event) override;
+
+  [[nodiscard]] std::size_t written() const { return written_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t written_ = 0;
+};
+
+/// Fan-out: forwards each event to several sinks.
+class TeeTraceSink final : public TraceSink {
+ public:
+  void add(TraceSink& sink) { sinks_.push_back(&sink); }
+
+  void record(const TraceEvent& event) override {
+    for (TraceSink* s : sinks_) s->record(event);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,19 @@
+#include "trace/trace.hpp"
+
+namespace dftmsn {
+
+const char* trace_event_name(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kContactStart: return "CONTACT_START";
+    case TraceEventType::kContactEnd: return "CONTACT_END";
+    case TraceEventType::kDataTx: return "DATA_TX";
+    case TraceEventType::kDataRx: return "DATA_RX";
+    case TraceEventType::kDelivery: return "DELIVERY";
+    case TraceEventType::kDrop: return "DROP";
+    case TraceEventType::kSleep: return "SLEEP";
+    case TraceEventType::kWake: return "WAKE";
+  }
+  return "?";
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,45 @@
+// Run-time tracing: structured event records emitted by instrumentation
+// probes and consumed by TraceSink implementations (in-memory recorder,
+// CSV writer). Tracing is opt-in and costs nothing when no sink is
+// installed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dftmsn {
+
+enum class TraceEventType {
+  kContactStart,   ///< two nodes entered radio range
+  kContactEnd,     ///< ...and left it again
+  kDataTx,         ///< a DATA frame was transmitted
+  kDataRx,         ///< a DATA frame was received by a sensor
+  kDelivery,       ///< a DATA frame reached a sink
+  kDrop,           ///< a queued copy was discarded
+  kSleep,          ///< a node turned its radio off
+  kWake,           ///< ...and on again
+};
+
+const char* trace_event_name(TraceEventType t);
+
+/// One trace record. Fields beyond (type, time, node) are event-specific;
+/// unused ones are left at their defaults.
+struct TraceEvent {
+  TraceEventType type;
+  SimTime time = 0.0;
+  NodeId node = kInvalidNode;   ///< primary node
+  NodeId peer = kInvalidNode;   ///< counterpart (contact peer, receiver...)
+  MessageId message = 0;
+  double value = 0.0;           ///< event-specific scalar (FTD, duration...)
+};
+
+/// Consumer interface.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,134 @@
+#include "analysis/delivery_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dftmsn {
+namespace {
+
+TEST(DirectModel, SingleMessageProbability) {
+  EXPECT_DOUBLE_EQ(direct_delivery_probability(0.01, 0.0), 0.0);
+  EXPECT_NEAR(direct_delivery_probability(0.01, 100.0), 1.0 - std::exp(-1.0),
+              1e-12);
+  EXPECT_NEAR(direct_delivery_probability(1.0, 1e6), 1.0, 1e-9);
+}
+
+TEST(DirectModel, RatioLimits) {
+  // λT -> 0: nothing delivers; λT -> inf: everything does.
+  EXPECT_NEAR(direct_delivery_ratio(1e-9, 1.0), 0.0, 1e-6);
+  EXPECT_NEAR(direct_delivery_ratio(1.0, 1e6), 1.0, 1e-5);
+}
+
+TEST(DirectModel, RatioKnownValue) {
+  // λT = 1: ratio = 1 - (1 - e^-1) = e^-1... no: 1 - (1-e^-1)/1.
+  EXPECT_NEAR(direct_delivery_ratio(0.001, 1000.0),
+              1.0 - (1.0 - std::exp(-1.0)), 1e-12);
+}
+
+TEST(DirectModel, MonotoneInRateAndHorizon) {
+  double prev = 0.0;
+  for (double lambda : {1e-4, 3e-4, 1e-3, 3e-3}) {
+    const double r = direct_delivery_ratio(lambda, 25'000.0);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+  prev = 0.0;
+  for (double horizon : {1000.0, 5000.0, 25'000.0}) {
+    const double r = direct_delivery_ratio(3e-4, horizon);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(DirectModel, InvalidArgsThrow) {
+  EXPECT_THROW(direct_delivery_ratio(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(direct_delivery_ratio(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(EpidemicModel, ReducesToDirectWithoutSpreading) {
+  // β = 0: one carrier forever — identical to direct transmission.
+  const double lambda = 5e-4;
+  for (double t : {100.0, 1000.0, 5000.0}) {
+    EXPECT_NEAR(epidemic_delivery_probability(0.0, lambda, 50, t, 0.1),
+                direct_delivery_probability(lambda, t), 1e-3);
+  }
+}
+
+TEST(EpidemicModel, SpreadingBeatsDirect) {
+  const double lambda = 2e-4;
+  const double direct = direct_delivery_probability(lambda, 2000.0);
+  const double epi =
+      epidemic_delivery_probability(1e-4, lambda, 50, 2000.0, 0.5);
+  EXPECT_GT(epi, direct);
+}
+
+TEST(EpidemicModel, MonotoneInBeta) {
+  double prev = 0.0;
+  for (double beta : {0.0, 1e-6, 1e-5, 1e-4}) {
+    const double p =
+        epidemic_delivery_probability(beta, 1e-4, 100, 3000.0, 0.5);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+}
+
+TEST(EpidemicModel, InfectionCappedAtPopulation) {
+  // Huge beta: instantaneous full infection; survival = exp(-λ n t).
+  const double p =
+      epidemic_delivery_probability(10.0, 1e-4, 20, 1000.0, 0.1);
+  EXPECT_NEAR(p, 1.0 - std::exp(-1e-4 * 20 * 1000.0), 0.02);
+}
+
+TEST(EpidemicModel, RatioAveragesBelowFullHorizonProbability) {
+  const double full =
+      epidemic_delivery_probability(1e-5, 1e-4, 100, 25'000.0, 1.0);
+  const double ratio =
+      epidemic_delivery_ratio(1e-5, 1e-4, 100, 25'000.0, 1.0);
+  EXPECT_LT(ratio, full);
+  EXPECT_GT(ratio, 0.0);
+}
+
+TEST(EpidemicModel, InvalidArgsThrow) {
+  EXPECT_THROW(epidemic_delivery_probability(-1.0, 1.0, 10, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(epidemic_delivery_probability(1.0, 1.0, 0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(epidemic_delivery_probability(1.0, 1.0, 10, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ContactRateEstimator, BasicAndGuards) {
+  // 45 episodes among 10 nodes (45 pairs) over 100 s -> 0.01 per pair-s.
+  EXPECT_DOUBLE_EQ(estimate_pairwise_contact_rate(45, 10, 100.0), 0.01);
+  EXPECT_THROW(estimate_pairwise_contact_rate(1, 1, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_pairwise_contact_rate(1, 10, 0.0),
+               std::invalid_argument);
+}
+
+
+TEST(DirectModel, HeterogeneousBelowMeanFieldByJensen) {
+  // Half the population at 2λ, half at 0: mean rate λ, but the zero-rate
+  // half never delivers.
+  const std::vector<double> lambdas{2e-3, 2e-3, 0.0, 0.0};
+  const double hetero = direct_delivery_ratio_heterogeneous(lambdas, 5000.0);
+  const double meanfield = direct_delivery_ratio(1e-3, 5000.0);
+  EXPECT_LT(hetero, meanfield);
+  EXPECT_NEAR(hetero, 0.5 * direct_delivery_ratio(2e-3, 5000.0), 1e-12);
+}
+
+TEST(DirectModel, HeterogeneousMatchesHomogeneousWhenUniform) {
+  const std::vector<double> lambdas{1e-3, 1e-3, 1e-3};
+  EXPECT_NEAR(direct_delivery_ratio_heterogeneous(lambdas, 2000.0),
+              direct_delivery_ratio(1e-3, 2000.0), 1e-12);
+}
+
+TEST(DirectModel, HeterogeneousEmptyThrows) {
+  EXPECT_THROW(direct_delivery_ratio_heterogeneous({}, 100.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,114 @@
+#include "common/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace dftmsn {
+namespace {
+
+TEST(ConfigIo, AppliesDoubleIntBoolAndPolicy) {
+  Config c;
+  apply_config_override(c, "scenario.field_m=300.5");
+  apply_config_override(c, "scenario.num_sinks=7");
+  apply_config_override(c, "sleep.enabled=false");
+  apply_config_override(c, "protocol.queue_policy=fifo");
+  EXPECT_DOUBLE_EQ(c.scenario.field_m, 300.5);
+  EXPECT_EQ(c.scenario.num_sinks, 7);
+  EXPECT_FALSE(c.sleep.enabled);
+  EXPECT_EQ(c.protocol.queue_policy, QueuePolicy::kFifo);
+}
+
+TEST(ConfigIo, TrimsWhitespace) {
+  Config c;
+  apply_config_override(c, "  scenario.num_sensors =  42 ");
+  EXPECT_EQ(c.scenario.num_sensors, 42);
+}
+
+TEST(ConfigIo, UnknownKeyThrows) {
+  Config c;
+  EXPECT_THROW(apply_config_override(c, "scenario.num_snks=3"),
+               std::invalid_argument);
+  EXPECT_THROW(apply_config_override(c, "bogus=1"), std::invalid_argument);
+}
+
+TEST(ConfigIo, MalformedValueThrows) {
+  Config c;
+  EXPECT_THROW(apply_config_override(c, "scenario.field_m=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(apply_config_override(c, "scenario.num_sinks=3.5"),
+               std::invalid_argument);
+  EXPECT_THROW(apply_config_override(c, "sleep.enabled=maybe"),
+               std::invalid_argument);
+  EXPECT_THROW(apply_config_override(c, "protocol.queue_policy=lifo"),
+               std::invalid_argument);
+  EXPECT_THROW(apply_config_override(c, "no-equals-sign"),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, AppliesListInOrder) {
+  Config c;
+  apply_config_overrides(c, {"scenario.seed=9", "scenario.seed=11"});
+  EXPECT_EQ(c.scenario.seed, 11u);
+}
+
+TEST(ConfigIo, LoadsFileWithCommentsAndBlanks) {
+  const std::string path = "config_io_test_tmp.cfg";
+  {
+    std::ofstream out(path);
+    out << "# scenario tweaks\n"
+        << "\n"
+        << "scenario.num_sinks = 4   # four collection points\n"
+        << "protocol.alpha=0.5\n";
+  }
+  Config c;
+  load_config_file(c, path);
+  std::remove(path.c_str());
+  EXPECT_EQ(c.scenario.num_sinks, 4);
+  EXPECT_DOUBLE_EQ(c.protocol.alpha, 0.5);
+}
+
+TEST(ConfigIo, FileErrorsCarryLineNumbers) {
+  const std::string path = "config_io_test_bad.cfg";
+  {
+    std::ofstream out(path);
+    out << "scenario.num_sinks=4\n"
+        << "typo.key=1\n";
+  }
+  Config c;
+  try {
+    load_config_file(c, path);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(load_config_file(c, "missing-file.cfg"), std::runtime_error);
+}
+
+TEST(ConfigIo, ListCoversRoundTrip) {
+  // Every listed key must be re-appliable with its printed value.
+  Config c;
+  for (const std::string& kv : list_config_keys(c)) {
+    Config fresh;
+    EXPECT_NO_THROW(apply_config_override(fresh, kv)) << kv;
+  }
+  EXPECT_GT(list_config_keys(c).size(), 40u);
+}
+
+TEST(ConfigIo, RoundTripPreservesValues) {
+  Config a;
+  a.scenario.field_m = 512.0;
+  a.protocol.queue_policy = QueuePolicy::kRandomDrop;
+  a.sleep.enabled = false;
+  Config b;
+  for (const std::string& kv : list_config_keys(a))
+    apply_config_override(b, kv);
+  EXPECT_DOUBLE_EQ(b.scenario.field_m, 512.0);
+  EXPECT_EQ(b.protocol.queue_policy, QueuePolicy::kRandomDrop);
+  EXPECT_FALSE(b.sleep.enabled);
+}
+
+}  // namespace
+}  // namespace dftmsn

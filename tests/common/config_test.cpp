@@ -1,0 +1,108 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dftmsn {
+namespace {
+
+TEST(Config, DefaultsAreValid) {
+  Config c;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Config, PaperDefaults) {
+  // Sec. 5 of the paper: sanity-pin the headline scenario numbers.
+  Config c;
+  EXPECT_EQ(c.scenario.num_sensors, 100);
+  EXPECT_EQ(c.scenario.num_sinks, 3);
+  EXPECT_EQ(c.scenario.zones_per_side, 5);
+  EXPECT_DOUBLE_EQ(c.scenario.speed_max_mps, 5.0);
+  EXPECT_DOUBLE_EQ(c.scenario.zone_exit_prob, 0.2);
+  EXPECT_DOUBLE_EQ(c.scenario.data_interval_s, 120.0);
+  EXPECT_DOUBLE_EQ(c.scenario.duration_s, 25'000.0);
+  EXPECT_EQ(c.protocol.queue_capacity, 200u);
+  EXPECT_EQ(c.radio.data_bits, 1000u);
+  EXPECT_EQ(c.radio.control_bits, 50u);
+  EXPECT_DOUBLE_EQ(c.radio.bandwidth_bps, 10'000.0);
+  EXPECT_DOUBLE_EQ(c.radio.range_m, 10.0);
+}
+
+TEST(Config, DerivedRadioTimes) {
+  RadioConfig r;
+  EXPECT_DOUBLE_EQ(r.data_tx_time(), 0.1);      // 1000 b / 10 kbps
+  EXPECT_DOUBLE_EQ(r.control_tx_time(), 0.005); // 50 b / 10 kbps
+}
+
+TEST(Config, RejectsBadRadio) {
+  Config c;
+  c.radio.range_m = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config{};
+  c.radio.bandwidth_bps = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, RejectsBadPower) {
+  Config c;
+  c.power.idle_w = c.power.sleep_w;  // no savings possible
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, RejectsBadProtocol) {
+  Config c;
+  c.protocol.alpha = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config{};
+  c.protocol.delivery_threshold_r = 1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config{};
+  c.protocol.queue_capacity = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config{};
+  c.protocol.max_retry_gap_slots = 1;  // below the base gap
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config{};
+  c.protocol.lone_retry_s = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, RejectsBadSleep) {
+  Config c;
+  c.sleep.history_cycles = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config{};
+  c.sleep.buffer_threshold_h = 1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, RejectsBadContention) {
+  Config c;
+  c.contention.tau_max_slots = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config{};
+  c.contention.cts_window_cap = 1;  // below initial W
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, RejectsBadScenario) {
+  Config c;
+  c.scenario.num_sensors = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config{};
+  c.scenario.num_sinks = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config{};
+  c.scenario.speed_max_mps = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config{};
+  c.scenario.warmup_s = c.scenario.duration_s;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config{};
+  c.scenario.zone_exit_prob = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,56 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dftmsn {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarn) {
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, SetAndGetLevel) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, EmitBelowThresholdIsCheap) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return std::string("x");
+  };
+  // log() short-circuits before formatting when the level is filtered.
+  log(LogLevel::kDebug, expensive());
+  EXPECT_EQ(evaluations, 1);  // arguments evaluate (no macro magic)...
+  testing::internal::CaptureStderr();
+  log(LogLevel::kDebug, "hidden");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, EmitsAtOrAboveThreshold) {
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log(LogLevel::kInfo, "count=", 42, " ratio=", 0.5);
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("count=42 ratio=0.5"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log(LogLevel::kError, "nope");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,27 @@
+// Compile-level check: the umbrella header is self-contained and exposes
+// the advertised API surface.
+#include "dftmsn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dftmsn {
+namespace {
+
+TEST(Umbrella, HighLevelApiIsUsable) {
+  Config config;
+  config.scenario.num_sensors = 5;
+  config.scenario.num_sinks = 1;
+  config.scenario.duration_s = 50.0;
+  const RunResult r = run_once(config, ProtocolKind::kDirect);
+  EXPECT_LE(r.delivered, r.generated);
+}
+
+TEST(Umbrella, BuildingBlocksAreVisible) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_NO_THROW(PatrolMobility({{0, 0}, {1, 0}}, 1.0));
+  EXPECT_GT(direct_delivery_ratio(1e-3, 1000.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,108 @@
+#include "core/cts_window_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace dftmsn {
+namespace {
+
+using CWO = CtsWindowOptimizer;
+
+TEST(CtsWindow, NoRepliersNoCollision) {
+  EXPECT_DOUBLE_EQ(CWO::collision_probability(8, 0), 0.0);
+  EXPECT_DOUBLE_EQ(CWO::collision_probability(8, 1), 0.0);
+}
+
+TEST(CtsWindow, MoreRepliersThanSlotsAlwaysCollide) {
+  EXPECT_DOUBLE_EQ(CWO::collision_probability(3, 4), 1.0);
+}
+
+TEST(CtsWindow, BirthdayTwoRepliers) {
+  // Two repliers in W slots collide with probability 1/W.
+  EXPECT_NEAR(CWO::collision_probability(8, 2), 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(CWO::collision_probability(16, 2), 1.0 / 16.0, 1e-12);
+}
+
+TEST(CtsWindow, Eq14ClosedForm) {
+  // γ_o = 1 - W!/(W-n)!/W^n; for W=4, n=3: 1 - (4*3*2)/64 = 0.625.
+  EXPECT_NEAR(CWO::collision_probability(4, 3), 0.625, 1e-12);
+}
+
+TEST(CtsWindow, InvalidArgsThrow) {
+  EXPECT_THROW(CWO::collision_probability(0, 2), std::invalid_argument);
+  EXPECT_THROW(CWO::collision_probability(4, -1), std::invalid_argument);
+}
+
+TEST(CtsWindow, MonotoneInWindow) {
+  double prev = 1.0;
+  for (int w : {4, 8, 16, 32, 64}) {
+    const double g = CWO::collision_probability(w, 4);
+    EXPECT_LT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(CtsWindow, MonotoneInRepliers) {
+  double prev = 0.0;
+  for (int n = 2; n <= 8; ++n) {
+    const double g = CWO::collision_probability(16, n);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(CtsWindow, MinWindowMeetsTarget) {
+  for (int n : {2, 3, 5, 8}) {
+    const int w = CWO::min_window(n, 0.1, 1024);
+    EXPECT_LE(CWO::collision_probability(w, n), 0.1);
+    EXPECT_GT(CWO::collision_probability(w - 1, n), 0.1);
+  }
+}
+
+TEST(CtsWindow, MinWindowHitsCapWhenUnattainable) {
+  EXPECT_EQ(CWO::min_window(8, 1e-9, 32), 32);
+}
+
+TEST(CtsWindow, MinWindowSingleReplierIsOne) {
+  EXPECT_EQ(CWO::min_window(1, 0.1, 64), 1);
+  EXPECT_EQ(CWO::min_window(0, 0.1, 64), 1);
+}
+
+TEST(CtsWindow, ExpectedSurvivors) {
+  EXPECT_DOUBLE_EQ(CWO::expected_survivors(8, 1), 1.0);
+  // n=2, W=2: each survives iff the other picked differently: 2 * 1/2.
+  EXPECT_NEAR(CWO::expected_survivors(2, 2), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CWO::expected_survivors(8, 0), 0.0);
+}
+
+TEST(CtsWindow, AnalyticMatchesMonteCarlo) {
+  RandomStream rng(42);
+  const int w = 8, n = 4, draws = 200000;
+  int collided = 0;
+  double survivor_sum = 0;
+  std::vector<int> slots(n);
+  for (int d = 0; d < draws; ++d) {
+    for (int i = 0; i < n; ++i) slots[i] = rng.uniform_int(1, w);
+    bool any_dup = false;
+    int survivors = 0;
+    for (int i = 0; i < n; ++i) {
+      bool dup = false;
+      for (int j = 0; j < n; ++j) {
+        if (i != j && slots[i] == slots[j]) dup = true;
+      }
+      any_dup |= dup;
+      survivors += dup ? 0 : 1;
+    }
+    collided += any_dup ? 1 : 0;
+    survivor_sum += survivors;
+  }
+  EXPECT_NEAR(static_cast<double>(collided) / draws,
+              CWO::collision_probability(w, n), 0.01);
+  EXPECT_NEAR(survivor_sum / draws, CWO::expected_survivors(w, n), 0.02);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,77 @@
+#include "core/delivery_probability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dftmsn {
+namespace {
+
+TEST(DeliveryProbability, StartsAtInitial) {
+  DeliveryProbability xi(0.25);
+  EXPECT_DOUBLE_EQ(xi.value(), 0.0);
+  DeliveryProbability xi2(0.25, 0.5);
+  EXPECT_DOUBLE_EQ(xi2.value(), 0.5);
+}
+
+TEST(DeliveryProbability, InvalidParamsThrow) {
+  EXPECT_THROW(DeliveryProbability(-0.1), std::invalid_argument);
+  EXPECT_THROW(DeliveryProbability(1.1), std::invalid_argument);
+  EXPECT_THROW(DeliveryProbability(0.5, 2.0), std::invalid_argument);
+}
+
+TEST(DeliveryProbability, TransmissionToSink) {
+  // Eq. (1): ξ <- (1-α)ξ + α·1 when the receiver is the sink.
+  DeliveryProbability xi(0.25);
+  xi.on_transmission(1.0);
+  EXPECT_DOUBLE_EQ(xi.value(), 0.25);
+  xi.on_transmission(1.0);
+  EXPECT_DOUBLE_EQ(xi.value(), 0.4375);
+}
+
+TEST(DeliveryProbability, TransmissionToRelay) {
+  DeliveryProbability xi(0.25, 0.4);
+  xi.on_transmission(0.8);
+  EXPECT_DOUBLE_EQ(xi.value(), 0.75 * 0.4 + 0.25 * 0.8);
+}
+
+TEST(DeliveryProbability, TimeoutDecay) {
+  DeliveryProbability xi(0.25, 0.8);
+  xi.on_timeout();
+  EXPECT_DOUBLE_EQ(xi.value(), 0.6);
+  xi.on_timeout();
+  EXPECT_DOUBLE_EQ(xi.value(), 0.45);
+}
+
+TEST(DeliveryProbability, StaysInUnitInterval) {
+  DeliveryProbability xi(0.9);
+  for (int i = 0; i < 100; ++i) xi.on_transmission(1.0);
+  EXPECT_LE(xi.value(), 1.0);
+  for (int i = 0; i < 1000; ++i) xi.on_timeout();
+  EXPECT_GE(xi.value(), 0.0);
+}
+
+TEST(DeliveryProbability, ReceiverXiClamped) {
+  DeliveryProbability xi(0.5);
+  xi.on_transmission(5.0);  // bogus input clamps to 1
+  EXPECT_DOUBLE_EQ(xi.value(), 0.5);
+  DeliveryProbability xi2(0.5, 0.4);
+  xi2.on_transmission(-3.0);  // clamps to 0
+  EXPECT_DOUBLE_EQ(xi2.value(), 0.2);
+}
+
+TEST(DeliveryProbability, AlphaZeroNeverMoves) {
+  DeliveryProbability xi(0.0, 0.3);
+  xi.on_transmission(1.0);
+  xi.on_timeout();
+  EXPECT_DOUBLE_EQ(xi.value(), 0.3);
+}
+
+TEST(DeliveryProbability, AlphaOneTracksReceiver) {
+  DeliveryProbability xi(1.0, 0.3);
+  xi.on_transmission(0.7);
+  EXPECT_DOUBLE_EQ(xi.value(), 0.7);
+  xi.on_timeout();
+  EXPECT_DOUBLE_EQ(xi.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace dftmsn

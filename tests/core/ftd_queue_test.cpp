@@ -1,0 +1,210 @@
+#include "core/ftd_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace dftmsn {
+namespace {
+
+QueuedMessage qm(MessageId id, double ftd, SimTime at = 0.0) {
+  Message m;
+  m.id = id;
+  m.source = 0;
+  m.created = at;
+  return QueuedMessage{m, ftd, at};
+}
+
+TEST(FtdQueue, ZeroCapacityThrows) {
+  EXPECT_THROW(FtdQueue(0), std::invalid_argument);
+}
+
+TEST(FtdQueue, EmptyQueueGuards) {
+  FtdQueue q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW((void)q.head(), std::logic_error);
+  EXPECT_THROW(q.pop_head(), std::logic_error);
+  EXPECT_THROW(q.remove_head(), std::logic_error);
+  EXPECT_THROW(q.update_head_ftd(0.5, 0.9), std::logic_error);
+}
+
+TEST(FtdQueue, SortsAscendingByFtd) {
+  FtdQueue q(10);
+  q.insert(qm(1, 0.5));
+  q.insert(qm(2, 0.1));
+  q.insert(qm(3, 0.9));
+  EXPECT_EQ(q.head().msg.id, 2u);
+  EXPECT_DOUBLE_EQ(q.items()[0].ftd, 0.1);
+  EXPECT_DOUBLE_EQ(q.items()[1].ftd, 0.5);
+  EXPECT_DOUBLE_EQ(q.items()[2].ftd, 0.9);
+}
+
+TEST(FtdQueue, EqualFtdKeepsArrivalOrder) {
+  FtdQueue q(10);
+  q.insert(qm(1, 0.0));
+  q.insert(qm(2, 0.0));
+  q.insert(qm(3, 0.0));
+  EXPECT_EQ(q.items()[0].msg.id, 1u);
+  EXPECT_EQ(q.items()[1].msg.id, 2u);
+  EXPECT_EQ(q.items()[2].msg.id, 3u);
+}
+
+TEST(FtdQueue, OverflowEvictsTail) {
+  FtdQueue q(2);
+  q.insert(qm(1, 0.5));
+  q.insert(qm(2, 0.8));
+  const auto dropped = q.insert(qm(3, 0.1));
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_EQ(dropped->msg.id, 2u);  // highest FTD evicted
+  EXPECT_EQ(dropped->reason, DropReason::kOverflow);
+  EXPECT_EQ(q.head().msg.id, 3u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(FtdQueue, OverflowRejectsLeastImportantNewcomer) {
+  FtdQueue q(2);
+  q.insert(qm(1, 0.1));
+  q.insert(qm(2, 0.2));
+  const auto dropped = q.insert(qm(3, 0.9));
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_EQ(dropped->msg.id, 3u);  // the newcomer is the least important
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(FtdQueue, DuplicateMergeKeepsSmallerFtd) {
+  FtdQueue q(10);
+  q.insert(qm(1, 0.5));
+  EXPECT_FALSE(q.insert(qm(1, 0.2)).has_value());
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.head().ftd, 0.2);
+  // A higher-FTD duplicate is absorbed without change.
+  q.insert(qm(1, 0.9));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.head().ftd, 0.2);
+}
+
+TEST(FtdQueue, UpdateHeadFtdRepositions) {
+  FtdQueue q(10);
+  q.insert(qm(1, 0.1));
+  q.insert(qm(2, 0.3));
+  EXPECT_FALSE(q.update_head_ftd(0.5, 0.9).has_value());
+  EXPECT_EQ(q.head().msg.id, 2u);
+  EXPECT_EQ(q.items()[1].msg.id, 1u);
+  EXPECT_DOUBLE_EQ(q.items()[1].ftd, 0.5);
+}
+
+TEST(FtdQueue, UpdateFtdAboveThresholdDrops) {
+  FtdQueue q(10);
+  q.insert(qm(1, 0.1));
+  const auto dropped = q.update_head_ftd(0.95, 0.9);
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_EQ(dropped->reason, DropReason::kFtdThreshold);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FtdQueue, UpdateFtdToOneMarksDelivered) {
+  FtdQueue q(10);
+  q.insert(qm(1, 0.1));
+  const auto dropped = q.update_head_ftd(1.0, 0.9);
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_EQ(dropped->reason, DropReason::kDelivered);
+}
+
+TEST(FtdQueue, UpdateFtdByMissingIdIsNoop) {
+  FtdQueue q(10);
+  q.insert(qm(1, 0.1));
+  EXPECT_FALSE(q.update_ftd(99, 0.95, 0.9).has_value());
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(FtdQueue, AvailableSpaceForPaperSemantics) {
+  // B(F): slots empty or holding messages with FTD > F.
+  FtdQueue q(3);
+  q.insert(qm(1, 0.2));
+  q.insert(qm(2, 0.6));
+  EXPECT_EQ(q.available_space_for(0.1), 3u);  // both queued have higher FTD
+  EXPECT_EQ(q.available_space_for(0.2), 2u);  // 0.2 counts as occupied
+  EXPECT_EQ(q.available_space_for(0.7), 1u);
+  q.insert(qm(3, 0.9));
+  EXPECT_EQ(q.available_space_for(1.0), 0u);
+}
+
+TEST(FtdQueue, CountMoreImportantThan) {
+  FtdQueue q(10);
+  q.insert(qm(1, 0.1));
+  q.insert(qm(2, 0.5));
+  q.insert(qm(3, 0.8));
+  EXPECT_EQ(q.count_more_important_than(0.5), 1u);
+  EXPECT_EQ(q.count_more_important_than(0.9), 3u);
+  EXPECT_EQ(q.count_more_important_than(0.05), 0u);
+}
+
+TEST(FtdQueue, RemoveById) {
+  FtdQueue q(10);
+  q.insert(qm(1, 0.1));
+  q.insert(qm(2, 0.2));
+  EXPECT_TRUE(q.remove(1));
+  EXPECT_FALSE(q.remove(1));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.contains(2));
+  EXPECT_FALSE(q.contains(1));
+}
+
+TEST(FtdQueue, FifoDisciplineKeepsArrivalOrderAndRejectsNewcomer) {
+  FtdQueue q(2, QueueDiscipline::kFifo);
+  q.insert(qm(1, 0.9));
+  q.insert(qm(2, 0.1));
+  EXPECT_EQ(q.head().msg.id, 1u);  // arrival order, not FTD
+  const auto dropped = q.insert(qm(3, 0.0));
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_EQ(dropped->msg.id, 3u);
+}
+
+TEST(FtdQueue, RandomDropEvictsSomeVictim) {
+  FtdQueue q(2, QueueDiscipline::kRandomDrop);
+  q.insert(qm(1, 0.1), 0.0);
+  q.insert(qm(2, 0.2), 0.0);
+  const auto dropped = q.insert(qm(3, 0.3), 0.99);
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_EQ(dropped->msg.id, 2u);  // random01=0.99 selects the last slot
+  EXPECT_EQ(q.size(), 2u);
+}
+
+// --- property suite ----------------------------------------------------
+
+class FtdQueueProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FtdQueueProperty, InvariantsUnderRandomOperations) {
+  RandomStream rng(static_cast<std::uint64_t>(GetParam()));
+  FtdQueue q(16);
+  MessageId next_id = 1;
+  for (int op = 0; op < 2000; ++op) {
+    const double roll = rng.uniform01();
+    if (roll < 0.5) {
+      q.insert(qm(next_id++, rng.uniform01()));
+    } else if (roll < 0.7 && !q.empty()) {
+      q.pop_head();
+    } else if (roll < 0.9 && !q.empty()) {
+      q.update_head_ftd(rng.uniform01(), 0.9);
+    } else if (!q.empty()) {
+      q.remove(q.items()[static_cast<std::size_t>(
+                             rng.uniform_int(0, static_cast<int>(q.size()) - 1))]
+                   .msg.id);
+    }
+    // Invariants: size bounded, FTD sorted, all FTDs within [0, 1].
+    ASSERT_LE(q.size(), q.capacity());
+    for (std::size_t i = 0; i + 1 < q.size(); ++i) {
+      ASSERT_LE(q.items()[i].ftd, q.items()[i + 1].ftd);
+    }
+    for (const auto& item : q.items()) {
+      ASSERT_GE(item.ftd, 0.0);
+      ASSERT_LE(item.ftd, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtdQueueProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,111 @@
+#include "core/ftd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace dftmsn {
+namespace {
+
+TEST(Ftd, SenderUpdateSingleReceiver) {
+  // Eq. (3) with one receiver: F' = 1 - (1-F)(1-ξ).
+  const std::array<double, 1> xis{0.5};
+  EXPECT_DOUBLE_EQ(sender_ftd_after_multicast(0.0, xis), 0.5);
+  EXPECT_DOUBLE_EQ(sender_ftd_after_multicast(0.2, xis), 1.0 - 0.8 * 0.5);
+}
+
+TEST(Ftd, SenderUpdateToSinkReachesOne) {
+  const std::array<double, 1> sink{1.0};
+  EXPECT_DOUBLE_EQ(sender_ftd_after_multicast(0.0, sink), 1.0);
+  EXPECT_DOUBLE_EQ(sender_ftd_after_multicast(0.7, sink), 1.0);
+}
+
+TEST(Ftd, SenderUpdateEmptyPhiIsIdentity) {
+  EXPECT_DOUBLE_EQ(sender_ftd_after_multicast(0.35, {}), 0.35);
+}
+
+TEST(Ftd, ReceiverCopyExcludesSelf) {
+  // Eq. (2): receiver j's copy covers the sender's copy (ξ_i) and the
+  // other receivers, but not itself.
+  const std::array<double, 2> xis{0.5, 0.4};
+  const double f0 = receiver_copy_ftd(0.0, 0.3, xis, 0);
+  // 1 - (1-0)(1-0.3)(1-0.4) = 1 - 0.7*0.6
+  EXPECT_DOUBLE_EQ(f0, 1.0 - 0.7 * 0.6);
+  const double f1 = receiver_copy_ftd(0.0, 0.3, xis, 1);
+  EXPECT_DOUBLE_EQ(f1, 1.0 - 0.7 * 0.5);
+}
+
+TEST(Ftd, ReceiverCopySingleReceiverDependsOnSenderOnly) {
+  const std::array<double, 1> xis{0.9};
+  EXPECT_DOUBLE_EQ(receiver_copy_ftd(0.2, 0.1, xis, 0), 1.0 - 0.8 * 0.9);
+}
+
+TEST(Ftd, ReceiverCopyOutOfRangeThrows) {
+  const std::array<double, 1> xis{0.5};
+  EXPECT_THROW(receiver_copy_ftd(0.0, 0.0, xis, 1), std::out_of_range);
+}
+
+TEST(Ftd, AggregateMatchesSenderFormula) {
+  const std::array<double, 3> xis{0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(aggregate_delivery_probability(0.1, xis),
+                   sender_ftd_after_multicast(0.1, xis));
+}
+
+TEST(Ftd, InputsClamped) {
+  const std::array<double, 1> bogus{1.7};
+  EXPECT_DOUBLE_EQ(sender_ftd_after_multicast(-0.5, bogus), 1.0);
+}
+
+// --- property suite: invariants over random inputs --------------------
+
+class FtdProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FtdProperty, ResultsStayInUnitIntervalAndMonotone) {
+  RandomStream rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 200; ++trial) {
+    const double f = rng.uniform01();
+    const double xi_sender = rng.uniform01();
+    const int n = rng.uniform_int(1, 6);
+    std::vector<double> xis;
+    for (int i = 0; i < n; ++i) xis.push_back(rng.uniform01());
+
+    const double after = sender_ftd_after_multicast(f, xis);
+    EXPECT_GE(after, 0.0);
+    EXPECT_LE(after, 1.0);
+    // Multicasting can only increase the FTD (more copies in flight).
+    EXPECT_GE(after, f - 1e-12);
+
+    for (std::size_t j = 0; j < xis.size(); ++j) {
+      const double fj = receiver_copy_ftd(f, xi_sender, xis, j);
+      EXPECT_GE(fj, 0.0);
+      EXPECT_LE(fj, 1.0);
+      // The copy's FTD is at least the message's previous FTD.
+      EXPECT_GE(fj, f - 1e-12);
+      // And at most the full aggregate including itself plus sender.
+      std::vector<double> all = xis;
+      all.push_back(xi_sender);
+      EXPECT_LE(fj, sender_ftd_after_multicast(f, all) + 1e-12);
+    }
+  }
+}
+
+TEST_P(FtdProperty, ReceiverMoreConfidentWhenOthersStronger) {
+  RandomStream rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double f = rng.uniform01() * 0.5;
+    const double xi_sender = rng.uniform01() * 0.5;
+    std::vector<double> weak{0.1, 0.1};
+    std::vector<double> strong{0.1, 0.9};
+    // Receiver 0's copy FTD rises when receiver 1 is stronger.
+    EXPECT_LE(receiver_copy_ftd(f, xi_sender, weak, 0),
+              receiver_copy_ftd(f, xi_sender, strong, 0) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtdProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dftmsn

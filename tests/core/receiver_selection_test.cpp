@@ -1,0 +1,123 @@
+#include "core/receiver_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ftd.hpp"
+#include "sim/random.hpp"
+
+namespace dftmsn {
+namespace {
+
+Candidate cand(NodeId id, double metric, std::size_t space = 5,
+               bool sink = false) {
+  return Candidate{id, metric, space, sink};
+}
+
+TEST(ReceiverSelection, EmptyCandidatesEmptySelection) {
+  const Selection s = select_receivers(0.2, 0.0, 0.95, {});
+  EXPECT_TRUE(s.receivers.empty());
+  EXPECT_DOUBLE_EQ(s.aggregate_probability, 0.0);
+}
+
+TEST(ReceiverSelection, OnlyHigherMetricQualifies) {
+  const Selection s =
+      select_receivers(0.5, 0.0, 0.95,
+                       {cand(1, 0.4), cand(2, 0.5), cand(3, 0.6)});
+  ASSERT_EQ(s.receivers.size(), 1u);
+  EXPECT_EQ(s.receivers[0].id, 3u);  // strictly higher only
+}
+
+TEST(ReceiverSelection, ZeroBufferSpaceDisqualifies) {
+  const Selection s =
+      select_receivers(0.1, 0.0, 0.95, {cand(1, 0.9, 0), cand(2, 0.5, 3)});
+  ASSERT_EQ(s.receivers.size(), 1u);
+  EXPECT_EQ(s.receivers[0].id, 2u);
+}
+
+TEST(ReceiverSelection, StopsOnceThresholdReached) {
+  // A sink (ξ = 1) alone pushes the aggregate past any R < 1.
+  const Selection s = select_receivers(
+      0.0, 0.0, 0.95, {cand(1, 1.0, 5, true), cand(2, 0.9), cand(3, 0.8)});
+  ASSERT_EQ(s.receivers.size(), 1u);
+  EXPECT_EQ(s.receivers[0].id, 1u);
+  EXPECT_TRUE(s.receivers[0].is_sink);
+  EXPECT_DOUBLE_EQ(s.aggregate_probability, 1.0);
+}
+
+TEST(ReceiverSelection, AccumulatesUntilThreshold) {
+  // Each candidate at 0.6: aggregate after two = 1 - 0.4^2 = 0.84; after
+  // three = 0.936; after four = 0.9744 > 0.95.
+  const Selection s = select_receivers(
+      0.1, 0.0, 0.95,
+      {cand(1, 0.6), cand(2, 0.6), cand(3, 0.6), cand(4, 0.6), cand(5, 0.6)});
+  EXPECT_EQ(s.receivers.size(), 4u);
+  EXPECT_GT(s.aggregate_probability, 0.95);
+}
+
+TEST(ReceiverSelection, ExistingFtdCountsTowardThreshold) {
+  // With message FTD already 0.9, a single 0.6 receiver reaches
+  // 1 - 0.1*0.4 = 0.96 > 0.95.
+  const Selection s =
+      select_receivers(0.1, 0.9, 0.95, {cand(1, 0.6), cand(2, 0.6)});
+  EXPECT_EQ(s.receivers.size(), 1u);
+}
+
+TEST(ReceiverSelection, SortsByDescendingMetric) {
+  const Selection s = select_receivers(
+      0.0, 0.0, 0.9999, {cand(1, 0.3), cand(2, 0.7), cand(3, 0.5)});
+  ASSERT_EQ(s.receivers.size(), 3u);
+  EXPECT_EQ(s.receivers[0].id, 2u);
+  EXPECT_EQ(s.receivers[1].id, 3u);
+  EXPECT_EQ(s.receivers[2].id, 1u);
+}
+
+TEST(ReceiverSelection, AggregateMatchesFtdFormula) {
+  const Selection s =
+      select_receivers(0.0, 0.2, 0.9999, {cand(1, 0.5), cand(2, 0.4)});
+  const std::vector<double> xis{0.5, 0.4};
+  EXPECT_DOUBLE_EQ(s.aggregate_probability,
+                   aggregate_delivery_probability(0.2, xis));
+}
+
+// --- property suite ----------------------------------------------------
+
+class SelectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectionProperty, SelectionIsMinimalPrefixOfQualified) {
+  RandomStream rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 300; ++trial) {
+    const double sender = rng.uniform01();
+    const double ftd = rng.uniform01() * 0.8;
+    const double r = 0.5 + rng.uniform01() * 0.49;
+    std::vector<Candidate> cands;
+    const int n = rng.uniform_int(0, 8);
+    for (int i = 0; i < n; ++i) {
+      cands.push_back(cand(static_cast<NodeId>(i), rng.uniform01(),
+                           static_cast<std::size_t>(rng.uniform_int(0, 3))));
+    }
+    const Selection s = select_receivers(sender, ftd, r, cands);
+
+    // Every selected receiver is qualified.
+    for (const Candidate& c : s.receivers) {
+      EXPECT_GT(c.metric, sender);
+      EXPECT_GT(c.buffer_space, 0u);
+    }
+    // Removing the last selected receiver must leave the aggregate at or
+    // below R (minimality of the greedy prefix).
+    if (s.receivers.size() > 1 && s.aggregate_probability > r) {
+      std::vector<double> xis;
+      for (std::size_t i = 0; i + 1 < s.receivers.size(); ++i)
+        xis.push_back(s.receivers[i].metric);
+      EXPECT_LE(aggregate_delivery_probability(ftd, xis), r + 1e-12);
+    }
+    // Aggregate within [ftd, 1].
+    EXPECT_GE(s.aggregate_probability + 1e-12, ftd * (s.receivers.empty() ? 0 : 1));
+    EXPECT_LE(s.aggregate_probability, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionProperty,
+                         ::testing::Values(7, 17, 27));
+
+}  // namespace
+}  // namespace dftmsn

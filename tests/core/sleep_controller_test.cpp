@@ -1,0 +1,110 @@
+#include "core/sleep_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dftmsn {
+namespace {
+
+SleepConfig default_sleep() {
+  SleepConfig cfg;
+  cfg.history_cycles = 10;      // S
+  cfg.buffer_threshold_h = 0.5; // H
+  cfg.important_ftd = 0.5;
+  cfg.t_min_floor_s = 1.0;
+  return cfg;
+}
+
+EnergyModel default_energy() { return EnergyModel{PowerConfig{}}; }
+
+TEST(SleepController, RhoWithEmptyHistoryIsOneOverS) {
+  const EnergyModel e = default_energy();
+  SleepController c(default_sleep(), e, 0.002);
+  EXPECT_DOUBLE_EQ(c.rho(), 0.1);  // Eq. (4): s_i = 0 -> 1/S
+}
+
+TEST(SleepController, RhoCountsSuccessWindow) {
+  const EnergyModel e = default_energy();
+  SleepController c(default_sleep(), e, 0.002);
+  for (int i = 0; i < 5; ++i) c.record_cycle(true);
+  for (int i = 0; i < 5; ++i) c.record_cycle(false);
+  EXPECT_DOUBLE_EQ(c.rho(), 0.5);
+}
+
+TEST(SleepController, HistorySlides) {
+  const EnergyModel e = default_energy();
+  SleepController c(default_sleep(), e, 0.002);
+  for (int i = 0; i < 10; ++i) c.record_cycle(true);
+  EXPECT_DOUBLE_EQ(c.rho(), 1.0);
+  // Ten failures push all successes out of the S-window.
+  for (int i = 0; i < 10; ++i) c.record_cycle(false);
+  EXPECT_DOUBLE_EQ(c.rho(), 0.1);
+}
+
+TEST(SleepController, AlphaIsBufferImportanceFraction) {
+  const EnergyModel e = default_energy();
+  SleepController c(default_sleep(), e, 0.002);
+  EXPECT_DOUBLE_EQ(c.alpha(50, 200), 0.25);  // Eq. (5)
+  EXPECT_DOUBLE_EQ(c.alpha(0, 200), 0.0);
+  EXPECT_DOUBLE_EQ(c.alpha(0, 0), 0.0);  // guard
+}
+
+TEST(SleepController, TMinRespectsFloorAndBreakEven) {
+  const EnergyModel e = default_energy();
+  // Eq. (7) break-even with mote numbers is ~16 ms; the 1 s floor wins.
+  SleepController c(default_sleep(), e, 0.002);
+  EXPECT_DOUBLE_EQ(c.t_min(), 1.0);
+
+  // With a huge switch time the break-even dominates the floor.
+  SleepController c2(default_sleep(), e, 10.0);
+  EXPECT_GT(c2.t_min(), 1.0);
+  EXPECT_DOUBLE_EQ(c2.t_min(), e.min_sleep_for_saving(10.0));
+}
+
+TEST(SleepController, SleepPeriodShrinksWithActivity) {
+  const EnergyModel e = default_energy();
+  SleepController busy(default_sleep(), e, 0.002);
+  SleepController idle(default_sleep(), e, 0.002);
+  for (int i = 0; i < 10; ++i) {
+    busy.record_cycle(true);
+    idle.record_cycle(false);
+  }
+  EXPECT_LT(busy.sleep_period(0, 200), idle.sleep_period(0, 200));
+}
+
+TEST(SleepController, SleepPeriodShrinksWithFullBuffer) {
+  const EnergyModel e = default_energy();
+  SleepController c(default_sleep(), e, 0.002);
+  for (int i = 0; i < 3; ++i) c.record_cycle(false);
+  // Eq. (6): larger α (more important messages) -> shorter period.
+  EXPECT_GT(c.sleep_period(0, 200), c.sleep_period(150, 200));
+}
+
+TEST(SleepController, PeriodBoundedByTminAndTmax) {
+  const EnergyModel e = default_energy();
+  SleepController c(default_sleep(), e, 0.002);
+  for (int i = 0; i < 10; ++i) c.record_cycle(true);
+  // Fully busy: clamped to T_min.
+  EXPECT_DOUBLE_EQ(c.sleep_period(200, 200), c.t_min());
+  SleepController idle(default_sleep(), e, 0.002);
+  for (int i = 0; i < 10; ++i) idle.record_cycle(false);
+  EXPECT_LE(idle.sleep_period(0, 200), idle.t_max());
+}
+
+TEST(SleepController, TMaxMatchesEq8) {
+  const EnergyModel e = default_energy();
+  SleepController c(default_sleep(), e, 0.002);
+  // Eq. (8): T_min * S / (1 - H) = 1 * 10 / 0.5 = 20 s.
+  EXPECT_DOUBLE_EQ(c.t_max(), 20.0);
+}
+
+TEST(SleepController, Eq6Value) {
+  const EnergyModel e = default_energy();
+  SleepController c(default_sleep(), e, 0.002);
+  for (int i = 0; i < 10; ++i) c.record_cycle(i < 5);  // rho = 0.5
+  // Eq. (6): T_min / rho / (1 - H + alpha); alpha = 0.25.
+  const double expected = 1.0 / 0.5 / (1.0 - 0.5 + 0.25);
+  EXPECT_DOUBLE_EQ(c.sleep_period(50, 200), expected);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,41 @@
+#include "experiment/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dftmsn {
+namespace {
+
+TEST(Presets, PaperMatchesDefaults) {
+  const auto preset = scenario_preset("paper");
+  ASSERT_TRUE(preset.has_value());
+  const Config defaults;
+  EXPECT_EQ(preset->scenario.num_sensors, defaults.scenario.num_sensors);
+  EXPECT_EQ(preset->scenario.num_sinks, defaults.scenario.num_sinks);
+  EXPECT_DOUBLE_EQ(preset->scenario.duration_s,
+                   defaults.scenario.duration_s);
+}
+
+TEST(Presets, AllNamesResolveAndValidate) {
+  for (const std::string& name : scenario_preset_names()) {
+    const auto preset = scenario_preset(name);
+    ASSERT_TRUE(preset.has_value()) << name;
+    EXPECT_NO_THROW(preset->validate()) << name;
+  }
+}
+
+TEST(Presets, UnknownNameIsNullopt) {
+  EXPECT_FALSE(scenario_preset("does-not-exist").has_value());
+  EXPECT_FALSE(scenario_preset("").has_value());
+}
+
+TEST(Presets, PresetsAreDistinct) {
+  const auto sparse = scenario_preset("sparse");
+  const auto pressure = scenario_preset("pressure");
+  ASSERT_TRUE(sparse && pressure);
+  EXPECT_NE(sparse->scenario.field_m, pressure->scenario.field_m);
+  EXPECT_NE(sparse->protocol.queue_capacity,
+            pressure->protocol.queue_capacity);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,54 @@
+#include "experiment/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dftmsn {
+namespace {
+
+TEST(ConsoleTable, HeaderAndRows) {
+  std::ostringstream os;
+  ConsoleTable t(os, {"a", "bb"}, 6);
+  t.row({std::vector<std::string>{"x", "y"}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("     a"), std::string::npos);
+  EXPECT_NE(out.find("    bb"), std::string::npos);
+  EXPECT_NE(out.find("     x"), std::string::npos);
+}
+
+TEST(ConsoleTable, NumericRowsUsePrecision) {
+  std::ostringstream os;
+  ConsoleTable t(os, {"v"}, 10);
+  t.row(std::vector<double>{3.14159}, 2);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(ConsoleTable, ArityMismatchThrows) {
+  std::ostringstream os;
+  ConsoleTable t(os, {"a", "b"});
+  EXPECT_THROW(t.row({std::vector<std::string>{"only-one"}}),
+               std::invalid_argument);
+}
+
+TEST(ConsoleTable, EmptyColumnsThrow) {
+  std::ostringstream os;
+  EXPECT_THROW(ConsoleTable(os, {}), std::invalid_argument);
+}
+
+TEST(ConsoleTable, FormatHelper) {
+  EXPECT_EQ(ConsoleTable::format(2.4, 0), "2");
+  EXPECT_EQ(ConsoleTable::format(3.14159, 2), "3.14");
+  EXPECT_EQ(ConsoleTable::format(-1.0, 1), "-1.0");
+}
+
+TEST(PrintBanner, ContainsIdAndDescription) {
+  std::ostringstream os;
+  print_banner(os, "FIG-X", "what it shows");
+  EXPECT_NE(os.str().find("==== FIG-X ===="), std::string::npos);
+  EXPECT_NE(os.str().find("what it shows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,146 @@
+// End-to-end tests of the assembled World across all protocol variants,
+// plus determinism and metric-invariant property checks.
+#include <gtest/gtest.h>
+
+#include "experiment/runner.hpp"
+#include "experiment/world.hpp"
+
+namespace dftmsn {
+namespace {
+
+Config small_config(std::uint64_t seed = 1) {
+  Config c;
+  c.scenario.num_sensors = 30;
+  c.scenario.num_sinks = 2;
+  c.scenario.duration_s = 1500.0;
+  c.scenario.seed = seed;
+  return c;
+}
+
+TEST(World, ConstructionValidatesConfig) {
+  Config c = small_config();
+  c.scenario.num_sensors = 0;
+  EXPECT_THROW(World(c, ProtocolKind::kOpt), std::invalid_argument);
+}
+
+TEST(World, NodeIdsPartitionSensorsAndSinks) {
+  World w(small_config(), ProtocolKind::kOpt);
+  EXPECT_EQ(w.sensors().size(), 30u);
+  EXPECT_EQ(w.sinks().size(), 2u);
+  EXPECT_EQ(w.first_sink_id(), 30u);
+  EXPECT_EQ(w.sensors()[5]->id(), 5u);
+  EXPECT_EQ(w.sinks()[1]->id(), 31u);
+}
+
+TEST(World, RunUntilBeyondDurationThrows) {
+  World w(small_config(), ProtocolKind::kOpt);
+  EXPECT_THROW(w.run_until(1e9), std::invalid_argument);
+}
+
+TEST(World, IncrementalRunsAccumulate) {
+  World w(small_config(), ProtocolKind::kOpt);
+  w.run_until(500.0);
+  const auto gen_early = w.metrics().generated();
+  w.run_until(1500.0);
+  EXPECT_GE(w.metrics().generated(), gen_early);
+  EXPECT_DOUBLE_EQ(w.sim().now(), 1500.0);
+}
+
+TEST(Runner, DeterministicAcrossIdenticalRuns) {
+  const Config c = small_config(7);
+  const RunResult a = run_once(c, ProtocolKind::kOpt);
+  const RunResult b = run_once(c, ProtocolKind::kOpt);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.mean_power_mw, b.mean_power_mw);
+  EXPECT_DOUBLE_EQ(a.mean_delay_s, b.mean_delay_s);
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+  const RunResult a = run_once(small_config(1), ProtocolKind::kOpt);
+  const RunResult b = run_once(small_config(2), ProtocolKind::kOpt);
+  // Event counts colliding across seeds would be astonishing.
+  EXPECT_NE(a.events_executed, b.events_executed);
+}
+
+TEST(Runner, ReplicationAggregates) {
+  const ReplicatedResult r =
+      run_replicated(small_config(), ProtocolKind::kOpt, 3);
+  EXPECT_EQ(r.replications, 3);
+  EXPECT_EQ(r.delivery_ratio.count(), 3u);
+  EXPECT_GE(r.delivery_ratio.min(), 0.0);
+  EXPECT_LE(r.delivery_ratio.max(), 1.0);
+}
+
+TEST(Runner, BenchBudgetEnvOverrides) {
+  setenv("DFTMSN_BENCH_REPS", "5", 1);
+  setenv("DFTMSN_BENCH_DURATION", "1234", 1);
+  const BenchBudget b = bench_budget_from_env();
+  EXPECT_EQ(b.replications, 5);
+  EXPECT_DOUBLE_EQ(b.duration_s, 1234.0);
+  unsetenv("DFTMSN_BENCH_REPS");
+  unsetenv("DFTMSN_BENCH_DURATION");
+  const BenchBudget d = bench_budget_from_env();
+  EXPECT_EQ(d.replications, 3);
+  EXPECT_DOUBLE_EQ(d.duration_s, 25'000.0);
+}
+
+// --- invariants across every protocol variant --------------------------
+
+class WorldProperty : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(WorldProperty, RunInvariantsHold) {
+  World w(small_config(11), GetParam());
+  w.run();
+
+  const Metrics& m = w.metrics();
+  EXPECT_LE(m.delivered_unique(), m.generated());
+  EXPECT_GE(m.delivery_ratio(), 0.0);
+  EXPECT_LE(m.delivery_ratio(), 1.0);
+  EXPECT_GE(m.mean_delay_s(), 0.0);
+
+  // Per-node invariants.
+  for (auto& s : w.sensors()) {
+    EXPECT_LE(s->queue().size(), s->queue().capacity());
+    const double metric = s->mac().strategy().local_metric();
+    EXPECT_GE(metric, 0.0);
+    EXPECT_LE(metric, 1.0);
+    for (const auto& q : s->queue().items()) {
+      EXPECT_GE(q.ftd, 0.0);
+      EXPECT_LE(q.ftd, 1.0);
+      EXPECT_LE(q.msg.created, w.sim().now());
+    }
+  }
+
+  // Energy sanity: mean power between pure-sleep and pure-tx bounds.
+  const double power_mw = w.mean_sensor_power_mw();
+  EXPECT_GT(power_mw, 0.0);
+  EXPECT_LT(power_mw, 25.0);
+
+  // Channel accounting.
+  const auto& ch = w.channel().counters();
+  EXPECT_LE(ch.frames_delivered + ch.collisions, ch.frames_sent * 64u);
+}
+
+TEST_P(WorldProperty, NoSleepConsumesIdlePower) {
+  if (GetParam() != ProtocolKind::kNoSleep) GTEST_SKIP();
+  World w(small_config(3), GetParam());
+  w.run();
+  // Always-on radios must burn close to the 13.5 mW idle floor.
+  EXPECT_GT(w.mean_sensor_power_mw(), 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, WorldProperty,
+    ::testing::Values(ProtocolKind::kOpt, ProtocolKind::kNoOpt,
+                      ProtocolKind::kNoSleep, ProtocolKind::kZbr,
+                      ProtocolKind::kDirect, ProtocolKind::kEpidemic,
+                      ProtocolKind::kSwim),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return protocol_kind_name(info.param);
+    });
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,61 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace dftmsn {
+namespace {
+
+TEST(Vec2, DefaultIsOrigin) {
+  Vec2 v;
+  EXPECT_DOUBLE_EQ(v.x, 0.0);
+  EXPECT_DOUBLE_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, -2.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2, CompoundAdd) {
+  Vec2 a{1.0, 1.0};
+  a += Vec2{2.0, 3.0};
+  EXPECT_EQ(a, (Vec2{3.0, 4.0}));
+}
+
+TEST(Vec2, Norm) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(Vec2{}.norm(), 0.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 n = Vec2{3.0, 4.0}.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  EXPECT_NEAR(n.y, 0.8, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroIsZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Vec2, UnitFromAngle) {
+  const Vec2 e = unit_from_angle(0.0);
+  EXPECT_NEAR(e.x, 1.0, 1e-12);
+  EXPECT_NEAR(e.y, 0.0, 1e-12);
+  const Vec2 up = unit_from_angle(std::numbers::pi / 2);
+  EXPECT_NEAR(up.x, 0.0, 1e-12);
+  EXPECT_NEAR(up.y, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,89 @@
+#include "geom/zone_grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dftmsn {
+namespace {
+
+TEST(ZoneGrid, PaperGeometry) {
+  // The default scenario: 150 m field in a 5x5 grid of 30 m zones.
+  ZoneGrid g(150.0, 5);
+  EXPECT_EQ(g.zone_count(), 25);
+  EXPECT_DOUBLE_EQ(g.zone_edge(), 30.0);
+}
+
+TEST(ZoneGrid, InvalidArgumentsThrow) {
+  EXPECT_THROW(ZoneGrid(0.0, 5), std::invalid_argument);
+  EXPECT_THROW(ZoneGrid(100.0, 0), std::invalid_argument);
+}
+
+TEST(ZoneGrid, ZoneOfCorners) {
+  ZoneGrid g(150.0, 5);
+  EXPECT_EQ(g.zone_of({0.0, 0.0}), 0);
+  EXPECT_EQ(g.zone_of({149.9, 0.0}), 4);
+  EXPECT_EQ(g.zone_of({0.0, 149.9}), 20);
+  EXPECT_EQ(g.zone_of({149.9, 149.9}), 24);
+}
+
+TEST(ZoneGrid, ZoneOfIsRowMajor) {
+  ZoneGrid g(150.0, 5);
+  EXPECT_EQ(g.zone_of({35.0, 5.0}), 1);   // col 1, row 0
+  EXPECT_EQ(g.zone_of({5.0, 35.0}), 5);   // col 0, row 1
+  EXPECT_EQ(g.zone_of({75.0, 75.0}), 12); // center zone
+}
+
+TEST(ZoneGrid, OutOfFieldPointsClampToNearestZone) {
+  ZoneGrid g(150.0, 5);
+  EXPECT_EQ(g.zone_of({-5.0, -5.0}), 0);
+  EXPECT_EQ(g.zone_of({200.0, 200.0}), 24);
+  EXPECT_EQ(g.zone_of({150.0, 150.0}), 24);  // exact far edge
+}
+
+TEST(ZoneGrid, ZoneCenter) {
+  ZoneGrid g(150.0, 5);
+  const Vec2 c0 = g.zone_center(0);
+  EXPECT_DOUBLE_EQ(c0.x, 15.0);
+  EXPECT_DOUBLE_EQ(c0.y, 15.0);
+  const Vec2 c12 = g.zone_center(12);
+  EXPECT_DOUBLE_EQ(c12.x, 75.0);
+  EXPECT_DOUBLE_EQ(c12.y, 75.0);
+}
+
+TEST(ZoneGrid, ZoneBounds) {
+  ZoneGrid g(150.0, 5);
+  const auto b = g.zone_bounds(6);  // col 1, row 1
+  EXPECT_DOUBLE_EQ(b.min.x, 30.0);
+  EXPECT_DOUBLE_EQ(b.min.y, 30.0);
+  EXPECT_DOUBLE_EQ(b.max.x, 60.0);
+  EXPECT_DOUBLE_EQ(b.max.y, 60.0);
+}
+
+TEST(ZoneGrid, BadZoneIdThrows) {
+  ZoneGrid g(150.0, 5);
+  EXPECT_THROW((void)g.zone_center(-1), std::out_of_range);
+  EXPECT_THROW((void)g.zone_center(25), std::out_of_range);
+  EXPECT_THROW((void)g.zone_bounds(25), std::out_of_range);
+}
+
+TEST(ZoneGrid, ContainsMatchesZoneOf) {
+  ZoneGrid g(150.0, 5);
+  EXPECT_TRUE(g.contains(0, {10.0, 10.0}));
+  EXPECT_FALSE(g.contains(1, {10.0, 10.0}));
+}
+
+TEST(ZoneGrid, ClampToField) {
+  ZoneGrid g(150.0, 5);
+  const Vec2 c = g.clamp_to_field({-10.0, 175.0});
+  EXPECT_DOUBLE_EQ(c.x, 0.0);
+  EXPECT_DOUBLE_EQ(c.y, 150.0);
+}
+
+TEST(ZoneGrid, CenterRoundTripsThroughZoneOf) {
+  ZoneGrid g(240.0, 8);
+  for (ZoneId z = 0; z < g.zone_count(); ++z) {
+    EXPECT_EQ(g.zone_of(g.zone_center(z)), z);
+  }
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,102 @@
+#include "mobility/mobility_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+namespace dftmsn {
+namespace {
+
+TEST(MobilityManager, InvalidStepThrows) {
+  Simulator sim;
+  EXPECT_THROW(MobilityManager(sim, 0.0), std::invalid_argument);
+}
+
+TEST(MobilityManager, NodesMustBeAddedInOrder) {
+  Simulator sim;
+  MobilityManager mm(sim, 0.5);
+  mm.add_node(0, std::make_unique<StaticMobility>(Vec2{0, 0}));
+  EXPECT_THROW(mm.add_node(2, std::make_unique<StaticMobility>(Vec2{0, 0})),
+               std::invalid_argument);
+  EXPECT_THROW(mm.add_node(1, nullptr), std::invalid_argument);
+}
+
+TEST(MobilityManager, PositionQuery) {
+  Simulator sim;
+  MobilityManager mm(sim, 0.5);
+  mm.add_node(0, std::make_unique<StaticMobility>(Vec2{3.0, 4.0}));
+  EXPECT_EQ(mm.position(0), (Vec2{3.0, 4.0}));
+  EXPECT_THROW((void)mm.position(1), std::out_of_range);
+}
+
+TEST(MobilityManager, NeighborsWithinRange) {
+  Simulator sim;
+  MobilityManager mm(sim, 0.5);
+  mm.add_node(0, std::make_unique<StaticMobility>(Vec2{0, 0}));
+  mm.add_node(1, std::make_unique<StaticMobility>(Vec2{5, 0}));
+  mm.add_node(2, std::make_unique<StaticMobility>(Vec2{20, 0}));
+  const auto nb = mm.neighbors_of(0, 10.0);
+  ASSERT_EQ(nb.size(), 1u);
+  EXPECT_EQ(nb[0], 1u);
+}
+
+TEST(MobilityManager, NeighborsExcludeSelfIncludeBoundary) {
+  Simulator sim;
+  MobilityManager mm(sim, 0.5);
+  mm.add_node(0, std::make_unique<StaticMobility>(Vec2{0, 0}));
+  mm.add_node(1, std::make_unique<StaticMobility>(Vec2{10, 0}));  // exactly at range
+  const auto nb = mm.neighbors_of(0, 10.0);
+  ASSERT_EQ(nb.size(), 1u);
+  EXPECT_EQ(nb[0], 1u);
+}
+
+TEST(MobilityManager, NodesInRangeOfPoint) {
+  Simulator sim;
+  MobilityManager mm(sim, 0.5);
+  mm.add_node(0, std::make_unique<StaticMobility>(Vec2{0, 0}));
+  mm.add_node(1, std::make_unique<StaticMobility>(Vec2{6, 0}));
+  const auto in = mm.nodes_in_range({3.0, 0.0}, 4.0);
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(MobilityManager, DistanceBetween) {
+  Simulator sim;
+  MobilityManager mm(sim, 0.5);
+  mm.add_node(0, std::make_unique<StaticMobility>(Vec2{0, 0}));
+  mm.add_node(1, std::make_unique<StaticMobility>(Vec2{3, 4}));
+  EXPECT_DOUBLE_EQ(mm.distance_between(0, 1), 5.0);
+}
+
+/// A model that records how often it is stepped.
+class CountingModel final : public MobilityModel {
+ public:
+  [[nodiscard]] Vec2 position() const override { return {}; }
+  void step(double) override { ++steps; }
+  int steps = 0;
+};
+
+TEST(MobilityManager, TickDrivesAllModels) {
+  Simulator sim;
+  MobilityManager mm(sim, 0.5);
+  auto owned = std::make_unique<CountingModel>();
+  CountingModel* counter = owned.get();
+  mm.add_node(0, std::move(owned));
+  mm.start();
+  mm.start();  // idempotent
+  sim.run_until(5.0);
+  EXPECT_EQ(counter->steps, 10);
+}
+
+TEST(MobilityManager, NoTicksBeforeStart) {
+  Simulator sim;
+  MobilityManager mm(sim, 0.5);
+  auto owned = std::make_unique<CountingModel>();
+  CountingModel* counter = owned.get();
+  mm.add_node(0, std::move(owned));
+  sim.run_until(5.0);
+  EXPECT_EQ(counter->steps, 0);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,58 @@
+#include "mobility/patrol_mobility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dftmsn {
+namespace {
+
+TEST(PatrolMobility, InvalidArgsThrow) {
+  EXPECT_THROW(PatrolMobility({{0, 0}}, 1.0), std::invalid_argument);
+  EXPECT_THROW(PatrolMobility({{0, 0}, {1, 0}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(PatrolMobility({{0, 0}, {1, 0}}, 1.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(PatrolMobility, StartsAtFirstWaypoint) {
+  PatrolMobility m({{1, 2}, {5, 2}}, 1.0);
+  EXPECT_EQ(m.position(), (Vec2{1, 2}));
+  EXPECT_EQ(m.next_waypoint(), 1u);
+}
+
+TEST(PatrolMobility, TravelsAtConstantSpeed) {
+  PatrolMobility m({{0, 0}, {10, 0}}, 2.0);
+  m.step(1.0);
+  EXPECT_NEAR(m.position().x, 2.0, 1e-9);
+  m.step(2.5);
+  EXPECT_NEAR(m.position().x, 7.0, 1e-9);
+}
+
+TEST(PatrolMobility, CyclesTheCircuit) {
+  // Square of side 10 at 1 m/s: a full lap takes 40 s.
+  PatrolMobility m({{0, 0}, {10, 0}, {10, 10}, {0, 10}}, 1.0);
+  m.step(40.0);
+  EXPECT_NEAR(distance(m.position(), {0, 0}), 0.0, 1e-9);
+  m.step(15.0);  // 10 along the bottom + 5 up the right edge
+  EXPECT_NEAR(m.position().x, 10.0, 1e-9);
+  EXPECT_NEAR(m.position().y, 5.0, 1e-9);
+}
+
+TEST(PatrolMobility, DwellsAtWaypoints) {
+  PatrolMobility m({{0, 0}, {10, 0}}, 1.0, 5.0);
+  m.step(10.0);  // arrives exactly at the second waypoint
+  EXPECT_NEAR(m.position().x, 10.0, 1e-9);
+  m.step(4.0);  // still dwelling
+  EXPECT_NEAR(m.position().x, 10.0, 1e-9);
+  m.step(2.0);  // 1 s of dwell left, then 1 s of travel back
+  EXPECT_NEAR(m.position().x, 9.0, 1e-9);
+}
+
+TEST(PatrolMobility, LargeStepSpansMultipleLegs) {
+  PatrolMobility m({{0, 0}, {4, 0}, {4, 4}}, 2.0);
+  // Perimeter legs: 4 + 4 + sqrt(32). One step covering the first two
+  // legs plus 1 m of the diagonal return.
+  m.step((4.0 + 4.0 + 1.0) / 2.0);
+  EXPECT_NEAR(distance(m.position(), {4, 4}), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,141 @@
+#include "mobility/zone_mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "sim/random.hpp"
+
+namespace dftmsn {
+namespace {
+
+ZoneMobility::Params paper_params() {
+  ZoneMobility::Params p;
+  p.speed_min = 0.0;
+  p.speed_max = 5.0;
+  p.exit_prob = 0.2;
+  p.home_return_prob = 1.0;
+  p.leg_mean_s = 30.0;
+  return p;
+}
+
+TEST(ZoneMobility, StartsAtClampedPositionWithHomeZone) {
+  ZoneGrid grid(150.0, 5);
+  RandomSource rngs(1);
+  ZoneMobility m(grid, paper_params(), {35.0, 35.0}, rngs.stream("m"));
+  EXPECT_EQ(m.home_zone(), 6);
+  EXPECT_EQ(m.current_zone(), 6);
+  EXPECT_EQ(m.position(), (Vec2{35.0, 35.0}));
+}
+
+TEST(ZoneMobility, OutOfFieldStartIsClamped) {
+  ZoneGrid grid(150.0, 5);
+  RandomSource rngs(1);
+  ZoneMobility m(grid, paper_params(), {-10.0, 200.0}, rngs.stream("m"));
+  EXPECT_EQ(m.position(), (Vec2{0.0, 150.0}));
+}
+
+TEST(ZoneMobility, SpeedIsFixedPerNodeWithinBounds) {
+  ZoneGrid grid(150.0, 5);
+  RandomSource rngs(2);
+  for (int i = 0; i < 20; ++i) {
+    ZoneMobility m(grid, paper_params(), {75.0, 75.0},
+                   rngs.stream("m", static_cast<std::uint64_t>(i)));
+    EXPECT_GE(m.speed(), 0.0);
+    EXPECT_LE(m.speed(), 5.0);
+  }
+}
+
+TEST(ZoneMobility, StaysInsideField) {
+  ZoneGrid grid(150.0, 5);
+  RandomSource rngs(3);
+  for (int node = 0; node < 10; ++node) {
+    ZoneMobility m(grid, paper_params(), {75.0, 75.0},
+                   rngs.stream("m", static_cast<std::uint64_t>(node)));
+    for (int step = 0; step < 20000; ++step) {
+      m.step(0.5);
+      const Vec2 p = m.position();
+      ASSERT_GE(p.x, 0.0);
+      ASSERT_LE(p.x, 150.0);
+      ASSERT_GE(p.y, 0.0);
+      ASSERT_LE(p.y, 150.0);
+    }
+  }
+}
+
+TEST(ZoneMobility, StepDisplacementBoundedBySpeed) {
+  ZoneGrid grid(150.0, 5);
+  RandomSource rngs(4);
+  ZoneMobility m(grid, paper_params(), {75.0, 75.0}, rngs.stream("m"));
+  for (int step = 0; step < 5000; ++step) {
+    const Vec2 before = m.position();
+    m.step(0.5);
+    const double moved = distance(before, m.position());
+    ASSERT_LE(moved, m.speed() * 0.5 + 1e-9);
+  }
+}
+
+TEST(ZoneMobility, CurrentZoneTracksPosition) {
+  ZoneGrid grid(150.0, 5);
+  RandomSource rngs(5);
+  ZoneMobility m(grid, paper_params(), {75.0, 75.0}, rngs.stream("m"));
+  for (int step = 0; step < 10000; ++step) {
+    m.step(0.5);
+    ASSERT_EQ(m.current_zone(), grid.zone_of(m.position()));
+  }
+}
+
+TEST(ZoneMobility, ZeroExitProbabilityConfinesToHomeZone) {
+  ZoneGrid grid(150.0, 5);
+  RandomSource rngs(6);
+  ZoneMobility::Params p = paper_params();
+  p.exit_prob = 0.0;
+  p.speed_min = 2.0;  // keep it moving
+  ZoneMobility m(grid, p, {75.0, 75.0}, rngs.stream("m"));
+  for (int step = 0; step < 20000; ++step) {
+    m.step(0.5);
+    ASSERT_EQ(m.current_zone(), m.home_zone());
+  }
+}
+
+TEST(ZoneMobility, FullExitProbabilityRoamsWidely) {
+  ZoneGrid grid(150.0, 5);
+  RandomSource rngs(7);
+  ZoneMobility::Params p = paper_params();
+  p.exit_prob = 1.0;
+  p.speed_min = 2.0;
+  ZoneMobility m(grid, p, {75.0, 75.0}, rngs.stream("m"));
+  std::map<ZoneId, int> visited;
+  for (int step = 0; step < 50000; ++step) {
+    m.step(0.5);
+    visited[m.current_zone()]++;
+  }
+  EXPECT_GT(visited.size(), 15u);  // most of the 25 zones
+}
+
+TEST(ZoneMobility, HomeBiasRaisesHomeOccupancy) {
+  // With the paper's 20%/100% rule, home occupancy must clearly exceed
+  // the uniform 1/25 = 4% share (the Markov analysis gives ~17%).
+  ZoneGrid grid(150.0, 5);
+  RandomSource rngs(8);
+  double home_frac = 0.0;
+  const int nodes = 20, steps = 30000;
+  for (int n = 0; n < nodes; ++n) {
+    ZoneMobility::Params p = paper_params();
+    p.speed_min = 1.0;  // avoid near-static nodes dominating the average
+    ZoneMobility m(grid, p, {75.0, 75.0},
+                   rngs.stream("m", static_cast<std::uint64_t>(n)));
+    int home = 0;
+    for (int s = 0; s < steps; ++s) {
+      m.step(0.5);
+      home += m.current_zone() == m.home_zone() ? 1 : 0;
+    }
+    home_frac += static_cast<double>(home) / steps;
+  }
+  home_frac /= nodes;
+  EXPECT_GT(home_frac, 0.08);
+}
+
+}  // namespace
+}  // namespace dftmsn

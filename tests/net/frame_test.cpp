@@ -1,0 +1,66 @@
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dftmsn {
+namespace {
+
+TEST(Frame, TypeQueries) {
+  Frame f{1, 50, RtsFrame{0.5, 0.1, 16, 7}};
+  EXPECT_TRUE(f.is<RtsFrame>());
+  EXPECT_FALSE(f.is<CtsFrame>());
+  EXPECT_DOUBLE_EQ(f.as<RtsFrame>().sender_metric, 0.5);
+  EXPECT_EQ(f.as<RtsFrame>().message_id, 7u);
+}
+
+TEST(Frame, TypeNames) {
+  EXPECT_EQ(frame_type_name(Frame{0, 50, PreambleFrame{}}), "PREAMBLE");
+  EXPECT_EQ(frame_type_name(Frame{0, 50, RtsFrame{}}), "RTS");
+  EXPECT_EQ(frame_type_name(Frame{0, 50, CtsFrame{}}), "CTS");
+  EXPECT_EQ(frame_type_name(Frame{0, 50, ScheduleFrame{}}), "SCHEDULE");
+  EXPECT_EQ(frame_type_name(Frame{0, 1000, DataFrame{}}), "DATA");
+  EXPECT_EQ(frame_type_name(Frame{0, 50, AckFrame{}}), "ACK");
+}
+
+TEST(Frame, IsDataFrame) {
+  EXPECT_TRUE(is_data_frame(Frame{0, 1000, DataFrame{}}));
+  EXPECT_FALSE(is_data_frame(Frame{0, 50, AckFrame{}}));
+}
+
+TEST(Frame, SchedulePayloadCarriesEntries) {
+  ScheduleFrame sched;
+  sched.entries.push_back({3, 0.4});
+  sched.entries.push_back({5, 0.7});
+  sched.nav_duration = 0.125;
+  Frame f{2, 50, std::move(sched)};
+  const auto& got = f.as<ScheduleFrame>();
+  ASSERT_EQ(got.entries.size(), 2u);
+  EXPECT_EQ(got.entries[0].receiver, 3u);
+  EXPECT_DOUBLE_EQ(got.entries[1].ftd, 0.7);
+  EXPECT_DOUBLE_EQ(got.nav_duration, 0.125);
+}
+
+TEST(Frame, DataPayloadCarriesMessage) {
+  Message m;
+  m.id = 42;
+  m.source = 9;
+  m.created = 10.5;
+  m.hops = 2;
+  Frame f{9, 1000, DataFrame{m}};
+  EXPECT_EQ(f.as<DataFrame>().message.id, 42u);
+  EXPECT_EQ(f.as<DataFrame>().message.hops, 2);
+}
+
+TEST(Message, EqualityById) {
+  Message a;
+  a.id = 1;
+  a.source = 2;
+  Message b = a;
+  b.hops = 5;  // hop count does not affect identity
+  EXPECT_TRUE(a == b);
+  b.id = 2;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace dftmsn

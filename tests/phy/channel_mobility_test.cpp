@@ -1,0 +1,95 @@
+// Channel x mobility interaction: reception requires the link to hold
+// for the whole frame (audience fixed at start, range re-checked at end).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mobility/mobility_manager.hpp"
+#include "mobility/patrol_mobility.hpp"
+#include "phy/channel.hpp"
+
+namespace dftmsn {
+namespace {
+
+class Recorder : public ChannelListener {
+ public:
+  void on_frame_received(const Frame&) override { ++received; }
+  void on_collision() override { ++collisions; }
+  void on_channel_busy() override {}
+  void on_channel_idle() override {}
+  int received = 0;
+  int collisions = 0;
+};
+
+TEST(ChannelMobility, ReceiverLeavingMidFrameLosesIt) {
+  Simulator sim;
+  MobilityManager mob(sim, 0.01);  // fine-grained ticks for fast movers
+  mob.add_node(0, std::make_unique<StaticMobility>(Vec2{0, 0}));
+  // Receiver starts just inside range and races away at 150 m/s: after
+  // the 100 ms data frame it sits ~15 m beyond the 10 m range.
+  mob.add_node(1, std::make_unique<PatrolMobility>(
+                      std::vector<Vec2>{{9.0, 0.0}, {1000.0, 0.0}}, 150.0));
+  Channel ch(sim, mob, 10.0, 10'000.0);
+  EnergyModel energy{PowerConfig{}};
+  Radio r0(sim, energy, 0.002), r1(sim, energy, 0.002);
+  Recorder l0, l1;
+  ch.attach(0, r0, l0);
+  ch.attach(1, r1, l1);
+  mob.start();
+
+  ch.transmit(0, Frame{0, 1000, DataFrame{Message{}}});  // 100 ms airtime
+  sim.run_until(1.0);
+
+  EXPECT_EQ(l1.received, 0);
+  EXPECT_EQ(l1.collisions, 1);  // reception started, link broke
+  EXPECT_EQ(ch.counters().collisions, 1u);
+}
+
+TEST(ChannelMobility, SlowReceiverKeepsTheFrame) {
+  Simulator sim;
+  MobilityManager mob(sim, 0.01);
+  mob.add_node(0, std::make_unique<StaticMobility>(Vec2{0, 0}));
+  mob.add_node(1, std::make_unique<PatrolMobility>(
+                      std::vector<Vec2>{{9.0, 0.0}, {1000.0, 0.0}}, 5.0));
+  Channel ch(sim, mob, 10.0, 10'000.0);
+  EnergyModel energy{PowerConfig{}};
+  Radio r0(sim, energy, 0.002), r1(sim, energy, 0.002);
+  Recorder l0, l1;
+  ch.attach(0, r0, l0);
+  ch.attach(1, r1, l1);
+  mob.start();
+
+  ch.transmit(0, Frame{0, 1000, DataFrame{Message{}}});
+  sim.run_until(1.0);
+
+  // 5 m/s x 0.1 s = 0.5 m: still within range at frame end.
+  EXPECT_EQ(l1.received, 1);
+  EXPECT_EQ(l1.collisions, 0);
+}
+
+TEST(ChannelMobility, NodeEnteringMidFrameHearsNothing) {
+  Simulator sim;
+  MobilityManager mob(sim, 0.01);
+  mob.add_node(0, std::make_unique<StaticMobility>(Vec2{0, 0}));
+  // Starts out of range, arrives next to the sender during the frame.
+  mob.add_node(1, std::make_unique<PatrolMobility>(
+                      std::vector<Vec2>{{25.0, 0.0}, {2.0, 0.0}}, 200.0));
+  Channel ch(sim, mob, 10.0, 10'000.0);
+  EnergyModel energy{PowerConfig{}};
+  Radio r0(sim, energy, 0.002), r1(sim, energy, 0.002);
+  Recorder l0, l1;
+  ch.attach(0, r0, l0);
+  ch.attach(1, r1, l1);
+  mob.start();
+
+  ch.transmit(0, Frame{0, 1000, DataFrame{Message{}}});
+  sim.run_until(1.0);
+
+  // The audience is fixed at frame start: a latecomer misses the frame
+  // entirely (it cannot have synchronized onto a partial transmission).
+  EXPECT_EQ(l1.received, 0);
+  EXPECT_EQ(l1.collisions, 0);
+}
+
+}  // namespace
+}  // namespace dftmsn

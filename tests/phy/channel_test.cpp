@@ -1,0 +1,183 @@
+#include "phy/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mobility/mobility_manager.hpp"
+
+namespace dftmsn {
+namespace {
+
+/// Records every callback for assertions.
+class RecordingListener : public ChannelListener {
+ public:
+  void on_frame_received(const Frame& frame) override {
+    received.push_back(frame);
+  }
+  void on_collision() override { ++collisions; }
+  void on_channel_busy() override { ++busy_edges; }
+  void on_channel_idle() override { ++idle_edges; }
+
+  std::vector<Frame> received;
+  int collisions = 0;
+  int busy_edges = 0;
+  int idle_edges = 0;
+};
+
+Frame control_frame(std::size_t bits = 50) {
+  return Frame{0, bits, PreambleFrame{}};
+}
+
+/// Hidden-terminal line: node 0 at x=0, node 1 at x=8, node 2 at x=16.
+/// With 10 m range, 0-1 and 1-2 hear each other; 0-2 are mutually hidden.
+class ChannelTest : public ::testing::Test {
+ protected:
+  ChannelTest() : mobility_(sim_, 0.5) {
+    const std::vector<Vec2> positions{{0, 0}, {8, 0}, {16, 0}};
+    for (NodeId i = 0; i < 3; ++i) {
+      mobility_.add_node(i, std::make_unique<StaticMobility>(positions[i]));
+      radios_.push_back(std::make_unique<Radio>(sim_, model_, 0.002));
+    }
+    channel_ = std::make_unique<Channel>(sim_, mobility_, 10.0, 10'000.0);
+    for (NodeId i = 0; i < 3; ++i) {
+      channel_->attach(i, *radios_[i], listeners_[i]);
+    }
+  }
+
+  Simulator sim_;
+  EnergyModel model_{PowerConfig{}};
+  MobilityManager mobility_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  RecordingListener listeners_[3];
+  std::unique_ptr<Channel> channel_;
+};
+
+TEST_F(ChannelTest, TxDurationFromBits) {
+  EXPECT_DOUBLE_EQ(channel_->tx_duration(50), 0.005);
+  EXPECT_DOUBLE_EQ(channel_->tx_duration(1000), 0.1);
+}
+
+TEST_F(ChannelTest, CleanDeliveryWithinRangeOnly) {
+  const SimTime dur = channel_->transmit(0, control_frame());
+  EXPECT_DOUBLE_EQ(dur, 0.005);
+  EXPECT_EQ(radios_[0]->state(), RadioState::kTx);
+  EXPECT_EQ(radios_[1]->state(), RadioState::kRx);
+  EXPECT_EQ(radios_[2]->state(), RadioState::kIdle);  // out of range
+  sim_.run_all();
+  EXPECT_EQ(radios_[0]->state(), RadioState::kIdle);
+  ASSERT_EQ(listeners_[1].received.size(), 1u);
+  EXPECT_EQ(listeners_[1].received[0].sender, 0u);
+  EXPECT_EQ(listeners_[2].received.size(), 0u);
+  EXPECT_EQ(listeners_[0].received.size(), 0u);  // no self-reception
+  EXPECT_EQ(channel_->counters().frames_delivered, 1u);
+}
+
+TEST_F(ChannelTest, BusyIdleEdgesFire) {
+  channel_->transmit(0, control_frame());
+  EXPECT_EQ(listeners_[1].busy_edges, 1);
+  EXPECT_TRUE(channel_->busy(1));
+  EXPECT_FALSE(channel_->busy(2));
+  sim_.run_all();
+  EXPECT_EQ(listeners_[1].idle_edges, 1);
+  EXPECT_FALSE(channel_->busy(1));
+}
+
+TEST_F(ChannelTest, HiddenTerminalsCollideAtMiddleNode) {
+  // 0 and 2 cannot hear each other; both transmit; node 1 gets garbage.
+  channel_->transmit(0, control_frame());
+  channel_->transmit(2, control_frame());  // legal: node 2 heard nothing
+  sim_.run_all();
+  EXPECT_EQ(listeners_[1].received.size(), 0u);
+  EXPECT_EQ(listeners_[1].collisions, 1);
+  EXPECT_EQ(channel_->counters().collisions, 1u);
+  EXPECT_EQ(radios_[1]->state(), RadioState::kIdle);  // recovered cleanly
+}
+
+TEST_F(ChannelTest, PartialOverlapAlsoCollides) {
+  channel_->transmit(0, control_frame());
+  sim_.schedule_in(0.002, [&] { channel_->transmit(2, control_frame()); });
+  sim_.run_all();
+  EXPECT_EQ(listeners_[1].received.size(), 0u);
+  // Node 1 locked frame 0 (corrupted) and reports one collision; frame 2
+  // was never locked.
+  EXPECT_EQ(listeners_[1].collisions, 1);
+}
+
+TEST_F(ChannelTest, BackToBackFramesBothDeliver) {
+  channel_->transmit(0, control_frame());
+  sim_.schedule_in(0.005, [&] { channel_->transmit(0, control_frame()); });
+  sim_.run_all();
+  EXPECT_EQ(listeners_[1].received.size(), 2u);
+  EXPECT_EQ(listeners_[1].collisions, 0);
+}
+
+TEST_F(ChannelTest, CarrierSensePreventsSameCellOverlap) {
+  // Node 1 hears node 0's ongoing frame: its radio is RX, so a
+  // carrier-sensing MAC (can_transmit) would defer; a buggy MAC that
+  // transmits anyway gets a logic_error from the radio FSM.
+  channel_->transmit(0, control_frame());
+  EXPECT_THROW(channel_->transmit(1, control_frame()), std::logic_error);
+}
+
+TEST_F(ChannelTest, SleepingNodeMissesFrames) {
+  radios_[1]->sleep();
+  sim_.run_all();  // complete the switch
+  ASSERT_TRUE(radios_[1]->asleep());
+  channel_->transmit(0, control_frame());
+  sim_.run_all();
+  EXPECT_EQ(listeners_[1].received.size(), 0u);
+}
+
+TEST_F(ChannelTest, ForgetAbandonsReception) {
+  channel_->transmit(0, control_frame());
+  EXPECT_EQ(radios_[1]->state(), RadioState::kRx);
+  channel_->forget(1);
+  EXPECT_EQ(radios_[1]->state(), RadioState::kIdle);
+  EXPECT_FALSE(channel_->busy(1));
+  sim_.run_all();
+  EXPECT_EQ(listeners_[1].received.size(), 0u);  // frame was abandoned
+  EXPECT_EQ(listeners_[1].collisions, 0);
+}
+
+TEST_F(ChannelTest, SenderCannotDoubleTransmit) {
+  channel_->transmit(0, control_frame());
+  EXPECT_THROW(channel_->transmit(0, control_frame()), std::logic_error);
+}
+
+TEST_F(ChannelTest, CountersTrackBits) {
+  channel_->transmit(0, control_frame(50));
+  sim_.run_all();
+  Frame data{0, 1000, DataFrame{Message{}}};
+  channel_->transmit(0, std::move(data));
+  sim_.run_all();
+  EXPECT_EQ(channel_->counters().control_bits_sent, 50u);
+  EXPECT_EQ(channel_->counters().data_bits_sent, 1000u);
+  EXPECT_EQ(channel_->counters().frames_sent, 2u);
+}
+
+TEST_F(ChannelTest, FrameSenderFieldIsStamped) {
+  Frame f = control_frame();
+  f.sender = 42;  // bogus: transmit() must overwrite with the true sender
+  channel_->transmit(0, std::move(f));
+  sim_.run_all();
+  ASSERT_EQ(listeners_[1].received.size(), 1u);
+  EXPECT_EQ(listeners_[1].received[0].sender, 0u);
+}
+
+TEST_F(ChannelTest, BadConstructionThrows) {
+  EXPECT_THROW(Channel(sim_, mobility_, 0.0, 10'000.0),
+               std::invalid_argument);
+  EXPECT_THROW(Channel(sim_, mobility_, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST_F(ChannelTest, AttachOutOfOrderThrows) {
+  Channel fresh(sim_, mobility_, 10.0, 10'000.0);
+  Radio r(sim_, model_, 0.002);
+  RecordingListener l;
+  EXPECT_THROW(fresh.attach(1, r, l), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dftmsn

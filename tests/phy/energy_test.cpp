@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "phy/energy_meter.hpp"
+#include "phy/energy_model.hpp"
+
+namespace dftmsn {
+namespace {
+
+TEST(EnergyModel, BerkeleyMoteDefaults) {
+  const EnergyModel m{PowerConfig{}};
+  EXPECT_DOUBLE_EQ(m.power(RadioState::kRx), 13.5e-3);
+  EXPECT_DOUBLE_EQ(m.power(RadioState::kTx), 24.75e-3);
+  EXPECT_DOUBLE_EQ(m.power(RadioState::kIdle), 13.5e-3);
+  EXPECT_DOUBLE_EQ(m.power(RadioState::kSleep), 15e-6);
+  EXPECT_DOUBLE_EQ(m.power(RadioState::kSwitching), 4.0 * 13.5e-3);
+}
+
+TEST(EnergyModel, BreakEvenFormula) {
+  const EnergyModel m{PowerConfig{}};
+  // Eq. (7): 2 * P_change * t_switch / (P_idle - P_sleep).
+  const double expected = 2.0 * 54e-3 * 0.002 / (13.5e-3 - 15e-6);
+  EXPECT_DOUBLE_EQ(m.min_sleep_for_saving(0.002), expected);
+}
+
+TEST(EnergyModel, StateNames) {
+  EXPECT_STREQ(radio_state_name(RadioState::kSleep), "SLEEP");
+  EXPECT_STREQ(radio_state_name(RadioState::kTx), "TX");
+}
+
+TEST(EnergyMeter, IntegratesSingleState) {
+  const EnergyModel m{PowerConfig{}};
+  EnergyMeter meter(m, RadioState::kIdle, 0.0);
+  meter.finalize(10.0);
+  EXPECT_DOUBLE_EQ(meter.total_joules(), 10.0 * 13.5e-3);
+  EXPECT_DOUBLE_EQ(meter.seconds_in(RadioState::kIdle), 10.0);
+}
+
+TEST(EnergyMeter, SplitsAcrossStates) {
+  const EnergyModel m{PowerConfig{}};
+  EnergyMeter meter(m, RadioState::kIdle, 0.0);
+  meter.on_state_change(RadioState::kTx, 4.0);
+  meter.on_state_change(RadioState::kSleep, 6.0);
+  meter.finalize(10.0);
+  EXPECT_DOUBLE_EQ(meter.joules_in(RadioState::kIdle), 4.0 * 13.5e-3);
+  EXPECT_DOUBLE_EQ(meter.joules_in(RadioState::kTx), 2.0 * 24.75e-3);
+  EXPECT_DOUBLE_EQ(meter.joules_in(RadioState::kSleep), 4.0 * 15e-6);
+  EXPECT_DOUBLE_EQ(meter.total_joules(), 4.0 * 13.5e-3 + 2.0 * 24.75e-3 +
+                                             4.0 * 15e-6);
+}
+
+TEST(EnergyMeter, SeconcsPerState) {
+  const EnergyModel m{PowerConfig{}};
+  EnergyMeter meter(m, RadioState::kRx, 1.0);
+  meter.on_state_change(RadioState::kIdle, 3.5);
+  meter.finalize(5.0);
+  EXPECT_DOUBLE_EQ(meter.seconds_in(RadioState::kRx), 2.5);
+  EXPECT_DOUBLE_EQ(meter.seconds_in(RadioState::kIdle), 1.5);
+}
+
+TEST(EnergyMeter, TimeGoingBackwardsThrows) {
+  const EnergyModel m{PowerConfig{}};
+  EnergyMeter meter(m, RadioState::kIdle, 5.0);
+  EXPECT_THROW(meter.on_state_change(RadioState::kTx, 4.0),
+               std::invalid_argument);
+}
+
+TEST(EnergyMeter, ZeroDurationChangesAreFree) {
+  const EnergyModel m{PowerConfig{}};
+  EnergyMeter meter(m, RadioState::kIdle, 0.0);
+  meter.on_state_change(RadioState::kTx, 0.0);
+  meter.on_state_change(RadioState::kRx, 0.0);
+  meter.finalize(0.0);
+  EXPECT_DOUBLE_EQ(meter.total_joules(), 0.0);
+  EXPECT_EQ(meter.state(), RadioState::kRx);
+}
+
+TEST(EnergyMeter, SleepMuchCheaperThanIdle) {
+  const EnergyModel m{PowerConfig{}};
+  EnergyMeter idle(m, RadioState::kIdle, 0.0);
+  EnergyMeter sleep(m, RadioState::kSleep, 0.0);
+  idle.finalize(1000.0);
+  sleep.finalize(1000.0);
+  // The whole premise of Sec. 4.1: sleeping is ~900x cheaper.
+  EXPECT_GT(idle.total_joules() / sleep.total_joules(), 100.0);
+}
+
+}  // namespace
+}  // namespace dftmsn

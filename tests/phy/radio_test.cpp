@@ -1,0 +1,96 @@
+#include "phy/radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace dftmsn {
+namespace {
+
+class RadioTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+  EnergyModel model_{PowerConfig{}};
+  Radio radio_{sim_, model_, 0.002};
+};
+
+TEST_F(RadioTest, StartsIdleAwake) {
+  EXPECT_EQ(radio_.state(), RadioState::kIdle);
+  EXPECT_TRUE(radio_.awake());
+  EXPECT_FALSE(radio_.asleep());
+}
+
+TEST_F(RadioTest, TxRoundTrip) {
+  radio_.begin_tx();
+  EXPECT_EQ(radio_.state(), RadioState::kTx);
+  EXPECT_TRUE(radio_.awake());
+  radio_.end_tx();
+  EXPECT_EQ(radio_.state(), RadioState::kIdle);
+}
+
+TEST_F(RadioTest, RxRoundTrip) {
+  radio_.begin_rx();
+  EXPECT_EQ(radio_.state(), RadioState::kRx);
+  radio_.end_rx();
+  EXPECT_EQ(radio_.state(), RadioState::kIdle);
+}
+
+TEST_F(RadioTest, SleepGoesThroughSwitching) {
+  radio_.sleep();
+  EXPECT_EQ(radio_.state(), RadioState::kSwitching);
+  EXPECT_FALSE(radio_.awake());
+  sim_.run_all();
+  EXPECT_EQ(radio_.state(), RadioState::kSleep);
+  EXPECT_TRUE(radio_.asleep());
+}
+
+TEST_F(RadioTest, WakeGoesThroughSwitchingAndFiresCallback) {
+  radio_.sleep();
+  sim_.run_all();
+  bool woke = false;
+  radio_.wake([&] { woke = true; });
+  EXPECT_EQ(radio_.state(), RadioState::kSwitching);
+  EXPECT_FALSE(woke);
+  sim_.run_all();
+  EXPECT_EQ(radio_.state(), RadioState::kIdle);
+  EXPECT_TRUE(woke);
+}
+
+TEST_F(RadioTest, SwitchTakesConfiguredTime) {
+  radio_.sleep();
+  sim_.run_until(0.001);
+  EXPECT_EQ(radio_.state(), RadioState::kSwitching);
+  sim_.run_until(0.002);
+  EXPECT_EQ(radio_.state(), RadioState::kSleep);
+}
+
+TEST_F(RadioTest, InvalidTransitionsThrow) {
+  EXPECT_THROW(radio_.end_tx(), std::logic_error);
+  EXPECT_THROW(radio_.end_rx(), std::logic_error);
+  EXPECT_THROW(radio_.wake([] {}), std::logic_error);  // not asleep
+  radio_.begin_tx();
+  EXPECT_THROW(radio_.begin_rx(), std::logic_error);
+  EXPECT_THROW(radio_.sleep(), std::logic_error);
+  EXPECT_THROW(radio_.begin_tx(), std::logic_error);
+}
+
+TEST_F(RadioTest, SleepWhileRxThrows) {
+  radio_.begin_rx();
+  EXPECT_THROW(radio_.sleep(), std::logic_error);
+}
+
+TEST_F(RadioTest, EnergyAccountingFollowsStates) {
+  sim_.schedule_in(1.0, [&] { radio_.begin_tx(); });
+  sim_.schedule_in(2.0, [&] { radio_.end_tx(); });
+  sim_.schedule_in(3.0, [&] { radio_.sleep(); });
+  sim_.run_all();
+  radio_.finalize_energy(5.0);
+  const EnergyMeter& m = radio_.meter();
+  EXPECT_DOUBLE_EQ(m.seconds_in(RadioState::kTx), 1.0);
+  EXPECT_NEAR(m.seconds_in(RadioState::kSwitching), 0.002, 1e-9);
+  EXPECT_NEAR(m.seconds_in(RadioState::kSleep), 5.0 - 3.0 - 0.002, 1e-9);
+  EXPECT_DOUBLE_EQ(m.seconds_in(RadioState::kIdle), 2.0);
+}
+
+}  // namespace
+}  // namespace dftmsn

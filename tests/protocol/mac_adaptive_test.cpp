@@ -1,0 +1,133 @@
+// Tests of the MAC's Sec. 4 adaptive behaviours: the τ_max / W updates
+// from the neighbour table, the ξ decay timer, and sleeping-period use.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mobility/mobility_manager.hpp"
+#include "node/sink_node.hpp"
+#include "phy/channel.hpp"
+#include "protocol/crosslayer_mac.hpp"
+#include "protocol/protocol_factory.hpp"
+
+namespace dftmsn {
+namespace {
+
+/// Cluster fixture: `n` sensors in mutual range plus one sink.
+class AdaptiveWorld {
+ public:
+  explicit AdaptiveWorld(int n, ProtocolKind kind = ProtocolKind::kOpt)
+      : cfg_(),
+        energy_(cfg_.power),
+        rngs_(5),
+        mobility_(sim_, cfg_.scenario.mobility_step_s),
+        metrics_(0.0) {
+    for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+      mobility_.add_node(
+          i, std::make_unique<StaticMobility>(Vec2{2.0 * i, 0.0}));
+    }
+    mobility_.add_node(static_cast<NodeId>(n),
+                       std::make_unique<StaticMobility>(Vec2{0.0, 5.0}));
+    channel_ = std::make_unique<Channel>(sim_, mobility_, cfg_.radio.range_m,
+                                         cfg_.radio.bandwidth_bps);
+    for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+      radios_.push_back(
+          std::make_unique<Radio>(sim_, energy_, cfg_.radio.switch_time_s));
+      queues_.push_back(
+          std::make_unique<FtdQueue>(cfg_.protocol.queue_capacity));
+      macs_.push_back(std::make_unique<CrossLayerMac>(
+          i, sim_, *channel_, *radios_[i], *queues_[i],
+          make_strategy(kind, cfg_), cfg_, make_mac_options(kind, cfg_),
+          static_cast<NodeId>(n), metrics_, rngs_.stream("mac", i)));
+      channel_->attach(i, *radios_[i], *macs_[i]);
+    }
+    sink_ = std::make_unique<SinkNode>(static_cast<NodeId>(n), sim_,
+                                       *channel_, energy_, cfg_, metrics_,
+                                       rngs_.stream("sink"));
+    channel_->attach(static_cast<NodeId>(n), sink_->radio(), *sink_);
+    mobility_.start();
+    for (auto& m : macs_) m->start();
+  }
+
+  void inject_traffic(MessageId base) {
+    for (NodeId i = 0; i < macs_.size(); ++i) {
+      Message m;
+      m.id = base + i;
+      m.source = i;
+      m.created = sim_.now();
+      metrics_.on_generated(m);
+      macs_[i]->enqueue(m);
+    }
+  }
+
+  Config cfg_;
+  Simulator sim_;
+  EnergyModel energy_;
+  RandomSource rngs_;
+  MobilityManager mobility_;
+  Metrics metrics_;
+  std::unique_ptr<Channel> channel_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  std::vector<std::unique_ptr<FtdQueue>> queues_;
+  std::vector<std::unique_ptr<CrossLayerMac>> macs_;
+  std::unique_ptr<SinkNode> sink_;
+};
+
+TEST(MacAdaptive, TauMaxGrowsWithObservedContention) {
+  AdaptiveWorld w(4);
+  const int initial = w.macs_[0]->tau_max();
+  for (int round = 0; round < 20; ++round) {
+    w.inject_traffic(1000 + round * 10);
+    w.sim_.run_until(w.sim_.now() + 20.0);
+  }
+  // Node 0 has overheard its three contenders' RTS/CTS and must have
+  // widened its listen window beyond the unoptimized default.
+  EXPECT_GT(w.macs_[0]->tau_max(), initial);
+  EXPECT_GE(w.macs_[0]->neighbors().live_count(w.sim_.now()), 1u);
+}
+
+TEST(MacAdaptive, FixedVariantNeverAdapts) {
+  AdaptiveWorld w(4, ProtocolKind::kNoOpt);
+  const int tau = w.macs_[0]->tau_max();
+  const int cw = w.macs_[0]->cts_window();
+  for (int round = 0; round < 10; ++round) {
+    w.inject_traffic(2000 + round * 10);
+    w.sim_.run_until(w.sim_.now() + 20.0);
+  }
+  EXPECT_EQ(w.macs_[0]->tau_max(), tau);
+  EXPECT_EQ(w.macs_[0]->cts_window(), cw);
+}
+
+TEST(MacAdaptive, XiDecaysWithoutTraffic) {
+  AdaptiveWorld w(1);
+  // Bootstrap ξ with one direct delivery.
+  w.inject_traffic(1);
+  w.sim_.run_until(60.0);
+  const double boosted = w.macs_[0]->strategy().local_metric();
+  ASSERT_GT(boosted, 0.0);
+  // Now starve the node: Δ-cadence decay must shrink ξ monotonically.
+  w.sim_.run_until(60.0 + 3.0 * w.cfg_.protocol.xi_timeout_s);
+  EXPECT_LT(w.macs_[0]->strategy().local_metric(), boosted);
+}
+
+TEST(MacAdaptive, SleepPeriodsLengthenWhenNothingHappens) {
+  AdaptiveWorld w(1);
+  w.sim_.run_until(300.0);
+  const auto& ctl = w.macs_[0]->sleep_controller();
+  // No successes in the ρ window -> T_i at its maximum.
+  EXPECT_DOUBLE_EQ(ctl.rho(), 1.0 / w.cfg_.sleep.history_cycles);
+  EXPECT_DOUBLE_EQ(ctl.sleep_period(0, w.cfg_.protocol.queue_capacity),
+                   ctl.t_max());
+  EXPECT_GE(w.macs_[0]->stats().sleeps, 2u);
+}
+
+TEST(MacAdaptive, ContendersEventuallyAllDeliver) {
+  AdaptiveWorld w(3);
+  w.inject_traffic(1);
+  w.sim_.run_until(600.0);
+  // All three contenders share the sink; adaptation must let each win.
+  EXPECT_EQ(w.metrics_.delivered_unique(), 3u);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,38 @@
+#include "protocol/mac_common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dftmsn {
+namespace {
+
+TEST(MacTiming, DerivedFromRadioConfig) {
+  RadioConfig radio;  // 50-bit control, 1000-bit data @ 10 kbps
+  MacTiming t(radio);
+  EXPECT_DOUBLE_EQ(t.slot_s, 0.005);
+  EXPECT_DOUBLE_EQ(t.data_s, 0.1);
+  EXPECT_DOUBLE_EQ(t.guard_s, 0.0025);
+}
+
+TEST(MacTiming, CtsWindowCoversAllSlotsPlusGuard) {
+  MacTiming t{RadioConfig{}};
+  EXPECT_DOUBLE_EQ(t.cts_window(4), 4 * 0.005 + 0.0025);
+  EXPECT_DOUBLE_EQ(t.cts_window(16), 16 * 0.005 + 0.0025);
+}
+
+TEST(MacTiming, AckWindowScalesWithReceivers) {
+  MacTiming t{RadioConfig{}};
+  EXPECT_DOUBLE_EQ(t.ack_window(1), 0.005 + 0.0025);
+  EXPECT_DOUBLE_EQ(t.ack_window(3), 3 * 0.005 + 0.0025);
+}
+
+TEST(ProtocolKindNames, AllDistinct) {
+  EXPECT_STREQ(protocol_kind_name(ProtocolKind::kOpt), "OPT");
+  EXPECT_STREQ(protocol_kind_name(ProtocolKind::kNoOpt), "NOOPT");
+  EXPECT_STREQ(protocol_kind_name(ProtocolKind::kNoSleep), "NOSLEEP");
+  EXPECT_STREQ(protocol_kind_name(ProtocolKind::kZbr), "ZBR");
+  EXPECT_STREQ(protocol_kind_name(ProtocolKind::kDirect), "DIRECT");
+  EXPECT_STREQ(protocol_kind_name(ProtocolKind::kEpidemic), "EPIDEMIC");
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,154 @@
+// Adversarial frame-injection fuzz: a driver node sprays syntactically
+// valid but protocol-nonsensical frames at a MAC (and a sink) in random
+// order and timing. The MAC must never crash, wedge, or corrupt its
+// queue, whatever arrives.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mobility/mobility_manager.hpp"
+#include "node/sink_node.hpp"
+#include "phy/channel.hpp"
+#include "protocol/crosslayer_mac.hpp"
+#include "protocol/protocol_factory.hpp"
+
+namespace dftmsn {
+namespace {
+
+class NullListener : public ChannelListener {
+ public:
+  void on_frame_received(const Frame&) override {}
+  void on_collision() override {}
+  void on_channel_busy() override {}
+  void on_channel_idle() override {}
+};
+
+class FuzzFixture {
+ public:
+  explicit FuzzFixture(std::uint64_t seed)
+      : rngs_(seed),
+        fuzz_(rngs_.stream("fuzz")),
+        mobility_(sim_, cfg_.scenario.mobility_step_s),
+        metrics_(0.0) {
+    mobility_.add_node(0, std::make_unique<StaticMobility>(Vec2{0, 0}));
+    mobility_.add_node(1, std::make_unique<StaticMobility>(Vec2{5, 0}));
+    mobility_.add_node(2, std::make_unique<StaticMobility>(Vec2{5, 5}));
+    channel_ = std::make_unique<Channel>(sim_, mobility_, cfg_.radio.range_m,
+                                         cfg_.radio.bandwidth_bps);
+    driver_radio_ = std::make_unique<Radio>(sim_, energy_,
+                                            cfg_.radio.switch_time_s);
+    channel_->attach(0, *driver_radio_, null_);
+    victim_radio_ = std::make_unique<Radio>(sim_, energy_,
+                                            cfg_.radio.switch_time_s);
+    queue_ = std::make_unique<FtdQueue>(cfg_.protocol.queue_capacity);
+    mac_ = std::make_unique<CrossLayerMac>(
+        1, sim_, *channel_, *victim_radio_, *queue_,
+        make_strategy(ProtocolKind::kOpt, cfg_), cfg_,
+        make_mac_options(ProtocolKind::kOpt, cfg_), 2, metrics_,
+        rngs_.stream("mac"));
+    channel_->attach(1, *victim_radio_, *mac_);
+    sink_ = std::make_unique<SinkNode>(2, sim_, *channel_, energy_, cfg_,
+                                       metrics_, rngs_.stream("sink"));
+    channel_->attach(2, sink_->radio(), *sink_);
+    mobility_.start();
+    mac_->start();
+  }
+
+  Frame random_frame() {
+    const NodeId peer = static_cast<NodeId>(fuzz_.uniform_int(0, 3));
+    const auto mid = static_cast<MessageId>(fuzz_.uniform_int(0, 5));
+    switch (fuzz_.uniform_int(0, 5)) {
+      case 0: return Frame{0, 50, PreambleFrame{}};
+      case 1:
+        return Frame{0, 50,
+                     RtsFrame{fuzz_.uniform01(), fuzz_.uniform01(),
+                              fuzz_.uniform_int(1, 8), mid}};
+      case 2:
+        return Frame{0, 50,
+                     CtsFrame{peer, fuzz_.uniform01(),
+                              static_cast<std::size_t>(
+                                  fuzz_.uniform_int(0, 5))}};
+      case 3: {
+        ScheduleFrame s;
+        const int n = fuzz_.uniform_int(0, 3);
+        for (int i = 0; i < n; ++i) {
+          s.entries.push_back(ScheduleEntry{
+              static_cast<NodeId>(fuzz_.uniform_int(0, 3)),
+              fuzz_.uniform01()});
+        }
+        s.nav_duration = fuzz_.uniform(0.0, 0.2);
+        return Frame{0, 50, std::move(s)};
+      }
+      case 4: {
+        Message m;
+        m.id = mid;
+        m.source = peer;
+        m.created = sim_.now();
+        return Frame{0, 1000, DataFrame{m}};
+      }
+      default: return Frame{0, 50, AckFrame{peer, mid}};
+    }
+  }
+
+  void run(int frames) {
+    for (int i = 0; i < frames; ++i) {
+      // Fire when the driver's radio is free; otherwise skip this slot.
+      if (driver_radio_->state() == RadioState::kIdle) {
+        channel_->transmit(0, random_frame());
+      }
+      sim_.run_until(sim_.now() + fuzz_.uniform(0.001, 0.2));
+    }
+    sim_.run_until(sim_.now() + 5.0);  // let timers drain
+  }
+
+  void check_invariants() {
+    ASSERT_LE(queue_->size(), queue_->capacity());
+    for (const auto& item : queue_->items()) {
+      ASSERT_GE(item.ftd, 0.0);
+      ASSERT_LE(item.ftd, 1.0);
+    }
+    const double metric = mac_->strategy().local_metric();
+    ASSERT_GE(metric, 0.0);
+    ASSERT_LE(metric, 1.0);
+    // The MAC must still be able to make progress: enqueue a real message
+    // and verify it reaches the sink.
+    Message m;
+    m.id = 999'999;
+    m.source = 1;
+    m.created = sim_.now();
+    metrics_.on_generated(m);
+    mac_->enqueue(m);
+    const auto before = metrics_.delivered_unique();
+    sim_.run_until(sim_.now() + 120.0);
+    EXPECT_GT(metrics_.delivered_unique(), before) << "MAC wedged after fuzz";
+  }
+
+  Config cfg_;
+  Simulator sim_;
+  EnergyModel energy_{PowerConfig{}};
+  RandomSource rngs_;
+  RandomStream fuzz_;
+  MobilityManager mobility_;
+  Metrics metrics_;
+  NullListener null_;
+  std::unique_ptr<Channel> channel_;
+  std::unique_ptr<Radio> driver_radio_;
+  std::unique_ptr<Radio> victim_radio_;
+  std::unique_ptr<FtdQueue> queue_;
+  std::unique_ptr<CrossLayerMac> mac_;
+  std::unique_ptr<SinkNode> sink_;
+};
+
+class MacFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MacFuzz, SurvivesRandomFrameInjection) {
+  FuzzFixture f(static_cast<std::uint64_t>(GetParam()));
+  f.run(1500);
+  f.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MacFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,63 @@
+#include "protocol/neighbor_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dftmsn {
+namespace {
+
+TEST(NeighborTable, InvalidTtlThrows) {
+  EXPECT_THROW(NeighborTable(0.0), std::invalid_argument);
+}
+
+TEST(NeighborTable, ObserveAndQuery) {
+  NeighborTable t(60.0);
+  t.observe(1, 0.3, 10.0);
+  t.observe(2, 0.7, 10.0);
+  EXPECT_EQ(t.live_count(10.0), 2u);
+  auto metrics = t.live_metrics(10.0);
+  std::sort(metrics.begin(), metrics.end());
+  EXPECT_DOUBLE_EQ(metrics[0], 0.3);
+  EXPECT_DOUBLE_EQ(metrics[1], 0.7);
+}
+
+TEST(NeighborTable, ReobservingRefreshes) {
+  NeighborTable t(60.0);
+  t.observe(1, 0.3, 0.0);
+  t.observe(1, 0.9, 50.0);
+  EXPECT_EQ(t.live_count(100.0), 1u);
+  EXPECT_DOUBLE_EQ(t.live_metrics(100.0)[0], 0.9);
+}
+
+TEST(NeighborTable, EntriesExpireAfterTtl) {
+  NeighborTable t(60.0);
+  t.observe(1, 0.3, 0.0);
+  EXPECT_EQ(t.live_count(60.0), 1u);  // boundary inclusive
+  EXPECT_EQ(t.live_count(60.1), 0u);
+  EXPECT_TRUE(t.live_metrics(61.0).empty());
+}
+
+TEST(NeighborTable, CountBetterThanIsStrict) {
+  NeighborTable t(60.0);
+  t.observe(1, 0.3, 0.0);
+  t.observe(2, 0.5, 0.0);
+  t.observe(3, 0.7, 0.0);
+  EXPECT_EQ(t.count_better_than(0.5, 10.0), 1u);
+  EXPECT_EQ(t.count_better_than(0.2, 10.0), 3u);
+  EXPECT_EQ(t.count_better_than(0.9, 10.0), 0u);
+}
+
+TEST(NeighborTable, ExpirePurgesStorage) {
+  NeighborTable t(60.0);
+  t.observe(1, 0.3, 0.0);
+  t.observe(2, 0.5, 100.0);
+  t.expire(100.0);
+  EXPECT_EQ(t.live_count(100.0), 1u);
+  // Re-adding the purged entry works.
+  t.observe(1, 0.4, 100.0);
+  EXPECT_EQ(t.live_count(100.0), 2u);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,352 @@
+// Unit tests of the forwarding strategies, isolated from the MAC.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "core/ftd_queue.hpp"
+#include "protocol/direct_strategy.hpp"
+#include "protocol/epidemic_strategy.hpp"
+#include "protocol/ftd_strategy.hpp"
+#include "protocol/history_strategy.hpp"
+#include "protocol/spray_strategy.hpp"
+#include "protocol/protocol_factory.hpp"
+
+namespace dftmsn {
+namespace {
+
+ProtocolConfig proto_cfg() {
+  ProtocolConfig p;
+  p.alpha = 0.25;
+  p.delivery_threshold_r = 0.9;
+  p.xi_update_cooldown_s = 30.0;
+  return p;
+}
+
+QueuedMessage qmsg(MessageId id, double ftd) {
+  Message m;
+  m.id = id;
+  return QueuedMessage{m, ftd, 0.0};
+}
+
+ScheduledReceiver recv(NodeId id, double metric, bool sink = false) {
+  return ScheduledReceiver{id, metric, 0.0, sink};
+}
+
+// ---------------------------------------------------------------- FTD --
+
+TEST(FtdStrategy, StartsAtZeroMetric) {
+  FtdStrategy s(proto_cfg());
+  EXPECT_DOUBLE_EQ(s.local_metric(), 0.0);
+}
+
+TEST(FtdStrategy, QualificationRequiresStrictlyHigherMetricAndSpace) {
+  FtdStrategy s(proto_cfg());
+  FtdQueue q(4);
+  // Both at 0: no strict dominance -> not qualified.
+  EXPECT_FALSE(s.qualifies_as_receiver({0, 0.0, 0.0, 1}, q));
+  // Raise our metric via a sink transmission.
+  s.on_transmission_complete(0.0, {recv(9, 1.0, true)}, 100.0);
+  EXPECT_GT(s.local_metric(), 0.0);
+  EXPECT_TRUE(s.qualifies_as_receiver({0, 0.0, 0.0, 1}, q));
+  // Sender with even higher metric: not qualified.
+  EXPECT_FALSE(s.qualifies_as_receiver({0, 0.99, 0.0, 1}, q));
+}
+
+TEST(FtdStrategy, QualificationChecksBufferSpaceAtFtd) {
+  FtdStrategy s(proto_cfg());
+  s.on_transmission_complete(0.0, {recv(9, 1.0, true)}, 100.0);
+  FtdQueue q(2);
+  q.insert(qmsg(1, 0.0));
+  q.insert(qmsg(2, 0.0));
+  // Full of FTD-0 messages: no room for another FTD-0 copy...
+  EXPECT_FALSE(s.qualifies_as_receiver({0, 0.0, 0.0, 3}, q));
+  // ...but a copy *more important* than a queued one could displace it —
+  // B(F) counts slots with FTD > F as available.
+  FtdQueue q2(2);
+  q2.insert(qmsg(1, 0.5));
+  q2.insert(qmsg(2, 0.6));
+  EXPECT_TRUE(s.qualifies_as_receiver({0, 0.0, 0.2, 3}, q2));
+}
+
+TEST(FtdStrategy, SelectReceiversUsesGreedyThreshold) {
+  FtdStrategy s(proto_cfg());
+  const std::vector<Candidate> cands{{1, 1.0, 5, true}, {2, 0.5, 5, false}};
+  const auto sel = s.select_receivers(0.0, cands);
+  ASSERT_EQ(sel.size(), 1u);  // sink alone crosses R
+  EXPECT_EQ(sel[0].id, 1u);
+  EXPECT_TRUE(sel[0].is_sink);
+}
+
+TEST(FtdStrategy, ScheduledFtdsFollowEq2) {
+  FtdStrategy s(proto_cfg());
+  const std::vector<Candidate> cands{{1, 0.5, 5, false}, {2, 0.4, 5, false}};
+  const auto sel = s.select_receivers(0.0, cands);
+  ASSERT_EQ(sel.size(), 2u);
+  // ξ_i = 0: F_1 covers the other receiver only: 1 - (1-0)(1-0)(1-0.4).
+  EXPECT_DOUBLE_EQ(sel[0].ftd_for_copy, 0.4);
+  EXPECT_DOUBLE_EQ(sel[1].ftd_for_copy, 0.5);
+}
+
+TEST(FtdStrategy, TransmissionUpdatesMetricWithCooldown) {
+  FtdStrategy s(proto_cfg());
+  s.on_transmission_complete(0.0, {recv(9, 1.0, true)}, 100.0);
+  const double after_first = s.local_metric();
+  EXPECT_DOUBLE_EQ(after_first, 0.25);
+  // Within the 30 s cooldown: metric frozen.
+  s.on_transmission_complete(0.0, {recv(9, 1.0, true)}, 110.0);
+  EXPECT_DOUBLE_EQ(s.local_metric(), after_first);
+  // Past the cooldown: second EWMA step.
+  s.on_transmission_complete(0.0, {recv(9, 1.0, true)}, 140.0);
+  EXPECT_DOUBLE_EQ(s.local_metric(), 0.4375);
+}
+
+TEST(FtdStrategy, OutcomeFollowsEq3AndKeepsCopy) {
+  FtdStrategy s(proto_cfg());
+  const auto out =
+      s.on_transmission_complete(0.2, {recv(1, 0.5), recv(2, 0.4)}, 50.0);
+  EXPECT_EQ(out.disposition, TransmissionOutcome::Disposition::kKeep);
+  EXPECT_DOUBLE_EQ(out.new_ftd, 1.0 - 0.8 * 0.5 * 0.6);
+}
+
+TEST(FtdStrategy, EmptyAckKeepsFtdUnchanged) {
+  FtdStrategy s(proto_cfg());
+  const auto out = s.on_transmission_complete(0.3, {}, 50.0);
+  EXPECT_EQ(out.disposition, TransmissionOutcome::Disposition::kKeep);
+  EXPECT_DOUBLE_EQ(out.new_ftd, 0.3);
+  EXPECT_DOUBLE_EQ(s.local_metric(), 0.0);  // no update without receivers
+}
+
+TEST(FtdStrategy, IdleTimeoutDecays) {
+  FtdStrategy s(proto_cfg());
+  s.on_transmission_complete(0.0, {recv(9, 1.0, true)}, 100.0);
+  const double before = s.local_metric();
+  s.on_idle_timeout();
+  EXPECT_DOUBLE_EQ(s.local_metric(), 0.75 * before);
+}
+
+// ------------------------------------------------------------- History --
+
+TEST(HistoryStrategy, TiesQualifyZeroHistoryNodes) {
+  HistoryStrategy s(proto_cfg());
+  FtdQueue q(4);
+  EXPECT_TRUE(s.qualifies_as_receiver({0, 0.0, 0.0, 1}, q));
+  // But a sender with higher history is not served by us (we are lower).
+  EXPECT_FALSE(s.qualifies_as_receiver({0, 0.5, 0.0, 1}, q));
+}
+
+TEST(HistoryStrategy, DuplicateCopyNotAccepted) {
+  HistoryStrategy s(proto_cfg());
+  FtdQueue q(4);
+  q.insert(qmsg(7, 0.0));
+  EXPECT_FALSE(s.qualifies_as_receiver({0, 0.0, 0.0, 7}, q));
+  EXPECT_TRUE(s.qualifies_as_receiver({0, 0.0, 0.0, 8}, q));
+}
+
+TEST(HistoryStrategy, ReplicatesToAllQualifiedResponders) {
+  HistoryStrategy s(proto_cfg());
+  const std::vector<Candidate> cands{
+      {1, 0.0, 5, false}, {2, 0.4, 5, false}, {3, 1.0, 5, true},
+      {4, 0.2, 0, false}};  // no buffer -> skipped
+  const auto sel = s.select_receivers(0.0, cands);
+  ASSERT_EQ(sel.size(), 3u);
+}
+
+TEST(HistoryStrategy, HistoryRisesOnlyOnDirectSinkDelivery) {
+  HistoryStrategy s(proto_cfg());
+  s.on_transmission_complete(0.0, {recv(1, 0.5, false)}, 100.0);
+  EXPECT_DOUBLE_EQ(s.local_metric(), 0.0);  // relay handoff: no history
+  s.on_transmission_complete(0.0, {recv(2, 1.0, true)}, 200.0);
+  EXPECT_DOUBLE_EQ(s.local_metric(), 0.25);
+}
+
+TEST(HistoryStrategy, CopyReleasedOnlyToSink) {
+  HistoryStrategy s(proto_cfg());
+  EXPECT_EQ(s.on_transmission_complete(0.0, {recv(1, 0.4, false)}, 1.0)
+                .disposition,
+            TransmissionOutcome::Disposition::kKeep);
+  EXPECT_EQ(s.on_transmission_complete(0.0, {recv(2, 1.0, true)}, 2.0)
+                .disposition,
+            TransmissionOutcome::Disposition::kRemove);
+}
+
+TEST(HistoryStrategy, ReceiveFtdIsZero) {
+  HistoryStrategy s(proto_cfg());
+  EXPECT_DOUBLE_EQ(s.receive_ftd(0.8), 0.0);
+}
+
+// -------------------------------------------------------------- Direct --
+
+TEST(DirectStrategy, NeverQualifiesAsRelay) {
+  DirectStrategy s;
+  FtdQueue q(4);
+  EXPECT_FALSE(s.qualifies_as_receiver({0, 0.0, 0.0, 1}, q));
+  EXPECT_DOUBLE_EQ(s.local_metric(), 0.0);
+}
+
+TEST(DirectStrategy, SelectsOnlySinks) {
+  DirectStrategy s;
+  const std::vector<Candidate> cands{{1, 0.9, 5, false}, {2, 1.0, 5, true}};
+  const auto sel = s.select_receivers(0.0, cands);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0].id, 2u);
+  EXPECT_TRUE(s.select_receivers(0.0, {{1, 0.9, 5, false}}).empty());
+}
+
+TEST(DirectStrategy, RemovesOnlyOnSinkAck) {
+  DirectStrategy s;
+  EXPECT_EQ(s.on_transmission_complete(0.0, {recv(2, 1.0, true)}, 0.0)
+                .disposition,
+            TransmissionOutcome::Disposition::kRemove);
+  EXPECT_EQ(s.on_transmission_complete(0.0, {}, 0.0).disposition,
+            TransmissionOutcome::Disposition::kKeep);
+}
+
+// ------------------------------------------------------------ Epidemic --
+
+TEST(EpidemicStrategy, QualifiesUnlessDuplicateOrFull) {
+  EpidemicStrategy s;
+  FtdQueue q(2);
+  EXPECT_TRUE(s.qualifies_as_receiver({0, 0.5, 0.0, 1}, q));
+  q.insert(qmsg(1, 0.0));
+  EXPECT_FALSE(s.qualifies_as_receiver({0, 0.5, 0.0, 1}, q));  // duplicate
+  q.insert(qmsg(2, 0.0));
+  EXPECT_FALSE(s.qualifies_as_receiver({0, 0.5, 0.0, 3}, q));  // full
+}
+
+TEST(EpidemicStrategy, FloodsToEveryone) {
+  EpidemicStrategy s;
+  const std::vector<Candidate> cands{
+      {1, 0.5, 5, false}, {2, 0.5, 5, false}, {3, 1.0, 5, true}};
+  EXPECT_EQ(s.select_receivers(0.0, cands).size(), 3u);
+}
+
+TEST(EpidemicStrategy, ReleasesCopyOnSinkAck) {
+  EpidemicStrategy s;
+  EXPECT_EQ(
+      s.on_transmission_complete(0.0, {recv(1, 0.5, false)}, 0.0).disposition,
+      TransmissionOutcome::Disposition::kKeep);
+  EXPECT_EQ(
+      s.on_transmission_complete(0.0, {recv(3, 1.0, true)}, 0.0).disposition,
+      TransmissionOutcome::Disposition::kRemove);
+}
+
+
+// --------------------------------------------------------------- Spray --
+
+TEST(SprayStrategy, SprayPhaseAcceptsWaitPhaseDeclines) {
+  SprayStrategy s;
+  FtdQueue q(4);
+  // Spray-phase RTS (ftd below the carrier marker): qualified.
+  EXPECT_TRUE(s.qualifies_as_receiver({0, 0.5, 0.0, 1}, q));
+  // Wait-phase RTS: sensors decline (only sinks take carrier copies).
+  EXPECT_FALSE(s.qualifies_as_receiver(
+      {0, 0.5, SprayStrategy::kCarrierFtd, 1}, q));
+  // Duplicate copy: declined.
+  Message m;
+  m.id = 1;
+  q.insert(QueuedMessage{m, 0.0, 0.0});
+  EXPECT_FALSE(s.qualifies_as_receiver({0, 0.5, 0.0, 1}, q));
+}
+
+TEST(SprayStrategy, SinkShortCircuitsSelection) {
+  SprayStrategy s;
+  const std::vector<Candidate> cands{{1, 0.5, 5, false}, {2, 1.0, 5, true}};
+  const auto sel = s.select_receivers(0.0, cands);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_TRUE(sel[0].is_sink);
+}
+
+TEST(SprayStrategy, WaitPhaseSelectsNothingWithoutSink) {
+  SprayStrategy s;
+  const std::vector<Candidate> cands{{1, 0.5, 5, false}, {2, 0.5, 5, false}};
+  EXPECT_TRUE(
+      s.select_receivers(SprayStrategy::kCarrierFtd, cands).empty());
+}
+
+TEST(SprayStrategy, SprayBudgetLimitsCopies) {
+  SprayStrategy s;
+  std::vector<Candidate> many;
+  for (NodeId i = 1; i <= 20; ++i) many.push_back({i, 0.5, 5, false});
+  const auto sel = s.select_receivers(0.0, many);
+  // Budget: ~kCarrierFtd / kSprayStep + 1 copies at most.
+  EXPECT_LE(sel.size(), 7u);
+  EXPECT_GE(sel.size(), 5u);
+  for (const auto& r : sel)
+    EXPECT_DOUBLE_EQ(r.ftd_for_copy, SprayStrategy::kCarrierFtd);
+}
+
+TEST(SprayStrategy, BudgetDrainsAcrossRounds) {
+  SprayStrategy s;
+  double ftd = 0.0;
+  int sprayed = 0;
+  std::vector<Candidate> two{{1, 0.5, 5, false}, {2, 0.5, 5, false}};
+  for (int round = 0; round < 10; ++round) {
+    const auto sel = s.select_receivers(ftd, two);
+    if (sel.empty()) break;
+    sprayed += static_cast<int>(sel.size());
+    const auto out = s.on_transmission_complete(ftd, sel, 0.0);
+    EXPECT_EQ(out.disposition, TransmissionOutcome::Disposition::kKeep);
+    ftd = out.new_ftd;
+  }
+  EXPECT_LE(sprayed, 8);
+  EXPECT_DOUBLE_EQ(ftd, SprayStrategy::kCarrierFtd);  // wait phase reached
+}
+
+TEST(SprayStrategy, SinkAckReleasesCopy) {
+  SprayStrategy s;
+  const auto out = s.on_transmission_complete(
+      0.2, {ScheduledReceiver{9, 1.0, 1.0, true}}, 0.0);
+  EXPECT_EQ(out.disposition, TransmissionOutcome::Disposition::kRemove);
+}
+
+TEST(SprayStrategy, ReceivedCopiesAreCarriers) {
+  SprayStrategy s;
+  EXPECT_DOUBLE_EQ(s.receive_ftd(0.0), SprayStrategy::kCarrierFtd);
+}
+
+// -------------------------------------------------------------- Factory --
+
+TEST(ProtocolFactory, MakesStrategyPerKind) {
+  const Config c;
+  for (auto kind :
+       {ProtocolKind::kOpt, ProtocolKind::kNoOpt, ProtocolKind::kNoSleep,
+        ProtocolKind::kZbr, ProtocolKind::kDirect, ProtocolKind::kEpidemic,
+        ProtocolKind::kSwim}) {
+    EXPECT_NE(make_strategy(kind, c), nullptr);
+  }
+}
+
+TEST(ProtocolFactory, OptionsMatchVariantSemantics) {
+  const Config c;
+  const MacOptions opt = make_mac_options(ProtocolKind::kOpt, c);
+  EXPECT_TRUE(opt.sleeping_enabled);
+  EXPECT_TRUE(opt.adaptive_sleep);
+  EXPECT_TRUE(opt.adaptive_contention);
+
+  const MacOptions noopt = make_mac_options(ProtocolKind::kNoOpt, c);
+  EXPECT_TRUE(noopt.sleeping_enabled);
+  EXPECT_FALSE(noopt.adaptive_sleep);
+  EXPECT_FALSE(noopt.adaptive_contention);
+
+  const MacOptions nosleep = make_mac_options(ProtocolKind::kNoSleep, c);
+  EXPECT_FALSE(nosleep.sleeping_enabled);
+  EXPECT_TRUE(nosleep.adaptive_contention);
+}
+
+TEST(ProtocolFactory, ParseNames) {
+  EXPECT_EQ(parse_protocol_kind("OPT"), ProtocolKind::kOpt);
+  EXPECT_EQ(parse_protocol_kind("noopt"), ProtocolKind::kNoOpt);
+  EXPECT_EQ(parse_protocol_kind("NoSleep"), ProtocolKind::kNoSleep);
+  EXPECT_EQ(parse_protocol_kind("zbr"), ProtocolKind::kZbr);
+  EXPECT_EQ(parse_protocol_kind("DIRECT"), ProtocolKind::kDirect);
+  EXPECT_EQ(parse_protocol_kind("epidemic"), ProtocolKind::kEpidemic);
+  EXPECT_EQ(parse_protocol_kind("swim"), ProtocolKind::kSwim);
+  EXPECT_FALSE(parse_protocol_kind("bogus").has_value());
+}
+
+TEST(ProtocolFactory, KindNames) {
+  EXPECT_STREQ(protocol_kind_name(ProtocolKind::kOpt), "OPT");
+  EXPECT_STREQ(protocol_kind_name(ProtocolKind::kZbr), "ZBR");
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,127 @@
+// Stress / failure-injection suites: dense cliques (maximum contention),
+// sparse starvation, mid-exchange sleepers, and long-horizon invariants.
+#include <gtest/gtest.h>
+
+#include "experiment/world.hpp"
+
+namespace dftmsn {
+namespace {
+
+/// Dense clique: the whole population inside one radio disc. Every RTS
+/// has many qualified receivers, CTS slots collide constantly, NAVs
+/// overlap — the harshest contention the MAC can face.
+TEST(Stress, DenseCliqueSurvivesAndDelivers) {
+  Config c;
+  c.scenario.num_sensors = 12;
+  c.scenario.num_sinks = 1;
+  c.scenario.field_m = 9.0;  // everyone within the 10 m range of everyone
+  c.scenario.zones_per_side = 3;
+  c.scenario.duration_s = 2000.0;
+  c.scenario.data_interval_s = 60.0;
+  c.scenario.seed = 3;
+
+  World w(c, ProtocolKind::kOpt);
+  w.run();
+  const Metrics& m = w.metrics();
+  ASSERT_GT(m.generated(), 0u);
+  // With a sink inside the clique, delivery must be near-total despite
+  // the contention.
+  EXPECT_GT(m.delivery_ratio(), 0.8);
+  EXPECT_LE(m.delivered_unique(), m.generated());
+}
+
+TEST(Stress, CliqueContentionProducesAndResolvesCollisions) {
+  Config c;
+  c.scenario.num_sensors = 10;
+  c.scenario.num_sinks = 1;
+  c.scenario.field_m = 9.0;
+  c.scenario.zones_per_side = 3;
+  c.scenario.duration_s = 1500.0;
+  c.scenario.data_interval_s = 30.0;
+  c.scenario.seed = 8;
+
+  World w(c, ProtocolKind::kNoOpt);  // fixed small windows: collisions
+  w.run();
+  EXPECT_GT(w.channel().counters().collisions, 0u);
+  EXPECT_GT(w.metrics().delivery_ratio(), 0.5);  // still functional
+}
+
+/// Ultra-sparse: nodes essentially never meet. Nothing should be
+/// delivered, nothing should crash, and energy must be dominated by
+/// sleeping (for the sleeping variants).
+TEST(Stress, UltraSparseStarvation) {
+  Config c;
+  c.scenario.num_sensors = 5;
+  c.scenario.num_sinks = 1;
+  c.scenario.field_m = 2000.0;
+  c.scenario.zones_per_side = 5;
+  c.scenario.speed_min_mps = 0.0;
+  c.scenario.speed_max_mps = 0.5;
+  c.scenario.duration_s = 5000.0;
+  c.scenario.seed = 4;
+
+  World w(c, ProtocolKind::kOpt);
+  w.run();
+  EXPECT_LE(w.metrics().delivery_ratio(), 0.2);
+  // Sleeping keeps a starved node far below the 13.5 mW idle floor.
+  EXPECT_LT(w.mean_sensor_power_mw(), 8.0);
+  for (auto& s : w.sensors()) {
+    EXPECT_LE(s->queue().size(), s->queue().capacity());
+  }
+}
+
+/// Tiny buffers + fast traffic: the overflow machinery runs hot; the
+/// FTD-sorted drop policy must never drop below-capacity or corrupt the
+/// ordering (asserted inside FtdQueue), and accounting must stay sane.
+TEST(Stress, TinyBuffersOverflowAccounting) {
+  Config c;
+  c.scenario.num_sensors = 40;
+  c.scenario.num_sinks = 2;
+  c.scenario.duration_s = 4000.0;
+  c.scenario.data_interval_s = 20.0;
+  c.protocol.queue_capacity = 5;
+  c.scenario.seed = 12;
+
+  World w(c, ProtocolKind::kOpt);
+  w.run();
+  const Metrics& m = w.metrics();
+  EXPECT_GT(m.drops(DropReason::kOverflow), 0u);
+  EXPECT_LE(m.delivered_unique(), m.generated());
+  EXPECT_GT(m.delivery_ratio(), 0.0);
+}
+
+/// Zero-speed population: pure static placement; only nodes that happen
+/// to start near a sink (or near a chain into one) can deliver.
+TEST(Stress, StaticPopulationOnlyLocalDelivery) {
+  Config c;
+  c.scenario.num_sensors = 60;
+  c.scenario.num_sinks = 3;
+  c.scenario.speed_min_mps = 0.0;
+  c.scenario.speed_max_mps = 1e-6;
+  c.scenario.duration_s = 4000.0;
+  c.scenario.seed = 21;
+
+  World w(c, ProtocolKind::kOpt);
+  w.run();
+  // Some—but not all—messages deliver: static gradients form chains.
+  EXPECT_GT(w.metrics().delivery_ratio(), 0.0);
+  EXPECT_LT(w.metrics().delivery_ratio(), 0.9);
+}
+
+/// Very long horizon at small scale: leak/regression guard for the event
+/// loop (cancelled handles, timer churn) and the metric accumulators.
+TEST(Stress, LongHorizonSmallWorld) {
+  Config c;
+  c.scenario.num_sensors = 10;
+  c.scenario.num_sinks = 1;
+  c.scenario.duration_s = 100'000.0;
+  c.scenario.seed = 30;
+
+  World w(c, ProtocolKind::kOpt);
+  w.run();
+  EXPECT_GT(w.sim().events_executed(), 10'000u);
+  EXPECT_GT(w.metrics().delivery_ratio(), 0.3);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,117 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dftmsn {
+namespace {
+
+TEST(EventQueue, EmptyOnConstruction) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTimeNever);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  ASSERT_EQ(fired.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, PopReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(7.5, [] {});
+  EXPECT_DOUBLE_EQ(q.pop_and_run(), 7.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelledEventSkippedAmongLive) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  EventHandle h = q.schedule(2.0, [&] { fired.push_back(2); });
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, HandleNotPendingAfterFire) {
+  EventQueue q;
+  EventHandle h = q.schedule(1.0, [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must be a harmless no-op
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(1.0, [&] {
+    fired.push_back(1);
+    q.schedule(2.0, [&] { fired.push_back(2); });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventHandle h = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  h.cancel();
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, SizeCountsOnlyLive) {
+  EventQueue q;
+  EventHandle h = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  h.cancel();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ScheduledCountMonotone) {
+  EventQueue q;
+  EXPECT_EQ(q.scheduled_count(), 0u);
+  q.schedule(1.0, [] {});
+  q.schedule(1.0, [] {});
+  EXPECT_EQ(q.scheduled_count(), 2u);
+}
+
+}  // namespace
+}  // namespace dftmsn

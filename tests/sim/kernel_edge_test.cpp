@@ -1,0 +1,108 @@
+// Edge cases of the simulation kernel that the basic suites do not hit:
+// cancellation during execution, zero-delay chains, handle lifetimes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace dftmsn {
+namespace {
+
+TEST(KernelEdge, CallbackCancelsLaterEvent) {
+  Simulator sim;
+  bool second_ran = false;
+  EventHandle h = sim.schedule_in(2.0, [&] { second_ran = true; });
+  sim.schedule_in(1.0, [&] { h.cancel(); });
+  sim.run_all();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(KernelEdge, CallbackReschedulesItself) {
+  Simulator sim;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 5) sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_in(1.0, tick);
+  sim.run_all();
+  EXPECT_EQ(fires, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(KernelEdge, ZeroDelayChainsStayOrdered) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_in(0.0, [&] {
+      order.push_back(2);
+      sim.schedule_in(0.0, [&] { order.push_back(3); });
+    });
+  });
+  sim.schedule_in(1.0, [&] { order.push_back(4); });
+  sim.run_all();
+  // Same-timestamp FIFO: the pre-scheduled "4" precedes the chained 2, 3.
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 2, 3}));
+}
+
+TEST(KernelEdge, HandleOutlivesQueue) {
+  EventHandle h;
+  {
+    EventQueue q;
+    h = q.schedule(1.0, [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  // The queue is gone; the handle must stay safe to use.
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(KernelEdge, CancelInsideOwnCallbackIsNoop) {
+  Simulator sim;
+  EventHandle h;
+  bool ran = false;
+  h = sim.schedule_in(1.0, [&] {
+    ran = true;
+    h.cancel();  // already firing: must be harmless
+  });
+  sim.run_all();
+  EXPECT_TRUE(ran);
+}
+
+TEST(KernelEdge, ScheduleAtNowRunsThisRound) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_in(1.0, [&] {
+    sim.schedule_at(sim.now(), [&] { ran = true; });
+  });
+  sim.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(KernelEdge, RunUntilRepeatedNoEvents) {
+  Simulator sim;
+  sim.run_until(10.0);
+  sim.run_until(10.0);  // idempotent
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  sim.run_until(20.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+}
+
+TEST(KernelEdge, ManyCancellationsDoNotLeakIntoExecution) {
+  Simulator sim;
+  int executed = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(sim.schedule_in(1.0 + i * 0.001, [&] { ++executed; }));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+  sim.run_all();
+  EXPECT_EQ(executed, 500);
+  EXPECT_EQ(sim.events_executed(), 500u);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,113 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dftmsn {
+namespace {
+
+TEST(RandomStream, Uniform01InRange) {
+  RandomStream rs(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rs.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomStream, UniformRespectsBounds) {
+  RandomStream rs(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rs.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RandomStream, UniformDegenerateIntervalReturnsBound) {
+  RandomStream rs(7);
+  EXPECT_DOUBLE_EQ(rs.uniform(1.5, 1.5), 1.5);
+}
+
+TEST(RandomStream, UniformIntInclusive) {
+  RandomStream rs(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rs.uniform_int(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == 1;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomStream, ExponentialMeanRoughlyCorrect) {
+  RandomStream rs(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rs.exponential(120.0);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 120.0, 5.0);
+}
+
+TEST(RandomStream, BernoulliExtremes) {
+  RandomStream rs(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rs.bernoulli(0.0));
+    EXPECT_TRUE(rs.bernoulli(1.0));
+  }
+}
+
+TEST(RandomStream, InvalidArgumentsThrow) {
+  RandomStream rs(1);
+  EXPECT_THROW(rs.uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rs.uniform_int(4, 1), std::invalid_argument);
+  EXPECT_THROW(rs.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RandomSource, SameNameIndexIsDeterministic) {
+  RandomSource a(123), b(123);
+  RandomStream s1 = a.stream("mobility", 7);
+  RandomStream s2 = b.stream("mobility", 7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(s1.uniform01(), s2.uniform01());
+}
+
+TEST(RandomSource, DifferentNamesDecorrelated) {
+  RandomSource src(123);
+  RandomStream s1 = src.stream("mobility", 0);
+  RandomStream s2 = src.stream("traffic", 0);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s1.uniform01() == s2.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomSource, DifferentSeedsDiffer) {
+  RandomSource a(1), b(2);
+  RandomStream s1 = a.stream("x");
+  RandomStream s2 = b.stream("x");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s1.uniform01() == s2.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomSource, DifferentIndicesDiffer) {
+  RandomSource src(9);
+  RandomStream s1 = src.stream("node", 0);
+  RandomStream s2 = src.stream("node", 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s1.uniform01() == s2.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,111 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dftmsn {
+namespace {
+
+Message make_msg(MessageId id, NodeId source, SimTime created) {
+  Message m;
+  m.id = id;
+  m.source = source;
+  m.created = created;
+  return m;
+}
+
+TEST(Metrics, EmptyRun) {
+  Metrics m;
+  EXPECT_EQ(m.generated(), 0u);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_delay_s(), 0.0);
+}
+
+TEST(Metrics, DeliveryRatioCountsUniqueMessages) {
+  Metrics m;
+  m.on_generated(make_msg(1, 0, 10.0));
+  m.on_generated(make_msg(2, 0, 20.0));
+  m.on_delivered(make_msg(1, 0, 10.0), 110.0);
+  m.on_delivered(make_msg(1, 0, 10.0), 150.0);  // duplicate copy
+  EXPECT_EQ(m.delivered_unique(), 1u);
+  EXPECT_EQ(m.delivered_copies(), 2u);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.5);
+}
+
+TEST(Metrics, DelayUsesFirstArrivalOnly) {
+  Metrics m;
+  m.on_generated(make_msg(1, 0, 10.0));
+  m.on_delivered(make_msg(1, 0, 10.0), 110.0);  // delay 100
+  m.on_delivered(make_msg(1, 0, 10.0), 500.0);  // ignored
+  EXPECT_DOUBLE_EQ(m.mean_delay_s(), 100.0);
+}
+
+TEST(Metrics, WarmupMessagesExcluded) {
+  Metrics m(100.0);
+  m.on_generated(make_msg(1, 0, 50.0));   // warm-up: ignored
+  m.on_generated(make_msg(2, 0, 150.0));
+  m.on_delivered(make_msg(1, 0, 50.0), 200.0);  // ignored
+  m.on_delivered(make_msg(2, 0, 150.0), 250.0);
+  EXPECT_EQ(m.generated(), 1u);
+  EXPECT_EQ(m.delivered_unique(), 1u);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 1.0);
+}
+
+TEST(Metrics, UnknownDeliveryIgnored) {
+  Metrics m;
+  m.on_delivered(make_msg(99, 0, 0.0), 10.0);
+  EXPECT_EQ(m.delivered_unique(), 0u);
+}
+
+TEST(Metrics, DropAccounting) {
+  Metrics m;
+  m.on_generated(make_msg(1, 0, 0.0));
+  m.on_generated(make_msg(2, 0, 0.0));
+  m.on_dropped(make_msg(1, 0, 0.0), DropReason::kOverflow);
+  m.on_dropped(make_msg(2, 0, 0.0), DropReason::kFtdThreshold);
+  m.on_dropped(make_msg(2, 0, 0.0), DropReason::kFtdThreshold);
+  EXPECT_EQ(m.drops(DropReason::kOverflow), 1u);
+  EXPECT_EQ(m.drops(DropReason::kFtdThreshold), 2u);
+  EXPECT_EQ(m.drops(DropReason::kDelivered), 0u);
+}
+
+TEST(Metrics, HopsAveragedOverDeliveries) {
+  Metrics m;
+  Message a = make_msg(1, 0, 0.0);
+  Message b = make_msg(2, 0, 0.0);
+  m.on_generated(a);
+  m.on_generated(b);
+  a.hops = 1;
+  b.hops = 3;
+  m.on_delivered(a, 10.0);
+  m.on_delivered(b, 10.0);
+  EXPECT_DOUBLE_EQ(m.mean_hops(), 2.0);
+}
+
+TEST(Metrics, AttemptAndTxCounters) {
+  Metrics m;
+  m.on_attempt();
+  m.on_attempt();
+  m.on_attempt_failed();
+  m.on_data_tx(2);
+  m.on_data_tx(4);
+  EXPECT_EQ(m.attempts(), 2u);
+  EXPECT_EQ(m.failed_attempts(), 1u);
+  EXPECT_EQ(m.data_transmissions(), 2u);
+  EXPECT_DOUBLE_EQ(m.mean_receivers_per_tx(), 3.0);
+}
+
+TEST(Metrics, PerSourceCounts) {
+  Metrics m;
+  m.on_generated(make_msg(1, 7, 0.0));
+  m.on_generated(make_msg(2, 7, 0.0));
+  m.on_generated(make_msg(3, 8, 0.0));
+  m.on_delivered(make_msg(1, 7, 0.0), 5.0);
+  const auto& ps = m.per_source();
+  EXPECT_EQ(ps.at(7).generated, 2u);
+  EXPECT_EQ(ps.at(7).delivered, 1u);
+  EXPECT_EQ(ps.at(8).generated, 1u);
+  EXPECT_EQ(ps.at(8).delivered, 0u);
+}
+
+}  // namespace
+}  // namespace dftmsn

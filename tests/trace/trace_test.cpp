@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "mobility/mobility_manager.hpp"
+#include "mobility/patrol_mobility.hpp"
+#include "trace/contact_analysis.hpp"
+#include "trace/contact_probe.hpp"
+#include "trace/recorder.hpp"
+
+namespace dftmsn {
+namespace {
+
+TEST(TraceRecorder, RecordsAndCounts) {
+  TraceRecorder rec;
+  rec.record({TraceEventType::kDelivery, 1.0, 3, 4, 7, 0.0});
+  rec.record({TraceEventType::kDrop, 2.0, 3, kInvalidNode, 8, 0.0});
+  rec.record({TraceEventType::kDelivery, 3.0, 5, 4, 9, 0.0});
+  EXPECT_EQ(rec.events().size(), 3u);
+  EXPECT_EQ(rec.count(TraceEventType::kDelivery), 2u);
+  EXPECT_EQ(rec.count(TraceEventType::kSleep), 0u);
+  rec.clear();
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(CsvTraceSink, WritesRows) {
+  const std::string path = "trace_test_tmp.csv";
+  {
+    CsvTraceSink csv(path);
+    csv.record({TraceEventType::kContactStart, 1.5, 1, 2, 0, 0.0});
+    EXPECT_EQ(csv.written(), 1u);
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("CONTACT_START,1.5,1,2,0,0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TeeTraceSink, FansOut) {
+  TraceRecorder a, b;
+  TeeTraceSink tee;
+  tee.add(a);
+  tee.add(b);
+  tee.record({TraceEventType::kWake, 0.0, 1, kInvalidNode, 0, 0.0});
+  EXPECT_EQ(a.events().size(), 1u);
+  EXPECT_EQ(b.events().size(), 1u);
+}
+
+TEST(TraceEventNames, Defined) {
+  EXPECT_STREQ(trace_event_name(TraceEventType::kContactStart),
+               "CONTACT_START");
+  EXPECT_STREQ(trace_event_name(TraceEventType::kDelivery), "DELIVERY");
+}
+
+/// Two nodes passing each other: one clean contact episode.
+TEST(ContactProbe, DetectsOneEpisodeWithDuration) {
+  Simulator sim;
+  MobilityManager mob(sim, 0.5);
+  // Node 0 static at origin; node 1 patrols a 100 m out-and-back line at
+  // 10 m/s passing through the origin.
+  mob.add_node(0, std::make_unique<StaticMobility>(Vec2{0, 0}));
+  mob.add_node(1, std::make_unique<PatrolMobility>(
+                      std::vector<Vec2>{{-50, 0}, {50, 0}}, 10.0));
+  TraceRecorder rec;
+  ContactProbe probe(sim, mob, 10.0, 0.5, rec);
+  mob.start();
+  probe.start();
+  sim.run_until(9.9);  // node 1 is at +49 m: contact over, not yet back
+  probe.finish();
+
+  ASSERT_EQ(rec.count(TraceEventType::kContactStart), 1u);
+  ASSERT_EQ(rec.count(TraceEventType::kContactEnd), 1u);
+  // In range for |x| <= 10 at 10 m/s -> ~2 s episode (sampling 0.5 s).
+  const TraceEvent& end = rec.events().back();
+  EXPECT_NEAR(end.value, 2.0, 1.0);
+}
+
+TEST(ContactProbe, FinishClosesOpenContacts) {
+  Simulator sim;
+  MobilityManager mob(sim, 0.5);
+  mob.add_node(0, std::make_unique<StaticMobility>(Vec2{0, 0}));
+  mob.add_node(1, std::make_unique<StaticMobility>(Vec2{5, 0}));
+  TraceRecorder rec;
+  ContactProbe probe(sim, mob, 10.0, 0.5, rec);
+  mob.start();
+  probe.start();
+  sim.run_until(10.0);
+  EXPECT_EQ(probe.open_contacts(), 1u);
+  EXPECT_EQ(rec.count(TraceEventType::kContactEnd), 0u);
+  probe.finish();
+  EXPECT_EQ(probe.open_contacts(), 0u);
+  ASSERT_EQ(rec.count(TraceEventType::kContactEnd), 1u);
+  EXPECT_NEAR(rec.events().back().value, 9.5, 1.0);
+}
+
+TEST(ContactProbe, InvalidArgsThrow) {
+  Simulator sim;
+  MobilityManager mob(sim, 0.5);
+  TraceRecorder rec;
+  EXPECT_THROW(ContactProbe(sim, mob, 0.0, 1.0, rec), std::invalid_argument);
+  EXPECT_THROW(ContactProbe(sim, mob, 10.0, 0.0, rec),
+               std::invalid_argument);
+}
+
+TEST(ContactAnalysis, AggregatesEpisodesAndInterContact) {
+  std::vector<TraceEvent> ev;
+  // Pair (1,2): two episodes [0,5] and [20,24]; pair (1,9): one episode.
+  ev.push_back({TraceEventType::kContactStart, 0.0, 1, 2, 0, 0.0});
+  ev.push_back({TraceEventType::kContactEnd, 5.0, 1, 2, 0, 5.0});
+  ev.push_back({TraceEventType::kContactStart, 20.0, 1, 2, 0, 0.0});
+  ev.push_back({TraceEventType::kContactEnd, 24.0, 1, 2, 0, 4.0});
+  ev.push_back({TraceEventType::kContactStart, 3.0, 1, 9, 0, 0.0});
+  ev.push_back({TraceEventType::kContactEnd, 6.0, 1, 9, 0, 3.0});
+
+  const ContactStats stats = analyze_contacts(ev, /*first_sink_id=*/9);
+  EXPECT_EQ(stats.contacts, 3u);
+  EXPECT_DOUBLE_EQ(stats.duration_s.mean(), 4.0);
+  ASSERT_EQ(stats.inter_contact_s.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.inter_contact_s.mean(), 15.0);  // 20 - 5
+  EXPECT_EQ(stats.contacts_per_node.at(1), 3u);
+  EXPECT_EQ(stats.contacts_per_node.at(2), 2u);
+  EXPECT_EQ(stats.sink_contacts_per_node.at(1), 1u);
+  EXPECT_FALSE(stats.sink_contacts_per_node.contains(2));
+}
+
+TEST(ContactAnalysis, SinkContactRatesIncludeZeroNodes) {
+  std::vector<TraceEvent> ev;
+  ev.push_back({TraceEventType::kContactEnd, 4.0, 0, 5, 0, 4.0});
+  const ContactStats stats = analyze_contacts(ev, 5);
+  const auto rates = sink_contact_rates(stats, 5, 5, 100.0);
+  EXPECT_EQ(rates.size(), 5u);
+  EXPECT_DOUBLE_EQ(rates.at(0), 0.01);
+  EXPECT_DOUBLE_EQ(rates.at(1), 0.0);
+  EXPECT_THROW(sink_contact_rates(stats, 5, 5, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,98 @@
+#include "traffic/poisson_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dftmsn {
+namespace {
+
+TEST(PoissonSource, InvalidArgsThrow) {
+  Simulator sim;
+  MessageIdAllocator ids;
+  RandomSource rngs(1);
+  EXPECT_THROW(PoissonSource(sim, ids, 0, 0.0, 1000, rngs.stream("t"),
+                             [](Message) {}),
+               std::invalid_argument);
+  EXPECT_THROW(PoissonSource(sim, ids, 0, 10.0, 1000, rngs.stream("t"), {}),
+               std::invalid_argument);
+}
+
+TEST(PoissonSource, GeneratesNothingBeforeStart) {
+  Simulator sim;
+  MessageIdAllocator ids;
+  RandomSource rngs(2);
+  int count = 0;
+  PoissonSource src(sim, ids, 7, 10.0, 1000, rngs.stream("t"),
+                    [&](Message) { ++count; });
+  sim.run_until(1000.0);
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PoissonSource, MeanRateApproximatelyCorrect) {
+  Simulator sim;
+  MessageIdAllocator ids;
+  RandomSource rngs(3);
+  int count = 0;
+  PoissonSource src(sim, ids, 7, 120.0, 1000, rngs.stream("t"),
+                    [&](Message) { ++count; });
+  src.start();
+  sim.run_until(120'000.0);  // expect ~1000 arrivals
+  EXPECT_NEAR(count, 1000, 120);
+  EXPECT_EQ(src.generated(), static_cast<std::size_t>(count));
+}
+
+TEST(PoissonSource, MessagesCarrySourceAndTimestamp) {
+  Simulator sim;
+  MessageIdAllocator ids;
+  RandomSource rngs(4);
+  std::vector<Message> seen;
+  PoissonSource src(sim, ids, 9, 50.0, 640, rngs.stream("t"),
+                    [&](Message m) { seen.push_back(m); });
+  src.start();
+  sim.run_until(5000.0);
+  ASSERT_GT(seen.size(), 10u);
+  SimTime prev = -1.0;
+  for (const Message& m : seen) {
+    EXPECT_EQ(m.source, 9u);
+    EXPECT_EQ(m.bits, 640u);
+    EXPECT_GT(m.created, prev);  // strictly increasing timestamps
+    prev = m.created;
+    EXPECT_EQ(m.hops, 0);
+  }
+}
+
+TEST(PoissonSource, IdsAreUniqueAcrossSources) {
+  Simulator sim;
+  MessageIdAllocator ids;
+  RandomSource rngs(5);
+  std::vector<MessageId> all;
+  PoissonSource a(sim, ids, 0, 20.0, 100, rngs.stream("t", 0),
+                  [&](Message m) { all.push_back(m.id); });
+  PoissonSource b(sim, ids, 1, 20.0, 100, rngs.stream("t", 1),
+                  [&](Message m) { all.push_back(m.id); });
+  a.start();
+  b.start();
+  sim.run_until(2000.0);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(PoissonSource, StopHaltsGeneration) {
+  Simulator sim;
+  MessageIdAllocator ids;
+  RandomSource rngs(6);
+  int count = 0;
+  PoissonSource src(sim, ids, 0, 10.0, 100, rngs.stream("t"),
+                    [&](Message) { ++count; });
+  src.start();
+  sim.run_until(100.0);
+  const int at_stop = count;
+  EXPECT_GT(at_stop, 0);
+  src.stop();
+  sim.run_until(1000.0);
+  EXPECT_EQ(count, at_stop);
+}
+
+}  // namespace
+}  // namespace dftmsn
