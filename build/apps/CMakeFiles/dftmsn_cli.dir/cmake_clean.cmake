@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftmsn_cli.dir/dftmsn_cli.cpp.o"
+  "CMakeFiles/dftmsn_cli.dir/dftmsn_cli.cpp.o.d"
+  "dftmsn_cli"
+  "dftmsn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftmsn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

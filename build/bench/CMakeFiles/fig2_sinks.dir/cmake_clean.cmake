@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sinks.dir/fig2_sinks.cpp.o"
+  "CMakeFiles/fig2_sinks.dir/fig2_sinks.cpp.o.d"
+  "fig2_sinks"
+  "fig2_sinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

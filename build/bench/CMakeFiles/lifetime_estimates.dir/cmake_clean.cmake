@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_estimates.dir/lifetime_estimates.cpp.o"
+  "CMakeFiles/lifetime_estimates.dir/lifetime_estimates.cpp.o.d"
+  "lifetime_estimates"
+  "lifetime_estimates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

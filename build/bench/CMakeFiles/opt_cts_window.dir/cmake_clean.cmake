@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_cts_window.dir/opt_cts_window.cpp.o"
+  "CMakeFiles/opt_cts_window.dir/opt_cts_window.cpp.o.d"
+  "opt_cts_window"
+  "opt_cts_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_cts_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_tau_max.dir/opt_tau_max.cpp.o"
+  "CMakeFiles/opt_tau_max.dir/opt_tau_max.cpp.o.d"
+  "opt_tau_max"
+  "opt_tau_max.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_tau_max.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sleep_model.dir/sleep_model.cpp.o"
+  "CMakeFiles/sleep_model.dir/sleep_model.cpp.o.d"
+  "sleep_model"
+  "sleep_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sleep_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_sweep.dir/speed_sweep.cpp.o"
+  "CMakeFiles/speed_sweep.dir/speed_sweep.cpp.o.d"
+  "speed_sweep"
+  "speed_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

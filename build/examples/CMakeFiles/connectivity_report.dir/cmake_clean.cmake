@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectivity_report.dir/connectivity_report.cpp.o"
+  "CMakeFiles/connectivity_report.dir/connectivity_report.cpp.o.d"
+  "connectivity_report"
+  "connectivity_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectivity_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

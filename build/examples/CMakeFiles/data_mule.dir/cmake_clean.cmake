@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_mule.dir/data_mule.cpp.o"
+  "CMakeFiles/data_mule.dir/data_mule.cpp.o.d"
+  "data_mule"
+  "data_mule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_mule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flu_tracking.dir/flu_tracking.cpp.o"
+  "CMakeFiles/flu_tracking.dir/flu_tracking.cpp.o.d"
+  "flu_tracking"
+  "flu_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flu_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

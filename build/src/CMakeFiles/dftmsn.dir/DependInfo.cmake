@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/delivery_models.cpp" "src/CMakeFiles/dftmsn.dir/analysis/delivery_models.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/analysis/delivery_models.cpp.o.d"
+  "/root/repo/src/analysis/lifetime.cpp" "src/CMakeFiles/dftmsn.dir/analysis/lifetime.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/analysis/lifetime.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/dftmsn.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/config_io.cpp" "src/CMakeFiles/dftmsn.dir/common/config_io.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/common/config_io.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/dftmsn.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/common/logging.cpp.o.d"
+  "/root/repo/src/core/cts_window_optimizer.cpp" "src/CMakeFiles/dftmsn.dir/core/cts_window_optimizer.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/core/cts_window_optimizer.cpp.o.d"
+  "/root/repo/src/core/delivery_probability.cpp" "src/CMakeFiles/dftmsn.dir/core/delivery_probability.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/core/delivery_probability.cpp.o.d"
+  "/root/repo/src/core/ftd.cpp" "src/CMakeFiles/dftmsn.dir/core/ftd.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/core/ftd.cpp.o.d"
+  "/root/repo/src/core/ftd_queue.cpp" "src/CMakeFiles/dftmsn.dir/core/ftd_queue.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/core/ftd_queue.cpp.o.d"
+  "/root/repo/src/core/listen_window_optimizer.cpp" "src/CMakeFiles/dftmsn.dir/core/listen_window_optimizer.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/core/listen_window_optimizer.cpp.o.d"
+  "/root/repo/src/core/receiver_selection.cpp" "src/CMakeFiles/dftmsn.dir/core/receiver_selection.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/core/receiver_selection.cpp.o.d"
+  "/root/repo/src/core/sleep_controller.cpp" "src/CMakeFiles/dftmsn.dir/core/sleep_controller.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/core/sleep_controller.cpp.o.d"
+  "/root/repo/src/experiment/presets.cpp" "src/CMakeFiles/dftmsn.dir/experiment/presets.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/experiment/presets.cpp.o.d"
+  "/root/repo/src/experiment/runner.cpp" "src/CMakeFiles/dftmsn.dir/experiment/runner.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/experiment/runner.cpp.o.d"
+  "/root/repo/src/experiment/sweep.cpp" "src/CMakeFiles/dftmsn.dir/experiment/sweep.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/experiment/sweep.cpp.o.d"
+  "/root/repo/src/experiment/world.cpp" "src/CMakeFiles/dftmsn.dir/experiment/world.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/experiment/world.cpp.o.d"
+  "/root/repo/src/geom/vec2.cpp" "src/CMakeFiles/dftmsn.dir/geom/vec2.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/geom/vec2.cpp.o.d"
+  "/root/repo/src/geom/zone_grid.cpp" "src/CMakeFiles/dftmsn.dir/geom/zone_grid.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/geom/zone_grid.cpp.o.d"
+  "/root/repo/src/mobility/mobility_manager.cpp" "src/CMakeFiles/dftmsn.dir/mobility/mobility_manager.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/mobility/mobility_manager.cpp.o.d"
+  "/root/repo/src/mobility/patrol_mobility.cpp" "src/CMakeFiles/dftmsn.dir/mobility/patrol_mobility.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/mobility/patrol_mobility.cpp.o.d"
+  "/root/repo/src/mobility/random_waypoint.cpp" "src/CMakeFiles/dftmsn.dir/mobility/random_waypoint.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/mobility/random_waypoint.cpp.o.d"
+  "/root/repo/src/mobility/zone_mobility.cpp" "src/CMakeFiles/dftmsn.dir/mobility/zone_mobility.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/mobility/zone_mobility.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/CMakeFiles/dftmsn.dir/net/frame.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/net/frame.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/dftmsn.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/net/message.cpp.o.d"
+  "/root/repo/src/node/sensor_node.cpp" "src/CMakeFiles/dftmsn.dir/node/sensor_node.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/node/sensor_node.cpp.o.d"
+  "/root/repo/src/node/sink_node.cpp" "src/CMakeFiles/dftmsn.dir/node/sink_node.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/node/sink_node.cpp.o.d"
+  "/root/repo/src/phy/channel.cpp" "src/CMakeFiles/dftmsn.dir/phy/channel.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/phy/channel.cpp.o.d"
+  "/root/repo/src/phy/energy_meter.cpp" "src/CMakeFiles/dftmsn.dir/phy/energy_meter.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/phy/energy_meter.cpp.o.d"
+  "/root/repo/src/phy/energy_model.cpp" "src/CMakeFiles/dftmsn.dir/phy/energy_model.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/phy/energy_model.cpp.o.d"
+  "/root/repo/src/phy/radio.cpp" "src/CMakeFiles/dftmsn.dir/phy/radio.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/phy/radio.cpp.o.d"
+  "/root/repo/src/protocol/crosslayer_mac.cpp" "src/CMakeFiles/dftmsn.dir/protocol/crosslayer_mac.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/protocol/crosslayer_mac.cpp.o.d"
+  "/root/repo/src/protocol/direct_strategy.cpp" "src/CMakeFiles/dftmsn.dir/protocol/direct_strategy.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/protocol/direct_strategy.cpp.o.d"
+  "/root/repo/src/protocol/epidemic_strategy.cpp" "src/CMakeFiles/dftmsn.dir/protocol/epidemic_strategy.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/protocol/epidemic_strategy.cpp.o.d"
+  "/root/repo/src/protocol/ftd_strategy.cpp" "src/CMakeFiles/dftmsn.dir/protocol/ftd_strategy.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/protocol/ftd_strategy.cpp.o.d"
+  "/root/repo/src/protocol/history_strategy.cpp" "src/CMakeFiles/dftmsn.dir/protocol/history_strategy.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/protocol/history_strategy.cpp.o.d"
+  "/root/repo/src/protocol/mac_common.cpp" "src/CMakeFiles/dftmsn.dir/protocol/mac_common.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/protocol/mac_common.cpp.o.d"
+  "/root/repo/src/protocol/neighbor_table.cpp" "src/CMakeFiles/dftmsn.dir/protocol/neighbor_table.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/protocol/neighbor_table.cpp.o.d"
+  "/root/repo/src/protocol/protocol_factory.cpp" "src/CMakeFiles/dftmsn.dir/protocol/protocol_factory.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/protocol/protocol_factory.cpp.o.d"
+  "/root/repo/src/protocol/spray_strategy.cpp" "src/CMakeFiles/dftmsn.dir/protocol/spray_strategy.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/protocol/spray_strategy.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/dftmsn.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/dftmsn.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/dftmsn.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/stats/csv.cpp" "src/CMakeFiles/dftmsn.dir/stats/csv.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/stats/csv.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/CMakeFiles/dftmsn.dir/stats/metrics.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/stats/metrics.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/dftmsn.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/trace/contact_analysis.cpp" "src/CMakeFiles/dftmsn.dir/trace/contact_analysis.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/trace/contact_analysis.cpp.o.d"
+  "/root/repo/src/trace/contact_probe.cpp" "src/CMakeFiles/dftmsn.dir/trace/contact_probe.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/trace/contact_probe.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/CMakeFiles/dftmsn.dir/trace/recorder.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/trace/recorder.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/dftmsn.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/traffic/poisson_source.cpp" "src/CMakeFiles/dftmsn.dir/traffic/poisson_source.cpp.o" "gcc" "src/CMakeFiles/dftmsn.dir/traffic/poisson_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

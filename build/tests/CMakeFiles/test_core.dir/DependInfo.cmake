@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cts_window_optimizer_test.cpp" "tests/CMakeFiles/test_core.dir/core/cts_window_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/cts_window_optimizer_test.cpp.o.d"
+  "/root/repo/tests/core/delivery_probability_test.cpp" "tests/CMakeFiles/test_core.dir/core/delivery_probability_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/delivery_probability_test.cpp.o.d"
+  "/root/repo/tests/core/ftd_queue_test.cpp" "tests/CMakeFiles/test_core.dir/core/ftd_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/ftd_queue_test.cpp.o.d"
+  "/root/repo/tests/core/ftd_test.cpp" "tests/CMakeFiles/test_core.dir/core/ftd_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/ftd_test.cpp.o.d"
+  "/root/repo/tests/core/listen_window_optimizer_test.cpp" "tests/CMakeFiles/test_core.dir/core/listen_window_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/listen_window_optimizer_test.cpp.o.d"
+  "/root/repo/tests/core/receiver_selection_test.cpp" "tests/CMakeFiles/test_core.dir/core/receiver_selection_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/receiver_selection_test.cpp.o.d"
+  "/root/repo/tests/core/sleep_controller_test.cpp" "tests/CMakeFiles/test_core.dir/core/sleep_controller_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sleep_controller_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dftmsn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/cts_window_optimizer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cts_window_optimizer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/delivery_probability_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/delivery_probability_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ftd_queue_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ftd_queue_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ftd_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ftd_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/listen_window_optimizer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/listen_window_optimizer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/receiver_selection_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/receiver_selection_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sleep_controller_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sleep_controller_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

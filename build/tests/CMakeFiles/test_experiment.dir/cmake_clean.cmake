@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment.dir/experiment/presets_test.cpp.o"
+  "CMakeFiles/test_experiment.dir/experiment/presets_test.cpp.o.d"
+  "CMakeFiles/test_experiment.dir/experiment/reproduction_test.cpp.o"
+  "CMakeFiles/test_experiment.dir/experiment/reproduction_test.cpp.o.d"
+  "CMakeFiles/test_experiment.dir/experiment/sweep_test.cpp.o"
+  "CMakeFiles/test_experiment.dir/experiment/sweep_test.cpp.o.d"
+  "CMakeFiles/test_experiment.dir/experiment/world_test.cpp.o"
+  "CMakeFiles/test_experiment.dir/experiment/world_test.cpp.o.d"
+  "test_experiment"
+  "test_experiment.pdb"
+  "test_experiment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mobility/mobility_manager_test.cpp" "tests/CMakeFiles/test_mobility.dir/mobility/mobility_manager_test.cpp.o" "gcc" "tests/CMakeFiles/test_mobility.dir/mobility/mobility_manager_test.cpp.o.d"
+  "/root/repo/tests/mobility/patrol_mobility_test.cpp" "tests/CMakeFiles/test_mobility.dir/mobility/patrol_mobility_test.cpp.o" "gcc" "tests/CMakeFiles/test_mobility.dir/mobility/patrol_mobility_test.cpp.o.d"
+  "/root/repo/tests/mobility/random_waypoint_test.cpp" "tests/CMakeFiles/test_mobility.dir/mobility/random_waypoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_mobility.dir/mobility/random_waypoint_test.cpp.o.d"
+  "/root/repo/tests/mobility/zone_mobility_test.cpp" "tests/CMakeFiles/test_mobility.dir/mobility/zone_mobility_test.cpp.o" "gcc" "tests/CMakeFiles/test_mobility.dir/mobility/zone_mobility_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dftmsn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy.dir/phy/channel_mobility_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/channel_mobility_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/channel_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/channel_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/energy_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/energy_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/radio_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/radio_test.cpp.o.d"
+  "test_phy"
+  "test_phy.pdb"
+  "test_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

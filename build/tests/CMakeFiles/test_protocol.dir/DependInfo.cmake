@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocol/mac_adaptive_test.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/mac_adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/mac_adaptive_test.cpp.o.d"
+  "/root/repo/tests/protocol/mac_common_test.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/mac_common_test.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/mac_common_test.cpp.o.d"
+  "/root/repo/tests/protocol/mac_fuzz_test.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/mac_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/mac_fuzz_test.cpp.o.d"
+  "/root/repo/tests/protocol/mac_integration_test.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/mac_integration_test.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/mac_integration_test.cpp.o.d"
+  "/root/repo/tests/protocol/mac_nav_test.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/mac_nav_test.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/mac_nav_test.cpp.o.d"
+  "/root/repo/tests/protocol/neighbor_table_test.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/neighbor_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/neighbor_table_test.cpp.o.d"
+  "/root/repo/tests/protocol/strategies_test.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/strategies_test.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/strategies_test.cpp.o.d"
+  "/root/repo/tests/protocol/stress_test.cpp" "tests/CMakeFiles/test_protocol.dir/protocol/stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dftmsn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

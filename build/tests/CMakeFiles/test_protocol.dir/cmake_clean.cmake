@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol.dir/protocol/mac_adaptive_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/mac_adaptive_test.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/mac_common_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/mac_common_test.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/mac_fuzz_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/mac_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/mac_integration_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/mac_integration_test.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/mac_nav_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/mac_nav_test.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/neighbor_table_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/neighbor_table_test.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/strategies_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/strategies_test.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/stress_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/protocol/stress_test.cpp.o.d"
+  "test_protocol"
+  "test_protocol.pdb"
+  "test_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
