@@ -1,7 +1,7 @@
 // dftmsn command-line runner: run any scenario/protocol combination from
 // the shell without writing C++.
 //
-//   dftmsn_cli [--protocol NAME] [--config FILE] [--reps N]
+//   dftmsn_cli [--protocol NAME] [--config FILE] [--reps N] [--jobs N]
 //              [--contacts-csv FILE] [--list-params] [key=value ...]
 //
 // Examples:
@@ -30,6 +30,9 @@ int usage(int code) {
       "  --preset NAME     paper|air|flu|sparse|pressure scenario preset\n"
       "  --config FILE     load key=value assignments from FILE first\n"
       "  --reps N          replicated runs with seeds seed..seed+N-1 (default 1)\n"
+      "  --jobs N          worker threads for replicated runs (default 1;\n"
+      "                    0 = one per hardware thread; results are\n"
+      "                    bit-identical for every N)\n"
       "  --contacts-csv F  write a contact trace to F (single-run only)\n"
       "  --list-params     print every configurable key with its default\n";
   return code;
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
   Config config;
   ProtocolKind kind = ProtocolKind::kOpt;
   int reps = 1;
+  int jobs = 1;
   std::string contacts_csv;
   std::vector<std::string> overrides;
 
@@ -99,6 +103,10 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (arg == "--jobs") {
+      jobs = std::atoi(next().c_str());  // <= 0 means auto (all cores)
+      continue;
+    }
     if (arg == "--contacts-csv") {
       contacts_csv = next();
       continue;
@@ -153,7 +161,7 @@ int main(int argc, char** argv) {
     std::cerr << "--contacts-csv requires --reps 1\n";
     return 2;
   }
-  const ReplicatedResult r = run_replicated(config, kind, reps);
+  const ReplicatedResult r = run_replicated(config, kind, reps, jobs);
   std::cout << "delivery_ratio=" << r.delivery_ratio.mean() << " +- "
             << r.delivery_ratio.ci95_half_width()
             << "\npower_mw=" << r.mean_power_mw.mean() << " +- "

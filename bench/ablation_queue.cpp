@@ -5,6 +5,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/sweep.hpp"
 #include "stats/csv.hpp"
@@ -26,29 +27,36 @@ int main() {
     const char* name;
     QueuePolicy policy;
   };
-  for (const Row row : {Row{"ftd-sorted", QueuePolicy::kFtdSorted},
-                        Row{"fifo", QueuePolicy::kFifo},
-                        Row{"random-drop", QueuePolicy::kRandomDrop}}) {
-    Config c;
-    c.scenario.duration_s = budget.duration_s;
-    c.scenario.num_sinks = 2;
-    c.scenario.data_interval_s = 60.0;
-    c.protocol.queue_capacity = 50;
-    c.protocol.queue_policy = row.policy;
+  const std::vector<Row> rows{Row{"ftd-sorted", QueuePolicy::kFtdSorted},
+                              Row{"fifo", QueuePolicy::kFifo},
+                              Row{"random-drop", QueuePolicy::kRandomDrop}};
 
+  std::vector<SweepPoint> points;
+  for (const Row& row : rows) {
+    SweepPoint p;
+    p.config.scenario.duration_s = budget.duration_s;
+    p.config.scenario.num_sinks = 2;
+    p.config.scenario.data_interval_s = 60.0;
+    p.config.scenario.seed = 1;
+    p.config.protocol.queue_capacity = 50;
+    p.config.protocol.queue_policy = row.policy;
+    points.push_back(p);
+  }
+  std::vector<std::vector<RunResult>> raw;
+  run_sweep(points, budget.replications, budget.jobs, &raw);
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
     Summary ratio, delay, ovf;
-    for (int rep = 0; rep < budget.replications; ++rep) {
-      c.scenario.seed = 1 + static_cast<std::uint64_t>(rep);
-      const RunResult r = run_once(c, ProtocolKind::kOpt);
+    for (const RunResult& r : raw[i]) {
       ratio.add(r.delivery_ratio);
       delay.add(r.mean_delay_s);
       ovf.add(static_cast<double>(r.drops_overflow));
     }
-    table.row({row.name, ConsoleTable::format(ratio.mean() * 100.0, 2),
+    table.row({rows[i].name, ConsoleTable::format(ratio.mean() * 100.0, 2),
                ConsoleTable::format(delay.mean(), 1),
                ConsoleTable::format(ovf.mean(), 0)});
-    csv.row({static_cast<double>(static_cast<int>(row.policy)), ratio.mean(),
-             delay.mean(), ovf.mean()});
+    csv.row({static_cast<double>(static_cast<int>(rows[i].policy)),
+             ratio.mean(), delay.mean(), ovf.mean()});
   }
   std::cout << "\nwrote ablation_queue.csv\n";
   return 0;

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/sweep.hpp"
 #include "stats/csv.hpp"
@@ -22,18 +23,29 @@ int main() {
   ConsoleTable table(std::cout, {"R", "drop_thr", "ratio%", "power_mW",
                                  "data_tx", "thr_drops"});
 
-  for (const double r_thr : {0.5, 0.7, 0.9, 0.99}) {
-    for (const double drop_thr : {0.7, 0.9, 0.999}) {
-      Config c;
-      c.scenario.duration_s = budget.duration_s;
-      c.scenario.num_sinks = 2;
-      c.protocol.delivery_threshold_r = r_thr;
-      c.protocol.ftd_drop_threshold = drop_thr;
+  const std::vector<double> r_thresholds{0.5, 0.7, 0.9, 0.99};
+  const std::vector<double> drop_thresholds{0.7, 0.9, 0.999};
 
+  std::vector<SweepPoint> points;
+  for (const double r_thr : r_thresholds) {
+    for (const double drop_thr : drop_thresholds) {
+      SweepPoint p;
+      p.config.scenario.duration_s = budget.duration_s;
+      p.config.scenario.num_sinks = 2;
+      p.config.scenario.seed = 1;
+      p.config.protocol.delivery_threshold_r = r_thr;
+      p.config.protocol.ftd_drop_threshold = drop_thr;
+      points.push_back(p);
+    }
+  }
+  std::vector<std::vector<RunResult>> raw;
+  run_sweep(points, budget.replications, budget.jobs, &raw);
+
+  std::size_t i = 0;
+  for (const double r_thr : r_thresholds) {
+    for (const double drop_thr : drop_thresholds) {
       Summary ratio, power, tx, drops;
-      for (int rep = 0; rep < budget.replications; ++rep) {
-        c.scenario.seed = 1 + static_cast<std::uint64_t>(rep);
-        const RunResult res = run_once(c, ProtocolKind::kOpt);
+      for (const RunResult& res : raw[i++]) {
         ratio.add(res.delivery_ratio);
         power.add(res.mean_power_mw);
         tx.add(static_cast<double>(res.data_transmissions));

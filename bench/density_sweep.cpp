@@ -4,6 +4,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/sweep.hpp"
 #include "stats/csv.hpp"
@@ -19,7 +20,8 @@ int main() {
   print_banner(std::cout, "SWEEP-D (Sec. 5, node density)",
                "Impact of sensor population on delivery ratio / power / "
                "delay (3 sinks).\nreps=" + std::to_string(budget.replications) +
-               " duration=" + std::to_string(budget.duration_s) + "s");
+               " duration=" + std::to_string(budget.duration_s) + "s" +
+               " jobs=" + std::to_string(resolve_jobs(budget.jobs)));
 
   CsvWriter csv("density_sweep.csv",
                 {"sensors", "protocol", "delivery_ratio", "power_mw",
@@ -27,13 +29,23 @@ int main() {
   ConsoleTable table(std::cout, {"sensors", "protocol", "ratio%", "power_mW",
                                  "delay_s", "ovh_bits"});
 
+  std::vector<SweepPoint> points;
   for (const int n : densities) {
     for (const ProtocolKind kind : protocols) {
-      Config config;
-      config.scenario.num_sensors = n;
-      config.scenario.duration_s = budget.duration_s;
-      const ReplicatedResult r =
-          run_replicated(config, kind, budget.replications);
+      SweepPoint p;
+      p.config.scenario.num_sensors = n;
+      p.config.scenario.duration_s = budget.duration_s;
+      p.kind = kind;
+      points.push_back(p);
+    }
+  }
+  const std::vector<ReplicatedResult> results =
+      run_sweep(points, budget.replications, budget.jobs);
+
+  std::size_t i = 0;
+  for (const int n : densities) {
+    for (const ProtocolKind kind : protocols) {
+      const ReplicatedResult& r = results[i++];
       table.row({ConsoleTable::format(n, 0), protocol_kind_name(kind),
                  ConsoleTable::format(r.delivery_ratio.mean() * 100.0, 2),
                  ConsoleTable::format(r.mean_power_mw.mean(), 3),

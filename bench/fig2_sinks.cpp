@@ -2,11 +2,13 @@
 // nodal power consumption rate, and average delivery delay as functions
 // of the number of sink nodes, for OPT / NOSLEEP / NOOPT / ZBR.
 //
-// Environment knobs: DFTMSN_BENCH_REPS, DFTMSN_BENCH_DURATION.
-// Writes fig2_sinks.csv next to the binary's working directory.
+// Environment knobs: DFTMSN_BENCH_REPS, DFTMSN_BENCH_DURATION,
+// DFTMSN_BENCH_JOBS. Writes fig2_sinks.csv next to the binary's working
+// directory.
 #include <iostream>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/sweep.hpp"
 #include "stats/csv.hpp"
@@ -24,7 +26,8 @@ int main() {
                "Impact of the number of sink nodes on delivery ratio, "
                "average nodal power and delivery delay.\n"
                "reps=" + std::to_string(budget.replications) +
-               " duration=" + std::to_string(budget.duration_s) + "s");
+               " duration=" + std::to_string(budget.duration_s) + "s" +
+               " jobs=" + std::to_string(resolve_jobs(budget.jobs)));
 
   CsvWriter csv("fig2_sinks.csv",
                 {"sinks", "protocol", "delivery_ratio", "power_mw",
@@ -34,14 +37,23 @@ int main() {
                      {"sinks", "protocol", "ratio%", "power_mW", "delay_s",
                       "ovh_bits", "collisions"});
 
+  std::vector<SweepPoint> points;
   for (const int sinks : sink_counts) {
     for (const ProtocolKind kind : protocols) {
-      Config config;
-      config.scenario.num_sinks = sinks;
-      config.scenario.duration_s = budget.duration_s;
-      const ReplicatedResult r =
-          run_replicated(config, kind, budget.replications);
+      SweepPoint p;
+      p.config.scenario.num_sinks = sinks;
+      p.config.scenario.duration_s = budget.duration_s;
+      p.kind = kind;
+      points.push_back(p);
+    }
+  }
+  const std::vector<ReplicatedResult> results =
+      run_sweep(points, budget.replications, budget.jobs);
 
+  std::size_t i = 0;
+  for (const int sinks : sink_counts) {
+    for (const ProtocolKind kind : protocols) {
+      const ReplicatedResult& r = results[i++];
       table.row({ConsoleTable::format(sinks, 0), protocol_kind_name(kind),
                  ConsoleTable::format(r.delivery_ratio.mean() * 100.0, 2),
                  ConsoleTable::format(r.mean_power_mw.mean(), 3),

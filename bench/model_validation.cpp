@@ -7,6 +7,7 @@
 // itself (ContactProbe), so this is a self-consistency check: simulated
 // DIRECT delivery must track the exponential-contact prediction.
 #include <iostream>
+#include <vector>
 
 #include "analysis/delivery_models.hpp"
 #include "experiment/runner.hpp"
@@ -28,7 +29,22 @@ int main() {
                      {"sinks", "lam_sink/h", "direct_sim%", "hetero_model%",
                       "meanfield%", "epidemic_sim%", "epi_model%"});
 
-  for (const int sinks : {1, 2, 3, 5}) {
+  const std::vector<int> sink_counts{1, 2, 3, 5};
+
+  // The epidemic comparison runs are independent of the probe worlds
+  // below, so fan them out across the worker pool up front.
+  std::vector<RunSpec> epi_specs;
+  for (const int sinks : sink_counts) {
+    RunSpec s;
+    s.config.scenario.num_sinks = sinks;
+    s.config.scenario.duration_s = budget.duration_s;
+    s.kind = ProtocolKind::kEpidemic;
+    epi_specs.push_back(s);
+  }
+  const std::vector<RunResult> epi_runs = run_specs(epi_specs, budget.jobs);
+
+  std::size_t si = 0;
+  for (const int sinks : sink_counts) {
     Config c;
     c.scenario.num_sinks = sinks;
     c.scenario.duration_s = budget.duration_s;
@@ -71,7 +87,7 @@ int main() {
     const double hetero_model =
         direct_delivery_ratio_heterogeneous(lambdas, c.scenario.duration_s);
 
-    const RunResult epi = run_once(c, ProtocolKind::kEpidemic);
+    const RunResult& epi = epi_runs[si++];
     const double epi_model = epidemic_delivery_ratio(
         beta, lambda_sink,
         static_cast<std::size_t>(c.scenario.num_sensors),

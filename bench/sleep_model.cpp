@@ -4,6 +4,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/sleep_controller.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/sweep.hpp"
@@ -42,19 +43,30 @@ int main() {
   }
 
   std::cout << "\nEnd-to-end (default scenario, " << budget.duration_s
-            << " s, " << budget.replications << " reps):\n";
+            << " s, " << budget.replications << " reps, "
+            << resolve_jobs(budget.jobs) << " jobs):\n";
   ConsoleTable e2e(std::cout, {"policy", "ratio%", "power_mW", "delay_s"});
   struct Policy {
     const char* name;
     ProtocolKind kind;
   };
-  for (const Policy p : {Policy{"adaptive (OPT)", ProtocolKind::kOpt},
-                         Policy{"fixed (NOOPT)", ProtocolKind::kNoOpt},
-                         Policy{"none (NOSLEEP)", ProtocolKind::kNoSleep}}) {
-    Config c = base;
-    c.scenario.duration_s = budget.duration_s;
-    const ReplicatedResult r = run_replicated(c, p.kind, budget.replications);
-    e2e.row({p.name,
+  const std::vector<Policy> policies{
+      Policy{"adaptive (OPT)", ProtocolKind::kOpt},
+      Policy{"fixed (NOOPT)", ProtocolKind::kNoOpt},
+      Policy{"none (NOSLEEP)", ProtocolKind::kNoSleep}};
+  std::vector<SweepPoint> points;
+  for (const Policy& p : policies) {
+    SweepPoint pt;
+    pt.config = base;
+    pt.config.scenario.duration_s = budget.duration_s;
+    pt.kind = p.kind;
+    points.push_back(pt);
+  }
+  const std::vector<ReplicatedResult> results =
+      run_sweep(points, budget.replications, budget.jobs);
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const ReplicatedResult& r = results[i];
+    e2e.row({policies[i].name,
              ConsoleTable::format(r.delivery_ratio.mean() * 100.0, 2),
              ConsoleTable::format(r.mean_power_mw.mean(), 3),
              ConsoleTable::format(r.mean_delay_s.mean(), 1)});

@@ -1,11 +1,17 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace dftmsn {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Relaxed is enough: the level is a filter, not a synchronization point.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes emission so concurrent worlds never interleave half-lines.
+std::mutex g_emit_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,13 +27,25 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& text) {
-  if (level < g_level) return;
-  std::cerr << "[dftmsn:" << level_name(level) << "] " << text << '\n';
+  if (level < log_level()) return;
+  // Compose the full line first, then emit it under the lock in one
+  // stream insertion, so lines from concurrent runs stay whole.
+  std::string line;
+  line.reserve(text.size() + 16);
+  line += "[dftmsn:";
+  line += level_name(level);
+  line += "] ";
+  line += text;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_emit_mu);
+  std::cerr << line;
 }
 
 }  // namespace dftmsn

@@ -1,5 +1,7 @@
 // Minimal leveled logger. Simulation-grade: cheap when disabled, writes to
-// stderr, no global locking needed (single-threaded kernel).
+// stderr. Thread-safe: the level is atomic and emission is serialized, so
+// concurrent Worlds (parallel experiment runs) may log freely — whole
+// lines never interleave.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,107 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace dftmsn {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++busy_;
+    }
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      --busy_;
+      if (queue_.empty() && busy_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+int hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int resolve_jobs(int requested) {
+  return requested <= 0 ? hardware_jobs() : requested;
+}
+
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const int workers = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, jobs)), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Dynamic scheduling over one shared counter: run lengths vary a lot
+  // across (config, seed) points, so static slicing would leave workers
+  // idle at the tail. Which worker claims which index never matters —
+  // body(i) depends only on i.
+  std::atomic<std::size_t> next{0};
+  ThreadPool pool(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        body(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,71 @@
+// Small reusable worker-thread pool plus a deterministic parallel_for,
+// used by the experiment layer to fan independent simulation runs across
+// cores. Determinism contract: parallel_for executes `body(i)` exactly
+// once for every index; callers that write result[i] from body(i) and
+// reduce in index order afterwards get output bit-identical to a serial
+// loop, regardless of the number of workers or scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dftmsn {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+/// Tasks must not throw out of the pool unobserved: exceptions escaping a
+/// task are rethrown from wait_idle() (first one wins, others dropped).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (minimum 1).
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers. Pending tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle, then
+  /// rethrows the first exception any task raised since the last wait.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t busy_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Number of hardware threads (>= 1 even when the runtime cannot tell).
+int hardware_jobs();
+
+/// Normalizes a user-supplied job count: values <= 0 mean "auto" and
+/// resolve to hardware_jobs(); anything else is returned unchanged.
+int resolve_jobs(int requested);
+
+/// Runs body(0..n-1), each index exactly once, across at most `jobs`
+/// worker threads. jobs <= 1 (or n <= 1) degrades to a plain serial loop
+/// on the calling thread — the serial and parallel paths execute the very
+/// same body, so per-index outputs are identical by construction. The
+/// first exception thrown by any body is rethrown after all indices
+/// complete or are abandoned.
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace dftmsn

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "experiment/world.hpp"
 
 namespace dftmsn {
@@ -36,19 +37,73 @@ RunResult run_once(const Config& config, ProtocolKind kind) {
   return r;
 }
 
-ReplicatedResult run_replicated(Config config, ProtocolKind kind,
-                                int replications) {
+std::vector<RunResult> run_specs(const std::vector<RunSpec>& specs,
+                                 int jobs) {
+  std::vector<RunResult> results(specs.size());
+  parallel_for(specs.size(), resolve_jobs(jobs), [&](std::size_t i) {
+    results[i] = run_once(specs[i].config, specs[i].kind);
+  });
+  return results;
+}
+
+namespace {
+
+/// Folds one point's per-replication results, in replication order.
+ReplicatedResult reduce_replications(const std::vector<RunResult>& runs) {
   ReplicatedResult out;
-  out.replications = replications;
-  const std::uint64_t base_seed = config.scenario.seed;
-  for (int rep = 0; rep < replications; ++rep) {
-    config.scenario.seed = base_seed + static_cast<std::uint64_t>(rep);
-    const RunResult r = run_once(config, kind);
+  out.replications = static_cast<int>(runs.size());
+  for (const RunResult& r : runs) {
     out.delivery_ratio.add(r.delivery_ratio);
     out.mean_power_mw.add(r.mean_power_mw);
     out.mean_delay_s.add(r.mean_delay_s);
     out.overhead_bits_per_delivery.add(r.overhead_bits_per_delivery);
     out.collisions.add(static_cast<double>(r.collisions));
+  }
+  return out;
+}
+
+}  // namespace
+
+ReplicatedResult run_replicated(Config config, ProtocolKind kind,
+                                int replications, int jobs) {
+  std::vector<SweepPoint> point(1);
+  point[0].config = std::move(config);
+  point[0].kind = kind;
+  return run_sweep(point, replications, jobs).front();
+}
+
+std::vector<ReplicatedResult> run_sweep(
+    const std::vector<SweepPoint>& points, int replications, int jobs,
+    std::vector<std::vector<RunResult>>* raw) {
+  if (replications < 0) replications = 0;
+
+  // Flatten the (point × replication) grid into one batch so the pool
+  // stays saturated even when a single point has few replications.
+  std::vector<RunSpec> specs;
+  specs.reserve(points.size() * static_cast<std::size_t>(replications));
+  for (const SweepPoint& p : points) {
+    const std::uint64_t base_seed = p.config.scenario.seed;
+    for (int rep = 0; rep < replications; ++rep) {
+      RunSpec s = p;
+      s.config.scenario.seed = base_seed + static_cast<std::uint64_t>(rep);
+      specs.push_back(std::move(s));
+    }
+  }
+
+  const std::vector<RunResult> flat = run_specs(specs, jobs);
+
+  std::vector<ReplicatedResult> out;
+  out.reserve(points.size());
+  if (raw) {
+    raw->clear();
+    raw->reserve(points.size());
+  }
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    const auto first = flat.begin() +
+        static_cast<std::ptrdiff_t>(pi * static_cast<std::size_t>(replications));
+    std::vector<RunResult> runs(first, first + replications);
+    out.push_back(reduce_replications(runs));
+    if (raw) raw->push_back(std::move(runs));
   }
   return out;
 }
@@ -62,6 +117,9 @@ BenchBudget bench_budget_from_env() {
   if (const char* dur = std::getenv("DFTMSN_BENCH_DURATION")) {
     const double v = std::atof(dur);
     if (v > 0) b.duration_s = v;
+  }
+  if (const char* jobs = std::getenv("DFTMSN_BENCH_JOBS")) {
+    b.jobs = std::atoi(jobs);  // <= 0 keeps the auto default
   }
   return b;
 }

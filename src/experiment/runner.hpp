@@ -1,5 +1,11 @@
 // Runs configured scenarios and reduces them to the paper's metrics,
-// with replication over seeds.
+// with replication over seeds — serially or across a worker-thread pool.
+//
+// Determinism contract: every run is a pure function of its (config,
+// protocol) pair — replication r always runs with seed base_seed + r and
+// World shares no mutable state between instances — and all reductions
+// happen on the calling thread in input-index order. Aggregates are
+// therefore bit-identical for every jobs value, including jobs=1.
 #pragma once
 
 #include <cstdint>
@@ -42,17 +48,48 @@ struct ReplicatedResult {
 /// Builds a World from `config`, runs it to the horizon, reduces metrics.
 RunResult run_once(const Config& config, ProtocolKind kind);
 
-/// Runs `replications` seeds (config.scenario.seed + r) and aggregates.
+/// One independent simulation in a batch: a fully-specified scenario
+/// (seed included in config.scenario.seed) and a protocol variant.
+struct RunSpec {
+  Config config;
+  ProtocolKind kind = ProtocolKind::kOpt;
+};
+
+/// Runs every spec across up to `jobs` worker threads (jobs <= 1: serial
+/// on the calling thread; jobs <= 0: one per hardware thread). Results
+/// come back in input order, independent of scheduling.
+std::vector<RunResult> run_specs(const std::vector<RunSpec>& specs,
+                                 int jobs = 1);
+
+/// Expands `replications` seeds (config.scenario.seed + r for replication
+/// r — never a function of thread count or finish order), runs them via
+/// run_specs, and folds the results in replication order.
 ReplicatedResult run_replicated(Config config, ProtocolKind kind,
-                                int replications);
+                                int replications, int jobs = 1);
+
+/// A grid point of a parameter sweep: the scenario at that point plus the
+/// protocol to run it under (seed taken as the point's base seed).
+using SweepPoint = RunSpec;
+
+/// Replicates every grid point `replications` times and schedules the
+/// whole (point × replication) batch over one shared pool, so narrow
+/// grids still saturate the machine. out[i] aggregates points[i]'s
+/// replications in seed order; optionally exposes each point's raw
+/// per-replication RunResults via `raw` (indexed [point][replication]).
+std::vector<ReplicatedResult> run_sweep(
+    const std::vector<SweepPoint>& points, int replications, int jobs = 1,
+    std::vector<std::vector<RunResult>>* raw = nullptr);
 
 /// Benchmark knobs shared by the bench/ binaries, overridable from the
 /// environment so the full harness can be dialed down for smoke runs:
 ///   DFTMSN_BENCH_REPS      (default 3)  replications per point
 ///   DFTMSN_BENCH_DURATION  (default 25000) seconds of simulated time
+///   DFTMSN_BENCH_JOBS      (default 0 = one per hardware thread)
+///                          worker threads for replicated runs/sweeps
 struct BenchBudget {
   int replications = 3;
   double duration_s = 25'000.0;
+  int jobs = 0;  ///< <= 0: auto (hardware concurrency)
 };
 BenchBudget bench_budget_from_env();
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace dftmsn {
 namespace {
 
@@ -50,6 +54,66 @@ TEST_F(LoggingTest, OffSilencesEverything) {
   testing::internal::CaptureStderr();
   log(LogLevel::kError, "nope");
   EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, ConcurrentEmittersNeverInterleaveLines) {
+  // The parallel experiment engine logs from several Worlds at once;
+  // every emitted line must come out whole, and every message must
+  // arrive exactly once.
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  constexpr int kThreads = 8;
+  constexpr int kLines = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i)
+        log(LogLevel::kInfo, "thread=", t, " line=", i, " end");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::string out = testing::internal::GetCapturedStderr();
+
+  int complete_lines = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find('\n', pos)) != std::string::npos) {
+    ++complete_lines;
+    ++pos;
+  }
+  EXPECT_EQ(complete_lines, kThreads * kLines);
+  // Every line is well-formed: prefix present, terminator present.
+  std::size_t prefix_count = 0;
+  for (pos = 0; (pos = out.find("[dftmsn:INFO] thread=", pos)) !=
+                std::string::npos;
+       ++prefix_count, ++pos) {
+  }
+  EXPECT_EQ(prefix_count, static_cast<std::size_t>(kThreads * kLines));
+  // Spot-check that each thread's full set of payloads arrived.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i : {0, kLines - 1}) {
+      const std::string needle = "thread=" + std::to_string(t) +
+                                 " line=" + std::to_string(i) + " end\n";
+      EXPECT_NE(out.find(needle), std::string::npos) << needle;
+    }
+  }
+}
+
+TEST_F(LoggingTest, LevelIsSafeToReadConcurrently) {
+  // set/get from several threads must be data-race-free (atomic level).
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 1000; ++i) {
+        set_log_level(t % 2 == 0 ? LogLevel::kWarn : LogLevel::kError);
+        (void)log_level();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const LogLevel final_level = log_level();
+  EXPECT_TRUE(final_level == LogLevel::kWarn ||
+              final_level == LogLevel::kError);
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dftmsn {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&] { count.fetch_add(1); });
+  }  // no wait_idle: the destructor must still run everything
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  ThreadPool pool2(-3);
+  EXPECT_EQ(pool2.size(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable after an exception was consumed.
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 4, 13}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(hits.size(), jobs,
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+  }
+}
+
+TEST(ParallelForTest, SerialAndParallelProduceIdenticalSlots) {
+  const std::size_t n = 64;
+  std::vector<double> serial(n), parallel(n);
+  const auto body = [](std::size_t i) {
+    double x = static_cast<double>(i) + 1.0;
+    for (int k = 0; k < 100; ++k) x = x * 1.0000001 + 0.5;
+    return x;
+  };
+  parallel_for(n, 1, [&](std::size_t i) { serial[i] = body(i); });
+  parallel_for(n, 8, [&](std::size_t i) { parallel[i] = body(i); });
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(serial[i], parallel[i]) << i;  // bit-identical, not just near
+}
+
+TEST(ParallelForTest, EmptyAndSingleElementRanges) {
+  int calls = 0;
+  parallel_for(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 8, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  EXPECT_THROW(parallel_for(16, 4,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("bad");
+                            }),
+               std::runtime_error);
+}
+
+TEST(JobResolutionTest, AutoAndExplicit) {
+  EXPECT_GE(hardware_jobs(), 1);
+  EXPECT_EQ(resolve_jobs(0), hardware_jobs());
+  EXPECT_EQ(resolve_jobs(-1), hardware_jobs());
+  EXPECT_EQ(resolve_jobs(3), 3);
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,73 @@
+// Golden-metrics regression pin: the paper-preset headline numbers at a
+// fixed seed, recorded once and asserted exactly ever since. A failure
+// here does not necessarily mean "wrong" — it means the reproduction
+// DRIFTED: some change altered simulated behavior (event order, RNG
+// consumption, FP reduction order) and the committed baselines in
+// EXPERIMENTS.md no longer describe what the code computes. Update the
+// constants only after deliberately re-validating the figures.
+//
+// Integer counters are pinned exactly. Derived doubles are pinned to a
+// 1e-12 relative tolerance so an IEEE-conformant compiler change cannot
+// fire it spuriously while any behavioral change still will.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "experiment/presets.hpp"
+#include "experiment/runner.hpp"
+
+namespace dftmsn {
+namespace {
+
+constexpr double kRelTol = 1e-12;
+
+void expect_rel(double actual, double golden, const char* what) {
+  EXPECT_NEAR(actual, golden, std::abs(golden) * kRelTol + 1e-15) << what;
+}
+
+TEST(GoldenMetrics, PaperPresetOptSeed42) {
+  Config c = *scenario_preset("paper");
+  c.scenario.seed = 42;
+  const RunResult r = run_once(c, ProtocolKind::kOpt);
+
+  // --- golden values: paper preset (100 sensors, 3 sinks, 25 000 s),
+  // --- OPT protocol, seed 42. Recorded 2026-08-06.
+  EXPECT_EQ(r.generated, 20568u);
+  EXPECT_EQ(r.delivered, 19993u);
+  EXPECT_EQ(r.collisions, 19127u);
+  EXPECT_EQ(r.attempts, 952107u);
+  EXPECT_EQ(r.failed_attempts, 718951u);
+  EXPECT_EQ(r.data_transmissions, 145389u);
+  EXPECT_EQ(r.drops_overflow, 3165u);
+  EXPECT_EQ(r.drops_threshold, 12682u);
+  EXPECT_EQ(r.events_executed, 7875106u);
+
+  expect_rel(r.delivery_ratio, 0.97204395176973946, "delivery_ratio");
+  expect_rel(r.mean_power_mw, 0.97632643777041572, "mean_power_mw");
+  expect_rel(r.mean_delay_s, 692.7272015138617, "mean_delay_s");
+  expect_rel(r.mean_hops, 1.7616165657980294, "mean_hops");
+  expect_rel(r.overhead_bits_per_delivery, 12324.283499224728,
+             "overhead_bits_per_delivery");
+}
+
+TEST(GoldenMetrics, PaperPresetZbrSeed42) {
+  // A second pin on the comparison protocol guards the baselines the
+  // paper's relative claims are judged against.
+  Config c = *scenario_preset("paper");
+  c.scenario.seed = 42;
+  const RunResult r = run_once(c, ProtocolKind::kZbr);
+
+  EXPECT_EQ(r.generated, 20568u);
+  EXPECT_EQ(r.delivered, 12113u);
+  EXPECT_EQ(r.collisions, 50835u);
+  EXPECT_EQ(r.drops_overflow, 7620u);
+  EXPECT_EQ(r.events_executed, 13490703u);
+  expect_rel(r.delivery_ratio, 0.58892454297938546, "delivery_ratio");
+  expect_rel(r.mean_power_mw, 2.1700894715471262, "mean_power_mw");
+  expect_rel(r.mean_delay_s, 1906.7015932557945, "mean_delay_s");
+  expect_rel(r.overhead_bits_per_delivery, 30173.499545942377,
+             "overhead_bits_per_delivery");
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,204 @@
+// Serial/parallel equivalence suite for the experiment engine: whatever
+// the worker count, run_replicated / run_sweep must return aggregates
+// BIT-IDENTICAL to the jobs=1 path. This is the guarantee that lets the
+// benches fan the paper's figures across cores without perturbing a
+// single reproduced number.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "experiment/presets.hpp"
+#include "experiment/runner.hpp"
+
+namespace dftmsn {
+namespace {
+
+// Exact (bitwise) comparison of two summaries. EXPECT_EQ on doubles is
+// deliberate: "close" is not good enough — the parallel engine promises
+// the identical floating-point reduction order.
+void expect_identical(const Summary& a, const Summary& b, const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.variance(), b.variance()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+  EXPECT_EQ(a.ci95_half_width(), b.ci95_half_width()) << what;
+}
+
+void expect_identical(const ReplicatedResult& a, const ReplicatedResult& b) {
+  EXPECT_EQ(a.replications, b.replications);
+  expect_identical(a.delivery_ratio, b.delivery_ratio, "delivery_ratio");
+  expect_identical(a.mean_power_mw, b.mean_power_mw, "mean_power_mw");
+  expect_identical(a.mean_delay_s, b.mean_delay_s, "mean_delay_s");
+  expect_identical(a.overhead_bits_per_delivery, b.overhead_bits_per_delivery,
+                   "overhead_bits_per_delivery");
+  expect_identical(a.collisions, b.collisions, "collisions");
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.mean_power_mw, b.mean_power_mw);
+  EXPECT_EQ(a.mean_delay_s, b.mean_delay_s);
+  EXPECT_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_EQ(a.overhead_bits_per_delivery, b.overhead_bits_per_delivery);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.failed_attempts, b.failed_attempts);
+  EXPECT_EQ(a.data_transmissions, b.data_transmissions);
+  EXPECT_EQ(a.drops_overflow, b.drops_overflow);
+  EXPECT_EQ(a.drops_threshold, b.drops_threshold);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+// Short horizons + small populations keep the suite quick; the engine is
+// agnostic to scale, so the guarantee transfers to the full scenarios.
+Config shrunk(Config c) {
+  c.scenario.num_sensors = std::min(c.scenario.num_sensors, 25);
+  c.scenario.duration_s = std::min(c.scenario.duration_s, 1'500.0);
+  return c;
+}
+
+TEST(ParallelDeterminism, ReplicatedAcrossPresetsAndProtocols) {
+  const std::vector<std::string> presets{"paper", "sparse", "pressure"};
+  const std::vector<ProtocolKind> kinds{
+      ProtocolKind::kOpt, ProtocolKind::kZbr, ProtocolKind::kEpidemic};
+  for (const std::string& preset : presets) {
+    const auto cfg = scenario_preset(preset);
+    ASSERT_TRUE(cfg.has_value()) << preset;
+    for (const ProtocolKind kind : kinds) {
+      const Config c = shrunk(*cfg);
+      const ReplicatedResult serial = run_replicated(c, kind, 4, /*jobs=*/1);
+      const ReplicatedResult parallel = run_replicated(c, kind, 4, /*jobs=*/4);
+      SCOPED_TRACE(preset + "/" + protocol_kind_name(kind));
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, OversubscribedJobsStillIdentical) {
+  // More workers than replications, and "auto" (jobs=0): same numbers.
+  Config c;
+  c.scenario.num_sensors = 20;
+  c.scenario.duration_s = 1'000.0;
+  const ReplicatedResult serial =
+      run_replicated(c, ProtocolKind::kOpt, 3, /*jobs=*/1);
+  const ReplicatedResult wide =
+      run_replicated(c, ProtocolKind::kOpt, 3, /*jobs=*/16);
+  const ReplicatedResult automatic =
+      run_replicated(c, ProtocolKind::kOpt, 3, /*jobs=*/0);
+  expect_identical(serial, wide);
+  expect_identical(serial, automatic);
+}
+
+TEST(ParallelDeterminism, SweepGridIdenticalIncludingRawRuns) {
+  std::vector<SweepPoint> points;
+  for (const int sinks : {1, 3}) {
+    for (const ProtocolKind kind :
+         {ProtocolKind::kOpt, ProtocolKind::kDirect}) {
+      SweepPoint p;
+      p.config.scenario.num_sensors = 20;
+      p.config.scenario.num_sinks = sinks;
+      p.config.scenario.duration_s = 1'000.0;
+      p.kind = kind;
+      points.push_back(p);
+    }
+  }
+  std::vector<std::vector<RunResult>> raw1, raw4;
+  const auto serial = run_sweep(points, 2, /*jobs=*/1, &raw1);
+  const auto parallel = run_sweep(points, 2, /*jobs=*/4, &raw4);
+  ASSERT_EQ(serial.size(), points.size());
+  ASSERT_EQ(parallel.size(), points.size());
+  ASSERT_EQ(raw1.size(), raw4.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], parallel[i]);
+    ASSERT_EQ(raw1[i].size(), raw4[i].size());
+    for (std::size_t r = 0; r < raw1[i].size(); ++r)
+      expect_identical(raw1[i][r], raw4[i][r]);
+  }
+}
+
+TEST(ParallelDeterminism, SeedDerivationIsPureFunctionOfReplication) {
+  // Replication r always runs seed base+r, so run_replicated must equal a
+  // hand-rolled serial loop over run_once regardless of worker count.
+  Config c;
+  c.scenario.num_sensors = 20;
+  c.scenario.duration_s = 1'000.0;
+  c.scenario.seed = 77;
+
+  ReplicatedResult manual;
+  manual.replications = 3;
+  for (int rep = 0; rep < 3; ++rep) {
+    Config cr = c;
+    cr.scenario.seed = 77 + static_cast<std::uint64_t>(rep);
+    const RunResult r = run_once(cr, ProtocolKind::kOpt);
+    manual.delivery_ratio.add(r.delivery_ratio);
+    manual.mean_power_mw.add(r.mean_power_mw);
+    manual.mean_delay_s.add(r.mean_delay_s);
+    manual.overhead_bits_per_delivery.add(r.overhead_bits_per_delivery);
+    manual.collisions.add(static_cast<double>(r.collisions));
+  }
+  const ReplicatedResult engine =
+      run_replicated(c, ProtocolKind::kOpt, 3, /*jobs=*/4);
+  expect_identical(manual, engine);
+}
+
+TEST(ParallelDeterminism, ConcurrentWorldsShareNoMutableState) {
+  // The audit test for satellite "fix run_once/World for concurrent use":
+  // N threads running the *same* (config, seed) must all reproduce the
+  // serial result exactly — any shared mutable static (RNG, logging, id
+  // allocation, caches) would show up as divergence or as a TSan race.
+  Config c;
+  c.scenario.num_sensors = 20;
+  c.scenario.duration_s = 1'000.0;
+  const RunResult expected = run_once(c, ProtocolKind::kOpt);
+
+  constexpr int kThreads = 8;
+  std::vector<RunResult> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = run_once(c, ProtocolKind::kOpt); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    SCOPED_TRACE(t);
+    expect_identical(expected, results[t]);
+  }
+}
+
+TEST(ParallelDeterminism, MixedProtocolsConcurrently) {
+  // Different protocol variants running side by side must not interfere.
+  const std::vector<ProtocolKind> kinds{
+      ProtocolKind::kOpt, ProtocolKind::kNoOpt, ProtocolKind::kNoSleep,
+      ProtocolKind::kZbr, ProtocolKind::kDirect, ProtocolKind::kEpidemic};
+  Config c;
+  c.scenario.num_sensors = 15;
+  c.scenario.duration_s = 800.0;
+
+  std::vector<RunResult> serial;
+  serial.reserve(kinds.size());
+  for (const ProtocolKind k : kinds) serial.push_back(run_once(c, k));
+
+  std::vector<RunResult> concurrent(kinds.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    threads.emplace_back(
+        [&, i] { concurrent[i] = run_once(c, kinds[i]); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    SCOPED_TRACE(protocol_kind_name(kinds[i]));
+    expect_identical(serial[i], concurrent[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,141 @@
+// Property tests for the Summary (Welford + CI) math the parallel
+// experiment engine reduces with: invariants that must hold for *any*
+// input sequence, checked over seeded random sequences, plus the n=0/1
+// edge cases the reduction hits on empty/degenerate batches.
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace dftmsn {
+namespace {
+
+std::vector<double> random_sequence(std::uint64_t seed, std::size_t n,
+                                    double lo, double hi) {
+  RandomStream rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.uniform(lo, hi));
+  return xs;
+}
+
+TEST(SummaryProperty, MeanBoundedByMinAndMax) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto xs = random_sequence(seed, 50, -1e3, 1e3);
+    Summary s;
+    for (double x : xs) s.add(x);
+    EXPECT_LE(s.min(), s.mean()) << seed;
+    EXPECT_GE(s.max(), s.mean()) << seed;
+    EXPECT_EQ(s.min(), *std::min_element(xs.begin(), xs.end())) << seed;
+    EXPECT_EQ(s.max(), *std::max_element(xs.begin(), xs.end())) << seed;
+  }
+}
+
+TEST(SummaryProperty, VarianceNonNegativeAndZeroForConstant) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto xs = random_sequence(seed, 40, -50.0, 50.0);
+    Summary s;
+    for (double x : xs) s.add(x);
+    EXPECT_GE(s.variance(), 0.0) << seed;
+    EXPECT_GE(s.stddev(), 0.0) << seed;
+  }
+  Summary constant;
+  for (int i = 0; i < 10; ++i) constant.add(3.25);
+  EXPECT_DOUBLE_EQ(constant.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(constant.ci95_half_width(), 0.0);
+}
+
+TEST(SummaryProperty, CiShrinksAsSamplesAccumulate) {
+  // For a repeating pattern (stable spread), the 1.96·s/√n half-width
+  // must be monotonically non-increasing as n grows in pattern periods.
+  const std::vector<double> pattern{1.0, 5.0, 9.0, 5.0};
+  Summary s;
+  double previous = 1e300;
+  for (int period = 0; period < 30; ++period) {
+    for (double x : pattern) s.add(x);
+    const double hw = s.ci95_half_width();
+    if (period >= 1) {  // needs at least two periods for a stable s
+      EXPECT_LE(hw, previous + 1e-12) << "period " << period;
+    }
+    previous = hw;
+  }
+  EXPECT_GT(previous, 0.0);
+}
+
+TEST(SummaryProperty, CiHalfWidthMatchesClosedForm) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto xs = random_sequence(seed, 25, 0.0, 10.0);
+    Summary s;
+    double sum = 0.0;
+    for (double x : xs) {
+      s.add(x);
+      sum += x;
+    }
+    const double mean = sum / static_cast<double>(xs.size());
+    double sq = 0.0;
+    for (double x : xs) sq += (x - mean) * (x - mean);
+    const double sample_sd = std::sqrt(sq / static_cast<double>(xs.size() - 1));
+    const double expected =
+        1.96 * sample_sd / std::sqrt(static_cast<double>(xs.size()));
+    EXPECT_NEAR(s.ci95_half_width(), expected, 1e-9) << seed;
+  }
+}
+
+TEST(SummaryProperty, MeanMatchesNaiveSum) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto xs = random_sequence(seed, 64, -10.0, 10.0);
+    Summary s;
+    double sum = 0.0;
+    for (double x : xs) {
+      s.add(x);
+      sum += x;
+    }
+    EXPECT_NEAR(s.mean(), sum / static_cast<double>(xs.size()), 1e-12) << seed;
+  }
+}
+
+TEST(SummaryProperty, EdgeCasesEmptyAndSingle) {
+  // n=0: the reduction of an empty batch must be all-zeros, not NaN.
+  Summary empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.variance(), 0.0);
+  EXPECT_EQ(empty.stddev(), 0.0);
+  EXPECT_EQ(empty.ci95_half_width(), 0.0);
+  EXPECT_FALSE(std::isnan(empty.mean()));
+
+  // n=1: zero spread, zero CI, mean = the sample.
+  Summary one;
+  one.add(-7.5);
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_DOUBLE_EQ(one.mean(), -7.5);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(one.ci95_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(one.min(), -7.5);
+  EXPECT_DOUBLE_EQ(one.max(), -7.5);
+}
+
+TEST(SummaryProperty, OrderInvariantCountMinMax) {
+  // count/min/max are order-invariant; mean is order-invariant up to FP
+  // rounding (the engine never relies on more: it fixes ONE order).
+  const auto xs = random_sequence(9, 30, -5.0, 5.0);
+  auto reversed = xs;
+  std::reverse(reversed.begin(), reversed.end());
+  Summary fwd, rev;
+  for (double x : xs) fwd.add(x);
+  for (double x : reversed) rev.add(x);
+  EXPECT_EQ(fwd.count(), rev.count());
+  EXPECT_EQ(fwd.min(), rev.min());
+  EXPECT_EQ(fwd.max(), rev.max());
+  EXPECT_NEAR(fwd.mean(), rev.mean(), 1e-12);
+  EXPECT_NEAR(fwd.variance(), rev.variance(), 1e-9);
+}
+
+}  // namespace
+}  // namespace dftmsn
