@@ -2,11 +2,13 @@
 // the shell without writing C++.
 //
 //   dftmsn_cli [--protocol NAME] [--config FILE] [--reps N] [--jobs N]
-//              [--contacts-csv FILE] [--list-params] [key=value ...]
+//              [--faults PLAN] [--check-invariants] [--contacts-csv FILE]
+//              [--list-params] [key=value ...]
 //
 // Examples:
 //   dftmsn_cli --protocol OPT scenario.num_sinks=5 scenario.duration_s=10000
 //   dftmsn_cli --protocol ZBR --reps 5 protocol.queue_capacity=50
+//   dftmsn_cli --faults "crash@12500:frac=0.3" --check-invariants
 //   dftmsn_cli --list-params
 #include <iostream>
 #include <string>
@@ -33,6 +35,11 @@ int usage(int code) {
       "  --jobs N          worker threads for replicated runs (default 1;\n"
       "                    0 = one per hardware thread; results are\n"
       "                    bit-identical for every N)\n"
+      "  --faults PLAN     deterministic fault plan, e.g.\n"
+      "                    \"crash@600:frac=0.3;loss@100:prob=0.5,for=50\"\n"
+      "                    (= faults.plan; see docs/fault_injection.md)\n"
+      "  --check-invariants  verify protocol invariants after every event;\n"
+      "                    first violation aborts with exit code 3\n"
       "  --contacts-csv F  write a contact trace to F (single-run only)\n"
       "  --list-params     print every configurable key with its default\n";
   return code;
@@ -107,6 +114,14 @@ int main(int argc, char** argv) {
       jobs = std::atoi(next().c_str());  // <= 0 means auto (all cores)
       continue;
     }
+    if (arg == "--faults") {
+      config.faults.plan = next();
+      continue;
+    }
+    if (arg == "--check-invariants") {
+      config.faults.check_invariants = true;
+      continue;
+    }
     if (arg == "--contacts-csv") {
       contacts_csv = next();
       continue;
@@ -129,44 +144,67 @@ int main(int argc, char** argv) {
             << " duration=" << config.scenario.duration_s << "s"
             << " reps=" << reps << "\n";
 
-  if (reps == 1) {
-    World world(config, kind);
-    std::unique_ptr<CsvTraceSink> csv;
-    std::unique_ptr<ContactProbe> probe;
-    if (!contacts_csv.empty()) {
-      csv = std::make_unique<CsvTraceSink>(contacts_csv);
-      probe = std::make_unique<ContactProbe>(
-          world.sim(), world.mobility(), config.radio.range_m, 1.0, *csv);
-      probe->start();
+  try {
+    if (reps == 1) {
+      World world(config, kind);
+      std::unique_ptr<CsvTraceSink> csv;
+      std::unique_ptr<ContactProbe> probe;
+      if (!contacts_csv.empty()) {
+        csv = std::make_unique<CsvTraceSink>(contacts_csv);
+        probe = std::make_unique<ContactProbe>(
+            world.sim(), world.mobility(), config.radio.range_m, 1.0, *csv);
+        probe->start();
+      }
+      world.run();
+      if (probe) probe->finish();
+
+      const Metrics& m = world.metrics();
+      std::cout << "delivery_ratio=" << m.delivery_ratio()
+                << " power_mw=" << world.mean_sensor_power_mw()
+                << " delay_s=" << m.mean_delay_s()
+                << " hops=" << m.mean_hops() << "\n"
+                << "generated=" << m.generated()
+                << " delivered=" << m.delivered_unique()
+                << " data_tx=" << m.data_transmissions()
+                << " collisions=" << world.channel().counters().collisions
+                << " drops_overflow=" << m.drops(DropReason::kOverflow)
+                << " drops_ftd=" << m.drops(DropReason::kFtdThreshold) << "\n";
+      if (const FaultInjector* inj = world.fault_injector()) {
+        const FaultInjector::Counters& fc = inj->counters();
+        std::cout << "faults: crashes=" << fc.crashes
+                  << " outages=" << fc.outages
+                  << " recoveries=" << fc.recoveries
+                  << " loss_bursts=" << fc.loss_bursts
+                  << " pressure=" << fc.pressure_events
+                  << " drops_node_failure="
+                  << m.drops(DropReason::kNodeFailure)
+                  << " frames_corrupted="
+                  << world.channel().counters().faults_corrupted << "\n";
+      }
+      if (const InvariantChecker* chk = world.invariant_checker())
+        std::cout << "invariants: sweeps=" << chk->sweeps_run()
+                  << " (all passed)\n";
+      if (csv) std::cout << "wrote " << contacts_csv << "\n";
+      return 0;
     }
-    world.run();
-    if (probe) probe->finish();
 
-    const Metrics& m = world.metrics();
-    std::cout << "delivery_ratio=" << m.delivery_ratio()
-              << " power_mw=" << world.mean_sensor_power_mw()
-              << " delay_s=" << m.mean_delay_s()
-              << " hops=" << m.mean_hops() << "\n"
-              << "generated=" << m.generated()
-              << " delivered=" << m.delivered_unique()
-              << " data_tx=" << m.data_transmissions()
-              << " collisions=" << world.channel().counters().collisions
-              << " drops_overflow=" << m.drops(DropReason::kOverflow)
-              << " drops_ftd=" << m.drops(DropReason::kFtdThreshold) << "\n";
-    if (csv) std::cout << "wrote " << contacts_csv << "\n";
-    return 0;
-  }
-
-  if (!contacts_csv.empty()) {
-    std::cerr << "--contacts-csv requires --reps 1\n";
+    if (!contacts_csv.empty()) {
+      std::cerr << "--contacts-csv requires --reps 1\n";
+      return 2;
+    }
+    const ReplicatedResult r = run_replicated(config, kind, reps, jobs);
+    std::cout << "delivery_ratio=" << r.delivery_ratio.mean() << " +- "
+              << r.delivery_ratio.ci95_half_width()
+              << "\npower_mw=" << r.mean_power_mw.mean() << " +- "
+              << r.mean_power_mw.ci95_half_width()
+              << "\ndelay_s=" << r.mean_delay_s.mean() << " +- "
+              << r.mean_delay_s.ci95_half_width() << "\n";
+  } catch (const InvariantViolation& v) {
+    std::cerr << v.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {  // e.g. a malformed --faults plan
+    std::cerr << e.what() << "\n";
     return 2;
   }
-  const ReplicatedResult r = run_replicated(config, kind, reps, jobs);
-  std::cout << "delivery_ratio=" << r.delivery_ratio.mean() << " +- "
-            << r.delivery_ratio.ci95_half_width()
-            << "\npower_mw=" << r.mean_power_mw.mean() << " +- "
-            << r.mean_power_mw.ci95_half_width()
-            << "\ndelay_s=" << r.mean_delay_s.mean() << " +- "
-            << r.mean_delay_s.ci95_half_width() << "\n";
   return 0;
 }

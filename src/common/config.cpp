@@ -81,6 +81,9 @@ void Config::validate() const {
   require(scenario.duration_s > 0, "duration must be positive");
   require(scenario.warmup_s >= 0 && scenario.warmup_s < scenario.duration_s,
           "warm-up must lie within the run");
+
+  require(faults.invariant_stride >= 1,
+          "invariant stride must be at least 1");
 }
 
 }  // namespace dftmsn

@@ -114,6 +114,19 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
 };
 
+/// Fault-injection and runtime-verification parameters. The plan string
+/// rides inside the Config so it reaches every replicated/parallel run
+/// unchanged (determinism: plan + seed fully determine the fault
+/// schedule; see docs/fault_injection.md for the grammar).
+struct FaultConfig {
+  /// Fault plan spec, e.g. "crash@600:frac=0.3;outage@200:node=5,for=100".
+  /// Empty = no faults.
+  std::string plan;
+  /// Run the InvariantChecker after every `invariant_stride`-th event.
+  bool check_invariants = false;
+  int invariant_stride = 1;
+};
+
 /// Everything a run needs.
 struct Config {
   RadioConfig radio;
@@ -122,6 +135,7 @@ struct Config {
   SleepConfig sleep;
   ContentionConfig contention;
   ScenarioConfig scenario;
+  FaultConfig faults;
 
   /// Validates cross-field invariants; throws std::invalid_argument on
   /// nonsensical combinations (negative durations, empty field, ...).

@@ -132,6 +132,15 @@ const std::vector<Field>& fields() {
       DFTMSN_FIELD_D(scenario.duration_s),
       DFTMSN_FIELD_D(scenario.warmup_s),
       DFTMSN_FIELD_I(scenario.seed, std::uint64_t),
+      DFTMSN_FIELD_B(faults.check_invariants),
+      DFTMSN_FIELD_I(faults.invariant_stride, int),
+      // The fault plan is a free-form string (validated by
+      // parse_fault_plan at World construction, not here). Note the
+      // assignment splitter takes the FIRST '=', so plan values
+      // containing '=' (node=3,...) pass through intact.
+      Field{"faults.plan",
+            [](Config& c, const std::string& v) { c.faults.plan = v; },
+            [](const Config& c) { return c.faults.plan; }},
       // Queue policy needs a custom parser.
       Field{"protocol.queue_policy",
             [](Config& c, const std::string& v) {

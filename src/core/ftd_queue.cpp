@@ -142,6 +142,37 @@ std::size_t FtdQueue::count_more_important_than(double bound) const {
   return n;
 }
 
+std::vector<FtdQueue::DropRecord> FtdQueue::set_capacity(
+    std::size_t capacity) {
+  if (capacity == 0) throw std::invalid_argument("FtdQueue: capacity == 0");
+  capacity_ = capacity;
+  std::vector<DropRecord> evicted;
+  while (items_.size() > capacity_) {
+    evicted.push_back(DropRecord{items_.back().msg, DropReason::kOverflow});
+    items_.pop_back();
+  }
+  return evicted;
+}
+
+std::vector<FtdQueue::DropRecord> FtdQueue::wipe() {
+  std::vector<DropRecord> lost;
+  lost.reserve(items_.size());
+  for (const QueuedMessage& q : items_)
+    lost.push_back(DropRecord{q.msg, DropReason::kNodeFailure});
+  items_.clear();
+  return lost;
+}
+
+bool FtdQueue::poison_ftd_for_test(MessageId id, double ftd) {
+  for (QueuedMessage& q : items_) {
+    if (q.msg.id == id) {
+      q.ftd = ftd;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool FtdQueue::contains(MessageId id) const {
   return std::any_of(items_.begin(), items_.end(),
                      [id](const QueuedMessage& q) { return q.msg.id == id; });

@@ -15,6 +15,7 @@ enum class DropReason {
   kOverflow,        ///< queue full, lowest-importance tail evicted
   kFtdThreshold,    ///< FTD exceeded the configured threshold
   kDelivered,       ///< copy reached a sink (FTD = 1)
+  kNodeFailure,     ///< holding node crashed (fault injection)
 };
 
 /// Ordering discipline — kFtdSorted reproduces the paper; the others exist
@@ -75,6 +76,22 @@ class FtdQueue {
   [[nodiscard]] std::size_t count_more_important_than(double bound) const;
 
   [[nodiscard]] bool contains(MessageId id) const;
+
+  /// Re-targets the capacity (fault injection: buffer pressure). Shrinking
+  /// below the current occupancy evicts from the tail — the least
+  /// important copies first under kFtdSorted, the newest arrivals
+  /// otherwise — and returns the evictions for metrics accounting.
+  std::vector<DropRecord> set_capacity(std::size_t capacity);
+
+  /// Empties the queue (node crash: RAM contents are lost), returning
+  /// every entry as a kNodeFailure drop, head first.
+  std::vector<DropRecord> wipe();
+
+  /// TEST-ONLY: overwrites the stored FTD of `id`'s queued copy without
+  /// re-sorting or range checks — deliberately corrupts queue state so
+  /// tests can prove the runtime InvariantChecker catches real
+  /// violations. Returns false if the id is not queued.
+  bool poison_ftd_for_test(MessageId id, double ftd);
 
   /// Read-only view of the queue, head first.
   [[nodiscard]] const std::vector<QueuedMessage>& items() const {

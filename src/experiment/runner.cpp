@@ -29,6 +29,15 @@ RunResult run_once(const Config& config, ProtocolKind kind) {
   r.drops_overflow = m.drops(DropReason::kOverflow);
   r.drops_threshold = m.drops(DropReason::kFtdThreshold);
   r.events_executed = world.sim().events_executed();
+  r.drops_node_failure = m.drops(DropReason::kNodeFailure);
+  r.frames_fault_corrupted = ch.faults_corrupted;
+  if (const FaultInjector* inj = world.fault_injector()) {
+    const FaultInjector::Counters& fc = inj->counters();
+    r.faults_injected = fc.crashes + fc.outages + fc.recoveries +
+                        fc.loss_bursts + fc.pressure_events;
+  }
+  if (const InvariantChecker* chk = world.invariant_checker())
+    r.invariant_sweeps = chk->sweeps_run();
   if (m.delivered_unique() > 0) {
     r.overhead_bits_per_delivery =
         static_cast<double>(ch.data_bits_sent + ch.control_bits_sent) /

@@ -33,6 +33,12 @@ struct RunResult {
   std::uint64_t drops_overflow = 0;
   std::uint64_t drops_threshold = 0;
   std::uint64_t events_executed = 0;
+  // Fault-injection diagnostics (all zero when no plan is configured;
+  // deterministic, so they participate in cross-jobs equality checks).
+  std::uint64_t faults_injected = 0;   ///< crashes+outages+recoveries+bursts+clamps
+  std::uint64_t drops_node_failure = 0;
+  std::uint64_t frames_fault_corrupted = 0;
+  std::uint64_t invariant_sweeps = 0;  ///< full checker sweeps that passed
 };
 
 /// Mean ± CI over replicated runs.

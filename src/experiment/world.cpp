@@ -60,6 +60,21 @@ World::World(Config config, ProtocolKind kind)
     channel_.attach(id, sink->radio(), *sink);
     sinks_.push_back(std::move(sink));
   }
+
+  // Fault injection + runtime verification (both off by default; both
+  // deterministic: the injector draws only from the "faults" substream,
+  // the checker draws nothing and schedules nothing).
+  if (!cfg_.faults.plan.empty())
+    injector_ = std::make_unique<FaultInjector>(
+        sim_, channel_, parse_fault_plan(cfg_.faults.plan), sensors_, sinks_,
+        rngs_.stream("faults"));
+  if (cfg_.faults.check_invariants) {
+    checker_ = std::make_unique<InvariantChecker>(
+        sim_, sensors_,
+        cfg_.protocol.queue_policy == QueuePolicy::kFtdSorted,
+        cfg_.faults.invariant_stride);
+    sim_.set_post_event_hook([this] { checker_->on_event(); });
+  }
 }
 
 void World::run_until(SimTime until) {

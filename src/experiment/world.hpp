@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/invariant_checker.hpp"
 #include "geom/zone_grid.hpp"
 #include "mobility/mobility_manager.hpp"
 #include "node/sensor_node.hpp"
@@ -52,6 +54,15 @@ class World {
   /// milliwatts (sinks are mains-powered and excluded).
   [[nodiscard]] double mean_sensor_power_mw() const;
 
+  /// Non-null iff config.faults.plan is non-empty.
+  [[nodiscard]] const FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
+  /// Non-null iff config.faults.check_invariants is set.
+  [[nodiscard]] const InvariantChecker* invariant_checker() const {
+    return checker_.get();
+  }
+
  private:
   Config cfg_;
   ProtocolKind kind_;
@@ -65,6 +76,8 @@ class World {
   MessageIdAllocator ids_;
   std::vector<std::unique_ptr<SensorNode>> sensors_;
   std::vector<std::unique_ptr<SinkNode>> sinks_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<InvariantChecker> checker_;
   bool started_ = false;
 };
 

@@ -1,0 +1,73 @@
+// Executes a FaultPlan against a live World through the ordinary event
+// queue. Every fault fires as a scheduled simulation event, and every
+// random choice (which sensors a frac= target hits, which receptions a
+// loss burst corrupts) comes from the world's seeded "faults" substream —
+// so the entire fault schedule is a pure function of (config, seed) and
+// replays bit-identically under any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "node/sensor_node.hpp"
+#include "node/sink_node.hpp"
+#include "phy/channel.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace dftmsn {
+
+class FaultInjector {
+ public:
+  /// What the injector actually did (run diagnostics; deterministic).
+  struct Counters {
+    std::uint64_t crashes = 0;         ///< nodes taken down hard
+    std::uint64_t outages = 0;         ///< nodes taken down transiently
+    std::uint64_t recoveries = 0;      ///< nodes brought back
+    std::uint64_t loss_bursts = 0;     ///< corruption windows opened
+    std::uint64_t pressure_events = 0; ///< buffer-pressure windows opened
+    std::uint64_t pressure_evictions = 0;  ///< copies evicted by clamps
+  };
+
+  /// Validates the plan against the population (explicit node ids must
+  /// exist; pressure targets must be sensors) and schedules every fault
+  /// event. Call before the simulation starts running.
+  FaultInjector(Simulator& sim, Channel& channel, FaultPlan plan,
+                std::vector<std::unique_ptr<SensorNode>>& sensors,
+                std::vector<std::unique_ptr<SinkNode>>& sinks,
+                RandomStream rng);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  void apply(const FaultEvent& e);
+  /// Sensors hit by a frac= target: a deterministic partial shuffle of
+  /// the sensor ids, drawn from the faults substream at fire time.
+  std::vector<NodeId> resolve_targets(const FaultEvent& e);
+  bool take_down(NodeId id, bool preserve_state);
+  bool bring_back(NodeId id);
+  bool corrupts_reception();
+
+  [[nodiscard]] NodeId first_sink_id() const {
+    return static_cast<NodeId>(sensors_.size());
+  }
+  [[nodiscard]] bool is_sink(NodeId id) const { return id >= first_sink_id(); }
+
+  Simulator& sim_;
+  FaultPlan plan_;
+  std::vector<std::unique_ptr<SensorNode>>& sensors_;
+  std::vector<std::unique_ptr<SinkNode>>& sinks_;
+  RandomStream rng_;
+  Counters counters_;
+
+  struct LossBurst {
+    SimTime until = 0.0;
+    double prob = 0.0;
+  };
+  std::vector<LossBurst> bursts_;  ///< active corruption windows
+};
+
+}  // namespace dftmsn

@@ -1,0 +1,154 @@
+#include "faults/fault_plan.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+namespace dftmsn {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void fail(const std::string& event, const std::string& why) {
+  throw std::invalid_argument("fault plan: " + why + " in '" + event + "'");
+}
+
+std::optional<FaultKind> parse_kind(const std::string& name) {
+  if (name == "crash") return FaultKind::kCrash;
+  if (name == "recover") return FaultKind::kRecover;
+  if (name == "outage") return FaultKind::kOutage;
+  if (name == "loss") return FaultKind::kLoss;
+  if (name == "pressure") return FaultKind::kPressure;
+  return std::nullopt;
+}
+
+double parse_number(const std::string& event, const std::string& v) {
+  std::size_t used = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(v, &used);
+  } catch (const std::exception&) {
+    fail(event, "bad number '" + v + "'");
+  }
+  if (used != v.size()) fail(event, "bad number '" + v + "'");
+  return out;
+}
+
+FaultEvent parse_event(const std::string& text) {
+  const auto at_pos = text.find('@');
+  if (at_pos == std::string::npos) fail(text, "missing '@time'");
+  const auto colon = text.find(':', at_pos);
+  if (colon == std::string::npos) fail(text, "missing ':args'");
+
+  FaultEvent e;
+  const std::string kind_name = trim(text.substr(0, at_pos));
+  const auto kind = parse_kind(kind_name);
+  if (!kind) fail(text, "unknown fault kind '" + kind_name + "'");
+  e.kind = *kind;
+
+  e.at = parse_number(text, trim(text.substr(at_pos + 1, colon - at_pos - 1)));
+  if (e.at < 0) fail(text, "negative time");
+
+  bool have_target = false;
+  std::string args = text.substr(colon + 1);
+  std::size_t start = 0;
+  while (start <= args.size()) {
+    const auto comma = args.find(',', start);
+    const std::string arg =
+        trim(args.substr(start, comma == std::string::npos ? std::string::npos
+                                                           : comma - start));
+    start = comma == std::string::npos ? args.size() + 1 : comma + 1;
+    if (arg.empty()) continue;
+
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) fail(text, "expected key=value, got '" + arg + "'");
+    const std::string key = trim(arg.substr(0, eq));
+    const std::string value = trim(arg.substr(eq + 1));
+
+    if (key == "node") {
+      const double id = parse_number(text, value);
+      if (id < 0 || id != static_cast<double>(static_cast<NodeId>(id)))
+        fail(text, "bad node id '" + value + "'");
+      e.node = static_cast<NodeId>(id);
+      have_target = true;
+    } else if (key == "frac") {
+      e.frac = parse_number(text, value);
+      if (e.frac <= 0.0 || e.frac > 1.0) fail(text, "frac must lie in (0,1]");
+      have_target = true;
+    } else if (key == "for") {
+      e.duration = parse_number(text, value);
+      if (e.duration <= 0.0) fail(text, "'for' duration must be positive");
+    } else if (key == "prob") {
+      e.prob = parse_number(text, value);
+      if (e.prob <= 0.0 || e.prob > 1.0) fail(text, "prob must lie in (0,1]");
+    } else if (key == "capacity") {
+      const double cap = parse_number(text, value);
+      if (cap < 1.0) fail(text, "capacity must be >= 1");
+      e.capacity = static_cast<std::size_t>(cap);
+    } else {
+      fail(text, "unknown argument '" + key + "'");
+    }
+  }
+
+  // Cross-argument requirements per kind.
+  switch (e.kind) {
+    case FaultKind::kCrash:
+      if (!have_target) fail(text, "crash needs node= or frac=");
+      break;
+    case FaultKind::kRecover:
+      if (!have_target) fail(text, "recover needs node= or frac=");
+      if (e.duration > 0) fail(text, "recover takes no 'for='");
+      break;
+    case FaultKind::kOutage:
+      if (!have_target) fail(text, "outage needs node= or frac=");
+      if (e.duration <= 0) fail(text, "outage needs for=DURATION");
+      break;
+    case FaultKind::kLoss:
+      if (have_target) fail(text, "loss is channel-wide (no node=/frac=)");
+      if (e.prob <= 0) fail(text, "loss needs prob=P");
+      if (e.duration <= 0) fail(text, "loss needs for=DURATION");
+      break;
+    case FaultKind::kPressure:
+      if (!have_target) fail(text, "pressure needs node= or frac=");
+      if (e.capacity == 0) fail(text, "pressure needs capacity=N");
+      if (e.duration <= 0) fail(text, "pressure needs for=DURATION");
+      break;
+  }
+  if (e.node != kInvalidNode && e.frac > 0.0)
+    fail(text, "node= and frac= are mutually exclusive");
+  return e;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRecover: return "recover";
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kPressure: return "pressure";
+  }
+  return "?";
+}
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto semi = spec.find(';', start);
+    const std::string event =
+        trim(spec.substr(start, semi == std::string::npos ? std::string::npos
+                                                          : semi - start));
+    start = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (event.empty()) continue;
+    plan.events.push_back(parse_event(event));
+  }
+  return plan;
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,67 @@
+// Deterministic, seed-driven fault schedules. A FaultPlan is a list of
+// timed fault events (node crash/recover, transient radio outage, frame
+// corruption bursts, buffer-pressure windows) parsed from a compact spec
+// string, so every fault scenario is reproducible from (config, seed)
+// alone and composes with the parallel experiment runner.
+//
+// Spec grammar (see docs/fault_injection.md):
+//   plan   := event (';' event)*
+//   event  := kind '@' time ':' arg (',' arg)*
+//   arg    := key '=' value
+//
+//   crash@T:node=ID            crash one node (sensor or sink) at T
+//   crash@T:frac=F[,for=D]     crash a deterministic fraction F of the
+//                              sensors at T; 'for=D' recovers them at T+D
+//   recover@T:node=ID          bring a crashed node back at T
+//   outage@T:node=ID,for=D     radio down for D seconds (queue/traffic kept)
+//   outage@T:frac=F,for=D      same, for a fraction of the sensors
+//   loss@T:prob=P,for=D        corrupt each otherwise-clean reception with
+//                              probability P during [T, T+D)
+//   pressure@T:frac=F,capacity=N,for=D
+//                              clamp the data-queue capacity of the chosen
+//                              sensors to N slots during [T, T+D)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dftmsn {
+
+enum class FaultKind {
+  kCrash,     ///< node dies: radio off, timers dead, queue wiped, source muted
+  kRecover,   ///< crashed node rejoins with an empty queue
+  kOutage,    ///< transient radio outage; queue and traffic source survive
+  kLoss,      ///< channel-wide frame corruption burst
+  kPressure,  ///< queue capacity clamped (forces overflow evictions)
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// One scheduled fault. Target is either an explicit node id or a sensor
+/// fraction (drawn deterministically from the world's "faults" substream).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  SimTime at = 0.0;
+  NodeId node = kInvalidNode;  ///< explicit target; kInvalidNode = use frac
+  double frac = 0.0;           ///< fraction of sensors in (0,1]
+  SimTime duration = 0.0;      ///< 'for=' window; 0 = permanent (crash only)
+  double prob = 0.0;           ///< corruption probability (kLoss)
+  std::size_t capacity = 0;    ///< clamped queue capacity (kPressure)
+
+  [[nodiscard]] bool targets_fraction() const { return node == kInvalidNode; }
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+/// Parses a plan spec. Empty spec yields an empty plan. Throws
+/// std::invalid_argument with the offending event text on any malformed
+/// kind, time, argument, or out-of-range value.
+FaultPlan parse_fault_plan(const std::string& spec);
+
+}  // namespace dftmsn

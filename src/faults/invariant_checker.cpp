@@ -1,0 +1,113 @@
+#include "faults/invariant_checker.hpp"
+
+#include <sstream>
+
+namespace dftmsn {
+namespace {
+
+// Slack for I3: Eq. 1's decay multiplies by (1-α) exactly, but ξ travels
+// through frames as a double and comparisons at the baseline boundary
+// should not trip on representation noise.
+constexpr double kEps = 1e-12;
+
+std::string format_violation(const std::string& what, SimTime at, NodeId node,
+                             MessageId message) {
+  std::ostringstream os;
+  os << "invariant violated at t=" << at;
+  if (node != kInvalidNode) os << " node=" << node;
+  if (message != 0) os << " msg=" << message;
+  os << ": " << what;
+  return os.str();
+}
+
+}  // namespace
+
+InvariantViolation::InvariantViolation(const std::string& what, SimTime at_,
+                                       NodeId node_, MessageId message_)
+    : std::runtime_error(format_violation(what, at_, node_, message_)),
+      at(at_),
+      node(node_),
+      message(message_) {}
+
+InvariantChecker::InvariantChecker(
+    Simulator& sim, const std::vector<std::unique_ptr<SensorNode>>& sensors,
+    bool ftd_sorted_queue, int stride)
+    : sim_(sim),
+      sensors_(sensors),
+      ftd_sorted_queue_(ftd_sorted_queue),
+      stride_(stride < 1 ? 1 : static_cast<std::uint64_t>(stride)),
+      baseline_(sensors.size()) {
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    baseline_[i].xi = sensors_[i]->mac().strategy().local_metric();
+    baseline_[i].data_tx_ok = sensors_[i]->mac().stats().data_tx_ok;
+  }
+}
+
+void InvariantChecker::violate(const std::string& what, NodeId node,
+                               MessageId message) const {
+  throw InvariantViolation(what, sim_.now(), node, message);
+}
+
+void InvariantChecker::on_event() {
+  // I1 — cheap enough to verify on every single event.
+  const SimTime now = sim_.now();
+  if (now < last_event_time_)
+    violate("event clock ran backwards (" + std::to_string(now) + " < " +
+                std::to_string(last_event_time_) + ")",
+            kInvalidNode, 0);
+  last_event_time_ = now;
+
+  if (++events_seen_ % stride_ == 0) check_now();
+}
+
+void InvariantChecker::check_now() {
+  ++sweeps_;
+  for (std::size_t i = 0; i < sensors_.size(); ++i)
+    check_sensor(*sensors_[i], i);
+}
+
+void InvariantChecker::check_sensor(const SensorNode& node,
+                                    std::size_t index) {
+  const NodeId id = node.id();
+
+  // I2 — the advertised metric stays a probability.
+  const double xi = node.mac().strategy().local_metric();
+  if (!(xi >= 0.0 && xi <= 1.0))
+    violate("ξ = " + std::to_string(xi) + " outside [0,1]", id, 0);
+
+  // I3 — ξ may only rise on an acknowledged data transmission.
+  XiBaseline& base = baseline_[index];
+  const std::uint64_t tx_ok = node.mac().stats().data_tx_ok;
+  if (tx_ok == base.data_tx_ok && xi > base.xi + kEps)
+    violate("ξ rose " + std::to_string(base.xi) + " -> " +
+                std::to_string(xi) + " without an acknowledged transmission",
+            id, 0);
+  base.xi = xi;
+  base.data_tx_ok = tx_ok;
+
+  // I6 — occupancy within capacity.
+  const FtdQueue& queue = node.queue();
+  if (queue.size() > queue.capacity())
+    violate("queue holds " + std::to_string(queue.size()) + " > capacity " +
+                std::to_string(queue.capacity()),
+            id, 0);
+
+  double prev_ftd = -1.0;
+  for (const QueuedMessage& qm : queue.items()) {
+    // I4 — FTD stays a probability.
+    if (!(qm.ftd >= 0.0 && qm.ftd <= 1.0))
+      violate("queued FTD " + std::to_string(qm.ftd) + " outside [0,1]", id,
+              qm.msg.id);
+    // I5 — a fully-delivered copy must not linger in a buffer.
+    if (qm.ftd >= 1.0)
+      violate("delivered copy (FTD >= 1) still queued", id, qm.msg.id);
+    // I7 — FTD-sorted discipline really is sorted, head = most important.
+    if (ftd_sorted_queue_ && qm.ftd < prev_ftd - kEps)
+      violate("queue out of FTD order (" + std::to_string(qm.ftd) +
+                  " after " + std::to_string(prev_ftd) + ")",
+              id, qm.msg.id);
+    prev_ftd = qm.ftd;
+  }
+}
+
+}  // namespace dftmsn

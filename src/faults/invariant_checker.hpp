@@ -1,0 +1,86 @@
+// Runtime verification of the paper's protocol invariants. Installed as
+// the Simulator's post-event hook: it runs *outside* the event queue and
+// never schedules, cancels or draws randomness, so enabling it cannot
+// change a run's event stream — summaries stay bit-identical with the
+// checker on or off.
+//
+// Invariants checked (see docs/fault_injection.md for derivations):
+//   I1  event timestamps are non-decreasing          (every event)
+//   I2  ξ_i = strategy.local_metric() ∈ [0, 1]        (full sweeps)
+//   I3  ξ_i EWMA is monotone non-increasing between acknowledged data
+//       transmissions (Eq. 1: only on_transmission_complete may raise ξ;
+//       witnessed via CrossLayerMac::Stats::data_tx_ok)
+//   I4  every queued copy's FTD F_i^M ∈ [0, 1]
+//   I5  no queued copy carries FTD >= 1 — the enforceable form of "no
+//       message is both delivered and still queued": a copy that reaches
+//       FTD 1 is by Eq. 3 fully replicated/delivered and must have been
+//       dropped as kDelivered (assumes α < 1; replication legitimately
+//       keeps sub-threshold copies of already-delivered messages queued,
+//       so the naive global phrasing is NOT an invariant)
+//   I6  the data queue respects its capacity
+//   I7  under the kFtdSorted discipline the queue is ordered by FTD
+//
+// A full sweep runs every `stride` events; I1 is checked on every event.
+// The first violation throws InvariantViolation carrying the simulation
+// time, node and (when applicable) message id.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "node/sensor_node.hpp"
+#include "sim/simulator.hpp"
+
+namespace dftmsn {
+
+class InvariantViolation : public std::runtime_error {
+ public:
+  InvariantViolation(const std::string& what, SimTime at, NodeId node,
+                     MessageId message);
+
+  SimTime at = 0.0;
+  NodeId node = kInvalidNode;
+  MessageId message = 0;  ///< 0 when no single message is implicated
+};
+
+class InvariantChecker {
+ public:
+  /// `stride` >= 1: full sweeps run on every stride-th executed event.
+  InvariantChecker(Simulator& sim,
+                   const std::vector<std::unique_ptr<SensorNode>>& sensors,
+                   bool ftd_sorted_queue, int stride);
+
+  /// Post-event hook body. Throws InvariantViolation on the first breach.
+  void on_event();
+
+  /// One full sweep over every sensor, unconditionally (tests; end of run).
+  void check_now();
+
+  [[nodiscard]] std::uint64_t sweeps_run() const { return sweeps_; }
+
+ private:
+  void check_sensor(const SensorNode& node, std::size_t index);
+  [[noreturn]] void violate(const std::string& what, NodeId node,
+                            MessageId message) const;
+
+  Simulator& sim_;
+  const std::vector<std::unique_ptr<SensorNode>>& sensors_;
+  bool ftd_sorted_queue_;
+  std::uint64_t stride_;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t sweeps_ = 0;
+  SimTime last_event_time_ = 0.0;
+
+  /// ξ observed at the last sweep, with the data_tx_ok count that
+  /// justified it (I3: ξ may only rise when data_tx_ok rose).
+  struct XiBaseline {
+    double xi = 0.0;
+    std::uint64_t data_tx_ok = 0;
+  };
+  std::vector<XiBaseline> baseline_;
+};
+
+}  // namespace dftmsn

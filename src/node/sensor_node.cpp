@@ -21,6 +21,7 @@ SensorNode::SensorNode(NodeId id, Simulator& sim, Channel& channel,
                        const RandomSource& rngs)
     : id_(id),
       metrics_(metrics),
+      configured_capacity_(config.protocol.queue_capacity),
       radio_(sim, energy, config.radio.switch_time_s),
       queue_(config.protocol.queue_capacity,
              to_discipline(config.protocol.queue_policy)) {
@@ -42,6 +43,30 @@ SensorNode::SensorNode(NodeId id, Simulator& sim, Channel& channel,
 void SensorNode::start() {
   mac_->start();
   source_->start();
+}
+
+bool SensorNode::fail(bool preserve_state) {
+  if (mac_->dead()) return false;
+  mac_->crash(/*wipe_queue=*/!preserve_state);
+  if (!preserve_state) source_->stop();
+  return true;
+}
+
+bool SensorNode::restore() {
+  if (!mac_->dead()) return false;
+  mac_->recover();
+  source_->resume();  // no-op after a mere outage (source never stopped)
+  return true;
+}
+
+std::size_t SensorNode::apply_buffer_pressure(std::size_t capacity) {
+  const auto evicted = queue_.set_capacity(capacity);
+  for (const auto& drop : evicted) metrics_.on_dropped(drop.msg, drop.reason);
+  return evicted.size();
+}
+
+void SensorNode::release_buffer_pressure() {
+  queue_.set_capacity(configured_capacity_);
 }
 
 }  // namespace dftmsn

@@ -33,9 +33,34 @@ class SensorNode {
   [[nodiscard]] const CrossLayerMac& mac() const { return *mac_; }
   [[nodiscard]] const FtdQueue& queue() const { return queue_; }
 
+  /// Mutable queue access for the FaultInjector (buffer pressure) and for
+  /// tests that deliberately corrupt state (InvariantChecker proofs).
+  [[nodiscard]] FtdQueue& mutable_queue() { return queue_; }
+
+  // --- fault injection (FaultInjector) --------------------------------
+  /// Takes the node down. `preserve_state` distinguishes a transient
+  /// radio outage (queue and traffic source keep running; buffered data
+  /// survives) from a hard crash (queue wiped as kNodeFailure drops,
+  /// sensing muted). Returns false if the node was already down.
+  bool fail(bool preserve_state);
+
+  /// Brings a downed node back: radio up, MAC restarted, sensing resumed
+  /// (if it had been muted). Returns false if the node was not down.
+  bool restore();
+
+  [[nodiscard]] bool down() const { return mac_->dead(); }
+
+  /// Clamps the data queue to `capacity` slots; evictions are booked as
+  /// overflow drops. Returns the number evicted.
+  std::size_t apply_buffer_pressure(std::size_t capacity);
+
+  /// Restores the configured queue capacity.
+  void release_buffer_pressure();
+
  private:
   NodeId id_;
   Metrics& metrics_;
+  std::size_t configured_capacity_;
   Radio radio_;
   FtdQueue queue_;
   std::unique_ptr<CrossLayerMac> mac_;

@@ -28,6 +28,28 @@ void SinkNode::force_transmit(Frame frame) {
   channel_.transmit(id_, std::move(frame));
 }
 
+bool SinkNode::fail() {
+  if (down_) return false;
+  down_ = true;
+  cts_timer_.cancel();
+  ack_timer_.cancel();
+  reset_timer_.cancel();
+  current_sender_ = kInvalidNode;
+  awaiting_data_ = false;
+  radio_.force_down();
+  channel_.set_node_failed(id_, true);
+  channel_.forget(id_);
+  return true;
+}
+
+bool SinkNode::restore() {
+  if (!down_) return false;
+  down_ = false;
+  channel_.set_node_failed(id_, false);
+  radio_.force_up();
+  return true;
+}
+
 void SinkNode::on_frame_received(const Frame& frame) {
   if (frame.is<RtsFrame>()) {
     handle_rts(frame);

@@ -27,6 +27,17 @@ class SinkNode final : public ChannelListener {
   /// Total distinct DATA frames this sink heard (diagnostics).
   [[nodiscard]] std::uint64_t data_heard() const { return data_heard_; }
 
+  // --- fault injection (FaultInjector) --------------------------------
+  /// Takes the sink off the air: pending CTS/ACK replies are cancelled,
+  /// the radio is forced down and the channel marks the node failed.
+  /// Returns false if already down.
+  bool fail();
+
+  /// Brings the sink back online. Returns false if it was not down.
+  bool restore();
+
+  [[nodiscard]] bool down() const { return down_; }
+
   // --- ChannelListener ------------------------------------------------
   void on_frame_received(const Frame& frame) override;
   void on_collision() override {}
@@ -61,6 +72,7 @@ class SinkNode final : public ChannelListener {
   EventHandle ack_timer_;
   EventHandle reset_timer_;
   std::uint64_t data_heard_ = 0;
+  bool down_ = false;
 };
 
 }  // namespace dftmsn

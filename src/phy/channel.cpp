@@ -20,6 +20,17 @@ void Channel::attach(NodeId id, Radio& radio, ChannelListener& listener) {
   if (id != nodes_.size())
     throw std::invalid_argument("Channel: nodes must attach in id order");
   nodes_.push_back(NodeRx{&radio, &listener, {}, 0, false});
+  failed_.push_back(0);
+}
+
+void Channel::set_node_failed(NodeId id, bool failed) {
+  failed_.at(id) = failed ? 1 : 0;
+}
+
+bool Channel::node_failed(NodeId id) const { return failed_.at(id) != 0; }
+
+void Channel::set_corruption_hook(CorruptionHook hook) {
+  corruption_hook_ = std::move(hook);
 }
 
 SimTime Channel::tx_duration(std::size_t bits) const {
@@ -67,6 +78,7 @@ SimTime Channel::transmit(NodeId sender, Frame frame) {
   std::vector<NodeId> audience;
   for (const NodeId nb : mobility_.neighbors_of(sender, range_m_)) {
     if (nb >= nodes_.size()) continue;
+    if (failed_[nb]) continue;
     NodeRx& n = nodes_[nb];
     const RadioState st = n.radio->state();
     if (st != RadioState::kIdle && st != RadioState::kRx) continue;
@@ -95,11 +107,16 @@ SimTime Channel::transmit(NodeId sender, Frame frame) {
 
 void Channel::finish_tx(TxId id, NodeId sender, const Frame& frame,
                         std::vector<NodeId> audience) {
-  nodes_.at(sender).radio->end_tx();
+  // A sender that crashed mid-frame already had its radio forced down; the
+  // frame tail was never emitted, so every reception of it is corrupt.
+  const bool sender_died = failed_.at(sender) != 0;
+  Radio& sender_radio = *nodes_.at(sender).radio;
+  if (sender_radio.state() == RadioState::kTx) sender_radio.end_tx();
 
   for (const NodeId nb : audience) {
     NodeRx& n = nodes_.at(nb);
-    // If the node slept meanwhile, forget() wiped its bookkeeping.
+    // If the node slept (or crashed) meanwhile, forget() wiped its
+    // bookkeeping.
     if (!erase_value(n.hearing, id)) continue;
 
     if (n.locked == id) {
@@ -107,10 +124,17 @@ void Channel::finish_tx(TxId id, NodeId sender, const Frame& frame,
       n.locked = 0;
       n.locked_clean = false;
       if (n.radio->state() == RadioState::kRx) n.radio->end_rx();
-      // Deliver only if still in range at frame end (link survived).
+      // Deliver only if still in range at frame end (link survived), the
+      // sender lived through the frame, and fault injection spared it.
       const bool in_range =
           mobility_.distance_between(sender, nb) <= range_m_;
-      if (clean && in_range) {
+      bool corrupted_by_fault = false;
+      if (clean && in_range && !sender_died && corruption_hook_ &&
+          corruption_hook_(sender, nb)) {
+        corrupted_by_fault = true;
+        ++counters_.faults_corrupted;
+      }
+      if (clean && in_range && !sender_died && !corrupted_by_fault) {
         ++counters_.frames_delivered;
         n.listener->on_frame_received(frame);
       } else {

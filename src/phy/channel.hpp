@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -39,7 +40,14 @@ class Channel {
     std::uint64_t collisions = 0;      ///< corrupted receptions
     std::uint64_t data_bits_sent = 0;
     std::uint64_t control_bits_sent = 0;
+    std::uint64_t faults_corrupted = 0;  ///< receptions killed by fault injection
   };
+
+  /// Fault-injection hook: consulted once per otherwise-clean reception at
+  /// frame end; returning true corrupts that reception (the receiver sees
+  /// a collision). Calls happen in deterministic event order, so a seeded
+  /// hook keeps runs reproducible.
+  using CorruptionHook = std::function<bool(NodeId sender, NodeId receiver)>;
 
   Channel(Simulator& sim, const MobilityManager& mobility, double range_m,
           double bandwidth_bps);
@@ -64,6 +72,16 @@ class Channel {
   /// Clears `id`'s reception state (call just before putting its radio to
   /// sleep; an in-progress reception is abandoned without callbacks).
   void forget(NodeId id);
+
+  /// Marks `id` dead/alive (FaultInjector). A failed node hears nothing,
+  /// and a transmission whose sender fails mid-frame arrives corrupted at
+  /// every receiver (the frame tail was never sent).
+  void set_node_failed(NodeId id, bool failed);
+  [[nodiscard]] bool node_failed(NodeId id) const;
+
+  /// Installs (or clears, with nullptr) the fault-injection corruption
+  /// hook. At most one hook is active at a time.
+  void set_corruption_hook(CorruptionHook hook);
 
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -95,8 +113,10 @@ class Channel {
   double range_m_;
   double bandwidth_bps_;
   std::vector<NodeRx> nodes_;
+  std::vector<char> failed_;  ///< parallel to nodes_: 1 = crashed/outage
   TxId next_tx_id_ = 1;
   Counters counters_;
+  CorruptionHook corruption_hook_;
 };
 
 }  // namespace dftmsn

@@ -24,16 +24,35 @@ void Radio::require_state(RadioState expected, const char* op) const {
 void Radio::sleep() {
   require_state(RadioState::kIdle, "sleep()");
   set_state(RadioState::kSwitching);
-  sim_.schedule_in(switch_time_s_, [this] { set_state(RadioState::kSleep); });
+  sim_.schedule_in(switch_time_s_, [this, e = epoch_] {
+    if (epoch_ != e) return;  // node crashed mid-switch
+    set_state(RadioState::kSleep);
+  });
 }
 
 void Radio::wake(std::function<void()> on_awake) {
   require_state(RadioState::kSleep, "wake()");
   set_state(RadioState::kSwitching);
-  sim_.schedule_in(switch_time_s_, [this, cb = std::move(on_awake)] {
+  sim_.schedule_in(switch_time_s_, [this, e = epoch_,
+                                    cb = std::move(on_awake)] {
+    if (epoch_ != e) return;  // node crashed mid-switch
     set_state(RadioState::kIdle);
     if (cb) cb();
   });
+}
+
+void Radio::force_down() {
+  if (forced_down_) return;
+  forced_down_ = true;
+  ++epoch_;  // invalidate any in-flight sleep()/wake() completion
+  set_state(RadioState::kSleep);
+}
+
+void Radio::force_up() {
+  if (!forced_down_)
+    throw std::logic_error("Radio: force_up() without force_down()");
+  forced_down_ = false;
+  set_state(RadioState::kIdle);
 }
 
 void Radio::begin_tx() {

@@ -40,6 +40,20 @@ class Radio {
   void begin_rx();  ///< IDLE -> RX
   void end_rx();    ///< RX -> IDLE
 
+  // --- Fault injection -----------------------------------------------
+  /// Forces the radio down from *any* state (node crash / radio outage).
+  /// While forced down the radio sits in SLEEP; the completion of any
+  /// in-flight sleep()/wake() switch is invalidated, so a stale switch
+  /// event can neither resurrect a dead node nor re-sleep a recovered one.
+  void force_down();
+
+  /// Ends a force_down(): the radio returns to IDLE immediately (the
+  /// recovering MAC re-desynchronizes itself, so no switch delay here).
+  /// Precondition: forced_down().
+  void force_up();
+
+  [[nodiscard]] bool forced_down() const { return forced_down_; }
+
   /// Closes the energy accounting at `now` (end of run).
   void finalize_energy(SimTime now) { meter_.finalize(now); }
 
@@ -57,6 +71,8 @@ class Radio {
   Simulator& sim_;
   double switch_time_s_;
   EnergyMeter meter_;
+  bool forced_down_ = false;
+  std::uint64_t epoch_ = 0;  ///< bumped by force_down(); stale switches no-op
 };
 
 }  // namespace dftmsn

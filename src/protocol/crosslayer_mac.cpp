@@ -23,6 +23,7 @@ const char* mac_state_name(MacState s) {
     case MacState::kRxAwaitRts: return "RX_AWAIT_RTS";
     case MacState::kRxAwaitSchedule: return "RX_AWAIT_SCHEDULE";
     case MacState::kRxAwaitData: return "RX_AWAIT_DATA";
+    case MacState::kDead: return "DEAD";
   }
   return "?";
 }
@@ -92,6 +93,33 @@ void CrossLayerMac::enqueue(Message m) {
   const auto dropped =
       queue_.insert(QueuedMessage{m, 0.0, sim_.now()}, rng_.uniform01());
   if (dropped) metrics_.on_dropped(dropped->msg, dropped->reason);
+}
+
+void CrossLayerMac::crash(bool wipe_queue) {
+  if (state_ == MacState::kDead) return;
+  timer_.cancel();
+  aux_timer_.cancel();
+  xi_timer_.cancel();
+  state_ = MacState::kDead;
+  radio_.force_down();
+  channel_.set_node_failed(id_, true);
+  channel_.forget(id_);
+  if (wipe_queue) {
+    for (const auto& lost : queue_.wipe())
+      metrics_.on_dropped(lost.msg, lost.reason);
+  }
+}
+
+void CrossLayerMac::recover() {
+  if (state_ != MacState::kDead) return;
+  channel_.set_node_failed(id_, false);
+  radio_.force_up();
+  state_ = MacState::kIdle;
+  recent_activity_.clear();
+  consecutive_failures_ = 0;
+  schedule_next_cycle(rng_.uniform(0.0, 1.0));
+  xi_timer_ = sim_.schedule_in(cfg_.protocol.xi_timeout_s,
+                               [this] { xi_decay_tick(); });
 }
 
 void CrossLayerMac::xi_decay_tick() {
@@ -268,6 +296,7 @@ void CrossLayerMac::on_ack_window_end() {
   const TransmissionOutcome outcome =
       strategy_->on_transmission_complete(inflight_ftd_, acked, sim_.now());
   metrics_.on_data_tx(acked.size());
+  ++mac_stats_.data_tx_ok;
   last_data_tx_ = sim_.now();
 
   if (outcome.disposition == TransmissionOutcome::Disposition::kRemove) {

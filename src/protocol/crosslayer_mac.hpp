@@ -43,6 +43,7 @@ enum class MacState {
   kRxAwaitRts,      ///< heard activity; expecting an RTS
   kRxAwaitSchedule, ///< answered (or about to answer) CTS
   kRxAwaitData,     ///< listed in a SCHEDULE; expecting the DATA
+  kDead,            ///< crashed / radio outage (fault injection)
 };
 
 const char* mac_state_name(MacState s);
@@ -56,6 +57,9 @@ class CrossLayerMac final : public ChannelListener {
     std::uint64_t cts_sent = 0;
     std::uint64_t data_received = 0;
     std::uint64_t rx_collisions = 0;
+    /// Acknowledged data transmissions — the only events that may *raise*
+    /// the strategy metric ξ (the InvariantChecker keys off this).
+    std::uint64_t data_tx_ok = 0;
   };
 
   /// Node ids >= `first_sink_id` are sinks. The MAC does not own the
@@ -70,6 +74,22 @@ class CrossLayerMac final : public ChannelListener {
 
   /// Traffic entry point: a freshly sensed message enters the data queue.
   void enqueue(Message m);
+
+  // --- fault injection -----------------------------------------------
+  /// Kills the node: every timer dies, the radio is forced down, the
+  /// channel marks the node failed, and — when `wipe_queue` (a real
+  /// crash, not a radio outage) — the buffered copies are lost and
+  /// reported as kNodeFailure drops. No-op if already dead. Peers are not
+  /// notified: a mid-handshake death looks to them like silence, and
+  /// their CTS/SCHEDULE/ACK timeouts recover.
+  void crash(bool wipe_queue);
+
+  /// Rejoins a dead node: radio back up, fresh working cycle and ξ-decay
+  /// timer, activity history cleared (same as a post-sleep restart).
+  /// No-op if not dead.
+  void recover();
+
+  [[nodiscard]] bool dead() const { return state_ == MacState::kDead; }
 
   // --- ChannelListener ----------------------------------------------
   void on_frame_received(const Frame& frame) override;

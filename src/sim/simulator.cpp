@@ -23,6 +23,7 @@ void Simulator::run_until(SimTime end) {
     now_ = p.at;
     p.cb();
     ++executed_;
+    if (post_event_hook_) post_event_hook_();
   }
   if (now_ < end) now_ = end;
 }
@@ -34,6 +35,7 @@ void Simulator::run_all() {
     now_ = p.at;
     p.cb();
     ++executed_;
+    if (post_event_hook_) post_event_hook_();
   }
 }
 

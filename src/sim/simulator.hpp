@@ -40,11 +40,19 @@ class Simulator {
 
   [[nodiscard]] EventQueue& queue() { return queue_; }
 
+  /// Observer invoked after every executed event (InvariantChecker).
+  /// Runs outside the event queue so enabling it cannot perturb the
+  /// event stream; the hook must not schedule or cancel events.
+  void set_post_event_hook(std::function<void()> hook) {
+    post_event_hook_ = std::move(hook);
+  }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  std::function<void()> post_event_hook_;
 };
 
 }  // namespace dftmsn

@@ -30,6 +30,13 @@ void PoissonSource::stop() {
   pending_.cancel();
 }
 
+void PoissonSource::resume() {
+  if (!stopped_) return;
+  stopped_ = false;
+  pending_ = sim_.schedule_in(rng_.exponential(mean_interval_s_),
+                              [this] { fire(); });
+}
+
 void PoissonSource::fire() {
   if (stopped_) return;
   Message m;

@@ -36,6 +36,10 @@ class PoissonSource {
   /// Stops future arrivals.
   void stop();
 
+  /// Restarts a stopped source with a fresh exponential draw (node
+  /// recovery after a crash). No-op if the source was never stopped.
+  void resume();
+
   [[nodiscard]] std::size_t generated() const { return generated_; }
 
  private:

@@ -1,0 +1,214 @@
+// Property-based tests of the paper's probability arithmetic: the FTD
+// update rules (Eqs. 2-3) and the ξ EWMA (Eq. 1). Each property is
+// exercised over a seeded random sample of inputs, so the checks cover
+// the whole parameter space rather than hand-picked points.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/delivery_probability.hpp"
+#include "core/ftd.hpp"
+#include "sim/random.hpp"
+
+namespace dftmsn {
+namespace {
+
+constexpr int kTrials = 2000;
+constexpr double kTol = 1e-12;
+
+std::vector<double> random_xis(RandomStream& rng, int max_size) {
+  std::vector<double> xis(static_cast<std::size_t>(
+      rng.uniform_int(1, max_size)));
+  for (double& x : xis) x = rng.uniform01();
+  return xis;
+}
+
+// --- Eqs. 2-3: range ---------------------------------------------------
+
+TEST(FtdProperty, ReceiverAndSenderFtdStayProbabilities) {
+  RandomStream rng(101);
+  for (int t = 0; t < kTrials; ++t) {
+    const double f = rng.uniform01();
+    const double xi = rng.uniform01();
+    const std::vector<double> phi = random_xis(rng, 6);
+    const std::size_t j =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(phi.size()) - 1));
+
+    const double fj = receiver_copy_ftd(f, xi, phi, j);
+    EXPECT_GE(fj, 0.0);
+    EXPECT_LE(fj, 1.0);
+
+    const double fi = sender_ftd_after_multicast(f, phi);
+    EXPECT_GE(fi, 0.0);
+    EXPECT_LE(fi, 1.0);
+
+    const double agg = aggregate_delivery_probability(f, phi);
+    EXPECT_GE(agg, 0.0);
+    EXPECT_LE(agg, 1.0);
+  }
+}
+
+// --- Eqs. 2-3: monotonicity --------------------------------------------
+
+TEST(FtdProperty, SenderFtdNeverDecreasesAcrossAMulticast) {
+  // Eq. 3 multiplies the survival probability (1-F) by factors <= 1, so
+  // handing out copies can only raise (never lower) the sender's FTD.
+  RandomStream rng(102);
+  for (int t = 0; t < kTrials; ++t) {
+    const double f = rng.uniform01();
+    const std::vector<double> phi = random_xis(rng, 6);
+    EXPECT_GE(sender_ftd_after_multicast(f, phi), f - kTol);
+  }
+}
+
+TEST(FtdProperty, FtdUpdatesMonotoneInSenderFtdAndReceiverXis) {
+  RandomStream rng(103);
+  for (int t = 0; t < kTrials; ++t) {
+    const double f = rng.uniform01();
+    const double f_hi = f + (1.0 - f) * rng.uniform01();
+    std::vector<double> phi = random_xis(rng, 6);
+
+    // Raising the incoming FTD raises every outcome.
+    EXPECT_GE(sender_ftd_after_multicast(f_hi, phi),
+              sender_ftd_after_multicast(f, phi) - kTol);
+
+    // Raising any one receiver's ξ raises the sender's post-multicast FTD.
+    const std::size_t m = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(phi.size()) - 1));
+    const double before = sender_ftd_after_multicast(f, phi);
+    phi[m] = phi[m] + (1.0 - phi[m]) * rng.uniform01();
+    EXPECT_GE(sender_ftd_after_multicast(f, phi), before - kTol);
+  }
+}
+
+TEST(FtdProperty, ReceiverCopyExcludesItsOwnXi) {
+  // Eq. 2: F_j counts the *other* copies, so receiver j's own ξ must not
+  // influence the FTD attached to its copy.
+  RandomStream rng(104);
+  for (int t = 0; t < kTrials; ++t) {
+    const double f = rng.uniform01();
+    const double xi = rng.uniform01();
+    std::vector<double> phi = random_xis(rng, 6);
+    const std::size_t j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(phi.size()) - 1));
+    const double before = receiver_copy_ftd(f, xi, phi, j);
+    phi[j] = rng.uniform01();
+    EXPECT_NEAR(receiver_copy_ftd(f, xi, phi, j), before, kTol);
+  }
+}
+
+// --- Eqs. 2-3: fixed points and absorbing states -----------------------
+
+TEST(FtdProperty, EmptyReceiverSetIsAFixedPoint) {
+  RandomStream rng(105);
+  for (int t = 0; t < kTrials; ++t) {
+    const double f = rng.uniform01();
+    EXPECT_NEAR(sender_ftd_after_multicast(f, {}), f, kTol);
+    EXPECT_NEAR(aggregate_delivery_probability(f, {}), f, kTol);
+  }
+}
+
+TEST(FtdProperty, DeliveredStateIsAbsorbing) {
+  // F = 1 (some copy surely reaches a sink) stays 1 through any update,
+  // and a sink (ξ = 1) in Φ forces the sender's copy to F = 1.
+  RandomStream rng(106);
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> phi = random_xis(rng, 6);
+    EXPECT_NEAR(sender_ftd_after_multicast(1.0, phi), 1.0, kTol);
+
+    phi[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(phi.size()) - 1))] = 1.0;
+    EXPECT_NEAR(sender_ftd_after_multicast(rng.uniform01(), phi), 1.0, kTol);
+  }
+}
+
+TEST(FtdProperty, AggregateMatchesSenderUpdateForm) {
+  // Eq. 3 and the Sec. 3.2.2 aggregate share one formula by design; the
+  // two entry points must agree exactly.
+  RandomStream rng(107);
+  for (int t = 0; t < kTrials; ++t) {
+    const double f = rng.uniform01();
+    const std::vector<double> phi = random_xis(rng, 6);
+    EXPECT_DOUBLE_EQ(aggregate_delivery_probability(f, phi),
+                     sender_ftd_after_multicast(f, phi));
+  }
+}
+
+// --- Eq. 1: the ξ EWMA -------------------------------------------------
+
+TEST(XiEwmaProperty, StaysAProbabilityUnderRandomHistories) {
+  RandomStream rng(201);
+  for (int t = 0; t < 200; ++t) {
+    DeliveryProbability xi(rng.uniform01(), rng.uniform01());
+    for (int step = 0; step < 100; ++step) {
+      if (rng.bernoulli(0.5))
+        xi.on_transmission(rng.uniform01());
+      else
+        xi.on_timeout();
+      EXPECT_GE(xi.value(), 0.0);
+      EXPECT_LE(xi.value(), 1.0);
+    }
+  }
+}
+
+TEST(XiEwmaProperty, PureDecayIsMonotoneNonIncreasing) {
+  RandomStream rng(202);
+  for (int t = 0; t < 200; ++t) {
+    DeliveryProbability xi(rng.uniform01(), rng.uniform01());
+    double prev = xi.value();
+    for (int step = 0; step < 50; ++step) {
+      xi.on_timeout();
+      EXPECT_LE(xi.value(), prev + kTol);
+      prev = xi.value();
+    }
+  }
+}
+
+TEST(XiEwmaProperty, DecayMatchesClosedForm) {
+  RandomStream rng(203);
+  for (int t = 0; t < 200; ++t) {
+    const double alpha = rng.uniform01();
+    const double start = rng.uniform01();
+    DeliveryProbability xi(alpha, start);
+    const int n = rng.uniform_int(1, 40);
+    for (int step = 0; step < n; ++step) xi.on_timeout();
+    EXPECT_NEAR(xi.value(), start * std::pow(1.0 - alpha, n), 1e-9);
+  }
+}
+
+TEST(XiEwmaProperty, TransmissionContractsTowardReceiverXi) {
+  // ξ' - ξ_k = (1-α)(ξ - ξ_k): each update shrinks the gap to the
+  // receiver's ξ by exactly the memory factor, so ξ_k is the fixed point.
+  RandomStream rng(204);
+  for (int t = 0; t < kTrials; ++t) {
+    const double alpha = rng.uniform01();
+    const double target = rng.uniform01();
+    DeliveryProbability xi(alpha, rng.uniform01());
+    const double gap = xi.value() - target;
+    xi.on_transmission(target);
+    EXPECT_NEAR(xi.value() - target, (1.0 - alpha) * gap, 1e-9);
+  }
+}
+
+TEST(XiEwmaProperty, FixedPointsAtAlphaExtremes) {
+  RandomStream rng(205);
+  for (int t = 0; t < 200; ++t) {
+    const double start = rng.uniform01();
+    DeliveryProbability frozen(0.0, start);   // α=0: infinite memory
+    frozen.on_transmission(rng.uniform01());
+    frozen.on_timeout();
+    EXPECT_DOUBLE_EQ(frozen.value(), start);
+
+    DeliveryProbability hot(1.0, start);      // α=1: no memory
+    const double obs = rng.uniform01();
+    hot.on_transmission(obs);
+    EXPECT_DOUBLE_EQ(hot.value(), obs);
+    hot.on_timeout();
+    EXPECT_DOUBLE_EQ(hot.value(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -1,0 +1,97 @@
+// Unit tests of the fault-plan spec parser.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "faults/fault_plan.hpp"
+
+namespace dftmsn {
+namespace {
+
+TEST(FaultPlan, EmptySpecYieldsEmptyPlan) {
+  EXPECT_TRUE(parse_fault_plan("").empty());
+  EXPECT_TRUE(parse_fault_plan(" ; ;").empty());
+}
+
+TEST(FaultPlan, ParsesCompositePlan) {
+  const FaultPlan plan = parse_fault_plan(
+      "crash@600:frac=0.3,for=200; outage@200:node=5,for=100;"
+      "loss@300:prob=0.5,for=50; pressure@400:frac=0.2,capacity=5,for=150;"
+      "recover@900:node=7");
+  ASSERT_EQ(plan.events.size(), 5u);
+
+  const FaultEvent& crash = plan.events[0];
+  EXPECT_EQ(crash.kind, FaultKind::kCrash);
+  EXPECT_DOUBLE_EQ(crash.at, 600.0);
+  EXPECT_TRUE(crash.targets_fraction());
+  EXPECT_DOUBLE_EQ(crash.frac, 0.3);
+  EXPECT_DOUBLE_EQ(crash.duration, 200.0);
+
+  const FaultEvent& outage = plan.events[1];
+  EXPECT_EQ(outage.kind, FaultKind::kOutage);
+  EXPECT_FALSE(outage.targets_fraction());
+  EXPECT_EQ(outage.node, 5u);
+  EXPECT_DOUBLE_EQ(outage.duration, 100.0);
+
+  const FaultEvent& loss = plan.events[2];
+  EXPECT_EQ(loss.kind, FaultKind::kLoss);
+  EXPECT_DOUBLE_EQ(loss.prob, 0.5);
+
+  const FaultEvent& pressure = plan.events[3];
+  EXPECT_EQ(pressure.kind, FaultKind::kPressure);
+  EXPECT_EQ(pressure.capacity, 5u);
+
+  const FaultEvent& recover = plan.events[4];
+  EXPECT_EQ(recover.kind, FaultKind::kRecover);
+  EXPECT_EQ(recover.node, 7u);
+}
+
+TEST(FaultPlan, ToleratesWhitespace) {
+  const FaultPlan plan =
+      parse_fault_plan("  crash @ 10 : node = 3  ;  loss@2:prob=0.1,for=5 ");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].node, 3u);
+}
+
+TEST(FaultPlan, RejectsMalformedEvents) {
+  // Each spec violates one grammar or cross-argument rule.
+  const char* bad[] = {
+      "boom@10:node=1",              // unknown kind
+      "crash:node=1",                // missing @time
+      "crash@10",                    // missing :args
+      "crash@-5:node=1",             // negative time
+      "crash@abc:node=1",            // non-numeric time
+      "crash@10:prob=0.5",           // crash without a target
+      "crash@10:node=1,frac=0.5",    // conflicting targets
+      "crash@10:node=-2",            // bad node id
+      "recover@10:node=1,for=5",     // recover takes no duration
+      "outage@10:node=1",            // outage needs for=
+      "outage@10:node=1,for=0",      // non-positive duration
+      "loss@10:prob=0.5",            // loss needs for=
+      "loss@10:for=5",               // loss needs prob=
+      "loss@10:prob=1.5,for=5",      // prob out of range
+      "loss@10:node=1,prob=0.5,for=5",  // loss is channel-wide
+      "pressure@10:frac=0.5,for=5",  // pressure needs capacity=
+      "pressure@10:frac=0.5,capacity=0,for=5",  // capacity >= 1
+      "pressure@10:frac=0.5,capacity=4",        // pressure needs for=
+      "crash@10:frac=1.5",           // frac out of range
+      "crash@10:node",               // arg without '='
+      "crash@10:bogus=1,node=2",     // unknown argument
+  };
+  for (const char* spec : bad)
+    EXPECT_THROW(parse_fault_plan(spec), std::invalid_argument) << spec;
+}
+
+TEST(FaultPlan, ErrorMessagesNameTheOffendingEvent) {
+  try {
+    parse_fault_plan("crash@10:node=1;outage@20:node=2");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("outage@20:node=2"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace dftmsn

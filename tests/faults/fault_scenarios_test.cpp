@@ -1,0 +1,185 @@
+// Fault-scenario regression tests: crashes mid-protocol, sink outages,
+// mass die-off. Under every scenario the protocol must degrade gracefully
+// (never violate an invariant), and runs must stay deterministic — the
+// same seed gives bit-identical summaries for any worker count.
+#include <gtest/gtest.h>
+
+#include "experiment/runner.hpp"
+#include "experiment/world.hpp"
+#include "faults/invariant_checker.hpp"
+
+namespace dftmsn {
+namespace {
+
+Config small_config(std::uint64_t seed = 1) {
+  Config c;
+  c.scenario.num_sensors = 30;
+  c.scenario.num_sinks = 2;
+  c.scenario.duration_s = 1500.0;
+  c.scenario.seed = seed;
+  return c;
+}
+
+void expect_equal_results(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.drops_node_failure, b.drops_node_failure);
+  EXPECT_EQ(a.frames_fault_corrupted, b.frames_fault_corrupted);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_DOUBLE_EQ(a.mean_power_mw, b.mean_power_mw);
+  EXPECT_DOUBLE_EQ(a.mean_delay_s, b.mean_delay_s);
+}
+
+TEST(FaultScenario, CrashesDuringHandshakesKeepInvariants) {
+  // A dense staccato of crash/recover cycles across the whole run: many
+  // land mid-handshake (between a node's RTS and its ACK window), which
+  // peers must absorb through their ordinary timeouts. The invariant
+  // checker runs after every event.
+  Config c = small_config(21);
+  c.faults.check_invariants = true;
+  c.faults.plan =
+      "crash@150:frac=0.2,for=100;crash@350:frac=0.3,for=150;"
+      "crash@600:frac=0.25,for=100;crash@850:frac=0.3,for=200;"
+      "crash@1200:frac=0.2,for=100";
+  World w(c, ProtocolKind::kOpt);
+  EXPECT_NO_THROW(w.run());
+  const FaultInjector::Counters& fc = w.fault_injector()->counters();
+  EXPECT_GT(fc.crashes, 0u);
+  EXPECT_EQ(fc.recoveries, fc.crashes);  // every for= window closed in time
+  const double ratio = w.metrics().delivery_ratio();
+  EXPECT_GE(ratio, 0.0);
+  EXPECT_LE(ratio, 1.0);
+}
+
+TEST(FaultScenario, CrashedNodesStayDownUntilRecovery) {
+  Config c = small_config(22);
+  c.faults.plan = "crash@200:node=4;outage@200:node=9,for=400;recover@700:node=4";
+  World w(c, ProtocolKind::kOpt);
+
+  w.run_until(300.0);
+  EXPECT_TRUE(w.sensors()[4]->down());
+  EXPECT_TRUE(w.sensors()[9]->down());
+  // The hard crash wiped node 4's buffer; the outage preserved node 9's.
+  EXPECT_TRUE(w.sensors()[4]->queue().empty());
+
+  w.run_until(800.0);
+  EXPECT_FALSE(w.sensors()[4]->down());
+  EXPECT_FALSE(w.sensors()[9]->down());
+  EXPECT_NO_THROW(w.run());
+}
+
+TEST(FaultScenario, SinkOutageDegradesDelivery) {
+  // One sink, knocked out for most of the run: messages must pile up (or
+  // die) instead of being delivered, so delivery strictly degrades
+  // relative to the fault-free twin of the same seed.
+  Config c = small_config(23);
+  c.scenario.num_sinks = 1;
+  Config faulty = c;
+  faulty.faults.plan = "outage@100:node=30,for=1300";
+  faulty.faults.check_invariants = true;
+
+  const RunResult baseline = run_once(c, ProtocolKind::kOpt);
+  const RunResult degraded = run_once(faulty, ProtocolKind::kOpt);
+  EXPECT_GT(baseline.delivered, 0u);
+  EXPECT_LT(degraded.delivered, baseline.delivered);
+}
+
+TEST(FaultScenario, MassDieOffDegradesButStaysSane) {
+  // The acceptance scenario: half the sensors die at T/2 and stay dead.
+  Config c = small_config(24);
+  Config faulty = c;
+  faulty.faults.plan = "crash@750:frac=0.5";
+  faulty.faults.check_invariants = true;
+
+  const RunResult baseline = run_once(c, ProtocolKind::kOpt);
+  const RunResult degraded = run_once(faulty, ProtocolKind::kOpt);
+
+  // 15 sensors crashed; their buffered copies were lost, their sensing
+  // stopped, and no invariant broke along the way.
+  EXPECT_EQ(degraded.faults_injected, 15u);
+  EXPECT_GT(degraded.drops_node_failure, 0u);
+  EXPECT_LT(degraded.generated, baseline.generated);
+  EXPECT_LE(degraded.delivered, baseline.delivered);
+  EXPECT_GE(degraded.delivery_ratio, 0.0);
+  EXPECT_LE(degraded.delivery_ratio, 1.0);
+}
+
+TEST(FaultScenario, LossBurstCorruptsFramesDeterministically) {
+  Config c = small_config(25);
+  c.faults.plan = "loss@100:prob=0.8,for=600";
+  c.faults.check_invariants = true;
+  const RunResult a = run_once(c, ProtocolKind::kOpt);
+  const RunResult b = run_once(c, ProtocolKind::kOpt);
+  EXPECT_GT(a.frames_fault_corrupted, 0u);
+  expect_equal_results(a, b);
+}
+
+TEST(FaultScenario, BufferPressureForcesOverflowDrops) {
+  Config c = small_config(26);
+  c.faults.check_invariants = true;  // occupancy <= clamped capacity, too
+  Config faulty = c;
+  faulty.faults.plan = "pressure@300:frac=1.0,capacity=1,for=1000";
+
+  const RunResult baseline = run_once(c, ProtocolKind::kOpt);
+  const RunResult squeezed = run_once(faulty, ProtocolKind::kOpt);
+  EXPECT_GT(squeezed.drops_overflow, baseline.drops_overflow);
+}
+
+TEST(FaultScenario, SummariesBitIdenticalAcrossJobs) {
+  // The acceptance criterion: a faulty, invariant-checked batch reduces
+  // to the same bits no matter how many workers execute it.
+  Config c = small_config(27);
+  c.faults.plan =
+      "crash@750:frac=0.3,for=300;loss@200:prob=0.3,for=200;"
+      "pressure@500:frac=0.5,capacity=2,for=300";
+  c.faults.check_invariants = true;
+
+  std::vector<RunSpec> specs;
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    RunSpec s;
+    s.config = c;
+    s.config.scenario.seed = c.scenario.seed + r;
+    s.kind = ProtocolKind::kOpt;
+    specs.push_back(s);
+  }
+  const std::vector<RunResult> serial = run_specs(specs, 1);
+  const std::vector<RunResult> parallel = run_specs(specs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_equal_results(serial[i], parallel[i]);
+  }
+}
+
+TEST(FaultScenario, PlanValidatedAgainstPopulation) {
+  Config c = small_config(28);
+  c.faults.plan = "crash@100:node=99";  // only 32 nodes exist
+  EXPECT_THROW(World(c, ProtocolKind::kOpt), std::invalid_argument);
+
+  c.faults.plan = "pressure@100:node=31,capacity=1,for=10";  // node 31 = sink
+  EXPECT_THROW(World(c, ProtocolKind::kOpt), std::invalid_argument);
+}
+
+TEST(FaultScenario, AllProtocolsSurviveTheGauntlet) {
+  // Every strategy must tolerate the full fault menu with the checker on.
+  const ProtocolKind kinds[] = {ProtocolKind::kOpt,      ProtocolKind::kNoOpt,
+                                ProtocolKind::kNoSleep,  ProtocolKind::kZbr,
+                                ProtocolKind::kDirect,
+                                ProtocolKind::kEpidemic, ProtocolKind::kSwim};
+  Config c = small_config(29);
+  c.scenario.duration_s = 800.0;
+  c.faults.plan =
+      "outage@100:frac=0.2,for=150;crash@300:frac=0.2,for=200;"
+      "loss@50:prob=0.3,for=300;pressure@400:frac=0.3,capacity=2,for=200";
+  c.faults.check_invariants = true;
+  for (ProtocolKind kind : kinds) {
+    SCOPED_TRACE(protocol_kind_name(kind));
+    EXPECT_NO_THROW(run_once(c, kind));
+  }
+}
+
+}  // namespace
+}  // namespace dftmsn

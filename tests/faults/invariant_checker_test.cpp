@@ -1,0 +1,173 @@
+// Runtime invariant checking: enabling the checker must not change a run,
+// clean runs (all presets) must pass, and deliberately corrupted state
+// must be caught with node/message context.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "experiment/presets.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/world.hpp"
+#include "faults/invariant_checker.hpp"
+
+namespace dftmsn {
+namespace {
+
+Config small_config(std::uint64_t seed = 1) {
+  Config c;
+  c.scenario.num_sensors = 30;
+  c.scenario.num_sinks = 2;
+  c.scenario.duration_s = 1500.0;
+  c.scenario.seed = seed;
+  return c;
+}
+
+TEST(InvariantChecker, CleanRunPassesEveryEvent) {
+  Config c = small_config();
+  c.faults.check_invariants = true;
+  World w(c, ProtocolKind::kOpt);
+  ASSERT_NE(w.invariant_checker(), nullptr);
+  EXPECT_NO_THROW(w.run());
+  EXPECT_GT(w.invariant_checker()->sweeps_run(), 0u);
+}
+
+TEST(InvariantChecker, DisabledByDefault) {
+  World w(small_config(), ProtocolKind::kOpt);
+  EXPECT_EQ(w.invariant_checker(), nullptr);
+  EXPECT_EQ(w.fault_injector(), nullptr);
+}
+
+TEST(InvariantChecker, ObservationDoesNotPerturbTheRun) {
+  // The checker hooks in outside the event queue, so the event stream —
+  // and therefore every metric — must be bit-identical with it on or off.
+  Config plain = small_config(11);
+  Config checked = plain;
+  checked.faults.check_invariants = true;
+  const RunResult a = run_once(plain, ProtocolKind::kOpt);
+  const RunResult b = run_once(checked, ProtocolKind::kOpt);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_DOUBLE_EQ(a.mean_power_mw, b.mean_power_mw);
+  EXPECT_DOUBLE_EQ(a.mean_delay_s, b.mean_delay_s);
+  EXPECT_GT(b.invariant_sweeps, 0u);
+}
+
+TEST(InvariantChecker, StrideThrottlesFullSweeps) {
+  Config every = small_config(3);
+  every.scenario.duration_s = 300.0;
+  every.faults.check_invariants = true;
+  Config sparse = every;
+  sparse.faults.invariant_stride = 1000;
+
+  World we(every, ProtocolKind::kOpt);
+  World ws(sparse, ProtocolKind::kOpt);
+  we.run();
+  ws.run();
+  EXPECT_GT(we.invariant_checker()->sweeps_run(),
+            100 * ws.invariant_checker()->sweeps_run());
+}
+
+TEST(InvariantChecker, PassesOnAllPresets) {
+  for (const std::string& name : scenario_preset_names()) {
+    Config c = *scenario_preset(name);
+    c.scenario.duration_s = 300.0;
+    c.faults.check_invariants = true;
+    World w(c, ProtocolKind::kOpt);
+    EXPECT_NO_THROW(w.run()) << "preset " << name;
+    EXPECT_GT(w.invariant_checker()->sweeps_run(), 0u) << "preset " << name;
+  }
+}
+
+/// Runs until some sensor holds a queued copy, returning its index.
+std::size_t run_until_some_queue_nonempty(World& w) {
+  for (double t = 100.0; t <= 1500.0; t += 100.0) {
+    w.run_until(t);
+    for (std::size_t i = 0; i < w.sensors().size(); ++i)
+      if (!w.sensors()[i]->queue().empty()) return i;
+  }
+  ADD_FAILURE() << "no sensor ever buffered a message";
+  return 0;
+}
+
+TEST(InvariantChecker, CatchesPoisonedFtdWithContext) {
+  Config c = small_config(5);
+  c.faults.check_invariants = true;
+  World w(c, ProtocolKind::kOpt);
+  const std::size_t victim = run_until_some_queue_nonempty(w);
+
+  FtdQueue& queue = w.sensors()[victim]->mutable_queue();
+  const MessageId msg = queue.items().front().msg.id;
+  ASSERT_TRUE(queue.poison_ftd_for_test(msg, 1.5));
+
+  try {
+    w.run_until(c.scenario.duration_s);
+    FAIL() << "poisoned FTD went undetected";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.node, w.sensors()[victim]->id());
+    EXPECT_EQ(v.message, msg);
+    EXPECT_NE(std::string(v.what()).find("outside [0,1]"), std::string::npos)
+        << v.what();
+  }
+}
+
+TEST(InvariantChecker, CatchesDeliveredCopyStillQueued) {
+  Config c = small_config(6);
+  c.faults.check_invariants = true;
+  World w(c, ProtocolKind::kOpt);
+  const std::size_t victim = run_until_some_queue_nonempty(w);
+
+  FtdQueue& queue = w.sensors()[victim]->mutable_queue();
+  const MessageId msg = queue.items().front().msg.id;
+  ASSERT_TRUE(queue.poison_ftd_for_test(msg, 1.0));
+
+  try {
+    w.run_until(c.scenario.duration_s);
+    FAIL() << "FTD-1 copy went undetected";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.node, w.sensors()[victim]->id());
+    EXPECT_EQ(v.message, msg);
+    EXPECT_NE(std::string(v.what()).find("still queued"), std::string::npos)
+        << v.what();
+  }
+}
+
+TEST(InvariantChecker, CatchesQueueOrderViolation) {
+  Config c = small_config(7);
+  c.faults.check_invariants = true;
+  World w(c, ProtocolKind::kOpt);
+
+  // Need two queued copies to break the ordering between them.
+  std::size_t victim = 0;
+  bool found = false;
+  for (double t = 100.0; t <= 1500.0 && !found; t += 100.0) {
+    w.run_until(t);
+    for (std::size_t i = 0; i < w.sensors().size() && !found; ++i)
+      if (w.sensors()[i]->queue().size() >= 2) {
+        victim = i;
+        found = true;
+      }
+  }
+  ASSERT_TRUE(found) << "no sensor ever buffered two messages";
+
+  // Push the head's FTD above its successor's (but below 1) so the only
+  // broken invariant is the FTD-sorted ordering.
+  FtdQueue& queue = w.sensors()[victim]->mutable_queue();
+  const MessageId head = queue.items().front().msg.id;
+  ASSERT_TRUE(queue.poison_ftd_for_test(head, 0.999));
+
+  try {
+    w.run_until(c.scenario.duration_s);
+    FAIL() << "out-of-order queue went undetected";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.node, w.sensors()[victim]->id());
+    EXPECT_NE(std::string(v.what()).find("out of FTD order"),
+              std::string::npos)
+        << v.what();
+  }
+}
+
+}  // namespace
+}  // namespace dftmsn
