@@ -9,7 +9,20 @@
 //   dftmsn_cli --protocol OPT scenario.num_sinks=5 scenario.duration_s=10000
 //   dftmsn_cli --protocol ZBR --reps 5 protocol.queue_capacity=50
 //   dftmsn_cli --faults "crash@12500:frac=0.3" --check-invariants
+//   dftmsn_cli --reps 8 --checkpoint-dir ckpt --checkpoint-every 2000
+//              --watchdog-secs 30          (later: add --resume to continue)
 //   dftmsn_cli --list-params
+//
+// Exit codes:
+//   0  success (all replications completed)
+//   2  configuration / usage error
+//   3  protocol invariant violation (unsupervised runs)
+//   4  interrupted (SIGINT/SIGTERM); checkpoints flushed, rerun with
+//      --resume to continue
+//   5  completed, but some replications were quarantined after
+//      exhausting their retries (see the printed manifest)
+#include <atomic>
+#include <csignal>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +30,7 @@
 #include "common/config_io.hpp"
 #include "experiment/presets.hpp"
 #include "experiment/runner.hpp"
+#include "experiment/supervisor.hpp"
 #include "experiment/world.hpp"
 #include "trace/contact_probe.hpp"
 #include "trace/recorder.hpp"
@@ -41,8 +55,27 @@ int usage(int code) {
       "  --check-invariants  verify protocol invariants after every event;\n"
       "                    first violation aborts with exit code 3\n"
       "  --contacts-csv F  write a contact trace to F (single-run only)\n"
-      "  --list-params     print every configurable key with its default\n";
+      "  --list-params     print every configurable key with its default\n"
+      "supervision (see docs/checkpoint_resume.md):\n"
+      "  --checkpoint-dir D   write spec_<i>.ckpt + manifest.txt under D;\n"
+      "                    enables the supervised runner\n"
+      "  --checkpoint-every S checkpoint every S simulated seconds\n"
+      "                    (default 0: only on SIGINT/SIGTERM)\n"
+      "  --resume          skip replications the manifest marks completed,\n"
+      "                    resume the rest from their checkpoints\n"
+      "  --watchdog-secs S abort a replication making no progress for S\n"
+      "                    wall seconds, then retry it (default 0: off)\n"
+      "  --max-retries N   retries per replication before quarantine\n"
+      "                    (default 2)\n";
   return code;
+}
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) {
+  // Flag only: workers observe it at the next event boundary, flush a
+  // final checkpoint, and unwind cleanly.
+  g_stop.store(true);
 }
 
 }  // namespace
@@ -53,6 +86,8 @@ int main(int argc, char** argv) {
   int reps = 1;
   int jobs = 1;
   std::string contacts_csv;
+  SupervisorOptions sup;
+  bool supervised = false;
   std::vector<std::string> overrides;
 
   for (int i = 1; i < argc; ++i) {
@@ -126,7 +161,41 @@ int main(int argc, char** argv) {
       contacts_csv = next();
       continue;
     }
+    if (arg == "--checkpoint-dir") {
+      sup.checkpoint_dir = next();
+      supervised = true;
+      continue;
+    }
+    if (arg == "--checkpoint-every") {
+      sup.checkpoint_every_s = std::atof(next().c_str());
+      supervised = true;
+      continue;
+    }
+    if (arg == "--resume") {
+      sup.resume = true;
+      supervised = true;
+      continue;
+    }
+    if (arg == "--watchdog-secs") {
+      sup.watchdog_secs = std::atof(next().c_str());
+      supervised = true;
+      continue;
+    }
+    if (arg == "--max-retries") {
+      sup.max_retries = std::atoi(next().c_str());
+      if (sup.max_retries < 0) {
+        std::cerr << "--max-retries must be >= 0\n";
+        return 2;
+      }
+      supervised = true;
+      continue;
+    }
     overrides.push_back(arg);
+  }
+  if ((sup.resume || sup.checkpoint_every_s > 0) &&
+      sup.checkpoint_dir.empty()) {
+    std::cerr << "--resume/--checkpoint-every need --checkpoint-dir\n";
+    return 2;
   }
 
   try {
@@ -143,6 +212,65 @@ int main(int argc, char** argv) {
             << " field=" << config.scenario.field_m << "m"
             << " duration=" << config.scenario.duration_s << "s"
             << " reps=" << reps << "\n";
+
+  if (supervised) {
+    if (!contacts_csv.empty()) {
+      std::cerr << "--contacts-csv is not available under supervision\n";
+      return 2;
+    }
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    sup.jobs = jobs;
+    sup.stop = &g_stop;
+
+    std::vector<RunSpec> specs(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+      specs[static_cast<std::size_t>(r)].config = config;
+      specs[static_cast<std::size_t>(r)].config.scenario.seed =
+          config.scenario.seed + static_cast<std::uint64_t>(r);
+      specs[static_cast<std::size_t>(r)].kind = kind;
+    }
+
+    SweepManifest manifest;
+    try {
+      manifest = run_specs_supervised(specs, sup);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+
+    for (std::size_t i = 0; i < manifest.specs.size(); ++i) {
+      const SpecRecord& r = manifest.specs[i];
+      std::cout << "rep " << i << ": " << spec_status_name(r.status)
+                << " retries=" << r.retries;
+      if (!r.detail.empty()) std::cout << " (" << r.detail << ")";
+      std::cout << "\n";
+    }
+    std::cout << "manifest: completed=" << manifest.completed()
+              << " retried=" << manifest.retried()
+              << " quarantined=" << manifest.quarantined()
+              << " interrupted=" << manifest.interrupted() << "\n";
+
+    const std::vector<RunResult> done = completed_results(manifest);
+    if (!done.empty()) {
+      const ReplicatedResult r = reduce_results(done);
+      std::cout << "over " << r.replications << " completed replications:\n"
+                << "delivery_ratio=" << r.delivery_ratio.mean() << " +- "
+                << r.delivery_ratio.ci95_half_width()
+                << "\npower_mw=" << r.mean_power_mw.mean() << " +- "
+                << r.mean_power_mw.ci95_half_width()
+                << "\ndelay_s=" << r.mean_delay_s.mean() << " +- "
+                << r.mean_delay_s.ci95_half_width() << "\n";
+    }
+    if (manifest.interrupted() > 0) {
+      if (!sup.checkpoint_dir.empty())
+        std::cout << "interrupted; rerun with --resume --checkpoint-dir "
+                  << sup.checkpoint_dir << " to continue\n";
+      return 4;
+    }
+    if (manifest.quarantined() > 0) return 5;
+    return 0;
+  }
 
   try {
     if (reps == 1) {

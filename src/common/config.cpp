@@ -12,6 +12,15 @@ void require(bool ok, const std::string& what) {
 
 }  // namespace
 
+const char* mobility_kind_name(MobilityKind k) {
+  switch (k) {
+    case MobilityKind::kZone: return "zone";
+    case MobilityKind::kWaypoint: return "waypoint";
+    case MobilityKind::kPatrol: return "patrol";
+  }
+  return "?";
+}
+
 void Config::validate() const {
   require(radio.range_m > 0, "radio range must be positive");
   require(radio.bandwidth_bps > 0, "bandwidth must be positive");
@@ -76,6 +85,12 @@ void Config::validate() const {
               scenario.home_return_prob <= 1.0,
           "home return probability must lie in [0,1]");
   require(scenario.leg_mean_s > 0, "mean leg time must be positive");
+  require(scenario.mobility != MobilityKind::kWaypoint ||
+              scenario.speed_min_mps > 0,
+          "waypoint mobility needs speed_min > 0 (RWP stall)");
+  require(scenario.mobility != MobilityKind::kPatrol ||
+              scenario.speed_max_mps > 0,
+          "patrol mobility needs speed_max > 0");
   require(scenario.mobility_step_s > 0, "mobility step must be positive");
   require(scenario.data_interval_s > 0, "data interval must be positive");
   require(scenario.duration_s > 0, "duration must be positive");

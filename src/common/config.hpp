@@ -96,12 +96,21 @@ struct ContentionConfig {
   double cts_collision_target = 0.1;  ///< target γ_o for Eq. (14)
 };
 
+/// Sensor mobility model selection. kZone is the paper's model; the
+/// others are extension scenarios (docs/checkpoint_resume.md uses all
+/// three for the resume property matrix).
+enum class MobilityKind { kZone, kWaypoint, kPatrol };
+
+const char* mobility_kind_name(MobilityKind k);
+
 /// Scenario-level parameters (field, population, traffic, horizon).
 struct ScenarioConfig {
   double field_m = 150.0;       ///< square field edge
   int zones_per_side = 5;       ///< 5x5 = 25 zones
   int num_sensors = 100;
   int num_sinks = 3;
+  /// Sensor mobility model: "zone" (paper default), "waypoint", "patrol".
+  MobilityKind mobility = MobilityKind::kZone;
   double speed_min_mps = 0.0;
   double speed_max_mps = 5.0;
   double zone_exit_prob = 0.2;  ///< leave the zone when hitting its boundary
@@ -125,6 +134,11 @@ struct FaultConfig {
   /// Run the InvariantChecker after every `invariant_stride`-th event.
   bool check_invariants = false;
   int invariant_stride = 1;
+  /// Zero-based supervised-run attempt number, set by the supervisor on
+  /// retries so attempts=-gated hang/die events stop firing. Internal:
+  /// not a registered config key (the config digest must stay identical
+  /// across attempts of the same replication).
+  int attempt = 0;
 };
 
 /// Everything a run needs.

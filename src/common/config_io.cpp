@@ -1,6 +1,7 @@
 #include "common/config_io.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -18,17 +19,37 @@ struct Field {
 
 double parse_double(const std::string& key, const std::string& v) {
   std::size_t used = 0;
-  const double out = std::stod(v, &used);
+  double out = 0.0;
+  // stod throws invalid_argument with an unhelpful "stod" message (and
+  // out_of_range for overflow) — rewrap both so the error names the key
+  // and the offending token.
+  try {
+    out = std::stod(v, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config: bad number for " + key + ": '" + v +
+                                "'");
+  }
   if (used != v.size())
-    throw std::invalid_argument("config: bad number for " + key + ": " + v);
+    throw std::invalid_argument("config: bad number for " + key + ": '" + v +
+                                "'");
+  if (!std::isfinite(out))
+    throw std::invalid_argument("config: non-finite value for " + key +
+                                ": '" + v + "'");
   return out;
 }
 
 long long parse_int(const std::string& key, const std::string& v) {
   std::size_t used = 0;
-  const long long out = std::stoll(v, &used);
+  long long out = 0;
+  try {
+    out = std::stoll(v, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config: bad integer for " + key + ": '" + v +
+                                "'");
+  }
   if (used != v.size())
-    throw std::invalid_argument("config: bad integer for " + key + ": " + v);
+    throw std::invalid_argument("config: bad integer for " + key + ": '" + v +
+                                "'");
   return out;
 }
 
@@ -36,6 +57,14 @@ bool parse_bool(const std::string& key, const std::string& v) {
   if (v == "true" || v == "1") return true;
   if (v == "false" || v == "0") return false;
   throw std::invalid_argument("config: bad bool for " + key + ": " + v);
+}
+
+MobilityKind parse_mobility(const std::string& key, const std::string& v) {
+  if (v == "zone") return MobilityKind::kZone;
+  if (v == "waypoint") return MobilityKind::kWaypoint;
+  if (v == "patrol") return MobilityKind::kPatrol;
+  throw std::invalid_argument("config: bad mobility kind for " + key + ": " +
+                              v + " (zone|waypoint|patrol)");
 }
 
 QueuePolicy parse_policy(const std::string& key, const std::string& v) {
@@ -141,7 +170,14 @@ const std::vector<Field>& fields() {
       Field{"faults.plan",
             [](Config& c, const std::string& v) { c.faults.plan = v; },
             [](const Config& c) { return c.faults.plan; }},
-      // Queue policy needs a custom parser.
+      // Enumerated fields need custom parsers.
+      Field{"scenario.mobility",
+            [](Config& c, const std::string& v) {
+              c.scenario.mobility = parse_mobility("scenario.mobility", v);
+            },
+            [](const Config& c) {
+              return std::string(mobility_kind_name(c.scenario.mobility));
+            }},
       Field{"protocol.queue_policy",
             [](Config& c, const std::string& v) {
               c.protocol.queue_policy =
@@ -201,6 +237,14 @@ void load_config_file(Config& config, const std::string& path) {
       throw std::invalid_argument(path + ":" + std::to_string(lineno) +
                                   ": " + e.what());
     }
+  }
+  // Fail fast: a file that parses but encodes a nonsensical combination
+  // (negative duration, speed_max < speed_min, ...) should be rejected at
+  // load time with the file named, not deep inside World construction.
+  try {
+    config.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
   }
 }
 

@@ -20,4 +20,16 @@ void DeliveryProbability::on_transmission(double receiver_xi) {
 
 void DeliveryProbability::on_timeout() { xi_ = (1.0 - alpha_) * xi_; }
 
+void DeliveryProbability::save_state(snapshot::Writer& w) const {
+  w.begin_section("delivery_probability");
+  w.f64(xi_);
+  w.end_section();
+}
+
+void DeliveryProbability::load_state(snapshot::Reader& r) {
+  r.begin_section("delivery_probability");
+  xi_ = r.f64();
+  r.end_section();
+}
+
 }  // namespace dftmsn

@@ -2,6 +2,8 @@
 // node's recent ability to push messages toward a sink.
 #pragma once
 
+#include "snapshot/snapshot_io.hpp"
+
 namespace dftmsn {
 
 class DeliveryProbability {
@@ -22,6 +24,10 @@ class DeliveryProbability {
   void on_timeout();
 
   [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// Snapshot: ξ only (α is config-derived).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   double alpha_;

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "snapshot/state_codec.hpp"
+
 namespace dftmsn {
 
 FtdQueue::FtdQueue(std::size_t capacity, QueueDiscipline discipline)
@@ -176,6 +178,24 @@ bool FtdQueue::poison_ftd_for_test(MessageId id, double ftd) {
 bool FtdQueue::contains(MessageId id) const {
   return std::any_of(items_.begin(), items_.end(),
                      [id](const QueuedMessage& q) { return q.msg.id == id; });
+}
+
+void FtdQueue::save_state(snapshot::Writer& w) const {
+  w.begin_section("ftd_queue");
+  w.size(capacity_);
+  w.u8(static_cast<std::uint8_t>(discipline_));
+  w.size(items_.size());
+  for (const QueuedMessage& q : items_) snapshot::save(w, q);
+  w.end_section();
+}
+
+void FtdQueue::load_state(snapshot::Reader& r) {
+  r.begin_section("ftd_queue");
+  capacity_ = r.size();
+  discipline_ = static_cast<QueueDiscipline>(r.u8());
+  items_.resize(r.size());
+  for (QueuedMessage& q : items_) snapshot::load(r, q);
+  r.end_section();
 }
 
 }  // namespace dftmsn

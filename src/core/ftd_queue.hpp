@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
 
@@ -97,6 +98,10 @@ class FtdQueue {
   [[nodiscard]] const std::vector<QueuedMessage>& items() const {
     return items_;
   }
+
+  /// Snapshot: capacity, discipline and every queued copy in order.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   std::size_t position_for(double ftd) const;

@@ -48,4 +48,19 @@ double SleepController::t_max() const {
          (1.0 - cfg_.buffer_threshold_h);
 }
 
+void SleepController::save_state(snapshot::Writer& w) const {
+  w.begin_section("sleep_controller");
+  w.size(history_.size());
+  for (const bool b : history_) w.boolean(b);
+  w.end_section();
+}
+
+void SleepController::load_state(snapshot::Reader& r) {
+  r.begin_section("sleep_controller");
+  history_.clear();
+  const std::size_t n = r.size();
+  for (std::size_t i = 0; i < n; ++i) history_.push_back(r.boolean());
+  r.end_section();
+}
+
 }  // namespace dftmsn

@@ -8,6 +8,7 @@
 
 #include "common/config.hpp"
 #include "phy/energy_model.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
 
@@ -42,6 +43,10 @@ class SleepController {
   [[nodiscard]] double t_max() const;
 
   [[nodiscard]] const SleepConfig& config() const { return cfg_; }
+
+  /// Snapshot: the cycle-outcome history (cfg_/t_min_ are config-derived).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   SleepConfig cfg_;

@@ -11,7 +11,10 @@ namespace dftmsn {
 RunResult run_once(const Config& config, ProtocolKind kind) {
   World world(config, kind);
   world.run();
+  return reduce_world(world);
+}
 
+RunResult reduce_world(const World& world) {
   const Metrics& m = world.metrics();
   const Channel::Counters& ch = world.channel().counters();
 
@@ -55,10 +58,7 @@ std::vector<RunResult> run_specs(const std::vector<RunSpec>& specs,
   return results;
 }
 
-namespace {
-
-/// Folds one point's per-replication results, in replication order.
-ReplicatedResult reduce_replications(const std::vector<RunResult>& runs) {
+ReplicatedResult reduce_results(const std::vector<RunResult>& runs) {
   ReplicatedResult out;
   out.replications = static_cast<int>(runs.size());
   for (const RunResult& r : runs) {
@@ -70,8 +70,6 @@ ReplicatedResult reduce_replications(const std::vector<RunResult>& runs) {
   }
   return out;
 }
-
-}  // namespace
 
 ReplicatedResult run_replicated(Config config, ProtocolKind kind,
                                 int replications, int jobs) {
@@ -111,7 +109,7 @@ std::vector<ReplicatedResult> run_sweep(
     const auto first = flat.begin() +
         static_cast<std::ptrdiff_t>(pi * static_cast<std::size_t>(replications));
     std::vector<RunResult> runs(first, first + replications);
-    out.push_back(reduce_replications(runs));
+    out.push_back(reduce_results(runs));
     if (raw) raw->push_back(std::move(runs));
   }
   return out;

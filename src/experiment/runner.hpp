@@ -54,6 +54,15 @@ struct ReplicatedResult {
 /// Builds a World from `config`, runs it to the horizon, reduces metrics.
 RunResult run_once(const Config& config, ProtocolKind kind);
 
+/// Reduces an already-run World to the headline metrics (the tail half of
+/// run_once; the supervisor reuses it on worlds it drove — and possibly
+/// resumed — itself).
+class World;
+RunResult reduce_world(const World& world);
+
+/// Folds per-replication results into mean ± CI, in input order.
+ReplicatedResult reduce_results(const std::vector<RunResult>& runs);
+
 /// One independent simulation in a batch: a fully-specified scenario
 /// (seed included in config.scenario.seed) and a protocol variant.
 struct RunSpec {

@@ -1,0 +1,491 @@
+#include "experiment/supervisor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "experiment/world.hpp"
+#include "snapshot/checkpoint.hpp"
+
+namespace dftmsn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Manifest doubles are stored as IEEE-754 bit patterns (decimal u64), so
+// a resumed sweep folds bit-identical values into its aggregates.
+std::uint64_t double_bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+double bits_double(std::uint64_t u) {
+  double v = 0.0;
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+std::string sanitize(std::string s) {
+  for (char& c : s)
+    if (c == '\n' || c == '\r') c = ' ';
+  return s;
+}
+
+bool parse_status(const std::string& s, SpecStatus* out) {
+  if (s == "pending") *out = SpecStatus::kPending;
+  else if (s == "completed") *out = SpecStatus::kCompleted;
+  else if (s == "quarantined") *out = SpecStatus::kQuarantined;
+  else if (s == "interrupted") *out = SpecStatus::kInterrupted;
+  else return false;
+  return true;
+}
+
+void put_result(std::ostream& os, const RunResult& r) {
+  os << double_bits(r.delivery_ratio) << ' ' << double_bits(r.mean_power_mw)
+     << ' ' << double_bits(r.mean_delay_s) << ' ' << double_bits(r.mean_hops)
+     << ' ' << double_bits(r.overhead_bits_per_delivery) << ' ' << r.generated
+     << ' ' << r.delivered << ' ' << r.collisions << ' ' << r.attempts << ' '
+     << r.failed_attempts << ' ' << r.data_transmissions << ' '
+     << r.drops_overflow << ' ' << r.drops_threshold << ' '
+     << r.events_executed << ' ' << r.faults_injected << ' '
+     << r.drops_node_failure << ' ' << r.frames_fault_corrupted << ' '
+     << r.invariant_sweeps;
+}
+
+bool get_result(std::istream& is, RunResult* r) {
+  std::uint64_t dr = 0, pw = 0, dl = 0, hp = 0, ov = 0;
+  if (!(is >> dr >> pw >> dl >> hp >> ov >> r->generated >> r->delivered >>
+        r->collisions >> r->attempts >> r->failed_attempts >>
+        r->data_transmissions >> r->drops_overflow >> r->drops_threshold >>
+        r->events_executed >> r->faults_injected >> r->drops_node_failure >>
+        r->frames_fault_corrupted >> r->invariant_sweeps))
+    return false;
+  r->delivery_ratio = bits_double(dr);
+  r->mean_power_mw = bits_double(pw);
+  r->mean_delay_s = bits_double(dl);
+  r->mean_hops = bits_double(hp);
+  r->overhead_bits_per_delivery = bits_double(ov);
+  return true;
+}
+
+/// Per-spec supervision state shared between the worker running the spec
+/// and the watchdog thread. progress/abort/active/watchdog_fired are the
+/// cross-thread surface; the trailing fields are watchdog-thread scratch.
+struct Slot {
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<bool> abort{false};
+  std::atomic<bool> active{false};
+  std::atomic<bool> watchdog_fired{false};
+
+  bool seen = false;
+  std::uint64_t last_progress = 0;
+  Clock::time_point last_change{};
+};
+
+void run_one_supervised(const RunSpec& spec, std::size_t index,
+                        const SupervisorOptions& opts, Slot& slot,
+                        SpecRecord& rec) {
+  const std::string ckpt =
+      opts.checkpoint_dir.empty()
+          ? std::string()
+          : spec_checkpoint_path(opts.checkpoint_dir, index);
+
+  // Last good checkpoint, kept in memory: the retry path must not depend
+  // on re-reading a file a torn write may have damaged.
+  std::vector<std::uint8_t> image;
+  if (opts.resume && !ckpt.empty()) {
+    try {
+      std::vector<std::uint8_t> file = snapshot::read_file(ckpt);
+      const CheckpointMeta meta = read_checkpoint_meta(file);
+      if (meta.config_digest == rec.config_digest &&
+          meta.seed == spec.config.scenario.seed)
+        image = std::move(file);
+    } catch (const std::exception&) {
+      // Missing, torn or foreign checkpoint: start the spec from scratch.
+    }
+  }
+
+  int attempt = 0;
+  for (;;) {
+    if (opts.stop && opts.stop->load()) {
+      rec.status = SpecStatus::kInterrupted;
+      if (rec.detail.empty()) rec.detail = "stopped before start";
+      return;
+    }
+
+    Config cfg = spec.config;
+    // The only knob a retry turns: gates `attempts=`-qualified fault
+    // events (see FaultInjector) without touching event or rng streams.
+    cfg.faults.attempt = attempt;
+    slot.watchdog_fired.store(false);
+    slot.abort.store(false);
+    slot.progress.store(0);
+
+    std::unique_ptr<World> world;
+    std::string fail;
+    bool drop_checkpoint = false;
+    try {
+      if (!image.empty()) {
+        slot.active.store(true);  // replay is watchdog-monitored too
+        world = resume_world(cfg, spec.kind, image, opts.verify_on_resume,
+                             &slot.abort, &slot.progress);
+      } else {
+        world = std::make_unique<World>(cfg, spec.kind);
+        world->sim().set_abort_flag(&slot.abort);
+        world->sim().set_progress_counter(&slot.progress);
+        slot.active.store(true);
+      }
+
+      const double horizon = cfg.scenario.duration_s;
+      const double step =
+          opts.checkpoint_every_s > 0 ? opts.checkpoint_every_s : horizon;
+      int written = 0;
+      while (world->sim().now() < horizon) {
+        // Boundaries are multiples of the period, so a resumed run hits
+        // the same ones an uninterrupted run would.
+        const double next = std::min(
+            horizon, (std::floor(world->sim().now() / step) + 1.0) * step);
+        world->run_until(next);
+        if (world->sim().now() >= horizon) break;
+        if (!ckpt.empty()) {
+          image = make_checkpoint(*world);
+          snapshot::write_file_atomic(ckpt, image);
+          ++written;
+          if (opts.stop_after_checkpoints > 0 &&
+              written >= opts.stop_after_checkpoints) {
+            slot.active.store(false);
+            rec.status = SpecStatus::kInterrupted;
+            rec.retries = attempt;
+            rec.detail = "test hook: stopped after " +
+                         std::to_string(written) + " checkpoints";
+            return;
+          }
+        }
+      }
+
+      slot.active.store(false);
+      rec.result = reduce_world(*world);
+      rec.status = SpecStatus::kCompleted;
+      rec.retries = attempt;
+      rec.detail.clear();
+      if (!ckpt.empty()) std::remove(ckpt.c_str());
+      return;
+    } catch (const RunAborted& e) {
+      slot.active.store(false);
+      if (!slot.watchdog_fired.load() && opts.stop && opts.stop->load()) {
+        // External stop: the abort unwound at a clean event boundary, so
+        // flush one final checkpoint and leave the spec resumable.
+        if (world && !ckpt.empty()) {
+          try {
+            snapshot::write_file_atomic(ckpt, make_checkpoint(*world));
+          } catch (const std::exception&) {
+            // Keep whatever checkpoint was already on disk.
+          }
+        }
+        rec.status = SpecStatus::kInterrupted;
+        rec.retries = attempt;
+        rec.detail = "interrupted at t=" + std::to_string(e.at);
+        return;
+      }
+      fail = "watchdog: no event progress for " +
+             std::to_string(opts.watchdog_secs) + "s wall (aborted at t=" +
+             std::to_string(e.at) + " after " + std::to_string(e.events) +
+             " events)";
+    } catch (const snapshot::SnapshotMismatch& e) {
+      slot.active.store(false);
+      fail = e.what();
+      drop_checkpoint = true;  // stale or nondeterministic: retry clean
+    } catch (const snapshot::SnapshotError& e) {
+      slot.active.store(false);
+      fail = e.what();
+      drop_checkpoint = true;
+    } catch (const std::exception& e) {
+      // SimulatedCrash, InvariantViolation, bad fault plans, ...
+      slot.active.store(false);
+      fail = e.what();
+    }
+
+    if (drop_checkpoint) image.clear();
+    ++attempt;
+    rec.retries = attempt;
+    rec.detail = sanitize(fail);
+    if (attempt > opts.max_retries) {
+      rec.status = SpecStatus::kQuarantined;
+      return;
+    }
+    const double backoff = std::min(
+        5.0, opts.retry_backoff_s * std::pow(2.0, attempt - 1));
+    if (backoff > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+}
+
+}  // namespace
+
+const char* spec_status_name(SpecStatus s) {
+  switch (s) {
+    case SpecStatus::kPending: return "pending";
+    case SpecStatus::kCompleted: return "completed";
+    case SpecStatus::kQuarantined: return "quarantined";
+    case SpecStatus::kInterrupted: return "interrupted";
+  }
+  return "?";
+}
+
+int SweepManifest::count(SpecStatus s) const {
+  int n = 0;
+  for (const SpecRecord& r : specs) n += (r.status == s) ? 1 : 0;
+  return n;
+}
+
+int SweepManifest::retried() const {
+  int n = 0;
+  for (const SpecRecord& r : specs) n += (r.retries > 0) ? 1 : 0;
+  return n;
+}
+
+std::string manifest_path(const std::string& checkpoint_dir) {
+  return checkpoint_dir + "/manifest.txt";
+}
+
+std::string spec_checkpoint_path(const std::string& checkpoint_dir,
+                                 std::size_t index) {
+  return checkpoint_dir + "/spec_" + std::to_string(index) + ".ckpt";
+}
+
+void write_manifest(const std::string& path, const SweepManifest& manifest) {
+  std::ostringstream os;
+  os << "dftmsn-manifest v1\n";
+  os << "specs " << manifest.specs.size() << "\n";
+  for (std::size_t i = 0; i < manifest.specs.size(); ++i) {
+    const SpecRecord& r = manifest.specs[i];
+    os << "spec " << i << ' ' << spec_status_name(r.status) << " retries="
+       << r.retries << " digest=" << r.config_digest << " detail="
+       << sanitize(r.detail) << "\n";
+    if (r.status == SpecStatus::kCompleted) {
+      os << "result " << i << ' ';
+      put_result(os, r.result);
+      os << "\n";
+    }
+  }
+  const std::string s = os.str();
+  snapshot::write_file_atomic(path,
+                              std::vector<std::uint8_t>(s.begin(), s.end()));
+}
+
+bool load_manifest(const std::string& path, SweepManifest* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+
+  const auto bad = [&path](const std::string& what) {
+    throw std::runtime_error("manifest " + path + ": " + what);
+  };
+
+  std::string line;
+  if (!std::getline(in, line) || line != "dftmsn-manifest v1")
+    bad("unrecognized header");
+  std::size_t n = 0;
+  {
+    if (!std::getline(in, line)) bad("missing spec count");
+    std::istringstream is(line);
+    std::string tag;
+    if (!(is >> tag >> n) || tag != "specs") bad("missing spec count");
+  }
+  SweepManifest m;
+  m.specs.resize(n);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    std::string tag;
+    std::size_t i = 0;
+    is >> tag >> i;
+    if (!is || i >= n) bad("malformed line: " + line);
+    SpecRecord& r = m.specs[i];
+    if (tag == "spec") {
+      std::string status, kv;
+      is >> status;
+      if (!parse_status(status, &r.status)) bad("bad status: " + status);
+      if (!(is >> kv) || kv.rfind("retries=", 0) != 0)
+        bad("missing retries: " + line);
+      r.retries = std::atoi(kv.c_str() + 8);
+      if (!(is >> kv) || kv.rfind("digest=", 0) != 0)
+        bad("missing digest: " + line);
+      r.config_digest = std::strtoull(kv.c_str() + 7, nullptr, 10);
+      std::string detail;
+      std::getline(is, detail);
+      const auto at = detail.find("detail=");
+      r.detail = at == std::string::npos ? "" : detail.substr(at + 7);
+    } else if (tag == "result") {
+      if (!get_result(is, &r.result)) bad("malformed result: " + line);
+    } else {
+      bad("unknown tag: " + tag);
+    }
+  }
+  *out = std::move(m);
+  return true;
+}
+
+SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
+                                   const SupervisorOptions& opts) {
+  SweepManifest manifest;
+  manifest.specs.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    manifest.specs[i].config_digest =
+        config_digest(specs[i].config, specs[i].kind);
+
+  const bool use_dir = !opts.checkpoint_dir.empty();
+  if (use_dir) std::filesystem::create_directories(opts.checkpoint_dir);
+
+  if (opts.resume && use_dir) {
+    SweepManifest prev;
+    if (load_manifest(manifest_path(opts.checkpoint_dir), &prev)) {
+      if (prev.specs.size() != specs.size())
+        throw std::runtime_error(
+            "supervisor: manifest holds " +
+            std::to_string(prev.specs.size()) + " specs but this sweep has " +
+            std::to_string(specs.size()) + " — refusing to resume");
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (prev.specs[i].config_digest != manifest.specs[i].config_digest)
+          throw std::runtime_error(
+              "supervisor: manifest was written by a different sweep "
+              "(config digest mismatch at spec " + std::to_string(i) +
+              ") — refusing to resume");
+        // Completed replications carry over verbatim; everything else
+        // reruns with a fresh retry budget (its checkpoint, if any, is
+        // picked up by the worker).
+        if (prev.specs[i].status == SpecStatus::kCompleted)
+          manifest.specs[i] = prev.specs[i];
+      }
+    }
+  }
+
+  // Write the starting manifest (all pending, minus any carried-over
+  // completions) before any worker runs: a SIGKILL landing before the
+  // first spec finishes must still leave a resumable manifest next to
+  // whatever periodic checkpoints made it to disk.
+  if (use_dir) write_manifest(manifest_path(opts.checkpoint_dir), manifest);
+
+  std::mutex manifest_mu;
+  const auto publish = [&](std::size_t i, const SpecRecord& rec) {
+    std::lock_guard<std::mutex> lock(manifest_mu);
+    manifest.specs[i] = rec;
+    // Incremental rewrite after every finished spec: a hard kill of the
+    // supervisor process itself loses at most the in-flight specs.
+    if (use_dir)
+      write_manifest(manifest_path(opts.checkpoint_dir), manifest);
+  };
+
+  std::vector<Slot> slots(specs.size());
+  std::atomic<bool> watchdog_quit{false};
+  std::thread watchdog;
+  if (opts.watchdog_secs > 0.0 || opts.stop) {
+    const auto poll = std::chrono::duration<double>(
+        opts.watchdog_secs > 0.0
+            ? std::clamp(opts.watchdog_secs / 4.0, 0.01, 0.25)
+            : 0.05);
+    watchdog = std::thread([&] {
+      while (!watchdog_quit.load()) {
+        const bool ext = opts.stop && opts.stop->load();
+        const Clock::time_point now = Clock::now();
+        for (Slot& s : slots) {
+          if (ext) {
+            s.abort.store(true);
+            continue;
+          }
+          if (!s.active.load()) {
+            s.seen = false;
+            continue;
+          }
+          if (opts.watchdog_secs <= 0.0) continue;
+          const std::uint64_t p = s.progress.load();
+          if (!s.seen || p != s.last_progress) {
+            s.seen = true;
+            s.last_progress = p;
+            s.last_change = now;
+            continue;
+          }
+          if (std::chrono::duration<double>(now - s.last_change).count() >
+              opts.watchdog_secs) {
+            s.watchdog_fired.store(true);
+            s.abort.store(true);
+          }
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    });
+  }
+
+  parallel_for(specs.size(), resolve_jobs(opts.jobs), [&](std::size_t i) {
+    SpecRecord rec;
+    {
+      std::lock_guard<std::mutex> lock(manifest_mu);
+      rec = manifest.specs[i];
+    }
+    if (rec.status == SpecStatus::kCompleted) return;  // resumed as done
+    run_one_supervised(specs[i], i, opts, slots[i], rec);
+    publish(i, rec);
+  });
+
+  watchdog_quit.store(true);
+  if (watchdog.joinable()) watchdog.join();
+
+  if (use_dir) {
+    std::lock_guard<std::mutex> lock(manifest_mu);
+    write_manifest(manifest_path(opts.checkpoint_dir), manifest);
+  }
+  return manifest;
+}
+
+std::vector<RunResult> completed_results(const SweepManifest& manifest) {
+  std::vector<RunResult> out;
+  for (const SpecRecord& r : manifest.specs)
+    if (r.status == SpecStatus::kCompleted) out.push_back(r.result);
+  return out;
+}
+
+SupervisedSweep run_sweep_supervised(const std::vector<SweepPoint>& points,
+                                     int replications,
+                                     const SupervisorOptions& opts) {
+  if (replications < 0) replications = 0;
+  std::vector<RunSpec> specs;
+  specs.reserve(points.size() * static_cast<std::size_t>(replications));
+  for (const SweepPoint& p : points) {
+    const std::uint64_t base_seed = p.config.scenario.seed;
+    for (int rep = 0; rep < replications; ++rep) {
+      RunSpec s = p;
+      s.config.scenario.seed = base_seed + static_cast<std::uint64_t>(rep);
+      specs.push_back(std::move(s));
+    }
+  }
+
+  SupervisedSweep out;
+  out.manifest = run_specs_supervised(specs, opts);
+  out.points.reserve(points.size());
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    std::vector<RunResult> done;
+    for (int rep = 0; rep < replications; ++rep) {
+      const SpecRecord& r =
+          out.manifest
+              .specs[pi * static_cast<std::size_t>(replications) +
+                     static_cast<std::size_t>(rep)];
+      if (r.status == SpecStatus::kCompleted) done.push_back(r.result);
+    }
+    out.points.push_back(reduce_results(done));
+  }
+  return out;
+}
+
+}  // namespace dftmsn

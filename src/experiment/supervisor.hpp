@@ -1,0 +1,137 @@
+// Self-healing sweep supervision on top of run_specs: periodic
+// checkpoints, a wall-clock watchdog that detects hung replications, a
+// bounded retry-with-backoff loop that restarts a failed replication from
+// its last good checkpoint, quarantine of replications that keep failing,
+// and graceful partial aggregation of whatever did complete.
+//
+// Determinism contract: supervision never changes a replication's
+// trajectory. Checkpoints are written from, not fed back into, the
+// running world; a retried replication bumps only Config::faults.attempt
+// (an internal knob that gates `attempts=`-qualified fault events without
+// perturbing the event or random streams); and every resume is
+// byte-verified against the checkpoint it came from. A sweep that needed
+// three retries therefore reports the same numbers as one that needed
+// none — and the same numbers at every --jobs value.
+//
+// Failure taxonomy:
+//   - SimulatedCrash / InvariantViolation / any std::exception out of a
+//     replication -> retry from the last good checkpoint (or from
+//     scratch), at most max_retries times, then quarantine.
+//   - watchdog trip (no executed-event progress for watchdog_secs of
+//     wall time) -> cooperative abort via the simulator's abort flag
+//     (reaches even a mid-event `hang` fault), then same retry path.
+//   - external stop (SIGINT/SIGTERM flag) -> flush one final checkpoint
+//     at the clean event boundary the abort left us on, mark the
+//     replication interrupted, and keep the manifest resumable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+
+namespace dftmsn {
+
+struct SupervisorOptions {
+  /// Directory for spec_<i>.ckpt files + manifest.txt. Empty: no
+  /// checkpointing (failures retry from scratch, stop loses progress).
+  std::string checkpoint_dir;
+  /// Simulated seconds between periodic checkpoints. <= 0: checkpoint
+  /// only on external stop.
+  double checkpoint_every_s = 0.0;
+  /// Wall-clock seconds without event progress before a replication is
+  /// declared hung and aborted. <= 0: watchdog off.
+  double watchdog_secs = 0.0;
+  /// Retries per replication before quarantine.
+  int max_retries = 2;
+  /// Base wall-clock backoff before a retry; doubles per retry.
+  double retry_backoff_s = 0.05;
+  int jobs = 1;
+  /// Reuse manifest.txt + checkpoints in checkpoint_dir: completed
+  /// replications are skipped, unfinished ones resume from their last
+  /// checkpoint.
+  bool resume = false;
+  /// Byte-compare every resumed world against its checkpoint (the
+  /// nondeterminism trap). Leave on outside of benchmarks.
+  bool verify_on_resume = true;
+  /// External stop flag (SIGINT/SIGTERM handler sets it). nullptr: none.
+  const std::atomic<bool>* stop = nullptr;
+  /// Test hook: deterministically interrupt every replication after it
+  /// has written this many periodic checkpoints (simulates a kill at a
+  /// checkpoint boundary without signals). 0: off.
+  int stop_after_checkpoints = 0;
+};
+
+enum class SpecStatus : std::uint8_t {
+  kPending,      ///< never ran (stop arrived first)
+  kCompleted,    ///< ran to horizon, result valid
+  kQuarantined,  ///< failed max_retries + 1 times, gave up
+  kInterrupted,  ///< external stop; checkpoint flushed if dir set
+};
+const char* spec_status_name(SpecStatus s);
+
+struct SpecRecord {
+  SpecStatus status = SpecStatus::kPending;
+  int retries = 0;           ///< restarts consumed (0 = clean first run)
+  std::uint64_t config_digest = 0;
+  std::string detail;        ///< last failure message; empty when clean
+  RunResult result;          ///< valid only when status == kCompleted
+};
+
+struct SweepManifest {
+  std::vector<SpecRecord> specs;
+
+  [[nodiscard]] int count(SpecStatus s) const;
+  [[nodiscard]] int completed() const {
+    return count(SpecStatus::kCompleted);
+  }
+  [[nodiscard]] int quarantined() const {
+    return count(SpecStatus::kQuarantined);
+  }
+  [[nodiscard]] int interrupted() const {
+    return count(SpecStatus::kInterrupted) + count(SpecStatus::kPending);
+  }
+  /// Replications that needed at least one restart.
+  [[nodiscard]] int retried() const;
+};
+
+/// Runs every spec under supervision, up to opts.jobs at a time. The
+/// manifest has one record per spec, in input order; it is also written
+/// to checkpoint_dir/manifest.txt (atomically) when a dir is configured.
+SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
+                                   const SupervisorOptions& opts);
+
+/// run_sweep under supervision: expands points × replications exactly
+/// like run_sweep (replication r of point p runs seed base_seed + r), and
+/// aggregates each point over its *completed* replications only.
+struct SupervisedSweep {
+  SweepManifest manifest;
+  std::vector<ReplicatedResult> points;
+};
+SupervisedSweep run_sweep_supervised(const std::vector<SweepPoint>& points,
+                                     int replications,
+                                     const SupervisorOptions& opts);
+
+/// The RunResults of completed specs, in spec order (partial aggregation
+/// input for callers that flattened their own batch).
+std::vector<RunResult> completed_results(const SweepManifest& manifest);
+
+// --- manifest / checkpoint file layout ---------------------------------
+
+std::string manifest_path(const std::string& checkpoint_dir);
+std::string spec_checkpoint_path(const std::string& checkpoint_dir,
+                                 std::size_t index);
+
+/// Writes the manifest as a line-oriented text file (atomic rewrite).
+/// RunResult doubles are stored as hexfloats so a resumed sweep reports
+/// bit-identical aggregates.
+void write_manifest(const std::string& path, const SweepManifest& manifest);
+
+/// Loads a manifest written by write_manifest. Returns false if the file
+/// does not exist; throws std::runtime_error if it exists but is
+/// malformed.
+bool load_manifest(const std::string& path, SweepManifest* out);
+
+}  // namespace dftmsn

@@ -1,7 +1,11 @@
 #include "experiment/world.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "mobility/patrol_mobility.hpp"
+#include "mobility/random_waypoint.hpp"
 #include "mobility/zone_mobility.hpp"
 
 namespace dftmsn {
@@ -20,22 +24,54 @@ World::World(Config config, ProtocolKind kind)
   const int n = cfg_.scenario.num_sensors;
   const int k = cfg_.scenario.num_sinks;
 
-  // Sensors: random start (= home zone), zone-based mobility.
+  // Sensors: random start, mobility model per scenario.mobility. The
+  // paper's default is zone-based; waypoint/patrol are extension models
+  // (also the resume property matrix in docs/checkpoint_resume.md).
   RandomStream placement = rngs_.stream("placement");
-  ZoneMobility::Params mob;
-  mob.speed_min = cfg_.scenario.speed_min_mps;
-  mob.speed_max = cfg_.scenario.speed_max_mps;
-  mob.exit_prob = cfg_.scenario.zone_exit_prob;
-  mob.home_return_prob = cfg_.scenario.home_return_prob;
-  mob.leg_mean_s = cfg_.scenario.leg_mean_s;
+  ZoneMobility::Params zone_params;
+  zone_params.speed_min = cfg_.scenario.speed_min_mps;
+  zone_params.speed_max = cfg_.scenario.speed_max_mps;
+  zone_params.exit_prob = cfg_.scenario.zone_exit_prob;
+  zone_params.home_return_prob = cfg_.scenario.home_return_prob;
+  zone_params.leg_mean_s = cfg_.scenario.leg_mean_s;
+  RandomWaypoint::Params rwp_params;
+  rwp_params.speed_min = cfg_.scenario.speed_min_mps;
+  rwp_params.speed_max = cfg_.scenario.speed_max_mps;
 
   for (int i = 0; i < n; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
     const Vec2 start{placement.uniform(0.0, grid_.field_edge()),
                      placement.uniform(0.0, grid_.field_edge())};
-    mobility_.add_node(
-        static_cast<NodeId>(i),
-        std::make_unique<ZoneMobility>(
-            grid_, mob, start, rngs_.stream("mobility", static_cast<NodeId>(i))));
+    switch (cfg_.scenario.mobility) {
+      case MobilityKind::kZone:
+        mobility_.add_node(id, std::make_unique<ZoneMobility>(
+                                   grid_, zone_params, start,
+                                   rngs_.stream("mobility", id)));
+        break;
+      case MobilityKind::kWaypoint:
+        mobility_.add_node(id, std::make_unique<RandomWaypoint>(
+                                   grid_, rwp_params, start,
+                                   rngs_.stream("mobility", id)));
+        break;
+      case MobilityKind::kPatrol: {
+        // A fixed per-node circuit: the start plus three waypoints drawn
+        // from the node's mobility stream; speed drawn from the
+        // configured range, floored away from zero (validate() requires
+        // speed_max > 0 for patrol).
+        RandomStream mrng = rngs_.stream("mobility", id);
+        std::vector<Vec2> circuit{start};
+        for (int wp = 0; wp < 3; ++wp)
+          circuit.push_back({mrng.uniform(0.0, grid_.field_edge()),
+                             mrng.uniform(0.0, grid_.field_edge())});
+        const double speed = std::max(
+            mrng.uniform(cfg_.scenario.speed_min_mps,
+                         cfg_.scenario.speed_max_mps),
+            0.05 * cfg_.scenario.speed_max_mps);
+        mobility_.add_node(
+            id, std::make_unique<PatrolMobility>(std::move(circuit), speed));
+        break;
+      }
+    }
   }
 
   // Sinks: static, randomly scattered (Sec. 5).
@@ -67,7 +103,7 @@ World::World(Config config, ProtocolKind kind)
   if (!cfg_.faults.plan.empty())
     injector_ = std::make_unique<FaultInjector>(
         sim_, channel_, parse_fault_plan(cfg_.faults.plan), sensors_, sinks_,
-        rngs_.stream("faults"));
+        rngs_.stream("faults"), cfg_.faults.attempt);
   if (cfg_.faults.check_invariants) {
     checker_ = std::make_unique<InvariantChecker>(
         sim_, sensors_,
@@ -77,18 +113,27 @@ World::World(Config config, ProtocolKind kind)
   }
 }
 
+void World::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  mobility_.start();
+  for (auto& s : sensors_) s->start();
+}
+
 void World::run_until(SimTime until) {
   if (until > cfg_.scenario.duration_s)
     throw std::invalid_argument("World: run_until beyond configured duration");
-  if (!started_) {
-    started_ = true;
-    mobility_.start();
-    for (auto& s : sensors_) s->start();
-  }
+  ensure_started();
   sim_.run_until(until);
 }
 
 void World::run() { run_until(cfg_.scenario.duration_s); }
+
+void World::replay_to(std::uint64_t events, SimTime time) {
+  ensure_started();
+  sim_.run_until_executed(events);
+  sim_.advance_clock_to(time);
+}
 
 double World::mean_sensor_power_mw() const {
   if (sensors_.empty() || sim_.now() <= 0.0) return 0.0;
@@ -100,6 +145,31 @@ double World::mean_sensor_power_mw() const {
   }
   const double watts = joules / sim_.now() / static_cast<double>(sensors_.size());
   return watts * 1e3;
+}
+
+void World::save_state(snapshot::Writer& w) const {
+  // Each component writes its own top-level section, so a resume
+  // verification mismatch names the first diverging component.
+  w.begin_section("world");
+  w.boolean(started_);
+  w.size(sensors_.size());
+  w.size(sinks_.size());
+  w.boolean(injector_ != nullptr);
+  w.end_section();
+  sim_.save_state(w);
+  mobility_.save_state(w);
+  channel_.save_state(w);
+  metrics_.save_state(w);
+  ids_.save_state(w);
+  for (const auto& s : sensors_) s->save_state(w);
+  for (const auto& s : sinks_) s->save_state(w);
+  if (injector_) injector_->save_state(w);
+}
+
+std::vector<std::uint8_t> World::serialize_state() const {
+  snapshot::Writer w;
+  save_state(w);
+  return w.bytes();
 }
 
 }  // namespace dftmsn

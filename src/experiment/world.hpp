@@ -34,9 +34,23 @@ class World {
   /// intermediate state). Must not exceed the configured duration.
   void run_until(SimTime until);
 
+  /// Fast-forwards a freshly built world to a checkpoint: replays to
+  /// exactly `events` executed events (handles checkpoints cut between
+  /// same-timestamp events), then clamps the clock to `time`. Call
+  /// before any run_until on this instance.
+  void replay_to(std::uint64_t events, SimTime time);
+
+  /// Serializes the complete component state (simulator, mobility,
+  /// channel, metrics, nodes, fault injector) in the canonical snapshot
+  /// byte form. Two worlds with identical trajectories serialize to
+  /// identical bytes — the resume verification oracle.
+  [[nodiscard]] std::vector<std::uint8_t> serialize_state() const;
+  void save_state(snapshot::Writer& w) const;
+
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] ProtocolKind kind() const { return kind_; }
   [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const Simulator& sim() const { return sim_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] const Channel& channel() const { return channel_; }
   [[nodiscard]] const MobilityManager& mobility() const { return mobility_; }
@@ -64,6 +78,8 @@ class World {
   }
 
  private:
+  void ensure_started();
+
   Config cfg_;
   ProtocolKind kind_;
   Simulator sim_;

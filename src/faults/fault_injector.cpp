@@ -1,9 +1,11 @@
 #include "faults/fault_injector.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 namespace dftmsn {
@@ -11,12 +13,13 @@ namespace dftmsn {
 FaultInjector::FaultInjector(Simulator& sim, Channel& channel, FaultPlan plan,
                              std::vector<std::unique_ptr<SensorNode>>& sensors,
                              std::vector<std::unique_ptr<SinkNode>>& sinks,
-                             RandomStream rng)
+                             RandomStream rng, int attempt)
     : sim_(sim),
       plan_(std::move(plan)),
       sensors_(sensors),
       sinks_(sinks),
-      rng_(rng) {
+      rng_(rng),
+      attempt_(attempt) {
   const NodeId total = static_cast<NodeId>(sensors_.size() + sinks_.size());
   bool any_loss = false;
   for (const FaultEvent& e : plan_.events) {
@@ -108,6 +111,26 @@ void FaultInjector::apply(const FaultEvent& e) {
       });
       break;
     }
+    case FaultKind::kHang: {
+      if (e.attempts > 0 && attempt_ >= e.attempts) break;  // gated out
+      ++counters_.hangs;
+      // Stall inside the event, polling the simulator's abort flag so a
+      // supervisor watchdog can reclaim the run. An optional 'for=' caps
+      // the stall in *wall-clock* seconds (unattended runs self-heal).
+      const auto started = std::chrono::steady_clock::now();
+      while (!sim_.abort_requested()) {
+        if (e.duration > 0) {
+          const std::chrono::duration<double> elapsed =
+              std::chrono::steady_clock::now() - started;
+          if (elapsed.count() >= e.duration) break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      break;
+    }
+    case FaultKind::kDie:
+      if (e.attempts > 0 && attempt_ >= e.attempts) break;  // gated out
+      throw SimulatedCrash(sim_.now());
   }
 }
 
@@ -122,6 +145,27 @@ bool FaultInjector::corrupts_reception() {
   double survive = 1.0;
   for (const LossBurst& b : bursts_) survive *= 1.0 - b.prob;
   return rng_.uniform01() < 1.0 - survive;
+}
+
+void FaultInjector::save_state(snapshot::Writer& w) const {
+  w.begin_section("fault_injector");
+  w.u64(counters_.crashes);
+  w.u64(counters_.outages);
+  w.u64(counters_.recoveries);
+  w.u64(counters_.loss_bursts);
+  w.u64(counters_.pressure_events);
+  w.u64(counters_.pressure_evictions);
+  // counters_.hangs is deliberately NOT serialized: attempts=-gated hang
+  // events fire on early attempts only, so the count is attempt-dependent
+  // and would break the resume byte-compare for state that does not
+  // influence the simulation trajectory.
+  w.size(bursts_.size());
+  for (const LossBurst& b : bursts_) {
+    w.f64(b.until);
+    w.f64(b.prob);
+  }
+  rng_.save_state(w);
+  w.end_section();
 }
 
 }  // namespace dftmsn

@@ -10,14 +10,30 @@
 #include <memory>
 #include <vector>
 
+#include <stdexcept>
+#include <string>
+
 #include "faults/fault_plan.hpp"
 #include "node/sensor_node.hpp"
 #include "node/sink_node.hpp"
 #include "phy/channel.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
+
+/// Thrown by a `die@T` fault event: a deliberate, deterministic stand-in
+/// for a real mid-run process crash. The supervisor treats it exactly
+/// like any other replication failure (retry, then quarantine).
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(SimTime at)
+      : std::runtime_error("simulated crash (die fault) at t=" +
+                           std::to_string(at)),
+        at(at) {}
+  SimTime at;
+};
 
 class FaultInjector {
  public:
@@ -29,18 +45,30 @@ class FaultInjector {
     std::uint64_t loss_bursts = 0;     ///< corruption windows opened
     std::uint64_t pressure_events = 0; ///< buffer-pressure windows opened
     std::uint64_t pressure_evictions = 0;  ///< copies evicted by clamps
+    std::uint64_t hangs = 0;           ///< hang events that actually stalled
   };
 
   /// Validates the plan against the population (explicit node ids must
   /// exist; pressure targets must be sensors) and schedules every fault
   /// event. Call before the simulation starts running.
+  ///
+  /// `attempt` is the zero-based supervised-run attempt number: hang/die
+  /// events carrying `attempts=K` fire only while attempt < K, so a
+  /// retried run sails past the fault it crashed on. The gated event is
+  /// still scheduled (same event sequence numbers) but no-ops at fire
+  /// time without drawing randomness, keeping the pre-fault trajectory
+  /// bit-identical across attempts.
   FaultInjector(Simulator& sim, Channel& channel, FaultPlan plan,
                 std::vector<std::unique_ptr<SensorNode>>& sensors,
                 std::vector<std::unique_ptr<SinkNode>>& sinks,
-                RandomStream rng);
+                RandomStream rng, int attempt = 0);
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Snapshot: counters, active loss bursts and the faults rng.
+  /// Save-only — scheduled fault events are restored by replay.
+  void save_state(snapshot::Writer& w) const;
 
  private:
   void apply(const FaultEvent& e);
@@ -61,6 +89,7 @@ class FaultInjector {
   std::vector<std::unique_ptr<SensorNode>>& sensors_;
   std::vector<std::unique_ptr<SinkNode>>& sinks_;
   RandomStream rng_;
+  int attempt_ = 0;
   Counters counters_;
 
   struct LossBurst {

@@ -1,6 +1,8 @@
 #include "faults/fault_plan.hpp"
 
+#include <cmath>
 #include <optional>
+#include <set>
 #include <stdexcept>
 
 namespace dftmsn {
@@ -23,6 +25,8 @@ std::optional<FaultKind> parse_kind(const std::string& name) {
   if (name == "outage") return FaultKind::kOutage;
   if (name == "loss") return FaultKind::kLoss;
   if (name == "pressure") return FaultKind::kPressure;
+  if (name == "hang") return FaultKind::kHang;
+  if (name == "die") return FaultKind::kDie;
   return std::nullopt;
 }
 
@@ -35,6 +39,9 @@ double parse_number(const std::string& event, const std::string& v) {
     fail(event, "bad number '" + v + "'");
   }
   if (used != v.size()) fail(event, "bad number '" + v + "'");
+  // NaN compares false against every range check below, so it would sail
+  // through "frac <= 0 || frac > 1" silently — reject non-finite here.
+  if (!std::isfinite(out)) fail(event, "non-finite number '" + v + "'");
   return out;
 }
 
@@ -42,7 +49,6 @@ FaultEvent parse_event(const std::string& text) {
   const auto at_pos = text.find('@');
   if (at_pos == std::string::npos) fail(text, "missing '@time'");
   const auto colon = text.find(':', at_pos);
-  if (colon == std::string::npos) fail(text, "missing ':args'");
 
   FaultEvent e;
   const std::string kind_name = trim(text.substr(0, at_pos));
@@ -50,11 +56,20 @@ FaultEvent parse_event(const std::string& text) {
   if (!kind) fail(text, "unknown fault kind '" + kind_name + "'");
   e.kind = *kind;
 
-  e.at = parse_number(text, trim(text.substr(at_pos + 1, colon - at_pos - 1)));
+  const bool argless_ok =
+      e.kind == FaultKind::kHang || e.kind == FaultKind::kDie;
+  if (colon == std::string::npos && !argless_ok) fail(text, "missing ':args'");
+
+  const std::string time_text =
+      colon == std::string::npos
+          ? trim(text.substr(at_pos + 1))
+          : trim(text.substr(at_pos + 1, colon - at_pos - 1));
+  e.at = parse_number(text, time_text);
   if (e.at < 0) fail(text, "negative time");
 
   bool have_target = false;
-  std::string args = text.substr(colon + 1);
+  std::set<std::string> seen_keys;
+  std::string args = colon == std::string::npos ? "" : text.substr(colon + 1);
   std::size_t start = 0;
   while (start <= args.size()) {
     const auto comma = args.find(',', start);
@@ -68,6 +83,8 @@ FaultEvent parse_event(const std::string& text) {
     if (eq == std::string::npos) fail(text, "expected key=value, got '" + arg + "'");
     const std::string key = trim(arg.substr(0, eq));
     const std::string value = trim(arg.substr(eq + 1));
+    if (!seen_keys.insert(key).second)
+      fail(text, "duplicate argument '" + key + "'");
 
     if (key == "node") {
       const double id = parse_number(text, value);
@@ -89,6 +106,11 @@ FaultEvent parse_event(const std::string& text) {
       const double cap = parse_number(text, value);
       if (cap < 1.0) fail(text, "capacity must be >= 1");
       e.capacity = static_cast<std::size_t>(cap);
+    } else if (key == "attempts") {
+      const double k = parse_number(text, value);
+      if (k < 1.0 || k != static_cast<double>(static_cast<int>(k)))
+        fail(text, "bad attempts count '" + value + "'");
+      e.attempts = static_cast<int>(k);
     } else {
       fail(text, "unknown argument '" + key + "'");
     }
@@ -117,7 +139,17 @@ FaultEvent parse_event(const std::string& text) {
       if (e.capacity == 0) fail(text, "pressure needs capacity=N");
       if (e.duration <= 0) fail(text, "pressure needs for=DURATION");
       break;
+    case FaultKind::kHang:
+      if (have_target) fail(text, "hang is run-wide (no node=/frac=)");
+      break;
+    case FaultKind::kDie:
+      if (have_target) fail(text, "die is run-wide (no node=/frac=)");
+      if (e.duration > 0) fail(text, "die takes no 'for='");
+      break;
   }
+  if (e.attempts > 0 && e.kind != FaultKind::kHang &&
+      e.kind != FaultKind::kDie)
+    fail(text, "attempts= only applies to hang/die");
   if (e.node != kInvalidNode && e.frac > 0.0)
     fail(text, "node= and frac= are mutually exclusive");
   return e;
@@ -132,6 +164,8 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kOutage: return "outage";
     case FaultKind::kLoss: return "loss";
     case FaultKind::kPressure: return "pressure";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kDie: return "die";
   }
   return "?";
 }

@@ -20,6 +20,18 @@
 //   pressure@T:frac=F,capacity=N,for=D
 //                              clamp the data-queue capacity of the chosen
 //                              sensors to N slots during [T, T+D)
+//   hang@T[:attempts=K][,for=D]
+//                              the run stops making progress at T (the
+//                              event spins until aborted, or for D wall-
+//                              clock seconds) — exercises the supervisor
+//                              watchdog. attempts=K fires only on the
+//                              first K attempts of a supervised run.
+//   die@T[:attempts=K]         the run aborts with a SimulatedCrash at T —
+//                              exercises supervisor retry/quarantine.
+//
+// Every argument key may appear at most once per event; duplicate keys,
+// non-finite numbers and out-of-range values are rejected with an error
+// naming the offending token.
 #pragma once
 
 #include <string>
@@ -35,6 +47,8 @@ enum class FaultKind {
   kOutage,    ///< transient radio outage; queue and traffic source survive
   kLoss,      ///< channel-wide frame corruption burst
   kPressure,  ///< queue capacity clamped (forces overflow evictions)
+  kHang,      ///< run stops making progress (watchdog drill)
+  kDie,       ///< run aborts with SimulatedCrash (retry/quarantine drill)
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -49,6 +63,7 @@ struct FaultEvent {
   SimTime duration = 0.0;      ///< 'for=' window; 0 = permanent (crash only)
   double prob = 0.0;           ///< corruption probability (kLoss)
   std::size_t capacity = 0;    ///< clamped queue capacity (kPressure)
+  int attempts = 0;            ///< kHang/kDie: fire on first K attempts (0 = always)
 
   [[nodiscard]] bool targets_fraction() const { return node == kInvalidNode; }
 };

@@ -57,4 +57,22 @@ double MobilityManager::distance_between(NodeId a, NodeId b) const {
   return distance(position(a), position(b));
 }
 
+void MobilityManager::save_state(snapshot::Writer& w) const {
+  w.begin_section("mobility");
+  w.boolean(started_);
+  w.size(models_.size());
+  for (const auto& m : models_) m->save_state(w);
+  w.end_section();
+}
+
+void MobilityManager::load_state(snapshot::Reader& r) {
+  r.begin_section("mobility");
+  started_ = r.boolean();
+  const std::size_t n = r.size();
+  if (n != models_.size())
+    throw snapshot::SnapshotError("mobility: node population mismatch");
+  for (const auto& m : models_) m->load_state(r);
+  r.end_section();
+}
+
 }  // namespace dftmsn

@@ -43,6 +43,12 @@ class MobilityManager {
   /// Distance between two registered nodes.
   [[nodiscard]] double distance_between(NodeId a, NodeId b) const;
 
+  /// Snapshot: the started flag plus every model's kinematic state, in id
+  /// order. load_state requires the same population to be registered
+  /// already (the periodic tick event itself is restored by replay).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
+
  private:
   void tick();
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "geom/vec2.hpp"
+#include "snapshot/state_codec.hpp"
 
 namespace dftmsn {
 
@@ -15,6 +16,18 @@ class MobilityModel {
 
   /// Advances the node by `dt` seconds.
   virtual void step(double dt) = 0;
+
+  /// Snapshot of the model's kinematic state (position, velocity, rng, ...).
+  /// Config-derived parameters are rebuilt by the ctor, not serialized.
+  /// The default (for stateless test doubles) is an empty section.
+  virtual void save_state(snapshot::Writer& w) const {
+    w.begin_section("mobility_model");
+    w.end_section();
+  }
+  virtual void load_state(snapshot::Reader& r) {
+    r.begin_section("mobility_model");
+    r.end_section();
+  }
 };
 
 /// A node that never moves (e.g., a sink deployed at a strategic location).
@@ -24,6 +37,17 @@ class StaticMobility final : public MobilityModel {
 
   [[nodiscard]] Vec2 position() const override { return position_; }
   void step(double) override {}
+
+  void save_state(snapshot::Writer& w) const override {
+    w.begin_section("static_mobility");
+    snapshot::save(w, position_);
+    w.end_section();
+  }
+  void load_state(snapshot::Reader& r) override {
+    r.begin_section("static_mobility");
+    snapshot::load(r, position_);
+    r.end_section();
+  }
 
  private:
   Vec2 position_;

@@ -44,4 +44,20 @@ void PatrolMobility::step(double dt) {
   }
 }
 
+void PatrolMobility::save_state(snapshot::Writer& w) const {
+  w.begin_section("patrol_mobility");
+  snapshot::save(w, position_);
+  w.size(next_);
+  w.f64(dwell_remaining_);
+  w.end_section();
+}
+
+void PatrolMobility::load_state(snapshot::Reader& r) {
+  r.begin_section("patrol_mobility");
+  snapshot::load(r, position_);
+  next_ = r.size();
+  dwell_remaining_ = r.f64();
+  r.end_section();
+}
+
 }  // namespace dftmsn

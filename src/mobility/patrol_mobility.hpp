@@ -24,6 +24,9 @@ class PatrolMobility final : public MobilityModel {
   /// Index of the waypoint currently being approached.
   [[nodiscard]] std::size_t next_waypoint() const { return next_; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   std::vector<Vec2> waypoints_;
   double speed_;

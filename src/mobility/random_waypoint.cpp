@@ -44,4 +44,24 @@ void RandomWaypoint::step(double dt) {
   }
 }
 
+void RandomWaypoint::save_state(snapshot::Writer& w) const {
+  w.begin_section("random_waypoint");
+  snapshot::save(w, position_);
+  snapshot::save(w, waypoint_);
+  w.f64(speed_);
+  w.f64(pause_remaining_s_);
+  rng_.save_state(w);
+  w.end_section();
+}
+
+void RandomWaypoint::load_state(snapshot::Reader& r) {
+  r.begin_section("random_waypoint");
+  snapshot::load(r, position_);
+  snapshot::load(r, waypoint_);
+  speed_ = r.f64();
+  pause_remaining_s_ = r.f64();
+  rng_.load_state(r);
+  r.end_section();
+}
+
 }  // namespace dftmsn

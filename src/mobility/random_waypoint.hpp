@@ -25,6 +25,9 @@ class RandomWaypoint final : public MobilityModel {
 
   [[nodiscard]] Vec2 waypoint() const { return waypoint_; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   void pick_waypoint();
 

@@ -66,4 +66,28 @@ void ZoneMobility::step(double dt) {
   if (left_field) turn_into_current_zone();
 }
 
+void ZoneMobility::save_state(snapshot::Writer& w) const {
+  w.begin_section("zone_mobility");
+  snapshot::save(w, position_);
+  w.f64(speed_);
+  snapshot::save(w, velocity_);
+  w.i64(home_zone_);
+  w.i64(current_zone_);
+  w.f64(leg_remaining_s_);
+  rng_.save_state(w);
+  w.end_section();
+}
+
+void ZoneMobility::load_state(snapshot::Reader& r) {
+  r.begin_section("zone_mobility");
+  snapshot::load(r, position_);
+  speed_ = r.f64();
+  snapshot::load(r, velocity_);
+  home_zone_ = static_cast<ZoneId>(r.i64());
+  current_zone_ = static_cast<ZoneId>(r.i64());
+  leg_remaining_s_ = r.f64();
+  rng_.load_state(r);
+  r.end_section();
+}
+
 }  // namespace dftmsn

@@ -38,6 +38,9 @@ class ZoneMobility final : public MobilityModel {
   /// (Sec. 5 of the paper; see DESIGN.md).
   [[nodiscard]] double speed() const { return speed_; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   /// Picks a fresh uniform direction and a new leg duration.
   void repick_velocity();

@@ -69,4 +69,13 @@ void SensorNode::release_buffer_pressure() {
   queue_.set_capacity(configured_capacity_);
 }
 
+void SensorNode::save_state(snapshot::Writer& w) const {
+  w.begin_section("sensor_node");
+  w.u32(id_);
+  radio_.save_state(w);
+  mac_->save_state(w);  // includes the queue and the strategy
+  source_->save_state(w);
+  w.end_section();
+}
+
 }  // namespace dftmsn

@@ -57,6 +57,10 @@ class SensorNode {
   /// Restores the configured queue capacity.
   void release_buffer_pressure();
 
+  /// Snapshot of the whole node (radio, MAC+queue+strategy, source).
+  /// Save-only: resume works by deterministic replay (snapshot_io.hpp).
+  void save_state(snapshot::Writer& w) const;
+
  private:
   NodeId id_;
   Metrics& metrics_;

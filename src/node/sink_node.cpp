@@ -138,4 +138,21 @@ void SinkNode::send_ack() {
   current_sender_ = kInvalidNode;
 }
 
+void SinkNode::save_state(snapshot::Writer& w) const {
+  w.begin_section("sink_node");
+  w.u32(id_);
+  w.u32(current_sender_);
+  w.u64(expected_message_);
+  w.i64(ack_slot_);
+  w.boolean(awaiting_data_);
+  w.boolean(cts_timer_.pending());
+  w.boolean(ack_timer_.pending());
+  w.boolean(reset_timer_.pending());
+  w.u64(data_heard_);
+  w.boolean(down_);
+  rng_.save_state(w);
+  radio_.save_state(w);
+  w.end_section();
+}
+
 }  // namespace dftmsn

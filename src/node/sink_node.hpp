@@ -44,6 +44,10 @@ class SinkNode final : public ChannelListener {
   void on_channel_busy() override {}
   void on_channel_idle() override {}
 
+  /// Snapshot of the exchange context, timer-pending flags, rng and
+  /// radio. Save-only: resume works by replay (see snapshot_io.hpp).
+  void save_state(snapshot::Writer& w) const;
+
  private:
   void handle_rts(const Frame& frame);
   void handle_schedule(const Frame& frame);

@@ -146,4 +146,48 @@ void Channel::finish_tx(TxId id, NodeId sender, const Frame& frame,
   }
 }
 
+void Channel::save_state(snapshot::Writer& w) const {
+  w.begin_section("channel");
+  w.u64(counters_.frames_sent);
+  w.u64(counters_.frames_delivered);
+  w.u64(counters_.collisions);
+  w.u64(counters_.data_bits_sent);
+  w.u64(counters_.control_bits_sent);
+  w.u64(counters_.faults_corrupted);
+  w.u64(next_tx_id_);
+  w.size(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeRx& n = nodes_[i];
+    w.boolean(failed_[i] != 0);
+    w.u64(n.locked);
+    w.boolean(n.locked_clean);
+    w.size(n.hearing.size());
+    for (const TxId tx : n.hearing) w.u64(tx);
+  }
+  w.end_section();
+}
+
+void Channel::load_state(snapshot::Reader& r) {
+  r.begin_section("channel");
+  counters_.frames_sent = r.u64();
+  counters_.frames_delivered = r.u64();
+  counters_.collisions = r.u64();
+  counters_.data_bits_sent = r.u64();
+  counters_.control_bits_sent = r.u64();
+  counters_.faults_corrupted = r.u64();
+  next_tx_id_ = r.u64();
+  const std::size_t n_nodes = r.size();
+  if (n_nodes != nodes_.size())
+    throw snapshot::SnapshotError("channel: node population mismatch");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeRx& n = nodes_[i];
+    failed_[i] = r.boolean() ? 1 : 0;
+    n.locked = r.u64();
+    n.locked_clean = r.boolean();
+    n.hearing.resize(r.size());
+    for (TxId& tx : n.hearing) tx = r.u64();
+  }
+  r.end_section();
+}
+
 }  // namespace dftmsn

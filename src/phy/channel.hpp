@@ -13,6 +13,7 @@
 #include "net/frame.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
 
@@ -84,6 +85,13 @@ class Channel {
   void set_corruption_hook(CorruptionHook hook);
 
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Snapshot: counters, fault flags, tx-id allocator and every node's
+  /// reception bookkeeping. load_state requires the same node population
+  /// to be attached already; in-flight finish_tx events are replayed from
+  /// the event queue (see snapshot_io.hpp).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   using TxId = std::uint64_t;

@@ -39,4 +39,22 @@ double EnergyMeter::seconds_in(RadioState s) const {
   return seconds_[index(s)];
 }
 
+void EnergyMeter::save_state(snapshot::Writer& w) const {
+  w.begin_section("energy_meter");
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.f64(last_change_);
+  for (double j : joules_) w.f64(j);
+  for (double s : seconds_) w.f64(s);
+  w.end_section();
+}
+
+void EnergyMeter::load_state(snapshot::Reader& r) {
+  r.begin_section("energy_meter");
+  state_ = static_cast<RadioState>(r.u8());
+  last_change_ = r.f64();
+  for (double& j : joules_) j = r.f64();
+  for (double& s : seconds_) s = r.f64();
+  r.end_section();
+}
+
 }  // namespace dftmsn

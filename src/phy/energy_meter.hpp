@@ -6,6 +6,7 @@
 
 #include "common/types.hpp"
 #include "phy/energy_model.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
 
@@ -37,6 +38,10 @@ class EnergyMeter {
   [[nodiscard]] double seconds_in(RadioState s) const;
 
   [[nodiscard]] RadioState state() const { return state_; }
+
+  /// Snapshot: current state, last transition time and per-state totals.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   static constexpr std::size_t kStates = 5;

@@ -75,4 +75,12 @@ void Radio::end_rx() {
   set_state(RadioState::kIdle);
 }
 
+void Radio::save_state(snapshot::Writer& w) const {
+  w.begin_section("radio");
+  w.boolean(forced_down_);
+  w.u64(epoch_);
+  meter_.save_state(w);
+  w.end_section();
+}
+
 }  // namespace dftmsn

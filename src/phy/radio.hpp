@@ -64,6 +64,11 @@ class Radio {
 
   [[nodiscard]] const EnergyMeter& meter() const { return meter_; }
 
+  /// Snapshot: FSM flags, fault epoch and the energy meter. Save-only —
+  /// a pending sleep/wake switch completion lives in the event queue, so
+  /// restoration happens by replay (see snapshot_io.hpp).
+  void save_state(snapshot::Writer& w) const;
+
  private:
   void set_state(RadioState next);
   void require_state(RadioState expected, const char* op) const;

@@ -6,6 +6,7 @@
 
 #include "core/cts_window_optimizer.hpp"
 #include "core/listen_window_optimizer.hpp"
+#include "snapshot/state_codec.hpp"
 
 namespace dftmsn {
 
@@ -617,6 +618,67 @@ void CrossLayerMac::handle_ack(const Frame& frame) {
       ack.message_id == inflight_msg_.id) {
     acked_.insert(frame.sender);
   }
+}
+
+void CrossLayerMac::save_state(snapshot::Writer& w) const {
+  w.begin_section("mac");
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.boolean(timer_.pending());
+  w.boolean(aux_timer_.pending());
+  w.boolean(xi_timer_.pending());
+
+  sleep_ctl_.save_state(w);
+  neighbors_.save_state(w);
+  w.i64(tau_max_);
+  w.i64(cts_window_);
+  w.f64(last_contention_update_);
+
+  snapshot::save(w, inflight_msg_);
+  w.f64(inflight_ftd_);
+  w.size(cts_candidates_.size());
+  for (const Candidate& c : cts_candidates_) {
+    w.u32(c.id);
+    w.f64(c.metric);
+    w.size(c.buffer_space);
+    w.boolean(c.is_sink);
+  }
+  w.size(scheduled_.size());
+  for (const ScheduledReceiver& s : scheduled_) {
+    w.u32(s.id);
+    w.f64(s.metric);
+    w.f64(s.ftd_for_copy);
+    w.boolean(s.is_sink);
+  }
+  {
+    std::vector<NodeId> acked(acked_.begin(), acked_.end());
+    std::sort(acked.begin(), acked.end());
+    w.size(acked.size());
+    for (const NodeId id : acked) w.u32(id);
+  }
+  w.i64(consecutive_failures_);
+
+  w.u32(current_rts_.sender);
+  w.f64(current_rts_.sender_metric);
+  w.f64(current_rts_.message_ftd);
+  w.u64(current_rts_.message_id);
+  w.f64(my_sched_ftd_);
+  w.i64(my_ack_slot_);
+
+  w.size(recent_activity_.size());
+  for (const bool b : recent_activity_) w.boolean(b);
+  w.f64(last_data_tx_);
+
+  w.u64(mac_stats_.cycles);
+  w.u64(mac_stats_.sleeps);
+  w.u64(mac_stats_.cts_sent);
+  w.u64(mac_stats_.data_received);
+  w.u64(mac_stats_.rx_collisions);
+  w.u64(mac_stats_.data_tx_ok);
+
+  rng_.save_state(w);
+  strategy_->save_state(w);
+  queue_.save_state(w);
+  w.end_section();
 }
 
 }  // namespace dftmsn

@@ -111,6 +111,12 @@ class CrossLayerMac final : public ChannelListener {
     return sleep_ctl_;
   }
 
+  /// Snapshot of the full FSM: protocol state, timer-pending flags, cycle
+  /// context, contention windows, stats and the rng. Save-only — the
+  /// pending timer callbacks live in the event queue, so a checkpoint is
+  /// restored by deterministic replay (see snapshot_io.hpp).
+  void save_state(snapshot::Writer& w) const;
+
  private:
   // Sender-side cycle progression.
   void begin_cycle();

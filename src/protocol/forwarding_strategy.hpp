@@ -9,6 +9,7 @@
 #include "common/types.hpp"
 #include "core/ftd_queue.hpp"
 #include "core/receiver_selection.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
 
@@ -68,6 +69,18 @@ class ForwardingStrategy {
   /// FTD to attach to a copy received with `scheduled_ftd` in the SCHEDULE.
   [[nodiscard]] virtual double receive_ftd(double scheduled_ftd) const {
     return scheduled_ftd;
+  }
+
+  /// Snapshot of strategy-local state. Stateless strategies (DIRECT,
+  /// EPIDEMIC, SWIM) keep the default empty section; stateful ones (the
+  /// ξ gradient, ZBR history) override both.
+  virtual void save_state(snapshot::Writer& w) const {
+    w.begin_section("strategy");
+    w.end_section();
+  }
+  virtual void load_state(snapshot::Reader& r) {
+    r.begin_section("strategy");
+    r.end_section();
   }
 };
 

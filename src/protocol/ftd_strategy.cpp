@@ -69,4 +69,18 @@ TransmissionOutcome FtdStrategy::on_transmission_complete(
 
 void FtdStrategy::on_idle_timeout() { xi_.on_timeout(); }
 
+void FtdStrategy::save_state(snapshot::Writer& w) const {
+  w.begin_section("strategy");
+  xi_.save_state(w);
+  w.f64(last_metric_update_);
+  w.end_section();
+}
+
+void FtdStrategy::load_state(snapshot::Reader& r) {
+  r.begin_section("strategy");
+  xi_.load_state(r);
+  last_metric_update_ = r.f64();
+  r.end_section();
+}
+
 }  // namespace dftmsn

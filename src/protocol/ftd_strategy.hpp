@@ -30,6 +30,9 @@ class FtdStrategy final : public ForwardingStrategy {
 
   void on_idle_timeout() override;
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
   [[nodiscard]] const DeliveryProbability& xi() const { return xi_; }
 
  private:

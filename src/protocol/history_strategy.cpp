@@ -51,4 +51,18 @@ TransmissionOutcome HistoryStrategy::on_transmission_complete(
 
 void HistoryStrategy::on_idle_timeout() { history_.on_timeout(); }
 
+void HistoryStrategy::save_state(snapshot::Writer& w) const {
+  w.begin_section("strategy");
+  history_.save_state(w);
+  w.f64(last_metric_update_);
+  w.end_section();
+}
+
+void HistoryStrategy::load_state(snapshot::Reader& r) {
+  r.begin_section("strategy");
+  history_.load_state(r);
+  last_metric_update_ = r.f64();
+  r.end_section();
+}
+
 }  // namespace dftmsn

@@ -40,6 +40,9 @@ class HistoryStrategy final : public ForwardingStrategy {
   /// Copies carry no FTD in ZBR; queue order degenerates to FIFO.
   [[nodiscard]] double receive_ftd(double) const override { return 0.0; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   ProtocolConfig cfg_;
   DeliveryProbability history_;  ///< EWMA of direct-sink delivery success

@@ -1,5 +1,6 @@
 #include "protocol/neighbor_table.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dftmsn {
@@ -41,6 +42,37 @@ std::size_t NeighborTable::live_count(SimTime now) const {
 void NeighborTable::expire(SimTime now) {
   std::erase_if(entries_,
                 [&](const auto& kv) { return !live(kv.second, now); });
+}
+
+void NeighborTable::save_state(snapshot::Writer& w) const {
+  w.begin_section("neighbor_table");
+  w.f64(ttl_s_);
+  std::vector<NodeId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.size(ids.size());
+  for (const NodeId id : ids) {
+    const Entry& e = entries_.at(id);
+    w.u32(id);
+    w.f64(e.metric);
+    w.f64(e.last_seen);
+  }
+  w.end_section();
+}
+
+void NeighborTable::load_state(snapshot::Reader& r) {
+  r.begin_section("neighbor_table");
+  ttl_s_ = r.f64();
+  entries_.clear();
+  const std::size_t n = r.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id = r.u32();
+    const double metric = r.f64();
+    const SimTime last_seen = r.f64();
+    entries_[id] = Entry{metric, last_seen};
+  }
+  r.end_section();
 }
 
 }  // namespace dftmsn

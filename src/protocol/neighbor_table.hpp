@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
 
@@ -31,6 +32,11 @@ class NeighborTable {
 
   /// Drops expired entries (also done lazily by the queries).
   void expire(SimTime now);
+
+  /// Snapshot: every entry, written in ascending id order so the byte
+  /// stream is independent of hash-map iteration order.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   struct Entry {

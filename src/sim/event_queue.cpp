@@ -42,6 +42,41 @@ EventQueue::Popped EventQueue::pop() {
   return Popped{entry.at, std::move(entry.cb)};
 }
 
+std::vector<std::pair<SimTime, EventSeq>> EventQueue::pending_schedule()
+    const {
+  std::vector<std::pair<SimTime, EventSeq>> out;
+  auto copy = heap_;
+  while (!copy.empty()) {
+    const Entry& e = copy.top();
+    if (!*e.cancelled) out.emplace_back(e.at, e.seq);
+    copy.pop();
+  }
+  return out;  // heap pops in (time, seq) order: already ascending
+}
+
+void EventQueue::save_state(snapshot::Writer& w) const {
+  w.begin_section("event_queue");
+  w.u64(next_seq_);
+  const auto pending = pending_schedule();
+  w.size(pending.size());
+  for (const auto& [at, seq] : pending) {
+    w.f64(at);
+    w.u64(seq);
+  }
+  w.end_section();
+}
+
+void EventQueue::skip_state(snapshot::Reader& r) {
+  r.begin_section("event_queue");
+  (void)r.u64();
+  const std::size_t n = r.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)r.f64();
+    (void)r.u64();
+  }
+  r.end_section();
+}
+
 std::size_t EventQueue::size() const {
   // priority_queue lacks iteration; count via a copy. Diagnostic-only.
   auto copy = heap_;

@@ -5,9 +5,11 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
 
@@ -65,6 +67,21 @@ class EventQueue {
 
   /// Total events ever scheduled (diagnostic counter).
   [[nodiscard]] EventSeq scheduled_count() const { return next_seq_; }
+
+  /// (time, sequence) of every live event, ascending — the schedulable
+  /// identity of the queue without its (unserializable) callbacks.
+  [[nodiscard]] std::vector<std::pair<SimTime, EventSeq>> pending_schedule()
+      const;
+
+  /// Snapshot: scheduled_count plus the pending (time, seq) schedule.
+  /// Save-only: callbacks cannot be re-materialized from bytes, so resume
+  /// reconstructs the queue by deterministic replay and these bytes act
+  /// as the verification oracle (see snapshot_io.hpp).
+  void save_state(snapshot::Writer& w) const;
+
+  /// Consumes (and discards) a saved queue state from `r`, keeping the
+  /// read cursor aligned for callers restoring surrounding state.
+  static void skip_state(snapshot::Reader& r);
 
  private:
   struct Entry {

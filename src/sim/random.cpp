@@ -1,6 +1,7 @@
 #include "sim/random.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace dftmsn {
@@ -28,6 +29,22 @@ double RandomStream::exponential(double mean) {
 bool RandomStream::bernoulli(double p) {
   const double clamped = std::clamp(p, 0.0, 1.0);
   return uniform01() < clamped;
+}
+
+void RandomStream::save_state(snapshot::Writer& w) const {
+  std::ostringstream os;
+  os << engine_;
+  w.begin_section("rng");
+  w.str(os.str());
+  w.end_section();
+}
+
+void RandomStream::load_state(snapshot::Reader& r) {
+  r.begin_section("rng");
+  std::istringstream is(r.str());
+  is >> engine_;
+  if (!is) throw snapshot::SnapshotError("corrupt mt19937_64 state");
+  r.end_section();
 }
 
 namespace {

@@ -6,6 +6,8 @@
 #include <random>
 #include <string_view>
 
+#include "snapshot/snapshot_io.hpp"
+
 namespace dftmsn {
 
 /// One random stream: thin, convenience-wrapped mt19937_64.
@@ -29,6 +31,12 @@ class RandomStream {
   bool bernoulli(double p);
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Full engine state (the 312-word Mersenne twister vector + cursor,
+  /// via the standard textual representation): round-trips exactly, so a
+  /// restored stream continues the original draw sequence bit-for-bit.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   std::mt19937_64 engine_;

@@ -1,8 +1,15 @@
 #include "sim/simulator.hpp"
 
+#include <string>
 #include <utility>
 
 namespace dftmsn {
+
+RunAborted::RunAborted(SimTime at, std::uint64_t events)
+    : std::runtime_error("run aborted at t=" + std::to_string(at) + " after " +
+                         std::to_string(events) + " events"),
+      at(at),
+      events(events) {}
 
 EventHandle Simulator::schedule_in(SimTime delay, Callback cb) {
   if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
@@ -14,29 +21,73 @@ EventHandle Simulator::schedule_at(SimTime at, Callback cb) {
   return queue_.schedule(at, std::move(cb));
 }
 
+void Simulator::check_abort() const {
+  if (abort_requested()) throw RunAborted(now_, executed_);
+}
+
+void Simulator::after_event() {
+  ++executed_;
+  if (progress_) progress_->store(executed_, std::memory_order_relaxed);
+  if (post_event_hook_) post_event_hook_();
+}
+
 void Simulator::run_until(SimTime end) {
   stopped_ = false;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= end) {
+    check_abort();
     // Advance the clock before invoking the callback so the event observes
     // its own timestamp via now().
     EventQueue::Popped p = queue_.pop();
     now_ = p.at;
     p.cb();
-    ++executed_;
-    if (post_event_hook_) post_event_hook_();
+    after_event();
   }
+  check_abort();
   if (now_ < end) now_ = end;
 }
 
 void Simulator::run_all() {
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {
+    check_abort();
     EventQueue::Popped p = queue_.pop();
     now_ = p.at;
     p.cb();
-    ++executed_;
-    if (post_event_hook_) post_event_hook_();
+    after_event();
   }
+}
+
+void Simulator::run_until_executed(std::uint64_t target) {
+  stopped_ = false;
+  while (!stopped_ && executed_ < target && !queue_.empty()) {
+    check_abort();
+    EventQueue::Popped p = queue_.pop();
+    now_ = p.at;
+    p.cb();
+    after_event();
+  }
+}
+
+void Simulator::advance_clock_to(SimTime t) {
+  if (t < now_)
+    throw std::invalid_argument("Simulator: advance_clock_to in the past");
+  now_ = t;
+}
+
+void Simulator::save_state(snapshot::Writer& w) const {
+  w.begin_section("sim");
+  w.f64(now_);
+  w.u64(executed_);
+  queue_.save_state(w);
+  w.end_section();
+}
+
+void Simulator::load_state(snapshot::Reader& r) {
+  r.begin_section("sim");
+  now_ = r.f64();
+  executed_ = r.u64();
+  queue_.skip_state(r);
+  r.end_section();
 }
 
 }  // namespace dftmsn

@@ -1,13 +1,26 @@
 // The simulation clock + event loop. Owns nothing but time.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
 
 #include "sim/event_queue.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
+
+/// Thrown out of a run_* loop when the installed abort flag is raised
+/// (watchdog kill, SIGINT/SIGTERM). The clock and state are left at a
+/// clean event boundary, so the caller may checkpoint before unwinding.
+class RunAborted : public std::runtime_error {
+ public:
+  RunAborted(SimTime at, std::uint64_t events);
+
+  SimTime at = 0.0;
+  std::uint64_t events = 0;
+};
 
 /// Single-threaded discrete-event simulator. Components hold a reference
 /// and schedule callbacks relative to now().
@@ -32,6 +45,13 @@ class Simulator {
   /// Runs until the event queue is empty.
   void run_all();
 
+  /// Runs until exactly `target` events have executed in total (i.e.
+  /// events_executed() == target) or the queue drains. This is the
+  /// checkpoint-replay primitive: an aborted run records its event count,
+  /// and replaying to that exact count reproduces its state even when the
+  /// cut fell between two events sharing a timestamp.
+  void run_until_executed(std::uint64_t target);
+
   /// Stops a run_* loop after the current event returns.
   void stop() { stopped_ = true; }
 
@@ -47,12 +67,52 @@ class Simulator {
     post_event_hook_ = std::move(hook);
   }
 
+  // --- supervision hooks (checkpoint/watchdog layer) -------------------
+
+  /// Installs a cooperative cancellation flag, polled between events: when
+  /// it reads true, the run_* loop throws RunAborted at the next event
+  /// boundary. nullptr uninstalls. The flag may be flipped from another
+  /// thread (the sweep supervisor's watchdog).
+  void set_abort_flag(const std::atomic<bool>* flag) { abort_flag_ = flag; }
+
+  /// True once the installed abort flag reads true. Long-running event
+  /// callbacks (e.g. the fault plan's `hang` primitive) poll this so the
+  /// watchdog can cancel them mid-event.
+  [[nodiscard]] bool abort_requested() const {
+    return abort_flag_ && abort_flag_->load(std::memory_order_relaxed);
+  }
+
+  /// Mirror of events_executed() bumped with relaxed atomic stores, so a
+  /// watchdog thread can observe event progress without data races.
+  /// nullptr uninstalls.
+  void set_progress_counter(std::atomic<std::uint64_t>* counter) {
+    progress_ = counter;
+  }
+
+  /// Moves the clock forward to `t` without running events (t >= now()).
+  /// Used after run_until_executed() to reproduce the clock position of a
+  /// checkpoint written at a slice boundary past the last event.
+  void advance_clock_to(SimTime t);
+
+  // --- snapshot --------------------------------------------------------
+  /// Clock, event counter and the live event schedule (times + sequence
+  /// numbers; callbacks are replay-reconstructed, see snapshot_io.hpp).
+  void save_state(snapshot::Writer& w) const;
+  /// Restores clock and counter only (the data half of the state; the
+  /// pending-event half comes back via replay).
+  void load_state(snapshot::Reader& r);
+
  private:
+  void check_abort() const;
+  void after_event();
+
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
   std::function<void()> post_event_hook_;
+  const std::atomic<bool>* abort_flag_ = nullptr;
+  std::atomic<std::uint64_t>* progress_ = nullptr;
 };
 
 }  // namespace dftmsn

@@ -1,0 +1,49 @@
+// Shared field codecs for small value types that appear in several
+// components' save_state/load_state implementations.
+#pragma once
+
+#include "geom/vec2.hpp"
+#include "net/message.hpp"
+#include "snapshot/snapshot_io.hpp"
+
+namespace dftmsn::snapshot {
+
+inline void save(Writer& w, const Message& m) {
+  w.u64(m.id);
+  w.u32(m.source);
+  w.f64(m.created);
+  w.size(m.bits);
+  w.u64(static_cast<std::uint64_t>(m.hops));
+}
+
+inline void load(Reader& r, Message& m) {
+  m.id = r.u64();
+  m.source = r.u32();
+  m.created = r.f64();
+  m.bits = r.size();
+  m.hops = static_cast<int>(r.u64());
+}
+
+inline void save(Writer& w, const QueuedMessage& q) {
+  save(w, q.msg);
+  w.f64(q.ftd);
+  w.f64(q.enqueued);
+}
+
+inline void load(Reader& r, QueuedMessage& q) {
+  load(r, q.msg);
+  q.ftd = r.f64();
+  q.enqueued = r.f64();
+}
+
+inline void save(Writer& w, const Vec2& v) {
+  w.f64(v.x);
+  w.f64(v.y);
+}
+
+inline void load(Reader& r, Vec2& v) {
+  v.x = r.f64();
+  v.y = r.f64();
+}
+
+}  // namespace dftmsn::snapshot

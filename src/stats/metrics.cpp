@@ -1,6 +1,29 @@
 #include "stats/metrics.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace dftmsn {
+
+namespace {
+
+template <typename Set>
+std::vector<typename Set::key_type> sorted_keys(const Set& s) {
+  std::vector<typename Set::key_type> keys(s.begin(), s.end());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+template <typename Map>
+std::vector<typename Map::key_type> sorted_map_keys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
 
 void Metrics::on_generated(const Message& m) {
   if (m.created < warmup_end_) return;
@@ -50,6 +73,81 @@ double Metrics::mean_receivers_per_tx() const {
   if (data_transmissions_ == 0) return 0.0;
   return static_cast<double>(receivers_scheduled_) /
          static_cast<double>(data_transmissions_);
+}
+
+void Metrics::save_state(snapshot::Writer& w) const {
+  w.begin_section("metrics");
+  w.f64(warmup_end_);
+  w.u64(generated_);
+  w.u64(delivered_unique_);
+  w.u64(delivered_copies_);
+  w.f64(total_delay_);
+  w.u64(total_hops_);
+  w.u64(attempts_);
+  w.u64(failed_attempts_);
+  w.u64(data_transmissions_);
+  w.u64(receivers_scheduled_);
+
+  const auto counted = sorted_keys(counted_);
+  w.size(counted.size());
+  for (const MessageId id : counted) w.u64(id);
+
+  const auto delivered = sorted_keys(delivered_);
+  w.size(delivered.size());
+  for (const MessageId id : delivered) w.u64(id);
+
+  const auto drop_keys = sorted_map_keys(drops_);
+  w.size(drop_keys.size());
+  for (const int k : drop_keys) {
+    w.i64(k);
+    w.u64(drops_.at(k));
+  }
+
+  const auto sources = sorted_map_keys(per_source_);
+  w.size(sources.size());
+  for (const NodeId id : sources) {
+    const SourceCounts& c = per_source_.at(id);
+    w.u32(id);
+    w.u64(c.generated);
+    w.u64(c.delivered);
+  }
+  w.end_section();
+}
+
+void Metrics::load_state(snapshot::Reader& r) {
+  r.begin_section("metrics");
+  warmup_end_ = r.f64();
+  generated_ = r.u64();
+  delivered_unique_ = r.u64();
+  delivered_copies_ = r.u64();
+  total_delay_ = r.f64();
+  total_hops_ = r.u64();
+  attempts_ = r.u64();
+  failed_attempts_ = r.u64();
+  data_transmissions_ = r.u64();
+  receivers_scheduled_ = r.u64();
+
+  counted_.clear();
+  for (std::size_t i = 0, n = r.size(); i < n; ++i) counted_.insert(r.u64());
+
+  delivered_.clear();
+  for (std::size_t i = 0, n = r.size(); i < n; ++i) delivered_.insert(r.u64());
+
+  drops_.clear();
+  for (std::size_t i = 0, n = r.size(); i < n; ++i) {
+    const int k = static_cast<int>(r.i64());
+    drops_[k] = r.u64();
+  }
+
+  per_source_.clear();
+  for (std::size_t i = 0, n = r.size(); i < n; ++i) {
+    const NodeId id = r.u32();
+    SourceCounts c;
+    c.generated = r.u64();
+    c.delivered = r.u64();
+    per_source_[id] = c;
+  }
+  r.end_section();
 }
 
 }  // namespace dftmsn

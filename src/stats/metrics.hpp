@@ -10,6 +10,7 @@
 #include "common/types.hpp"
 #include "core/ftd_queue.hpp"
 #include "net/message.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
 
@@ -66,6 +67,11 @@ class Metrics {
       const {
     return per_source_;
   }
+
+  /// Snapshot: every counter plus the dedupe sets/maps, the unordered
+  /// containers written in ascending key order for a canonical byte stream.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   SimTime warmup_end_;

@@ -50,4 +50,13 @@ void PoissonSource::fire() {
                               [this] { fire(); });
 }
 
+void PoissonSource::save_state(snapshot::Writer& w) const {
+  w.begin_section("poisson_source");
+  w.u64(static_cast<std::uint64_t>(generated_));
+  w.boolean(stopped_);
+  w.boolean(pending_.pending());
+  rng_.save_state(w);
+  w.end_section();
+}
+
 }  // namespace dftmsn

@@ -8,6 +8,7 @@
 #include "net/message.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
 
@@ -15,6 +16,17 @@ namespace dftmsn {
 class MessageIdAllocator {
  public:
   MessageId next() { return next_++; }
+
+  void save_state(snapshot::Writer& w) const {
+    w.begin_section("message_ids");
+    w.u64(next_);
+    w.end_section();
+  }
+  void load_state(snapshot::Reader& r) {
+    r.begin_section("message_ids");
+    next_ = r.u64();
+    r.end_section();
+  }
 
  private:
   MessageId next_ = 1;
@@ -41,6 +53,11 @@ class PoissonSource {
   void resume();
 
   [[nodiscard]] std::size_t generated() const { return generated_; }
+
+  /// Snapshot: counters, stop flag, whether an arrival is pending, and the
+  /// inter-arrival rng. Save-only — the pending arrival itself lives in
+  /// the event queue and is restored by replay (see snapshot_io.hpp).
+  void save_state(snapshot::Writer& w) const;
 
  private:
   void fire();

@@ -110,5 +110,77 @@ TEST(ConfigIo, RoundTripPreservesValues) {
   EXPECT_FALSE(b.sleep.enabled);
 }
 
+TEST(ConfigIo, BadNumberErrorsNameKeyAndToken) {
+  Config c;
+  try {
+    apply_config_override(c, "scenario.field_m=12abc");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("scenario.field_m"), std::string::npos) << what;
+    EXPECT_NE(what.find("12abc"), std::string::npos) << what;
+  }
+  try {
+    apply_config_override(c, "scenario.num_sinks=");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("scenario.num_sinks"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigIo, RejectsNonFiniteValues) {
+  // NaN would otherwise slip through every validate() range check.
+  Config c;
+  EXPECT_THROW(apply_config_override(c, "scenario.field_m=nan"),
+               std::invalid_argument);
+  EXPECT_THROW(apply_config_override(c, "protocol.alpha=inf"),
+               std::invalid_argument);
+  EXPECT_THROW(apply_config_override(c, "scenario.duration_s=-inf"),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, ParsesMobilityKind) {
+  Config c;
+  apply_config_override(c, "scenario.mobility=waypoint");
+  EXPECT_EQ(c.scenario.mobility, MobilityKind::kWaypoint);
+  apply_config_override(c, "scenario.mobility=patrol");
+  EXPECT_EQ(c.scenario.mobility, MobilityKind::kPatrol);
+  apply_config_override(c, "scenario.mobility=zone");
+  EXPECT_EQ(c.scenario.mobility, MobilityKind::kZone);
+  EXPECT_THROW(apply_config_override(c, "scenario.mobility=brownian"),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, LoadValidatesTheFinishedConfig) {
+  // A file whose lines each parse but whose combination is nonsense must
+  // be rejected at load time, with the file named.
+  const std::string path = "config_io_test_invalid.cfg";
+  {
+    std::ofstream out(path);
+    out << "scenario.speed_min_mps=5\n"
+        << "scenario.speed_max_mps=1\n";  // max < min
+  }
+  Config c;
+  try {
+    load_config_file(c, path);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ConfigIo, ValidateRejectsStalledWaypoint) {
+  Config c;
+  c.scenario.mobility = MobilityKind::kWaypoint;
+  c.scenario.speed_min_mps = 0.0;  // RWP with v_min=0 stalls nodes forever
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.scenario.speed_min_mps = 0.5;
+  EXPECT_NO_THROW(c.validate());
+}
+
 }  // namespace
 }  // namespace dftmsn

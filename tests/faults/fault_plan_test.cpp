@@ -93,5 +93,77 @@ TEST(FaultPlan, ErrorMessagesNameTheOffendingEvent) {
   }
 }
 
+TEST(FaultPlan, RejectsDuplicateArgumentKeys) {
+  const char* bad[] = {
+      "crash@10:node=1,node=2",
+      "crash@10:frac=0.1,frac=0.2",
+      "outage@10:node=1,for=5,for=9",
+      "loss@10:prob=0.5,prob=0.5,for=5",
+      "hang@10:attempts=1,attempts=2",
+  };
+  for (const char* spec : bad)
+    EXPECT_THROW(parse_fault_plan(spec), std::invalid_argument) << spec;
+  try {
+    parse_fault_plan("crash@10:node=1,node=2");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate argument 'node'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("crash@10:node=1,node=2"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultPlan, RejectsNonFiniteNumbers) {
+  // NaN compares false against every range bound, so without an explicit
+  // isfinite() check "frac=nan" would sail through validation.
+  const char* bad[] = {
+      "crash@10:frac=nan",
+      "crash@nan:node=1",
+      "crash@inf:node=1",
+      "loss@10:prob=nan,for=5",
+      "outage@10:node=1,for=inf",
+  };
+  for (const char* spec : bad)
+    EXPECT_THROW(parse_fault_plan(spec), std::invalid_argument) << spec;
+  try {
+    parse_fault_plan("crash@10:frac=nan");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultPlan, ParsesHangAndDie) {
+  const FaultPlan plan =
+      parse_fault_plan("hang@100;hang@200:attempts=2,for=0.5;die@300;"
+                       "die@400:attempts=1");
+  ASSERT_EQ(plan.events.size(), 4u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kHang);
+  EXPECT_EQ(plan.events[0].attempts, 0);  // unbounded: hangs every attempt
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kHang);
+  EXPECT_EQ(plan.events[1].attempts, 2);
+  EXPECT_DOUBLE_EQ(plan.events[1].duration, 0.5);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kDie);
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kDie);
+  EXPECT_EQ(plan.events[3].attempts, 1);
+}
+
+TEST(FaultPlan, RejectsBadHangAndDieArguments) {
+  const char* bad[] = {
+      "hang@10:node=1",       // hang/die are whole-run, not per-node
+      "hang@10:frac=0.5",
+      "die@10:for=5",         // die is instantaneous
+      "die@10:node=1",
+      "hang@10:attempts=0",   // attempts must be >= 1
+      "hang@10:attempts=-1",
+      "hang@10:attempts=x",
+      "crash@10:node=1,attempts=2",  // attempts= only gates hang/die
+  };
+  for (const char* spec : bad)
+    EXPECT_THROW(parse_fault_plan(spec), std::invalid_argument) << spec;
+}
+
 }  // namespace
 }  // namespace dftmsn

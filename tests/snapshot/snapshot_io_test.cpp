@@ -1,0 +1,191 @@
+// Unit tests of the canonical snapshot encoding (Writer/Reader, section
+// structure, digests, atomic file IO).
+#include "snapshot/snapshot_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace dftmsn::snapshot {
+namespace {
+
+TEST(SnapshotIo, PrimitivesRoundTrip) {
+  Writer w;
+  w.begin_section("prims");
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  w.f64(3.141592653589793);
+  w.boolean(true);
+  w.boolean(false);
+  w.size(5);  // counts must stay plausible (<= buffer size) on read
+  w.str("hello");
+  w.end_section();
+
+  Reader r(w.bytes());
+  r.begin_section("prims");
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.141592653589793);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_EQ(r.str(), "hello");
+  r.end_section();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SnapshotIo, DoublesKeepExactBitPatterns) {
+  const double values[] = {0.0, -0.0, 1e-300, -1e300,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::infinity()};
+  Writer w;
+  w.begin_section("d");
+  for (double v : values) w.f64(v);
+  w.end_section();
+  Reader r(w.bytes());
+  r.begin_section("d");
+  for (double v : values) {
+    const double got = r.f64();
+    EXPECT_EQ(std::memcmp(&got, &v, sizeof(v)), 0);
+  }
+  r.end_section();
+}
+
+TEST(SnapshotIo, IdenticalStateSerializesIdentically) {
+  const auto build = [] {
+    Writer w;
+    w.begin_section("a");
+    w.u64(7);
+    w.f64(2.5);
+    w.end_section();
+    w.begin_section("b");
+    w.str("x");
+    w.end_section();
+    return w.bytes();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(SnapshotIo, SectionsNest) {
+  Writer w;
+  w.begin_section("outer");
+  w.u32(1);
+  w.begin_section("inner");
+  w.u32(2);
+  w.end_section();
+  w.u32(3);
+  w.end_section();
+
+  Reader r(w.bytes());
+  r.begin_section("outer");
+  EXPECT_EQ(r.u32(), 1u);
+  r.begin_section("inner");
+  EXPECT_EQ(r.u32(), 2u);
+  r.end_section();
+  EXPECT_EQ(r.u32(), 3u);
+  r.end_section();
+}
+
+TEST(SnapshotIo, WrongSectionNameThrows) {
+  Writer w;
+  w.begin_section("alpha");
+  w.end_section();
+  Reader r(w.bytes());
+  EXPECT_THROW(r.begin_section("beta"), SnapshotError);
+}
+
+TEST(SnapshotIo, UnderconsumedSectionThrows) {
+  Writer w;
+  w.begin_section("s");
+  w.u32(1);
+  w.u32(2);
+  w.end_section();
+  Reader r(w.bytes());
+  r.begin_section("s");
+  (void)r.u32();
+  EXPECT_THROW(r.end_section(), SnapshotError);
+}
+
+TEST(SnapshotIo, TruncatedBufferThrows) {
+  Writer w;
+  w.begin_section("s");
+  w.u64(1);
+  w.end_section();
+  std::vector<std::uint8_t> cut = w.bytes();
+  cut.resize(cut.size() - 3);
+  Reader r(std::move(cut));
+  // The section's recorded length now overruns the buffer, so the
+  // truncation is caught at the section boundary, before any payload
+  // field is even read.
+  EXPECT_THROW(r.begin_section("s"), SnapshotError);
+}
+
+TEST(SnapshotIo, TopLevelSectionsListsNamesInOrder) {
+  Writer w;
+  for (const char* name : {"sim", "mobility", "channel"}) {
+    w.begin_section(name);
+    w.u8(1);
+    w.end_section();
+  }
+  const std::vector<std::string> names = top_level_sections(w.bytes());
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "sim");
+  EXPECT_EQ(names[1], "mobility");
+  EXPECT_EQ(names[2], "channel");
+}
+
+TEST(SnapshotIo, RequireIdenticalNamesTheDivergingSection) {
+  const auto build = [](std::uint64_t channel_value) {
+    Writer w;
+    w.begin_section("sim");
+    w.u64(1);
+    w.end_section();
+    w.begin_section("channel");
+    w.u64(channel_value);
+    w.end_section();
+    return w.bytes();
+  };
+  EXPECT_NO_THROW(require_identical(build(5), build(5)));
+  try {
+    require_identical(build(5), build(6));
+    FAIL() << "expected SnapshotMismatch";
+  } catch (const SnapshotMismatch& m) {
+    EXPECT_EQ(m.section, "channel");
+  }
+}
+
+TEST(SnapshotIo, DigestChangesWithContent) {
+  Writer a;
+  a.begin_section("s");
+  a.u64(1);
+  a.end_section();
+  Writer b;
+  b.begin_section("s");
+  b.u64(2);
+  b.end_section();
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(SnapshotIo, FileRoundTrip) {
+  const std::string path = "snapshot_io_test_tmp.bin";
+  Writer w;
+  w.begin_section("s");
+  w.str("payload");
+  w.end_section();
+  write_file_atomic(path, w.bytes());
+  EXPECT_EQ(read_file(path), w.bytes());
+  // Atomic rewrite replaces, never appends.
+  write_file_atomic(path, w.bytes());
+  EXPECT_EQ(read_file(path), w.bytes());
+  std::remove(path.c_str());
+  EXPECT_THROW(read_file(path), SnapshotError);
+}
+
+}  // namespace
+}  // namespace dftmsn::snapshot
