@@ -32,6 +32,8 @@
 #include "experiment/runner.hpp"
 #include "experiment/supervisor.hpp"
 #include "experiment/world.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/sampler.hpp"
 #include "trace/contact_probe.hpp"
 #include "trace/recorder.hpp"
 
@@ -56,6 +58,20 @@ int usage(int code) {
       "                    first violation aborts with exit code 3\n"
       "  --contacts-csv F  write a contact trace to F (single-run only)\n"
       "  --list-params     print every configurable key with its default\n"
+      "telemetry (see docs/observability.md):\n"
+      "  --report-json F   write one canonical JSON run report to F\n"
+      "                    (config digest + dump, summary stats, drop/fault\n"
+      "                    breakdowns, instrument registry; implies\n"
+      "                    telemetry.enabled=true and is byte-identical at\n"
+      "                    every --jobs value)\n"
+      "  --profile         collect wall-clock subsystem timings into the\n"
+      "                    report's trailing \"profile\" section (host\n"
+      "                    noise; excluded from determinism comparisons)\n"
+      "  --timeseries-csv F  sample per-node xi / queue fill / radio state\n"
+      "                    every telemetry.sample_period_s sim seconds\n"
+      "                    (default 60) into F (single-run only)\n"
+      "  --trace-csv F     stream MAC handshake/sleep/data/drop trace\n"
+      "                    events to F (single-run only)\n"
       "supervision (see docs/checkpoint_resume.md):\n"
       "  --checkpoint-dir D   write spec_<i>.ckpt + manifest.txt under D;\n"
       "                    enables the supervised runner\n"
@@ -86,6 +102,10 @@ int main(int argc, char** argv) {
   int reps = 1;
   int jobs = 1;
   std::string contacts_csv;
+  std::string report_json;
+  std::string timeseries_csv;
+  std::string trace_csv;
+  bool profile = false;
   SupervisorOptions sup;
   bool supervised = false;
   std::vector<std::string> overrides;
@@ -161,6 +181,22 @@ int main(int argc, char** argv) {
       contacts_csv = next();
       continue;
     }
+    if (arg == "--report-json") {
+      report_json = next();
+      continue;
+    }
+    if (arg == "--profile") {
+      profile = true;
+      continue;
+    }
+    if (arg == "--timeseries-csv") {
+      timeseries_csv = next();
+      continue;
+    }
+    if (arg == "--trace-csv") {
+      trace_csv = next();
+      continue;
+    }
     if (arg == "--checkpoint-dir") {
       sup.checkpoint_dir = next();
       supervised = true;
@@ -205,6 +241,11 @@ int main(int argc, char** argv) {
     std::cerr << e.what() << "\n";
     return 2;
   }
+  // A report needs the instrument registry; --profile needs the timers.
+  // Both are set before the specs are built so every replication (and, in
+  // the supervised path, every checkpoint's config digest) agrees.
+  if (!report_json.empty()) config.telemetry.enabled = true;
+  if (profile) config.telemetry.profile = true;
 
   std::cout << "protocol=" << protocol_kind_name(kind)
             << " sensors=" << config.scenario.num_sensors
@@ -214,8 +255,10 @@ int main(int argc, char** argv) {
             << " reps=" << reps << "\n";
 
   if (supervised) {
-    if (!contacts_csv.empty()) {
-      std::cerr << "--contacts-csv is not available under supervision\n";
+    if (!contacts_csv.empty() || !timeseries_csv.empty() ||
+        !trace_csv.empty()) {
+      std::cerr << "--contacts-csv/--timeseries-csv/--trace-csv are not "
+                   "available under supervision\n";
       return 2;
     }
     std::signal(SIGINT, handle_stop_signal);
@@ -262,6 +305,28 @@ int main(int argc, char** argv) {
                 << "\ndelay_s=" << r.mean_delay_s.mean() << " +- "
                 << r.mean_delay_s.ci95_half_width() << "\n";
     }
+    if (!report_json.empty()) {
+      telemetry::ReportInputs in;
+      in.config = &config;
+      in.kind = kind;
+      in.runs = &done;
+      // Supervised workers reduce their worlds in place and surface only
+      // RunResults, so the report's instrument sections stay empty here;
+      // the supervisor block carries the health counters instead.
+      in.supervisor.supervised = true;
+      in.supervisor.completed = manifest.completed();
+      in.supervisor.retried = manifest.retried();
+      in.supervisor.quarantined = manifest.quarantined();
+      in.supervisor.interrupted = manifest.interrupted();
+      in.supervisor.checkpoints = manifest.total_checkpoints();
+      try {
+        telemetry::write_report_json(report_json, in);
+        std::cout << "wrote " << report_json << "\n";
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+    }
     if (manifest.interrupted() > 0) {
       if (!sup.checkpoint_dir.empty())
         std::cout << "interrupted; rerun with --resume --checkpoint-dir "
@@ -282,6 +347,22 @@ int main(int argc, char** argv) {
         probe = std::make_unique<ContactProbe>(
             world.sim(), world.mobility(), config.radio.range_m, 1.0, *csv);
         probe->start();
+      }
+      std::unique_ptr<CsvTraceSink> trace_sink;
+      if (!trace_csv.empty()) {
+        trace_sink = std::make_unique<CsvTraceSink>(trace_csv);
+        world.set_trace_sink(trace_sink.get());
+      }
+      std::unique_ptr<CsvTraceSink> ts_sink;
+      std::unique_ptr<telemetry::TimeSeriesSampler> sampler;
+      if (!timeseries_csv.empty()) {
+        ts_sink = std::make_unique<CsvTraceSink>(timeseries_csv);
+        const double period = config.telemetry.sample_period_s > 0.0
+                                  ? config.telemetry.sample_period_s
+                                  : 60.0;
+        sampler = std::make_unique<telemetry::TimeSeriesSampler>(
+            world.sim(), world.sensors(), world.metrics(), period, *ts_sink);
+        sampler->start();
       }
       world.run();
       if (probe) probe->finish();
@@ -313,20 +394,69 @@ int main(int argc, char** argv) {
         std::cout << "invariants: sweeps=" << chk->sweeps_run()
                   << " (all passed)\n";
       if (csv) std::cout << "wrote " << contacts_csv << "\n";
+      if (trace_sink) std::cout << "wrote " << trace_csv << "\n";
+      if (ts_sink)
+        std::cout << "wrote " << timeseries_csv << " ("
+                  << sampler->samples_taken() << " samples)\n";
+      if (!report_json.empty()) {
+        std::vector<RunResult> runs{reduce_world(world)};
+        RunTelemetry tel;
+        if (const telemetry::Registry* reg = world.registry())
+          tel.registry.merge(*reg);
+        if (const telemetry::Profiler* prof = world.profiler())
+          tel.profile.merge(*prof);
+        telemetry::ReportInputs in;
+        in.config = &config;
+        in.kind = kind;
+        in.runs = &runs;
+        in.telemetry = &tel;
+        telemetry::write_report_json(report_json, in);
+        std::cout << "wrote " << report_json << "\n";
+      }
       return 0;
     }
 
-    if (!contacts_csv.empty()) {
-      std::cerr << "--contacts-csv requires --reps 1\n";
+    if (!contacts_csv.empty() || !timeseries_csv.empty() ||
+        !trace_csv.empty()) {
+      std::cerr << "--contacts-csv/--timeseries-csv/--trace-csv require "
+                   "--reps 1\n";
       return 2;
     }
-    const ReplicatedResult r = run_replicated(config, kind, reps, jobs);
+    // Expand the replication seeds exactly like run_replicated so the
+    // printed aggregates are unchanged, but run them through run_specs
+    // directly: the report needs the per-replication RunResults and the
+    // per-slot telemetry capture (deterministic at every --jobs value).
+    std::vector<RunSpec> specs(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+      specs[static_cast<std::size_t>(r)].config = config;
+      specs[static_cast<std::size_t>(r)].config.scenario.seed =
+          config.scenario.seed + static_cast<std::uint64_t>(r);
+      specs[static_cast<std::size_t>(r)].kind = kind;
+    }
+    std::vector<RunTelemetry> slots;
+    const std::vector<RunResult> runs = run_specs(
+        specs, jobs, report_json.empty() ? nullptr : &slots);
+    const ReplicatedResult r = reduce_results(runs);
     std::cout << "delivery_ratio=" << r.delivery_ratio.mean() << " +- "
               << r.delivery_ratio.ci95_half_width()
               << "\npower_mw=" << r.mean_power_mw.mean() << " +- "
               << r.mean_power_mw.ci95_half_width()
               << "\ndelay_s=" << r.mean_delay_s.mean() << " +- "
               << r.mean_delay_s.ci95_half_width() << "\n";
+    if (!report_json.empty()) {
+      RunTelemetry tel;  // merged in replication order: jobs-independent
+      for (const RunTelemetry& s : slots) {
+        tel.registry.merge(s.registry);
+        tel.profile.merge(s.profile);
+      }
+      telemetry::ReportInputs in;
+      in.config = &config;
+      in.kind = kind;
+      in.runs = &runs;
+      in.telemetry = &tel;
+      telemetry::write_report_json(report_json, in);
+      std::cout << "wrote " << report_json << "\n";
+    }
   } catch (const InvariantViolation& v) {
     std::cerr << v.what() << "\n";
     return 3;

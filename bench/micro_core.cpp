@@ -13,6 +13,8 @@
 #include "experiment/runner.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
+#include "telemetry/probes.hpp"
+#include "telemetry/registry.hpp"
 
 namespace {
 
@@ -100,6 +102,34 @@ void BM_FtdMath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FtdMath);
+
+// Disabled-probe overhead: the whole cost must be one null check. The
+// side-effect counter is the oracle — if the value expression ever runs
+// on the disabled path the bench aborts, so "zero overhead when off" is
+// checked as a correctness property, not inferred from timings.
+void BM_TelemetryProbeDisabled(benchmark::State& state) {
+  telemetry::Histogram* h = nullptr;
+  std::uint64_t evaluated = 0;
+  for (auto _ : state) {
+    DFTMSN_PROBE_HIST(h, static_cast<double>(++evaluated));
+    benchmark::DoNotOptimize(h);
+  }
+  if (evaluated != 0)
+    state.SkipWithError("disabled probe evaluated its argument");
+}
+BENCHMARK(BM_TelemetryProbeDisabled);
+
+void BM_TelemetryProbeEnabled(benchmark::State& state) {
+  telemetry::Registry reg;
+  telemetry::Histogram* h = reg.histogram("bench.value", 0.0, 1.0, 32);
+  double v = 0.25;
+  for (auto _ : state) {
+    DFTMSN_PROBE_HIST(h, v);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryProbeEnabled);
 
 void BM_EndToEndSimulationSlice(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# End-to-end report determinism check: the same replicated sweep run at
+# --jobs 1 and --jobs 4 must produce byte-identical --report-json
+# documents (no "profile" section is emitted without --profile, so plain
+# cmp is the right oracle). When python3 is available the report is also
+# validated against scripts/report_schema.json, and a --profile run is
+# compared modulo its (host-noise) profile section.
+#
+# Usage: report_identity.sh <path-to-dftmsn_cli> [workdir]
+set -u
+
+CLI="${1:?usage: report_identity.sh <dftmsn_cli> [workdir]}"
+WORK="${2:-report_identity.tmp}"
+HERE="$(cd "$(dirname "$0")" && pwd)"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+ARGS=(--protocol OPT --reps 4
+      scenario.seed=4242 scenario.num_sensors=15 scenario.num_sinks=2
+      scenario.field_m=150 scenario.duration_s=1500)
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+"$CLI" "${ARGS[@]}" --jobs 1 --report-json "$WORK/serial.json" \
+  > /dev/null || fail "serial run exited $?"
+"$CLI" "${ARGS[@]}" --jobs 4 --report-json "$WORK/parallel.json" \
+  > /dev/null || fail "parallel run exited $?"
+
+cmp "$WORK/serial.json" "$WORK/parallel.json" \
+  || fail "--jobs 1 and --jobs 4 reports differ"
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 "$HERE/validate_report.py" "$WORK/serial.json" \
+    || fail "schema validation failed"
+  # --profile is itself a config key (it changes the digest), so the
+  # modulo-profile comparison is between two *profiled* runs: everything
+  # except the wall-clock timings must still match across --jobs.
+  "$CLI" "${ARGS[@]}" --jobs 1 --profile \
+      --report-json "$WORK/profiled1.json" > /dev/null \
+    || fail "profiled serial run exited $?"
+  "$CLI" "${ARGS[@]}" --jobs 4 --profile \
+      --report-json "$WORK/profiled4.json" > /dev/null \
+    || fail "profiled parallel run exited $?"
+  python3 "$HERE/validate_report.py" "$WORK/profiled1.json" \
+      --compare "$WORK/profiled4.json" \
+    || fail "profiled reports differ outside their profile sections"
+fi
+
+echo "PASS: reports byte-identical across --jobs"

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a dftmsn --report-json document.
+
+Usage:
+    validate_report.py REPORT.json [--schema SCHEMA.json]
+                       [--compare OTHER.json]
+
+Checks REPORT.json against the (minimal, self-interpreted) schema in
+scripts/report_schema.json: required keys, value types, the schema-version
+constant and the digest pattern. With --compare, also asserts the two
+documents are identical after dropping the "profile" section — the one
+part of a report that carries host wall-clock noise and is therefore
+excluded from determinism comparisons (see docs/observability.md).
+
+Standard library only; exit 0 on success, 1 with a message on failure.
+"""
+import argparse
+import json
+import re
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def _fail(path, message):
+    raise ValueError(f"{path or '$'}: {message}")
+
+
+def _check(value, schema, path):
+    expected = schema.get("type")
+    if expected:
+        want = _TYPES[expected]
+        # bool is an int subclass in Python; keep the kinds distinct.
+        if isinstance(value, bool) and expected in ("number", "integer"):
+            _fail(path, f"expected {expected}, got boolean")
+        if not isinstance(value, want):
+            _fail(path, f"expected {expected}, got {type(value).__name__}")
+    if "const" in schema and value != schema["const"]:
+        _fail(path, f"expected {schema['const']!r}, got {value!r}")
+    if "pattern" in schema and not re.fullmatch(schema["pattern"], value):
+        _fail(path, f"{value!r} does not match {schema['pattern']!r}")
+    for key in schema.get("required", []):
+        if key not in value:
+            _fail(path, f"missing required key {key!r}")
+    for key, sub in schema.get("properties", {}).items():
+        if key in value:
+            _check(value[key], sub, f"{path}.{key}")
+    if "values" in schema:  # uniform schema for every (other) member
+        described = schema.get("properties", {})
+        for key, item in value.items():
+            if key not in described:
+                _check(item, schema["values"], f"{path}.{key}")
+    if "items" in schema:
+        for i, item in enumerate(value):
+            _check(item, schema["items"], f"{path}[{i}]")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument("--schema", default=None)
+    parser.add_argument("--compare", default=None,
+                        help="second report that must match (profile "
+                             "section excluded)")
+    args = parser.parse_args()
+
+    schema_path = args.schema
+    if schema_path is None:
+        import os
+        schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                   "report_schema.json")
+
+    with open(args.report) as f:
+        report = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    try:
+        _check(report, schema, "")
+    except ValueError as e:
+        print(f"{args.report}: schema violation: {e}", file=sys.stderr)
+        return 1
+
+    if args.compare:
+        with open(args.compare) as f:
+            other = json.load(f)
+        a = {k: v for k, v in report.items() if k != "profile"}
+        b = {k: v for k, v in other.items() if k != "profile"}
+        if a != b:
+            keys = sorted(k for k in set(a) | set(b) if a.get(k) != b.get(k))
+            print(f"{args.report} and {args.compare} differ outside "
+                  f"'profile' (keys: {', '.join(keys)})", file=sys.stderr)
+            return 1
+
+    print(f"{args.report}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

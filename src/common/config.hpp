@@ -141,6 +141,20 @@ struct FaultConfig {
   int attempt = 0;
 };
 
+/// Observability parameters (src/telemetry/). All off by default.
+/// Registry collection and profiling are pure observers: enabling them
+/// never changes the simulated trajectory (test-enforced against the
+/// golden-metrics pins). The time-series sampler does add read-only
+/// events to the queue — events_executed grows — which is why it is a
+/// separate opt-in and not implied by `enabled`.
+struct TelemetryConfig {
+  bool enabled = false;  ///< collect registry instruments (counters/histograms)
+  bool profile = false;  ///< wall-clock subsystem profiler (output is
+                         ///< host-dependent, excluded from determinism checks)
+  double sample_period_s = 0.0;  ///< >0: TimeSeriesSampler period (CLI wires
+                                 ///< it to a trace sink)
+};
+
 /// Everything a run needs.
 struct Config {
   RadioConfig radio;
@@ -150,6 +164,7 @@ struct Config {
   ContentionConfig contention;
   ScenarioConfig scenario;
   FaultConfig faults;
+  TelemetryConfig telemetry;
 
   /// Validates cross-field invariants; throws std::invalid_argument on
   /// nonsensical combinations (negative durations, empty field, ...).

@@ -163,6 +163,9 @@ const std::vector<Field>& fields() {
       DFTMSN_FIELD_I(scenario.seed, std::uint64_t),
       DFTMSN_FIELD_B(faults.check_invariants),
       DFTMSN_FIELD_I(faults.invariant_stride, int),
+      DFTMSN_FIELD_B(telemetry.enabled),
+      DFTMSN_FIELD_B(telemetry.profile),
+      DFTMSN_FIELD_D(telemetry.sample_period_s),
       // The fault plan is a free-form string (validated by
       // parse_fault_plan at World construction, not here). Note the
       // assignment splitter takes the FIRST '=', so plan values

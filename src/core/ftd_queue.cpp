@@ -9,6 +9,16 @@
 
 namespace dftmsn {
 
+const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kOverflow: return "overflow";
+    case DropReason::kFtdThreshold: return "ftd_threshold";
+    case DropReason::kDelivered: return "delivered";
+    case DropReason::kNodeFailure: return "node_failure";
+  }
+  return "?";
+}
+
 FtdQueue::FtdQueue(std::size_t capacity, QueueDiscipline discipline)
     : capacity_(capacity), discipline_(discipline) {
   if (capacity == 0) throw std::invalid_argument("FtdQueue: capacity == 0");

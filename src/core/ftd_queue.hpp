@@ -18,6 +18,17 @@ enum class DropReason {
   kDelivered,       ///< copy reached a sink (FTD = 1)
   kNodeFailure,     ///< holding node crashed (fault injection)
 };
+inline constexpr std::size_t kDropReasonCount = 4;
+
+const char* drop_reason_name(DropReason r);
+
+/// std::hash has no enum-class specialization we can rely on pre-C++23
+/// everywhere; keying unordered containers on DropReason goes through this.
+struct DropReasonHash {
+  std::size_t operator()(DropReason r) const noexcept {
+    return static_cast<std::size_t>(r);
+  }
+};
 
 /// Ordering discipline — kFtdSorted reproduces the paper; the others exist
 /// for the ABL-QUEUE ablation.

@@ -8,9 +8,16 @@
 
 namespace dftmsn {
 
-RunResult run_once(const Config& config, ProtocolKind kind) {
+RunResult run_once(const Config& config, ProtocolKind kind,
+                   RunTelemetry* telemetry_out) {
   World world(config, kind);
   world.run();
+  if (telemetry_out) {
+    if (const telemetry::Registry* reg = world.registry())
+      telemetry_out->registry.merge(*reg);
+    if (const telemetry::Profiler* prof = world.profiler())
+      telemetry_out->profile.merge(*prof);
+  }
   return reduce_world(world);
 }
 
@@ -29,8 +36,10 @@ RunResult reduce_world(const World& world) {
   r.attempts = m.attempts();
   r.failed_attempts = m.failed_attempts();
   r.data_transmissions = m.data_transmissions();
+  r.fairness_jain = m.jain_fairness_index();
   r.drops_overflow = m.drops(DropReason::kOverflow);
   r.drops_threshold = m.drops(DropReason::kFtdThreshold);
+  r.drops_delivered = m.drops(DropReason::kDelivered);
   r.events_executed = world.sim().events_executed();
   r.drops_node_failure = m.drops(DropReason::kNodeFailure);
   r.frames_fault_corrupted = ch.faults_corrupted;
@@ -50,10 +59,16 @@ RunResult reduce_world(const World& world) {
 }
 
 std::vector<RunResult> run_specs(const std::vector<RunSpec>& specs,
-                                 int jobs) {
+                                 int jobs,
+                                 std::vector<RunTelemetry>* telemetry_out) {
   std::vector<RunResult> results(specs.size());
+  if (telemetry_out) {
+    telemetry_out->clear();
+    telemetry_out->resize(specs.size());
+  }
   parallel_for(specs.size(), resolve_jobs(jobs), [&](std::size_t i) {
-    results[i] = run_once(specs[i].config, specs[i].kind);
+    results[i] = run_once(specs[i].config, specs[i].kind,
+                          telemetry_out ? &(*telemetry_out)[i] : nullptr);
   });
   return results;
 }
@@ -67,6 +82,7 @@ ReplicatedResult reduce_results(const std::vector<RunResult>& runs) {
     out.mean_delay_s.add(r.mean_delay_s);
     out.overhead_bits_per_delivery.add(r.overhead_bits_per_delivery);
     out.collisions.add(static_cast<double>(r.collisions));
+    out.fairness_jain.add(r.fairness_jain);
   }
   return out;
 }

@@ -14,6 +14,8 @@
 #include "common/config.hpp"
 #include "protocol/mac_common.hpp"
 #include "stats/summary.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dftmsn {
 
@@ -24,6 +26,8 @@ struct RunResult {
   double mean_delay_s = 0.0;         ///< Fig. 2(c): avg delivery delay
   double mean_hops = 0.0;
   double overhead_bits_per_delivery = 0.0;  ///< all bits sent / delivered msg
+  /// Jain index over per-source delivery ratios (0 = no data, 1 = fair).
+  double fairness_jain = 0.0;
   std::uint64_t generated = 0;
   std::uint64_t delivered = 0;
   std::uint64_t collisions = 0;
@@ -32,6 +36,7 @@ struct RunResult {
   std::uint64_t data_transmissions = 0;
   std::uint64_t drops_overflow = 0;
   std::uint64_t drops_threshold = 0;
+  std::uint64_t drops_delivered = 0;  ///< copies retired because FTD hit 1
   std::uint64_t events_executed = 0;
   // Fault-injection diagnostics (all zero when no plan is configured;
   // deterministic, so they participate in cross-jobs equality checks).
@@ -48,11 +53,24 @@ struct ReplicatedResult {
   Summary mean_delay_s;
   Summary overhead_bits_per_delivery;
   Summary collisions;
+  Summary fairness_jain;
   int replications = 0;
 };
 
+/// Telemetry captured from one run (or merged over many, in input
+/// order): the instrument registry and — when profiling was on — the
+/// wall-clock subsystem timings. Runs with telemetry disabled contribute
+/// nothing (the registry stays empty).
+struct RunTelemetry {
+  telemetry::Registry registry;
+  telemetry::Profiler profile;
+};
+
 /// Builds a World from `config`, runs it to the horizon, reduces metrics.
-RunResult run_once(const Config& config, ProtocolKind kind);
+/// When `telemetry_out` is non-null the world's registry/profiler content
+/// is merged into it before the world is torn down.
+RunResult run_once(const Config& config, ProtocolKind kind,
+                   RunTelemetry* telemetry_out = nullptr);
 
 /// Reduces an already-run World to the headline metrics (the tail half of
 /// run_once; the supervisor reuses it on worlds it drove — and possibly
@@ -72,9 +90,14 @@ struct RunSpec {
 
 /// Runs every spec across up to `jobs` worker threads (jobs <= 1: serial
 /// on the calling thread; jobs <= 0: one per hardware thread). Results
-/// come back in input order, independent of scheduling.
+/// come back in input order, independent of scheduling. When
+/// `telemetry_out` is non-null it is resized to specs.size() and slot i
+/// receives spec i's telemetry — each worker writes only its own slot, so
+/// the capture is race-free and, like the results, independent of jobs.
 std::vector<RunResult> run_specs(const std::vector<RunSpec>& specs,
-                                 int jobs = 1);
+                                 int jobs = 1,
+                                 std::vector<RunTelemetry>* telemetry_out =
+                                     nullptr);
 
 /// Expands `replications` seeds (config.scenario.seed + r for replication
 /// r — never a function of thread count or finish order), runs them via

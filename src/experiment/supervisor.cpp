@@ -56,20 +56,23 @@ bool parse_status(const std::string& s, SpecStatus* out) {
 void put_result(std::ostream& os, const RunResult& r) {
   os << double_bits(r.delivery_ratio) << ' ' << double_bits(r.mean_power_mw)
      << ' ' << double_bits(r.mean_delay_s) << ' ' << double_bits(r.mean_hops)
-     << ' ' << double_bits(r.overhead_bits_per_delivery) << ' ' << r.generated
+     << ' ' << double_bits(r.overhead_bits_per_delivery) << ' '
+     << double_bits(r.fairness_jain) << ' ' << r.generated
      << ' ' << r.delivered << ' ' << r.collisions << ' ' << r.attempts << ' '
      << r.failed_attempts << ' ' << r.data_transmissions << ' '
      << r.drops_overflow << ' ' << r.drops_threshold << ' '
+     << r.drops_delivered << ' '
      << r.events_executed << ' ' << r.faults_injected << ' '
      << r.drops_node_failure << ' ' << r.frames_fault_corrupted << ' '
      << r.invariant_sweeps;
 }
 
 bool get_result(std::istream& is, RunResult* r) {
-  std::uint64_t dr = 0, pw = 0, dl = 0, hp = 0, ov = 0;
-  if (!(is >> dr >> pw >> dl >> hp >> ov >> r->generated >> r->delivered >>
-        r->collisions >> r->attempts >> r->failed_attempts >>
+  std::uint64_t dr = 0, pw = 0, dl = 0, hp = 0, ov = 0, fj = 0;
+  if (!(is >> dr >> pw >> dl >> hp >> ov >> fj >> r->generated >>
+        r->delivered >> r->collisions >> r->attempts >> r->failed_attempts >>
         r->data_transmissions >> r->drops_overflow >> r->drops_threshold >>
+        r->drops_delivered >>
         r->events_executed >> r->faults_injected >> r->drops_node_failure >>
         r->frames_fault_corrupted >> r->invariant_sweeps))
     return false;
@@ -78,6 +81,7 @@ bool get_result(std::istream& is, RunResult* r) {
   r->mean_delay_s = bits_double(dl);
   r->mean_hops = bits_double(hp);
   r->overhead_bits_per_delivery = bits_double(ov);
+  r->fairness_jain = bits_double(fj);
   return true;
 }
 
@@ -164,6 +168,7 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
           image = make_checkpoint(*world);
           snapshot::write_file_atomic(ckpt, image);
           ++written;
+          ++rec.checkpoints;
           if (opts.stop_after_checkpoints > 0 &&
               written >= opts.stop_after_checkpoints) {
             slot.active.store(false);
@@ -191,6 +196,7 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
         if (world && !ckpt.empty()) {
           try {
             snapshot::write_file_atomic(ckpt, make_checkpoint(*world));
+            ++rec.checkpoints;
           } catch (const std::exception&) {
             // Keep whatever checkpoint was already on disk.
           }
@@ -257,6 +263,12 @@ int SweepManifest::retried() const {
   return n;
 }
 
+std::uint64_t SweepManifest::total_checkpoints() const {
+  std::uint64_t n = 0;
+  for (const SpecRecord& r : specs) n += r.checkpoints;
+  return n;
+}
+
 std::string manifest_path(const std::string& checkpoint_dir) {
   return checkpoint_dir + "/manifest.txt";
 }
@@ -268,13 +280,13 @@ std::string spec_checkpoint_path(const std::string& checkpoint_dir,
 
 void write_manifest(const std::string& path, const SweepManifest& manifest) {
   std::ostringstream os;
-  os << "dftmsn-manifest v1\n";
+  os << "dftmsn-manifest v2\n";
   os << "specs " << manifest.specs.size() << "\n";
   for (std::size_t i = 0; i < manifest.specs.size(); ++i) {
     const SpecRecord& r = manifest.specs[i];
     os << "spec " << i << ' ' << spec_status_name(r.status) << " retries="
-       << r.retries << " digest=" << r.config_digest << " detail="
-       << sanitize(r.detail) << "\n";
+       << r.retries << " checkpoints=" << r.checkpoints << " digest="
+       << r.config_digest << " detail=" << sanitize(r.detail) << "\n";
     if (r.status == SpecStatus::kCompleted) {
       os << "result " << i << ' ';
       put_result(os, r.result);
@@ -295,7 +307,7 @@ bool load_manifest(const std::string& path, SweepManifest* out) {
   };
 
   std::string line;
-  if (!std::getline(in, line) || line != "dftmsn-manifest v1")
+  if (!std::getline(in, line) || line != "dftmsn-manifest v2")
     bad("unrecognized header");
   std::size_t n = 0;
   {
@@ -321,6 +333,9 @@ bool load_manifest(const std::string& path, SweepManifest* out) {
       if (!(is >> kv) || kv.rfind("retries=", 0) != 0)
         bad("missing retries: " + line);
       r.retries = std::atoi(kv.c_str() + 8);
+      if (!(is >> kv) || kv.rfind("checkpoints=", 0) != 0)
+        bad("missing checkpoints: " + line);
+      r.checkpoints = std::strtoull(kv.c_str() + 12, nullptr, 10);
       if (!(is >> kv) || kv.rfind("digest=", 0) != 0)
         bad("missing digest: " + line);
       r.config_digest = std::strtoull(kv.c_str() + 7, nullptr, 10);

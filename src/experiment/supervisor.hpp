@@ -75,6 +75,7 @@ const char* spec_status_name(SpecStatus s);
 struct SpecRecord {
   SpecStatus status = SpecStatus::kPending;
   int retries = 0;           ///< restarts consumed (0 = clean first run)
+  std::uint64_t checkpoints = 0;  ///< checkpoint files written (all attempts)
   std::uint64_t config_digest = 0;
   std::string detail;        ///< last failure message; empty when clean
   RunResult result;          ///< valid only when status == kCompleted
@@ -95,6 +96,8 @@ struct SweepManifest {
   }
   /// Replications that needed at least one restart.
   [[nodiscard]] int retried() const;
+  /// Checkpoint files written across all specs and attempts.
+  [[nodiscard]] std::uint64_t total_checkpoints() const;
 };
 
 /// Runs every spec under supervision, up to opts.jobs at a time. The

@@ -111,6 +111,28 @@ World::World(Config config, ProtocolKind kind)
         cfg_.faults.invariant_stride);
     sim_.set_post_event_hook([this] { checker_->on_event(); });
   }
+
+  // Telemetry: both halves are pure observers — the registry collects
+  // through null-checked probe pointers, the profiler reads only the host
+  // clock — so enabling either leaves the trajectory bit-identical.
+  if (cfg_.telemetry.enabled) {
+    registry_ = std::make_unique<telemetry::Registry>();
+    metrics_.bind_telemetry(registry_.get());
+  }
+  if (cfg_.telemetry.profile) {
+    profiler_ = std::make_unique<telemetry::Profiler>();
+    sim_.set_profiler(profiler_.get());
+    channel_.set_profiler(profiler_.get());
+    mobility_.set_profiler(profiler_.get());
+  }
+  if (registry_ || profiler_) {
+    for (auto& s : sensors_)
+      s->mac().set_telemetry(registry_.get(), profiler_.get());
+  }
+}
+
+void World::set_trace_sink(TraceSink* sink) {
+  for (auto& s : sensors_) s->mac().set_trace(sink);
 }
 
 void World::ensure_started() {
@@ -148,6 +170,11 @@ double World::mean_sensor_power_mw() const {
 }
 
 void World::save_state(snapshot::Writer& w) const {
+  // Wall-clock cost of encoding the snapshot (the per-slice price the
+  // checkpointing supervisor pays). The profiler itself is deliberately
+  // NOT serialized: its content is host wall-clock, not simulation state.
+  telemetry::ScopedTimer timer(profiler_.get(),
+                               telemetry::Subsystem::kSnapshotEncode);
   // Each component writes its own top-level section, so a resume
   // verification mismatch names the first diverging component.
   w.begin_section("world");
@@ -155,6 +182,7 @@ void World::save_state(snapshot::Writer& w) const {
   w.size(sensors_.size());
   w.size(sinks_.size());
   w.boolean(injector_ != nullptr);
+  w.boolean(registry_ != nullptr);
   w.end_section();
   sim_.save_state(w);
   mobility_.save_state(w);
@@ -164,6 +192,7 @@ void World::save_state(snapshot::Writer& w) const {
   for (const auto& s : sensors_) s->save_state(w);
   for (const auto& s : sinks_) s->save_state(w);
   if (injector_) injector_->save_state(w);
+  if (registry_) registry_->save_state(w);
 }
 
 std::vector<std::uint8_t> World::serialize_state() const {

@@ -17,6 +17,9 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "stats/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/registry.hpp"
+#include "trace/trace.hpp"
 #include "traffic/poisson_source.hpp"
 
 namespace dftmsn {
@@ -77,6 +80,22 @@ class World {
     return checker_.get();
   }
 
+  // --- telemetry ------------------------------------------------------
+  /// Non-null iff config.telemetry.enabled: the per-run instrument
+  /// registry (every World owns its own, so parallel runs never share).
+  [[nodiscard]] telemetry::Registry* registry() { return registry_.get(); }
+  [[nodiscard]] const telemetry::Registry* registry() const {
+    return registry_.get();
+  }
+  /// Non-null iff config.telemetry.profile: wall-clock subsystem timings.
+  [[nodiscard]] const telemetry::Profiler* profiler() const {
+    return profiler_.get();
+  }
+
+  /// Fans a trace sink out to every sensor MAC (handshake / sleep / data
+  /// / drop events). nullptr uninstalls. Pure observer.
+  void set_trace_sink(TraceSink* sink);
+
  private:
   void ensure_started();
 
@@ -94,6 +113,8 @@ class World {
   std::vector<std::unique_ptr<SinkNode>> sinks_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<InvariantChecker> checker_;
+  std::unique_ptr<telemetry::Registry> registry_;
+  std::unique_ptr<telemetry::Profiler> profiler_;
   bool started_ = false;
 };
 

@@ -23,7 +23,11 @@ void MobilityManager::start() {
 }
 
 void MobilityManager::tick() {
-  for (auto& m : models_) m->step(step_);
+  {
+    telemetry::ScopedTimer timer(profiler_,
+                                 telemetry::Subsystem::kMobilityUpdate);
+    for (auto& m : models_) m->step(step_);
+  }
   sim_.schedule_in(step_, [this] { tick(); });
 }
 

@@ -8,6 +8,7 @@
 #include "common/types.hpp"
 #include "mobility/mobility_model.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace dftmsn {
 
@@ -43,6 +44,10 @@ class MobilityManager {
   /// Distance between two registered nodes.
   [[nodiscard]] double distance_between(NodeId a, NodeId b) const;
 
+  /// Wall-clock profiler for the periodic tick (telemetry; nullptr =
+  /// disabled, never perturbs the simulation).
+  void set_profiler(telemetry::Profiler* profiler) { profiler_ = profiler; }
+
   /// Snapshot: the started flag plus every model's kinematic state, in id
   /// order. load_state requires the same population to be registered
   /// already (the periodic tick event itself is restored by replay).
@@ -56,6 +61,7 @@ class MobilityManager {
   double step_;
   bool started_ = false;
   std::vector<std::unique_ptr<MobilityModel>> models_;
+  telemetry::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace dftmsn

@@ -73,6 +73,9 @@ SimTime Channel::transmit(NodeId sender, Frame frame) {
 
   s.radio->begin_tx();  // throws if the radio is not IDLE (MAC bug)
 
+  telemetry::ScopedTimer scan_timer(profiler_,
+                                    telemetry::Subsystem::kChannelScan);
+
   // Audience snapshot at frame start: awake nodes in range that are not
   // themselves transmitting. A node that wakes mid-frame misses it.
   std::vector<NodeId> audience;

@@ -14,6 +14,7 @@
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
 #include "snapshot/snapshot_io.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace dftmsn {
 
@@ -84,6 +85,10 @@ class Channel {
   /// hook. At most one hook is active at a time.
   void set_corruption_hook(CorruptionHook hook);
 
+  /// Wall-clock profiler for the per-transmit audience scan (telemetry;
+  /// nullptr = disabled, never perturbs the simulation).
+  void set_profiler(telemetry::Profiler* profiler) { profiler_ = profiler; }
+
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
   /// Snapshot: counters, fault flags, tx-id allocator and every node's
@@ -125,6 +130,7 @@ class Channel {
   TxId next_tx_id_ = 1;
   Counters counters_;
   CorruptionHook corruption_hook_;
+  telemetry::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace dftmsn

@@ -7,6 +7,7 @@
 #include "core/cts_window_optimizer.hpp"
 #include "core/listen_window_optimizer.hpp"
 #include "snapshot/state_codec.hpp"
+#include "telemetry/probes.hpp"
 
 namespace dftmsn {
 
@@ -66,6 +67,30 @@ CrossLayerMac::CrossLayerMac(NodeId id, Simulator& sim, Channel& channel,
       tau_max_(config.contention.tau_max_slots),
       cts_window_(config.contention.cts_window_slots) {}
 
+void CrossLayerMac::set_telemetry(telemetry::Registry* registry,
+                                  telemetry::Profiler* profiler) {
+  profiler_ = profiler;
+  if (registry == nullptr) {
+    h_queue_occ_ = h_xi_tx_ = h_ftd_tx_ = h_tau_ = h_sleep_ = nullptr;
+    c_rts_tx_ = c_cts_tx_ = c_schedule_tx_ = c_ack_rx_ = c_rts_coll_ =
+        c_cts_coll_ = nullptr;
+    return;
+  }
+  // ξ and FTD live in [0, 1]; the exact value 1.0 lands in the overflow
+  // bin (documented in docs/observability.md).
+  h_queue_occ_ = registry->histogram("queue.occupancy", 0.0, 64.0, 64);
+  h_xi_tx_ = registry->histogram("protocol.xi_at_tx", 0.0, 1.0, 20);
+  h_ftd_tx_ = registry->histogram("protocol.ftd_at_tx", 0.0, 1.0, 20);
+  h_tau_ = registry->histogram("mac.tau_slots", 0.0, 64.0, 64);
+  h_sleep_ = registry->histogram("mac.sleep_interval_s", 0.0, 300.0, 60);
+  c_rts_tx_ = registry->counter("mac.rts_tx");
+  c_cts_tx_ = registry->counter("mac.cts_tx");
+  c_schedule_tx_ = registry->counter("mac.schedule_tx");
+  c_ack_rx_ = registry->counter("mac.ack_rx");
+  c_rts_coll_ = registry->counter("mac.rts_collisions");
+  c_cts_coll_ = registry->counter("mac.cts_collisions");
+}
+
 Frame CrossLayerMac::make_control(FramePayload payload) const {
   return Frame{id_, cfg_.radio.control_bits, std::move(payload)};
 }
@@ -93,7 +118,13 @@ void CrossLayerMac::start() {
 void CrossLayerMac::enqueue(Message m) {
   const auto dropped =
       queue_.insert(QueuedMessage{m, 0.0, sim_.now()}, rng_.uniform01());
-  if (dropped) metrics_.on_dropped(dropped->msg, dropped->reason);
+  if (dropped) {
+    metrics_.on_dropped(dropped->msg, dropped->reason);
+    DFTMSN_PROBE_TRACE(trace_, TraceEventType::kDrop, sim_.now(), id_,
+                       kInvalidNode, dropped->msg.id,
+                       static_cast<double>(dropped->reason));
+  }
+  DFTMSN_PROBE_HIST(h_queue_occ_, static_cast<double>(queue_.size()));
 }
 
 void CrossLayerMac::crash(bool wipe_queue) {
@@ -106,8 +137,12 @@ void CrossLayerMac::crash(bool wipe_queue) {
   channel_.set_node_failed(id_, true);
   channel_.forget(id_);
   if (wipe_queue) {
-    for (const auto& lost : queue_.wipe())
+    for (const auto& lost : queue_.wipe()) {
       metrics_.on_dropped(lost.msg, lost.reason);
+      DFTMSN_PROBE_TRACE(trace_, TraceEventType::kDrop, sim_.now(), id_,
+                         kInvalidNode, lost.msg.id,
+                         static_cast<double>(lost.reason));
+    }
   }
 }
 
@@ -177,6 +212,7 @@ void CrossLayerMac::begin_cycle() {
   const int sigma =
       ListenWindowOptimizer::sigma(strategy_->local_metric(), tau_max_);
   const int tau = rng_.uniform_int(1, sigma);
+  DFTMSN_PROBE_HIST(h_tau_, static_cast<double>(tau));
   timer_ = sim_.schedule_in(tau * timing_.slot_s, [this] { on_listen_done(); });
 }
 
@@ -216,13 +252,18 @@ void CrossLayerMac::on_listen_done() {
 void CrossLayerMac::on_preamble_done() {
   if (state_ != MacState::kTxPreamble) return;
   state_ = MacState::kTxRts;
-  const SimTime dur = force_transmit(
-      make_control(RtsFrame{strategy_->local_metric(), inflight_ftd_,
-                            cts_window_, inflight_msg_.id}));
+  const double xi = strategy_->local_metric();
+  const SimTime dur = force_transmit(make_control(
+      RtsFrame{xi, inflight_ftd_, cts_window_, inflight_msg_.id}));
   if (dur == 0.0) {
     fail_cycle();
     return;
   }
+  DFTMSN_PROBE_HIST(h_xi_tx_, xi);
+  DFTMSN_PROBE_HIST(h_ftd_tx_, inflight_ftd_);
+  DFTMSN_PROBE_COUNT(c_rts_tx_);
+  DFTMSN_PROBE_TRACE(trace_, TraceEventType::kRtsTx, sim_.now(), id_,
+                     kInvalidNode, inflight_msg_.id, inflight_ftd_);
   timer_ = sim_.schedule_in(dur, [this] { on_rts_done(); });
 }
 
@@ -256,6 +297,10 @@ void CrossLayerMac::on_cts_window_end() {
     fail_cycle();
     return;
   }
+  DFTMSN_PROBE_COUNT(c_schedule_tx_);
+  DFTMSN_PROBE_TRACE(trace_, TraceEventType::kScheduleTx, sim_.now(), id_,
+                     kInvalidNode, inflight_msg_.id,
+                     static_cast<double>(scheduled_.size()));
   timer_ = sim_.schedule_in(dur, [this] { on_schedule_done(); });
 }
 
@@ -299,13 +344,21 @@ void CrossLayerMac::on_ack_window_end() {
   metrics_.on_data_tx(acked.size());
   ++mac_stats_.data_tx_ok;
   last_data_tx_ = sim_.now();
+  DFTMSN_PROBE_TRACE(trace_, TraceEventType::kDataTx, sim_.now(), id_,
+                     kInvalidNode, inflight_msg_.id,
+                     static_cast<double>(acked.size()));
 
   if (outcome.disposition == TransmissionOutcome::Disposition::kRemove) {
     queue_.remove(inflight_msg_.id);
   } else {
     const auto dropped = queue_.update_ftd(inflight_msg_.id, outcome.new_ftd,
                                            cfg_.protocol.ftd_drop_threshold);
-    if (dropped) metrics_.on_dropped(dropped->msg, dropped->reason);
+    if (dropped) {
+      metrics_.on_dropped(dropped->msg, dropped->reason);
+      DFTMSN_PROBE_TRACE(trace_, TraceEventType::kDrop, sim_.now(), id_,
+                         kInvalidNode, dropped->msg.id,
+                         static_cast<double>(dropped->reason));
+    }
   }
   finish_cycle(true);
 }
@@ -379,6 +432,9 @@ void CrossLayerMac::go_to_sleep() {
   state_ = MacState::kSleeping;
   const SimTime period =
       std::max(sleep_period(), 2.0 * cfg_.radio.switch_time_s);
+  DFTMSN_PROBE_HIST(h_sleep_, period);
+  DFTMSN_PROBE_TRACE(trace_, TraceEventType::kSleep, sim_.now(), id_,
+                     kInvalidNode, 0, period);
   channel_.forget(id_);
   radio_.sleep();
   timer_ = sim_.schedule_in(period, [this] { wake_up(); });
@@ -387,6 +443,8 @@ void CrossLayerMac::go_to_sleep() {
 void CrossLayerMac::wake_up() {
   if (state_ != MacState::kSleeping) return;
   radio_.wake([this] {
+    DFTMSN_PROBE_TRACE(trace_, TraceEventType::kWake, sim_.now(), id_,
+                       kInvalidNode, 0, 0.0);
     state_ = MacState::kIdle;
     // Fresh L-cycle budget: the node genuinely "goes through the two
     // phases" after waking (Sec. 3.2). Without this, the first failed
@@ -447,14 +505,26 @@ void CrossLayerMac::on_channel_idle() {}
 void CrossLayerMac::on_collision() {
   ++mac_stats_.rx_collisions;
   if (state_ == MacState::kRxAwaitRts) {
+    DFTMSN_PROBE_COUNT(c_rts_coll_);
+    DFTMSN_PROBE_TRACE(trace_, TraceEventType::kRtsCollision, sim_.now(), id_,
+                       kInvalidNode, 0, 0.0);
     // The expected preamble/RTS was garbled; give the air a moment.
     resume_idle(2.0);
+    return;
+  }
+  if (state_ == MacState::kCollectCts) {
+    // A contention slot garbled at us: that CTS (and its sender) is lost.
+    DFTMSN_PROBE_COUNT(c_cts_coll_);
+    DFTMSN_PROBE_TRACE(trace_, TraceEventType::kCtsCollision, sim_.now(), id_,
+                       kInvalidNode, inflight_msg_.id, 0.0);
   }
   // In kCollectCts / kWaitAcks a collision simply loses that reply; in
   // kRxAwaitSchedule / kRxAwaitData the timeout recovers.
 }
 
 void CrossLayerMac::on_frame_received(const Frame& frame) {
+  telemetry::ScopedTimer timer(profiler_,
+                               telemetry::Subsystem::kMacHandshake);
   if (frame.is<PreambleFrame>()) {
     if (state_ == MacState::kIdle || state_ == MacState::kRxAwaitRts) {
       timer_.cancel();
@@ -527,10 +597,15 @@ void CrossLayerMac::send_cts() {
   // Committed at the slot boundary: two receivers that drew the same slot
   // both transmit and their CTSs collide at the sender (Eq. 14).
   ++mac_stats_.cts_sent;
-  force_transmit(
+  const SimTime dur = force_transmit(
       make_control(CtsFrame{current_rts_.sender, strategy_->local_metric(),
                             queue_.available_space_for(
                                 current_rts_.message_ftd)}));
+  if (dur > 0.0) {
+    DFTMSN_PROBE_COUNT(c_cts_tx_);
+    DFTMSN_PROBE_TRACE(trace_, TraceEventType::kCtsTx, sim_.now(), id_,
+                       current_rts_.sender, current_rts_.message_id, 0.0);
+  }
 }
 
 void CrossLayerMac::handle_cts(const Frame& frame) {
@@ -593,7 +668,15 @@ void CrossLayerMac::handle_data(const Frame& frame) {
       queue_.insert(QueuedMessage{copy, strategy_->receive_ftd(my_sched_ftd_),
                                   sim_.now()},
                     rng_.uniform01());
-  if (dropped) metrics_.on_dropped(dropped->msg, dropped->reason);
+  if (dropped) {
+    metrics_.on_dropped(dropped->msg, dropped->reason);
+    DFTMSN_PROBE_TRACE(trace_, TraceEventType::kDrop, sim_.now(), id_,
+                       kInvalidNode, dropped->msg.id,
+                       static_cast<double>(dropped->reason));
+  }
+  DFTMSN_PROBE_HIST(h_queue_occ_, static_cast<double>(queue_.size()));
+  DFTMSN_PROBE_TRACE(trace_, TraceEventType::kDataRx, sim_.now(), id_,
+                     frame.sender, copy.id, 0.0);
 
   ++mac_stats_.data_received;
   note_activity(true);  // served as a receiver (Sec. 3.2 sleep rule)
@@ -617,6 +700,9 @@ void CrossLayerMac::handle_ack(const Frame& frame) {
   if (state_ == MacState::kWaitAcks && ack.data_sender == id_ &&
       ack.message_id == inflight_msg_.id) {
     acked_.insert(frame.sender);
+    DFTMSN_PROBE_COUNT(c_ack_rx_);
+    DFTMSN_PROBE_TRACE(trace_, TraceEventType::kAckRx, sim_.now(), id_,
+                       frame.sender, ack.message_id, 0.0);
   }
 }
 

@@ -27,6 +27,9 @@
 #include "protocol/neighbor_table.hpp"
 #include "sim/random.hpp"
 #include "stats/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/registry.hpp"
+#include "trace/trace.hpp"
 
 namespace dftmsn {
 
@@ -71,6 +74,18 @@ class CrossLayerMac final : public ChannelListener {
 
   /// Kicks off the first working cycle and the ξ-decay timer. Call once.
   void start();
+
+  // --- telemetry (pure observers; nullptr = disabled, the default) ----
+  /// Resolves this MAC's instrument pointers from `registry` and installs
+  /// `profiler` for the frame-handling hot path. Probing through the
+  /// resolved pointers never touches the RNG or event queue, so enabling
+  /// telemetry leaves the protocol trajectory bit-identical.
+  void set_telemetry(telemetry::Registry* registry,
+                     telemetry::Profiler* profiler);
+
+  /// Installs a trace sink for per-event records (handshake, sleep/wake,
+  /// data movement, drops). nullptr uninstalls.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
 
   /// Traffic entry point: a freshly sensed message enters the data queue.
   void enqueue(Message m);
@@ -206,6 +221,21 @@ class CrossLayerMac final : public ChannelListener {
   SimTime last_data_tx_ = 0.0;
 
   Stats mac_stats_;
+
+  // Telemetry probes (nullptr when disabled; see set_telemetry).
+  telemetry::Profiler* profiler_ = nullptr;
+  TraceSink* trace_ = nullptr;
+  telemetry::Histogram* h_queue_occ_ = nullptr;
+  telemetry::Histogram* h_xi_tx_ = nullptr;
+  telemetry::Histogram* h_ftd_tx_ = nullptr;
+  telemetry::Histogram* h_tau_ = nullptr;
+  telemetry::Histogram* h_sleep_ = nullptr;
+  telemetry::Counter* c_rts_tx_ = nullptr;
+  telemetry::Counter* c_cts_tx_ = nullptr;
+  telemetry::Counter* c_schedule_tx_ = nullptr;
+  telemetry::Counter* c_ack_rx_ = nullptr;
+  telemetry::Counter* c_rts_coll_ = nullptr;
+  telemetry::Counter* c_cts_coll_ = nullptr;
 };
 
 }  // namespace dftmsn

@@ -31,16 +31,24 @@ void Simulator::after_event() {
   if (post_event_hook_) post_event_hook_();
 }
 
+void Simulator::dispatch(EventQueue::Popped& p) {
+  // Advance the clock before invoking the callback so the event observes
+  // its own timestamp via now().
+  now_ = p.at;
+  {
+    telemetry::ScopedTimer timer(profiler_,
+                                 telemetry::Subsystem::kEventDispatch);
+    p.cb();
+  }
+  after_event();
+}
+
 void Simulator::run_until(SimTime end) {
   stopped_ = false;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= end) {
     check_abort();
-    // Advance the clock before invoking the callback so the event observes
-    // its own timestamp via now().
     EventQueue::Popped p = queue_.pop();
-    now_ = p.at;
-    p.cb();
-    after_event();
+    dispatch(p);
   }
   check_abort();
   if (now_ < end) now_ = end;
@@ -51,9 +59,7 @@ void Simulator::run_all() {
   while (!stopped_ && !queue_.empty()) {
     check_abort();
     EventQueue::Popped p = queue_.pop();
-    now_ = p.at;
-    p.cb();
-    after_event();
+    dispatch(p);
   }
 }
 
@@ -62,9 +68,7 @@ void Simulator::run_until_executed(std::uint64_t target) {
   while (!stopped_ && executed_ < target && !queue_.empty()) {
     check_abort();
     EventQueue::Popped p = queue_.pop();
-    now_ = p.at;
-    p.cb();
-    after_event();
+    dispatch(p);
   }
 }
 

@@ -8,7 +8,10 @@ namespace dftmsn {
 namespace {
 
 constexpr char kMagic[8] = {'D', 'F', 'T', 'M', 'S', 'N', 'C', 'K'};
-constexpr std::uint32_t kFormatVersion = 1;
+// v2: world header gained a telemetry flag, the world stream a trailing
+// registry section, and metrics drops are keyed on DropReason. Strict
+// equality check: v1 files are rejected, not migrated.
+constexpr std::uint32_t kFormatVersion = 2;
 constexpr std::size_t kDigestBytes = 8;
 
 }  // namespace

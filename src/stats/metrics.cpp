@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "telemetry/probes.hpp"
+
 namespace dftmsn {
 
 namespace {
@@ -40,11 +42,13 @@ void Metrics::on_delivered(const Message& m, SimTime at) {
   total_delay_ += at - m.created;
   total_hops_ += static_cast<std::uint64_t>(m.hops);
   ++per_source_[m.source].delivered;
+  DFTMSN_PROBE_HIST(h_delay_, at - m.created);
+  DFTMSN_PROBE_HIST(h_hops_, static_cast<double>(m.hops));
 }
 
 void Metrics::on_dropped(const Message& m, DropReason reason) {
   if (!counted_.contains(m.id)) return;
-  ++drops_[static_cast<int>(reason)];
+  ++drops_[reason];
 }
 
 double Metrics::delivery_ratio() const {
@@ -65,8 +69,34 @@ double Metrics::mean_hops() const {
 }
 
 std::uint64_t Metrics::drops(DropReason reason) const {
-  const auto it = drops_.find(static_cast<int>(reason));
+  const auto it = drops_.find(reason);
   return it == drops_.end() ? 0 : it->second;
+}
+
+double Metrics::jain_fairness_index() const {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+  for (const auto& [node, c] : per_source_) {
+    if (c.generated == 0) continue;
+    const double r =
+        static_cast<double>(c.delivered) / static_cast<double>(c.generated);
+    sum += r;
+    sum_sq += r * r;
+    ++n;
+  }
+  if (n == 0 || sum_sq == 0.0) return 0.0;
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+void Metrics::bind_telemetry(telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    h_delay_ = nullptr;
+    h_hops_ = nullptr;
+    return;
+  }
+  h_delay_ = registry->histogram("delivery.delay_s", 0.0, 7200.0, 72);
+  h_hops_ = registry->histogram("delivery.hops", 0.0, 16.0, 16);
 }
 
 double Metrics::mean_receivers_per_tx() const {
@@ -98,8 +128,8 @@ void Metrics::save_state(snapshot::Writer& w) const {
 
   const auto drop_keys = sorted_map_keys(drops_);
   w.size(drop_keys.size());
-  for (const int k : drop_keys) {
-    w.i64(k);
+  for (const DropReason k : drop_keys) {
+    w.i64(static_cast<int>(k));
     w.u64(drops_.at(k));
   }
 
@@ -135,7 +165,7 @@ void Metrics::load_state(snapshot::Reader& r) {
 
   drops_.clear();
   for (std::size_t i = 0, n = r.size(); i < n; ++i) {
-    const int k = static_cast<int>(r.i64());
+    const auto k = static_cast<DropReason>(r.i64());
     drops_[k] = r.u64();
   }
 

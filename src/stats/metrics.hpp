@@ -11,6 +11,7 @@
 #include "core/ftd_queue.hpp"
 #include "net/message.hpp"
 #include "snapshot/snapshot_io.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dftmsn {
 
@@ -49,6 +50,12 @@ class Metrics {
   [[nodiscard]] double mean_delay_s() const;
   [[nodiscard]] double mean_hops() const;
   [[nodiscard]] std::uint64_t drops(DropReason reason) const;
+  /// Full drop breakdown, keyed on the reason itself (JSON report).
+  [[nodiscard]] const std::unordered_map<DropReason, std::uint64_t,
+                                         DropReasonHash>&
+  drops_by_reason() const {
+    return drops_;
+  }
   [[nodiscard]] std::uint64_t attempts() const { return attempts_; }
   [[nodiscard]] std::uint64_t failed_attempts() const {
     return failed_attempts_;
@@ -68,6 +75,17 @@ class Metrics {
     return per_source_;
   }
 
+  /// Jain's fairness index over per-source delivery ratios r_i =
+  /// delivered_i / generated_i (sources with generated == 0 excluded):
+  /// J = (Σ r_i)² / (n · Σ r_i²), in (0, 1], 1 = perfectly fair.
+  /// Returns 0 when no source generated anything or all ratios are 0.
+  [[nodiscard]] double jain_fairness_index() const;
+
+  /// Resolves the delivery histograms from `registry` (nullptr unbinds);
+  /// while bound, on_delivered() also feeds delivery.delay_s and
+  /// delivery.hops. Pure observation — binding never changes any counter.
+  void bind_telemetry(telemetry::Registry* registry);
+
   /// Snapshot: every counter plus the dedupe sets/maps, the unordered
   /// containers written in ascending key order for a canonical byte stream.
   void save_state(snapshot::Writer& w) const;
@@ -86,8 +104,12 @@ class Metrics {
   std::uint64_t receivers_scheduled_ = 0;
   std::unordered_set<MessageId> counted_;    ///< generated post-warmup
   std::unordered_set<MessageId> delivered_;  ///< first-arrival dedupe
-  std::unordered_map<int, std::uint64_t> drops_;
+  std::unordered_map<DropReason, std::uint64_t, DropReasonHash> drops_;
   std::unordered_map<NodeId, SourceCounts> per_source_;
+
+  // Telemetry probes (nullptr when telemetry is disabled).
+  telemetry::Histogram* h_delay_ = nullptr;
+  telemetry::Histogram* h_hops_ = nullptr;
 };
 
 }  // namespace dftmsn

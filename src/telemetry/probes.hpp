@@ -1,0 +1,43 @@
+// Probe macros: the zero-overhead-when-disabled instrumentation layer.
+//
+// A component that wants telemetry holds raw instrument pointers (resolved
+// once from the Registry at wiring time, nullptr when telemetry is off)
+// and probes through these macros. The disabled path is a single
+// null-pointer test and — crucially — the value expression is NOT
+// evaluated, so a probe whose argument calls a function costs nothing
+// when telemetry is off (bench/micro_core.cpp pins this with a
+// side-effect counter, not a timer).
+#pragma once
+
+#include "telemetry/registry.hpp"
+
+/// Observe `value_expr` into histogram pointer `h` (may be nullptr).
+#define DFTMSN_PROBE_HIST(h, value_expr)   \
+  do {                                     \
+    if (h) (h)->observe(value_expr);       \
+  } while (0)
+
+/// Bump counter pointer `c` (may be nullptr).
+#define DFTMSN_PROBE_COUNT(c)              \
+  do {                                     \
+    if (c) (c)->inc();                     \
+  } while (0)
+
+/// Add `n_expr` to counter pointer `c` (may be nullptr).
+#define DFTMSN_PROBE_COUNT_N(c, n_expr)    \
+  do {                                     \
+    if (c) (c)->inc(n_expr);               \
+  } while (0)
+
+/// Set gauge pointer `g` (may be nullptr) to `value_expr`.
+#define DFTMSN_PROBE_GAUGE(g, value_expr)  \
+  do {                                     \
+    if (g) (g)->set(value_expr);           \
+  } while (0)
+
+/// Record a TraceEvent into sink pointer `s` (may be nullptr). The
+/// braced-init arguments follow the TraceEvent field order.
+#define DFTMSN_PROBE_TRACE(s, ...)                       \
+  do {                                                   \
+    if (s) (s)->record(::dftmsn::TraceEvent{__VA_ARGS__}); \
+  } while (0)

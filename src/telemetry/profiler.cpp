@@ -1,0 +1,16 @@
+#include "telemetry/profiler.hpp"
+
+namespace dftmsn::telemetry {
+
+const char* subsystem_name(Subsystem s) {
+  switch (s) {
+    case Subsystem::kEventDispatch: return "event_dispatch";
+    case Subsystem::kChannelScan: return "channel_scan";
+    case Subsystem::kMobilityUpdate: return "mobility_update";
+    case Subsystem::kMacHandshake: return "mac_handshake";
+    case Subsystem::kSnapshotEncode: return "snapshot_encode";
+  }
+  return "?";
+}
+
+}  // namespace dftmsn::telemetry

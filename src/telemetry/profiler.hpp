@@ -1,0 +1,93 @@
+// Wall-clock profiler: scoped RAII timers aggregated per subsystem.
+//
+// Unlike the Registry, profile data is *not* deterministic — it measures
+// host wall-clock time and varies run to run, machine to machine. It is
+// therefore kept out of the snapshot stream and reported in a separate
+// `profile` section that determinism comparisons explicitly skip
+// (scripts/validate_report.py --compare, the jobs-equivalence test).
+// Enabling the profiler never perturbs the simulation trajectory: timers
+// read the host clock only, never the sim clock, RNG or event queue.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace dftmsn::telemetry {
+
+/// The hot paths the ROADMAP flags as profile-dominating at large n, plus
+/// the checkpoint encode cost the supervisor pays per slice.
+enum class Subsystem {
+  kEventDispatch,   ///< executing one event callback (Simulator loop)
+  kChannelScan,     ///< audience scan + lock bookkeeping in Channel::transmit
+  kMobilityUpdate,  ///< one MobilityManager tick (positions + contact diff)
+  kMacHandshake,    ///< CrossLayerMac frame handling (RTS/CTS/SCHED/DATA/ACK)
+  kSnapshotEncode,  ///< World::save_state serialization
+};
+inline constexpr std::size_t kSubsystemCount = 5;
+
+const char* subsystem_name(Subsystem s);
+
+/// Aggregated wall-clock spend for one subsystem.
+struct SubsystemStats {
+  std::uint64_t calls = 0;
+  double total_s = 0.0;
+};
+
+class Profiler {
+ public:
+  void add(Subsystem s, double seconds) {
+    SubsystemStats& st = stats_[static_cast<std::size_t>(s)];
+    ++st.calls;
+    st.total_s += seconds;
+  }
+
+  [[nodiscard]] const SubsystemStats& stats(Subsystem s) const {
+    return stats_[static_cast<std::size_t>(s)];
+  }
+
+  /// Element-wise accumulation (replication reduction).
+  void merge(const Profiler& other) {
+    for (std::size_t i = 0; i < kSubsystemCount; ++i) {
+      stats_[i].calls += other.stats_[i].calls;
+      stats_[i].total_s += other.stats_[i].total_s;
+    }
+  }
+
+  [[nodiscard]] bool empty() const {
+    for (const SubsystemStats& st : stats_)
+      if (st.calls != 0) return false;
+    return true;
+  }
+
+ private:
+  std::array<SubsystemStats, kSubsystemCount> stats_{};
+};
+
+/// RAII timer. A null profiler makes construction and destruction a
+/// pointer test each — the disabled path never reads the clock.
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler* profiler, Subsystem subsystem)
+      : profiler_(profiler), subsystem_(subsystem) {
+    if (profiler_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedTimer() {
+    if (profiler_) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      profiler_->add(subsystem_,
+                     std::chrono::duration<double>(elapsed).count());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Profiler* profiler_;
+  Subsystem subsystem_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace dftmsn::telemetry

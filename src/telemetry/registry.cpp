@@ -1,0 +1,156 @@
+#include "telemetry/registry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dftmsn::telemetry {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  if (!(hi > lo) || !std::isfinite(lo) || !std::isfinite(hi))
+    throw std::invalid_argument("telemetry: histogram needs finite hi > lo");
+  if (buckets == 0)
+    throw std::invalid_argument("telemetry: histogram needs >= 1 bucket");
+  buckets_.assign(buckets, 0);
+}
+
+void Histogram::observe(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  if (v < lo_) {
+    ++underflow_;
+  } else if (v >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((v - lo_) / width_);
+    if (idx >= buckets_.size()) idx = buckets_.size() - 1;  // FP edge at hi
+    ++buckets_[idx];
+  }
+}
+
+Counter* Registry::counter(const std::string& name) {
+  return &counters_[name];
+}
+
+Gauge* Registry::gauge(const std::string& name) { return &gauges_[name]; }
+
+Histogram* Registry::histogram(const std::string& name, double lo, double hi,
+                               std::size_t buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(lo, hi, buckets)).first;
+    return &it->second;
+  }
+  Histogram& h = it->second;
+  if (h.lo_ != lo || h.hi_ != hi || h.buckets_.size() != buckets)
+    throw std::invalid_argument("telemetry: histogram '" + name +
+                                "' re-registered with different buckets");
+  return &h;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].value_ += c.value_;
+  for (const auto& [name, g] : other.gauges_) gauges_[name].value_ = g.value_;
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+      continue;
+    }
+    Histogram& mine = it->second;
+    if (mine.lo_ != h.lo_ || mine.hi_ != h.hi_ ||
+        mine.buckets_.size() != h.buckets_.size())
+      throw std::invalid_argument("telemetry: merge of histogram '" + name +
+                                  "' with different buckets");
+    for (std::size_t i = 0; i < h.buckets_.size(); ++i)
+      mine.buckets_[i] += h.buckets_[i];
+    mine.underflow_ += h.underflow_;
+    mine.overflow_ += h.overflow_;
+    mine.sum_ += h.sum_;
+    if (h.count_ > 0) {
+      if (mine.count_ == 0) {
+        mine.min_ = h.min_;
+        mine.max_ = h.max_;
+      } else {
+        if (h.min_ < mine.min_) mine.min_ = h.min_;
+        if (h.max_ > mine.max_) mine.max_ = h.max_;
+      }
+    }
+    mine.count_ += h.count_;
+  }
+}
+
+void Registry::save_state(snapshot::Writer& w) const {
+  w.begin_section("telemetry");
+  w.size(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    w.str(name);
+    w.u64(c.value_);
+  }
+  w.size(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    w.str(name);
+    w.f64(g.value_);
+  }
+  w.size(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    w.str(name);
+    w.f64(h.lo_);
+    w.f64(h.hi_);
+    w.size(h.buckets_.size());
+    for (const std::uint64_t b : h.buckets_) w.u64(b);
+    w.u64(h.underflow_);
+    w.u64(h.overflow_);
+    w.u64(h.count_);
+    w.f64(h.sum_);
+    w.f64(h.min_);
+    w.f64(h.max_);
+  }
+  w.end_section();
+}
+
+void Registry::load_state(snapshot::Reader& r) {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  r.begin_section("telemetry");
+  for (std::size_t i = 0, n = r.size(); i < n; ++i) {
+    const std::string name = r.str();
+    counters_[name].value_ = r.u64();
+  }
+  for (std::size_t i = 0, n = r.size(); i < n; ++i) {
+    const std::string name = r.str();
+    gauges_[name].value_ = r.f64();
+  }
+  for (std::size_t i = 0, n = r.size(); i < n; ++i) {
+    const std::string name = r.str();
+    const double lo = r.f64();
+    const double hi = r.f64();
+    const std::size_t buckets = r.size();
+    Histogram h(lo, hi, buckets);
+    for (std::size_t b = 0; b < buckets; ++b) h.buckets_[b] = r.u64();
+    h.underflow_ = r.u64();
+    h.overflow_ = r.u64();
+    h.count_ = r.u64();
+    h.sum_ = r.f64();
+    h.min_ = r.f64();
+    h.max_ = r.f64();
+    histograms_.emplace(name, std::move(h));
+  }
+  r.end_section();
+}
+
+std::vector<std::uint8_t> Registry::serialize() const {
+  snapshot::Writer w;
+  save_state(w);
+  return w.bytes();
+}
+
+}  // namespace dftmsn::telemetry

@@ -1,0 +1,136 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms
+// collected per run. One Registry belongs to one World (no global state,
+// so parallel replications never share instruments) and is filled only
+// through pointers resolved once at wiring time — the hot-path probe is a
+// single null check plus an array increment (see probes.hpp).
+//
+// Determinism contract: instruments are pure observers. Creating,
+// observing or serializing them never touches the event queue or any
+// random stream, so a run with telemetry enabled follows a bit-identical
+// trajectory to the same run without it. Iteration and serialization
+// order is the instrument name order (std::map), making the serialized
+// form canonical: two registries with equal logical content produce equal
+// bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot_io.hpp"
+
+namespace dftmsn::telemetry {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  friend class Registry;
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  friend class Registry;
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket linear histogram over [lo, hi): `buckets` equal-width
+/// bins plus explicit underflow/overflow bins, with running count, sum,
+/// min and max. Bucket geometry is fixed at registration so merging two
+/// runs' histograms is a plain element-wise sum.
+class Histogram {
+ public:
+  void observe(double v);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// 0 when empty (JSON-friendly; the raw extremes are meaningless then).
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  friend class Registry;
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class Registry {
+ public:
+  /// Finds or creates the named instrument. Pointers stay valid for the
+  /// Registry's lifetime (node-based storage), so callers resolve them
+  /// once and probe through the pointer. Not thread-safe: each World owns
+  /// its Registry and runs on one thread.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// Re-requesting an existing histogram with different bucket geometry
+  /// throws std::invalid_argument (the merged form would be undefined).
+  Histogram* histogram(const std::string& name, double lo, double hi,
+                       std::size_t buckets);
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Element-wise accumulation (replication reduction, in input order):
+  /// counters and histogram bins add, gauges take `other`'s value (the
+  /// later replication wins, deterministically). Histograms present in
+  /// both registries must share bucket geometry.
+  void merge(const Registry& other);
+
+  /// Canonical snapshot: every instrument in name order. load_state
+  /// replaces the whole registry content — callers that resolved
+  /// instrument pointers before a load must re-resolve (names persist,
+  /// map nodes do not).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
+
+  /// Canonical byte form of save_state alone (tests, equality checks).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dftmsn::telemetry

@@ -1,0 +1,307 @@
+#include "telemetry/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/config_io.hpp"
+#include "core/ftd_queue.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/snapshot_io.hpp"
+#include "stats/summary.hpp"
+#include "telemetry/profiler.hpp"
+
+namespace dftmsn::telemetry {
+namespace {
+
+// Shortest decimal that round-trips an IEEE-754 double. Non-finite
+// values (which valid runs never produce, but a report must not emit
+// broken JSON for) degrade to 0.
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Minimal ordered JSON emitter: the caller controls key order exactly,
+// which is what makes the document canonical.
+class JsonWriter {
+ public:
+  void open_object() { punctuate(); out_ += '{'; depth_++; first_ = true; }
+  void close_object() {
+    depth_--;
+    if (!first_) newline();
+    out_ += '}';
+    first_ = false;
+  }
+  void open_array() { punctuate(); out_ += '['; depth_++; first_ = true; }
+  void close_array() {
+    depth_--;
+    if (!first_) newline();
+    out_ += ']';
+    first_ = false;
+  }
+  void key(const std::string& k) {
+    punctuate();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\": ";
+    first_ = true;  // the value that follows needs no comma/indent
+    inline_value_ = true;
+  }
+  void str(const std::string& v) {
+    punctuate();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    first_ = false;
+  }
+  void num(double v) { punctuate(); out_ += fmt_double(v); first_ = false; }
+  void num(std::uint64_t v) {
+    punctuate();
+    out_ += std::to_string(v);
+    first_ = false;
+  }
+  void num(int v) { num(static_cast<std::uint64_t>(v < 0 ? 0 : v)); }
+  void boolean(bool v) {
+    punctuate();
+    out_ += v ? "true" : "false";
+    first_ = false;
+  }
+
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void punctuate() {
+    if (inline_value_) {  // value directly after its key: stay on the line
+      inline_value_ = false;
+      first_ = false;
+      return;
+    }
+    if (!first_) out_ += ',';
+    if (depth_ > 0) newline();
+    first_ = false;
+  }
+  void newline() {
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+  }
+
+  std::string out_;
+  int depth_ = 0;
+  bool first_ = true;
+  bool inline_value_ = false;
+};
+
+void emit_summary(JsonWriter& j, const char* name, const Summary& s) {
+  j.key(name);
+  j.open_object();
+  j.key("count"); j.num(static_cast<std::uint64_t>(s.count()));
+  j.key("mean"); j.num(s.mean());
+  j.key("stddev"); j.num(s.stddev());
+  j.key("min"); j.num(s.count() == 0 ? 0.0 : s.min());
+  j.key("max"); j.num(s.count() == 0 ? 0.0 : s.max());
+  j.key("ci95"); j.num(s.ci95_half_width());
+  j.close_object();
+}
+
+std::string digest_hex(std::uint64_t d) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(d));
+  return buf;
+}
+
+}  // namespace
+
+std::string render_report_json(const ReportInputs& inputs) {
+  if (inputs.config == nullptr || inputs.runs == nullptr)
+    throw std::invalid_argument("report: config and runs are required");
+  const Config& cfg = *inputs.config;
+  const std::vector<RunResult>& runs = *inputs.runs;
+  const ReplicatedResult agg = reduce_results(runs);
+
+  JsonWriter j;
+  j.open_object();
+  j.key("schema"); j.str("dftmsn-report-v1");
+  j.key("protocol"); j.str(protocol_kind_name(inputs.kind));
+  j.key("replications"); j.num(static_cast<std::uint64_t>(runs.size()));
+  j.key("config_digest"); j.str(digest_hex(config_digest(cfg, inputs.kind)));
+
+  j.key("config");
+  j.open_object();
+  for (const std::string& kv : list_config_keys(cfg)) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) continue;
+    j.key(kv.substr(0, eq));
+    j.str(kv.substr(eq + 1));  // values as strings: no reformat drift
+  }
+  j.close_object();
+
+  j.key("summary");
+  j.open_object();
+  emit_summary(j, "delivery_ratio", agg.delivery_ratio);
+  emit_summary(j, "mean_power_mw", agg.mean_power_mw);
+  emit_summary(j, "mean_delay_s", agg.mean_delay_s);
+  emit_summary(j, "overhead_bits_per_delivery", agg.overhead_bits_per_delivery);
+  emit_summary(j, "collisions", agg.collisions);
+  emit_summary(j, "fairness_jain", agg.fairness_jain);
+  j.close_object();
+
+  std::uint64_t generated = 0, delivered = 0, attempts = 0, failed = 0;
+  std::uint64_t data_tx = 0, collisions = 0, events = 0;
+  std::uint64_t d_over = 0, d_thresh = 0, d_deliv = 0, d_fail = 0;
+  std::uint64_t f_inj = 0, f_corrupt = 0, f_sweeps = 0;
+  for (const RunResult& r : runs) {
+    generated += r.generated;
+    delivered += r.delivered;
+    attempts += r.attempts;
+    failed += r.failed_attempts;
+    data_tx += r.data_transmissions;
+    collisions += r.collisions;
+    events += r.events_executed;
+    d_over += r.drops_overflow;
+    d_thresh += r.drops_threshold;
+    d_deliv += r.drops_delivered;
+    d_fail += r.drops_node_failure;
+    f_inj += r.faults_injected;
+    f_corrupt += r.frames_fault_corrupted;
+    f_sweeps += r.invariant_sweeps;
+  }
+
+  j.key("totals");
+  j.open_object();
+  j.key("generated"); j.num(generated);
+  j.key("delivered"); j.num(delivered);
+  j.key("attempts"); j.num(attempts);
+  j.key("failed_attempts"); j.num(failed);
+  j.key("data_transmissions"); j.num(data_tx);
+  j.key("collisions"); j.num(collisions);
+  j.key("events_executed"); j.num(events);
+  j.close_object();
+
+  j.key("drops");
+  j.open_object();
+  j.key(drop_reason_name(DropReason::kOverflow)); j.num(d_over);
+  j.key(drop_reason_name(DropReason::kFtdThreshold)); j.num(d_thresh);
+  j.key(drop_reason_name(DropReason::kDelivered)); j.num(d_deliv);
+  j.key(drop_reason_name(DropReason::kNodeFailure)); j.num(d_fail);
+  j.close_object();
+
+  j.key("faults");
+  j.open_object();
+  j.key("injected"); j.num(f_inj);
+  j.key("frames_corrupted"); j.num(f_corrupt);
+  j.key("invariant_sweeps"); j.num(f_sweeps);
+  j.close_object();
+
+  j.key("supervisor");
+  j.open_object();
+  j.key("supervised"); j.boolean(inputs.supervisor.supervised);
+  j.key("completed"); j.num(inputs.supervisor.completed);
+  j.key("retried"); j.num(inputs.supervisor.retried);
+  j.key("quarantined"); j.num(inputs.supervisor.quarantined);
+  j.key("interrupted"); j.num(inputs.supervisor.interrupted);
+  j.key("checkpoints"); j.num(inputs.supervisor.checkpoints);
+  j.close_object();
+
+  j.key("telemetry");
+  j.open_object();
+  j.key("counters");
+  j.open_object();
+  if (inputs.telemetry) {
+    for (const auto& [name, c] : inputs.telemetry->registry.counters()) {
+      j.key(name);
+      j.num(c.value());
+    }
+  }
+  j.close_object();
+  j.key("gauges");
+  j.open_object();
+  if (inputs.telemetry) {
+    for (const auto& [name, g] : inputs.telemetry->registry.gauges()) {
+      j.key(name);
+      j.num(g.value());
+    }
+  }
+  j.close_object();
+  j.key("histograms");
+  j.open_object();
+  if (inputs.telemetry) {
+    for (const auto& [name, h] : inputs.telemetry->registry.histograms()) {
+      j.key(name);
+      j.open_object();
+      j.key("lo"); j.num(h.lo());
+      j.key("hi"); j.num(h.hi());
+      j.key("count"); j.num(h.count());
+      j.key("sum"); j.num(h.sum());
+      j.key("min"); j.num(h.min());
+      j.key("max"); j.num(h.max());
+      j.key("underflow"); j.num(h.underflow());
+      j.key("overflow"); j.num(h.overflow());
+      j.key("buckets");
+      j.open_array();
+      for (const std::uint64_t b : h.buckets()) j.num(b);
+      j.close_array();
+      j.close_object();
+    }
+  }
+  j.close_object();
+  j.close_object();
+
+  // Host wall-clock timings: nondeterministic by nature, so this section
+  // comes last and only when profiling actually ran — determinism
+  // comparisons strip the "profile" key and compare the rest bytewise.
+  if (inputs.telemetry && !inputs.telemetry->profile.empty()) {
+    j.key("profile");
+    j.open_object();
+    for (std::size_t i = 0; i < kSubsystemCount; ++i) {
+      const auto s = static_cast<Subsystem>(i);
+      const SubsystemStats& st = inputs.telemetry->profile.stats(s);
+      j.key(subsystem_name(s));
+      j.open_object();
+      j.key("calls"); j.num(st.calls);
+      j.key("total_s"); j.num(st.total_s);
+      j.close_object();
+    }
+    j.close_object();
+  }
+
+  j.close_object();
+  std::string out = j.take();
+  out += '\n';
+  return out;
+}
+
+void write_report_json(const std::string& path, const ReportInputs& inputs) {
+  const std::string doc = render_report_json(inputs);
+  snapshot::write_file_atomic(
+      path, std::vector<std::uint8_t>(doc.begin(), doc.end()));
+}
+
+}  // namespace dftmsn::telemetry

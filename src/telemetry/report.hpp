@@ -1,0 +1,57 @@
+// Structured run reports: one canonical JSON document per invocation
+// covering what ran (config digest + full key/value dump), what came out
+// (Summary aggregates, totals, drop/fault breakdowns, supervisor health),
+// and what the instruments saw (registry counters/gauges/histograms).
+//
+// Canonical form: keys are emitted in a fixed order, instrument maps in
+// name order, doubles via "%.17g" (shortest round-trippable decimal), so
+// two reports over the same runs are byte-identical — including across
+// --jobs values, because nothing thread- or schedule-dependent is
+// serialized. The one exception is the trailing "profile" section
+// (wall-clock subsystem timings), which is host-noise by construction; it
+// is emitted last and only when profiling ran, so consumers comparing
+// reports drop that single key (scripts/validate_report.py --compare
+// does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "experiment/runner.hpp"
+#include "protocol/mac_common.hpp"
+
+namespace dftmsn::telemetry {
+
+/// Supervisor outcome counts for the report's "supervisor" section. All
+/// zero (supervised=false) for unsupervised batches.
+struct SupervisorHealth {
+  bool supervised = false;
+  int completed = 0;
+  int retried = 0;      ///< replications that needed >= 1 restart
+  int quarantined = 0;
+  int interrupted = 0;
+  std::uint64_t checkpoints = 0;  ///< checkpoint files written, all attempts
+};
+
+/// Everything the report renders. Pointers are borrowed for the duration
+/// of the render call; `telemetry` may be null (runs with instruments
+/// off), in which case the "telemetry" section contains empty maps and no
+/// "profile" section is emitted.
+struct ReportInputs {
+  const Config* config = nullptr;            ///< required
+  ProtocolKind kind = ProtocolKind::kOpt;
+  const std::vector<RunResult>* runs = nullptr;  ///< required; per-rep rows
+  const RunTelemetry* telemetry = nullptr;   ///< optional, merged over runs
+  SupervisorHealth supervisor;
+};
+
+/// Renders the canonical JSON document (trailing newline included).
+/// Throws std::invalid_argument when config or runs is null.
+[[nodiscard]] std::string render_report_json(const ReportInputs& inputs);
+
+/// render_report_json + atomic file write.
+void write_report_json(const std::string& path, const ReportInputs& inputs);
+
+}  // namespace dftmsn::telemetry

@@ -1,0 +1,47 @@
+// Deterministic sim-time sampler: emits periodic time-series rows through
+// the existing TraceSink plumbing — per-node ξ (the forwarding strategy's
+// local delivery-probability metric), data-queue fill, radio state and
+// the cumulative unique-delivery count.
+//
+// Like ContactProbe it is a pure observer scheduled on the shared event
+// queue: enabling it adds (read-only) events — so events_executed grows —
+// but never changes any node's behaviour or random draws. It is opt-in
+// via --timeseries-csv and deliberately NOT part of the --report-json
+// path, which must stay bit-identical to an unsampled run.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "node/sensor_node.hpp"
+#include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace dftmsn::telemetry {
+
+class TimeSeriesSampler {
+ public:
+  /// Samples every `period_s` of sim time, starting one period in.
+  TimeSeriesSampler(Simulator& sim,
+                    const std::vector<std::unique_ptr<SensorNode>>& sensors,
+                    const Metrics& metrics, double period_s, TraceSink& sink);
+
+  /// Starts sampling. Call once, after the nodes exist.
+  void start();
+
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  void sample();
+
+  Simulator& sim_;
+  const std::vector<std::unique_ptr<SensorNode>>& sensors_;
+  const Metrics& metrics_;
+  double period_s_;
+  TraceSink& sink_;
+  bool started_ = false;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace dftmsn::telemetry

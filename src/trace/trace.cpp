@@ -12,6 +12,16 @@ const char* trace_event_name(TraceEventType t) {
     case TraceEventType::kDrop: return "DROP";
     case TraceEventType::kSleep: return "SLEEP";
     case TraceEventType::kWake: return "WAKE";
+    case TraceEventType::kRtsTx: return "RTS_TX";
+    case TraceEventType::kCtsTx: return "CTS_TX";
+    case TraceEventType::kRtsCollision: return "RTS_COLLISION";
+    case TraceEventType::kCtsCollision: return "CTS_COLLISION";
+    case TraceEventType::kAckRx: return "ACK_RX";
+    case TraceEventType::kScheduleTx: return "SCHEDULE_TX";
+    case TraceEventType::kSampleXi: return "SAMPLE_XI";
+    case TraceEventType::kSampleBuffer: return "SAMPLE_BUFFER";
+    case TraceEventType::kSampleRadio: return "SAMPLE_RADIO";
+    case TraceEventType::kSampleDeliveries: return "SAMPLE_DELIVERIES";
   }
   return "?";
 }

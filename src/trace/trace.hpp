@@ -20,6 +20,18 @@ enum class TraceEventType {
   kDrop,           ///< a queued copy was discarded
   kSleep,          ///< a node turned its radio off
   kWake,           ///< ...and on again
+  // MAC handshake (Sec. 3.2); `peer`/`value` usage noted per event.
+  kRtsTx,          ///< sender finished its preamble and sent the RTS
+  kCtsTx,          ///< a receiver answered in its CTS contention slot
+  kRtsCollision,   ///< expected an RTS, heard a collision instead
+  kCtsCollision,   ///< a CTS contention slot collided at the sender
+  kAckRx,          ///< sender accepted a slotted ACK (peer = the receiver)
+  kScheduleTx,     ///< sender broadcast the SCHEDULE (value = #receivers)
+  // Time-series sampler rows (telemetry::TimeSeriesSampler).
+  kSampleXi,          ///< value = node's ξ at sample time
+  kSampleBuffer,      ///< value = data-queue occupancy
+  kSampleRadio,       ///< value = RadioState as a numeric code
+  kSampleDeliveries,  ///< value = cumulative unique deliveries (network-wide)
 };
 
 const char* trace_event_name(TraceEventType t);

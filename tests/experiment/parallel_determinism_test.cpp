@@ -37,6 +37,7 @@ void expect_identical(const ReplicatedResult& a, const ReplicatedResult& b) {
   expect_identical(a.overhead_bits_per_delivery, b.overhead_bits_per_delivery,
                    "overhead_bits_per_delivery");
   expect_identical(a.collisions, b.collisions, "collisions");
+  expect_identical(a.fairness_jain, b.fairness_jain, "fairness_jain");
 }
 
 void expect_identical(const RunResult& a, const RunResult& b) {
@@ -51,8 +52,10 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.attempts, b.attempts);
   EXPECT_EQ(a.failed_attempts, b.failed_attempts);
   EXPECT_EQ(a.data_transmissions, b.data_transmissions);
+  EXPECT_EQ(a.fairness_jain, b.fairness_jain);
   EXPECT_EQ(a.drops_overflow, b.drops_overflow);
   EXPECT_EQ(a.drops_threshold, b.drops_threshold);
+  EXPECT_EQ(a.drops_delivered, b.drops_delivered);
   EXPECT_EQ(a.events_executed, b.events_executed);
 }
 
@@ -143,6 +146,7 @@ TEST(ParallelDeterminism, SeedDerivationIsPureFunctionOfReplication) {
     manual.mean_delay_s.add(r.mean_delay_s);
     manual.overhead_bits_per_delivery.add(r.overhead_bits_per_delivery);
     manual.collisions.add(static_cast<double>(r.collisions));
+    manual.fairness_jain.add(r.fairness_jain);
   }
   const ReplicatedResult engine =
       run_replicated(c, ProtocolKind::kOpt, 3, /*jobs=*/4);

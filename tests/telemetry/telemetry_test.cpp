@@ -1,0 +1,375 @@
+// Telemetry subsystem tests: registry semantics and snapshot round-trip,
+// probe macros (zero evaluation when disabled), profiler accumulation,
+// MAC trace/instrument emission, the sim-time sampler, Jain fairness, and
+// canonical report rendering.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "experiment/runner.hpp"
+#include "experiment/world.hpp"
+#include "stats/metrics.hpp"
+#include "telemetry/probes.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/sampler.hpp"
+#include "trace/recorder.hpp"
+
+namespace dftmsn {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::Registry;
+
+TEST(Registry, CounterGaugeBasics) {
+  Registry reg;
+  Counter* c = reg.counter("a");
+  c->inc();
+  c->inc(4);
+  EXPECT_EQ(c->value(), 5u);
+  EXPECT_EQ(reg.counter("a"), c);  // same name -> same instrument
+
+  Gauge* g = reg.gauge("g");
+  g->set(2.5);
+  g->set(-1.0);
+  EXPECT_DOUBLE_EQ(g->value(), -1.0);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(Registry, HistogramBucketsValuesLinearly) {
+  Registry reg;
+  Histogram* h = reg.histogram("h", 0.0, 10.0, 5);  // width-2 bins
+  h->observe(-0.5);  // underflow
+  h->observe(0.0);   // bin 0
+  h->observe(1.999);  // bin 0
+  h->observe(9.999);  // bin 4
+  h->observe(10.0);   // hi is exclusive -> overflow
+  h->observe(42.0);   // overflow
+  EXPECT_EQ(h->underflow(), 1u);
+  EXPECT_EQ(h->overflow(), 2u);
+  EXPECT_EQ(h->buckets()[0], 2u);
+  EXPECT_EQ(h->buckets()[4], 1u);
+  EXPECT_EQ(h->count(), 6u);
+  EXPECT_DOUBLE_EQ(h->min(), -0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 42.0);
+}
+
+TEST(Registry, EmptyHistogramReportsZeroExtremes) {
+  Registry reg;
+  Histogram* h = reg.histogram("h", 0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->max(), 0.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 0.0);
+}
+
+TEST(Registry, HistogramGeometryMismatchThrows) {
+  Registry reg;
+  reg.histogram("h", 0.0, 10.0, 5);
+  EXPECT_THROW(reg.histogram("h", 0.0, 10.0, 6), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", 0.0, 20.0, 5), std::invalid_argument);
+  EXPECT_NO_THROW(reg.histogram("h", 0.0, 10.0, 5));
+}
+
+TEST(Registry, MergeAddsCountersAndBins) {
+  Registry a, b;
+  a.counter("c")->inc(3);
+  b.counter("c")->inc(4);
+  b.counter("only_b")->inc(1);
+  a.gauge("g")->set(1.0);
+  b.gauge("g")->set(2.0);
+  a.histogram("h", 0.0, 4.0, 2)->observe(1.0);
+  b.histogram("h", 0.0, 4.0, 2)->observe(3.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("c")->value(), 7u);
+  EXPECT_EQ(a.counter("only_b")->value(), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("g")->value(), 2.0);  // later run wins
+  Histogram* h = a.histogram("h", 0.0, 4.0, 2);
+  EXPECT_EQ(h->buckets()[0], 1u);
+  EXPECT_EQ(h->buckets()[1], 1u);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->sum(), 4.0);
+}
+
+TEST(Registry, MergeGeometryMismatchThrows) {
+  Registry a, b;
+  a.histogram("h", 0.0, 4.0, 2);
+  b.histogram("h", 0.0, 8.0, 2);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Registry, SnapshotRoundTrips) {
+  Registry reg;
+  reg.counter("events")->inc(41);
+  reg.gauge("load")->set(0.75);
+  Histogram* h = reg.histogram("delay", 0.0, 100.0, 10);
+  h->observe(-3.0);
+  h->observe(12.5);
+  h->observe(250.0);
+
+  snapshot::Writer w;
+  reg.save_state(w);
+  Registry loaded;
+  loaded.counter("stale")->inc(9);  // must be wiped by load_state
+  snapshot::Reader r(w.bytes());
+  loaded.load_state(r);
+
+  EXPECT_EQ(loaded.counters().count("stale"), 0u);
+  EXPECT_EQ(loaded.counter("events")->value(), 41u);
+  EXPECT_DOUBLE_EQ(loaded.gauge("load")->value(), 0.75);
+  Histogram* lh = loaded.histogram("delay", 0.0, 100.0, 10);
+  EXPECT_EQ(lh->underflow(), 1u);
+  EXPECT_EQ(lh->overflow(), 1u);
+  EXPECT_EQ(lh->buckets()[1], 1u);
+  EXPECT_DOUBLE_EQ(lh->sum(), h->sum());
+  EXPECT_DOUBLE_EQ(lh->min(), h->min());
+  EXPECT_DOUBLE_EQ(lh->max(), h->max());
+
+  // Canonical byte form: logical equality implies byte equality.
+  EXPECT_EQ(loaded.serialize(), reg.serialize());
+}
+
+TEST(Probes, DisabledProbeEvaluatesNothing) {
+  int evaluations = 0;
+  const auto observe = [&]() {
+    ++evaluations;
+    return 1.0;
+  };
+  Histogram* h = nullptr;
+  Counter* c = nullptr;
+  Gauge* g = nullptr;
+  DFTMSN_PROBE_HIST(h, observe());
+  DFTMSN_PROBE_COUNT(c);
+  DFTMSN_PROBE_COUNT_N(c, static_cast<std::uint64_t>(observe()));
+  DFTMSN_PROBE_GAUGE(g, observe());
+  EXPECT_EQ(evaluations, 0);
+
+  Registry reg;
+  h = reg.histogram("h", 0.0, 2.0, 2);
+  DFTMSN_PROBE_HIST(h, observe());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(Profiler, ScopedTimerAccumulates) {
+  telemetry::Profiler p;
+  EXPECT_TRUE(p.empty());
+  {
+    telemetry::ScopedTimer t(&p, telemetry::Subsystem::kChannelScan);
+  }
+  {
+    telemetry::ScopedTimer t(&p, telemetry::Subsystem::kChannelScan);
+  }
+  const telemetry::SubsystemStats& s =
+      p.stats(telemetry::Subsystem::kChannelScan);
+  EXPECT_EQ(s.calls, 2u);
+  EXPECT_GE(s.total_s, 0.0);
+  EXPECT_FALSE(p.empty());
+
+  telemetry::Profiler q;
+  q.merge(p);
+  EXPECT_EQ(q.stats(telemetry::Subsystem::kChannelScan).calls, 2u);
+
+  // Null profiler: the timer is a no-op.
+  telemetry::ScopedTimer none(nullptr, telemetry::Subsystem::kMacHandshake);
+}
+
+Message make_msg(MessageId id, NodeId source) {
+  Message m;
+  m.id = id;
+  m.source = source;
+  m.created = 1.0;
+  return m;
+}
+
+TEST(Metrics, JainFairnessHandComputed) {
+  // Source 0: 2 generated, 2 delivered (r=1.0). Source 1: 2 generated,
+  // 1 delivered (r=0.5). J = (1.5)^2 / (2 * 1.25) = 0.9 exactly.
+  Metrics m;
+  m.on_generated(make_msg(1, 0));
+  m.on_generated(make_msg(2, 0));
+  m.on_generated(make_msg(3, 1));
+  m.on_generated(make_msg(4, 1));
+  m.on_delivered(make_msg(1, 0), 2.0);
+  m.on_delivered(make_msg(2, 0), 2.0);
+  m.on_delivered(make_msg(3, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.jain_fairness_index(), 0.9);
+}
+
+TEST(Metrics, JainFairnessEdgeCases) {
+  Metrics empty;
+  EXPECT_DOUBLE_EQ(empty.jain_fairness_index(), 0.0);
+
+  Metrics none_delivered;
+  none_delivered.on_generated(make_msg(1, 0));
+  EXPECT_DOUBLE_EQ(none_delivered.jain_fairness_index(), 0.0);
+
+  Metrics uniform;  // every source at the same ratio -> exactly 1
+  uniform.on_generated(make_msg(1, 0));
+  uniform.on_generated(make_msg(2, 1));
+  uniform.on_delivered(make_msg(1, 0), 2.0);
+  uniform.on_delivered(make_msg(2, 1), 2.0);
+  EXPECT_DOUBLE_EQ(uniform.jain_fairness_index(), 1.0);
+}
+
+TEST(Metrics, DropsByReasonBreakdown) {
+  Metrics m;
+  m.on_generated(make_msg(1, 0));
+  m.on_dropped(make_msg(1, 0), DropReason::kOverflow);
+  m.on_dropped(make_msg(1, 0), DropReason::kOverflow);
+  m.on_dropped(make_msg(1, 0), DropReason::kDelivered);
+  EXPECT_EQ(m.drops(DropReason::kOverflow), 2u);
+  EXPECT_EQ(m.drops(DropReason::kDelivered), 1u);
+  EXPECT_EQ(m.drops(DropReason::kNodeFailure), 0u);
+  EXPECT_EQ(m.drops_by_reason().size(), 2u);
+}
+
+Config small_config(std::uint64_t seed = 7) {
+  Config c;
+  c.scenario.num_sensors = 20;
+  c.scenario.num_sinks = 2;
+  c.scenario.duration_s = 1200.0;
+  c.scenario.seed = seed;
+  return c;
+}
+
+TEST(WorldTelemetry, EnablingInstrumentsDoesNotPerturbTheRun) {
+  Config plain = small_config();
+  Config instrumented = plain;
+  instrumented.telemetry.enabled = true;
+  instrumented.telemetry.profile = true;
+
+  const RunResult a = run_once(plain, ProtocolKind::kOpt);
+  RunTelemetry tel;
+  const RunResult b = run_once(instrumented, ProtocolKind::kOpt, &tel);
+
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.mean_power_mw, b.mean_power_mw);
+
+  // The instruments actually saw the run.
+  EXPECT_GT(tel.registry.counter("mac.rts_tx")->value(), 0u);
+  EXPECT_GT(tel.registry.histogram("delivery.delay_s", 0.0, 7200.0, 72)
+                ->count(),
+            0u);
+  EXPECT_GT(
+      tel.profile.stats(telemetry::Subsystem::kEventDispatch).calls, 0u);
+}
+
+TEST(WorldTelemetry, RegistryRoundTripsThroughWorldSnapshot) {
+  Config cfg = small_config();
+  cfg.telemetry.enabled = true;
+
+  World w(cfg, ProtocolKind::kOpt);
+  w.run_until(600.0);
+  ASSERT_NE(w.registry(), nullptr);
+  const std::vector<std::uint8_t> before = w.registry()->serialize();
+  EXPECT_FALSE(w.registry()->empty());
+
+  const std::vector<std::uint8_t> state = w.serialize_state();
+  World replayed(cfg, ProtocolKind::kOpt);
+  replayed.replay_to(w.sim().events_executed(), w.sim().now());
+  ASSERT_NE(replayed.registry(), nullptr);
+  EXPECT_EQ(replayed.registry()->serialize(), before);
+  EXPECT_EQ(replayed.serialize_state(), state);
+}
+
+TEST(WorldTelemetry, MacEmitsHandshakeTraceEvents) {
+  Config cfg = small_config();
+  World w(cfg, ProtocolKind::kOpt);
+  TraceRecorder rec;
+  w.set_trace_sink(&rec);
+  w.run();
+
+  EXPECT_GT(rec.count(TraceEventType::kRtsTx), 0u);
+  EXPECT_GT(rec.count(TraceEventType::kCtsTx), 0u);
+  EXPECT_GT(rec.count(TraceEventType::kScheduleTx), 0u);
+  EXPECT_GT(rec.count(TraceEventType::kAckRx), 0u);
+  // Data flowed, so deliveries happened; sleep cycles too.
+  EXPECT_GT(rec.count(TraceEventType::kDataTx), 0u);
+  EXPECT_GT(rec.count(TraceEventType::kSleep), 0u);
+}
+
+TEST(Sampler, EmitsPeriodicRowsWithoutPerturbingMetrics) {
+  Config cfg = small_config();
+  const RunResult baseline = run_once(cfg, ProtocolKind::kOpt);
+
+  World w(cfg, ProtocolKind::kOpt);
+  TraceRecorder rec;
+  telemetry::TimeSeriesSampler sampler(w.sim(), w.sensors(), w.metrics(),
+                                       100.0, rec);
+  sampler.start();
+  w.run();
+
+  // duration / period samples, one row per sensor per sample.
+  EXPECT_EQ(sampler.samples_taken(), 12u);
+  EXPECT_EQ(rec.count(TraceEventType::kSampleXi), 12u * 20u);
+  EXPECT_EQ(rec.count(TraceEventType::kSampleBuffer), 12u * 20u);
+  EXPECT_EQ(rec.count(TraceEventType::kSampleRadio), 12u * 20u);
+  EXPECT_EQ(rec.count(TraceEventType::kSampleDeliveries), 12u);
+
+  // Read-only events grow events_executed but change no metric.
+  EXPECT_EQ(w.metrics().generated(), baseline.generated);
+  EXPECT_EQ(w.metrics().delivered_unique(), baseline.delivered);
+  EXPECT_EQ(w.sim().events_executed(),
+            baseline.events_executed + sampler.samples_taken());
+}
+
+TEST(Sampler, RejectsNonPositivePeriod) {
+  Config cfg = small_config();
+  World w(cfg, ProtocolKind::kOpt);
+  TraceRecorder rec;
+  EXPECT_THROW(telemetry::TimeSeriesSampler(w.sim(), w.sensors(),
+                                            w.metrics(), 0.0, rec),
+               std::invalid_argument);
+}
+
+TEST(Report, CanonicalAndJobsIndependent) {
+  Config cfg = small_config();
+  cfg.telemetry.enabled = true;
+
+  const auto render = [&](int jobs) {
+    std::vector<RunSpec> specs(3);
+    for (int r = 0; r < 3; ++r) {
+      specs[static_cast<std::size_t>(r)].config = cfg;
+      specs[static_cast<std::size_t>(r)].config.scenario.seed =
+          cfg.scenario.seed + static_cast<std::uint64_t>(r);
+    }
+    std::vector<RunTelemetry> slots;
+    const std::vector<RunResult> runs = run_specs(specs, jobs, &slots);
+    RunTelemetry tel;
+    for (const RunTelemetry& s : slots) {
+      tel.registry.merge(s.registry);
+      tel.profile.merge(s.profile);
+    }
+    telemetry::ReportInputs in;
+    in.config = &cfg;
+    in.runs = &runs;
+    in.telemetry = &tel;
+    return render_report_json(in);
+  };
+
+  const std::string serial = render(1);
+  const std::string parallel = render(3);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"schema\": \"dftmsn-report-v1\""),
+            std::string::npos);
+  EXPECT_NE(serial.find("\"fairness_jain\""), std::string::npos);
+  EXPECT_NE(serial.find("\"mac.rts_tx\""), std::string::npos);
+  // Profiling was off, so the host-noise section must be absent.
+  EXPECT_EQ(serial.find("\"profile\""), std::string::npos);
+}
+
+TEST(Report, RequiresConfigAndRuns) {
+  telemetry::ReportInputs in;
+  EXPECT_THROW(render_report_json(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dftmsn
