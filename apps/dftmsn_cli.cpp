@@ -13,7 +13,7 @@
 //              --watchdog-secs 30          (later: add --resume to continue)
 //   dftmsn_cli --list-params
 //
-// Exit codes:
+// Exit codes (full contract in docs/checkpoint_resume.md):
 //   0  success (all replications completed)
 //   2  configuration / usage error
 //   3  protocol invariant violation (unsupervised runs)
@@ -21,6 +21,16 @@
 //      --resume to continue
 //   5  completed, but some replications were quarantined after
 //      exhausting their retries (see the printed manifest)
+//
+// Worker mode (`--worker FILE`, spawned by a supervising parent under
+// --isolate=process; not for interactive use) reuses 0/2/3 with the same
+// meanings and adds:
+//   6  the replication failed (structured error in the result file)
+// A worker killed by a signal (segv/abort fault plans, OOM, the parent's
+// watchdog) has no exit code; the parent decodes the wait status instead.
+#include <limits.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <csignal>
 #include <iostream>
@@ -31,6 +41,7 @@
 #include "experiment/presets.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/supervisor.hpp"
+#include "experiment/worker.hpp"
 #include "experiment/world.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/sampler.hpp"
@@ -82,8 +93,26 @@ int usage(int code) {
       "  --watchdog-secs S abort a replication making no progress for S\n"
       "                    wall seconds, then retry it (default 0: off)\n"
       "  --max-retries N   retries per replication before quarantine\n"
-      "                    (default 2)\n";
+      "                    (default 2)\n"
+      "  --isolate MODE    in-process (default) or process: run each\n"
+      "                    replication attempt in a spawned worker process\n"
+      "                    so the sweep survives segfaults/aborts; clean\n"
+      "                    runs are bit-identical to in-process\n"
+      "  --worker FILE     internal: run one replication attempt from a\n"
+      "                    sealed request file (spawned by --isolate=process)\n";
   return code;
+}
+
+/// The worker must be this very binary: an --isolate=process sweep spawns
+/// the executable that is already running, never a path from config.
+std::string self_executable(const char* argv0) {
+  char buf[PATH_MAX];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return std::string(argv0);  // non-procfs fallback
 }
 
 std::atomic<bool> g_stop{false};
@@ -120,6 +149,11 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--worker") {
+      // Worker mode short-circuits everything else: the request file is
+      // the whole contract (see worker_protocol.hpp).
+      return run_worker(next());
+    }
     if (arg == "--list-params") {
       for (const std::string& k : list_config_keys(config))
         std::cout << k << "\n";
@@ -226,6 +260,19 @@ int main(int argc, char** argv) {
       supervised = true;
       continue;
     }
+    if (arg == "--isolate") {
+      const std::string mode = next();
+      if (mode == "in-process") {
+        sup.isolate = IsolationMode::kInProcess;
+      } else if (mode == "process") {
+        sup.isolate = IsolationMode::kProcess;
+      } else {
+        std::cerr << "--isolate must be in-process or process\n";
+        return 2;
+      }
+      supervised = true;
+      continue;
+    }
     overrides.push_back(arg);
   }
   if ((sup.resume || sup.checkpoint_every_s > 0) &&
@@ -265,6 +312,8 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handle_stop_signal);
     sup.jobs = jobs;
     sup.stop = &g_stop;
+    if (sup.isolate == IsolationMode::kProcess)
+      sup.worker_exe = self_executable(argv[0]);
 
     std::vector<RunSpec> specs(static_cast<std::size_t>(reps));
     for (int r = 0; r < reps; ++r) {
@@ -310,9 +359,15 @@ int main(int argc, char** argv) {
       in.config = &config;
       in.kind = kind;
       in.runs = &done;
-      // Supervised workers reduce their worlds in place and surface only
-      // RunResults, so the report's instrument sections stay empty here;
-      // the supervisor block carries the health counters instead.
+      // Each completed spec's registry rides in the manifest (captured
+      // from its accepted attempt, whichever isolation mode ran it);
+      // merging in spec order makes the instrument sections identical at
+      // every --jobs value and across isolation modes.
+      RunTelemetry tel;
+      for (const SpecRecord& rec : manifest.specs)
+        if (rec.status == SpecStatus::kCompleted)
+          tel.registry.merge(rec.registry);
+      in.telemetry = &tel;
       in.supervisor.supervised = true;
       in.supervisor.completed = manifest.completed();
       in.supervisor.retried = manifest.retried();

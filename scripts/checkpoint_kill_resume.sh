@@ -62,5 +62,34 @@ if ! diff -u "$WORK/reference.txt" "$WORK/resumed_summary.txt"; then
   fail "resumed summary differs from uninterrupted run"
 fi
 
-echo "OK: killed=$KILLED, resumed sweep bit-identical to reference"
+# Part 2: kill a WORKER, not the parent. Under --isolate process each
+# replication attempt is a spawned child; SIGKILLing one mid-run must be
+# absorbed by the supervising parent (retry from the last checkpoint),
+# and the finished sweep must still match the uninterrupted reference.
+"$CLI" "${ARGS[@]}" --isolate process --checkpoint-dir "$WORK/iso_ckpt" \
+  --checkpoint-every 200 > "$WORK/iso.txt" 2>&1 &
+PID=$!
+WKILLED=0
+for _ in $(seq 1 400); do
+  # Workers are children of the supervising CLI running `--worker`.
+  WORKER=$(pgrep -P "$PID" -f -- "--worker" 2>/dev/null | head -n1)
+  if [ -n "${WORKER:-}" ]; then
+    kill -KILL "$WORKER" 2>/dev/null && WKILLED=1
+    break
+  fi
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.05
+done
+wait "$PID"
+RC=$?
+[ "$RC" -eq 0 ] || fail "isolated sweep exited $RC after worker kill"
+
+grep -v -e '^rep ' -e '^manifest:' -e '^over ' "$WORK/iso.txt" \
+  > "$WORK/iso_summary.txt"
+if ! diff -u "$WORK/reference.txt" "$WORK/iso_summary.txt"; then
+  fail "worker-killed sweep differs from uninterrupted run"
+fi
+
+echo "OK: killed=$KILLED worker_killed=$WKILLED," \
+     "resumed + worker-killed sweeps bit-identical to reference"
 rm -rf "$WORK"

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# End-to-end crash-survival check for process-isolated supervision
+# (the ISSUE acceptance scenario):
+#   1. a segv fault gated to attempt 0 only: every replication's first
+#      attempt dies of a real SIGSEGV, the parent retries from the last
+#      checkpoint, and the sweep completes with exit 0;
+#   2. the same plan ungated: every attempt dies, every replication is
+#      quarantined, and the sweep reports exit 5;
+#   3. the gated plan WITHOUT process isolation: the signal takes the
+#      whole process down (nonzero exit, no manifest completion).
+# An abort variant repeats case 1 through SIGABRT.
+#
+# Exit-code notes: under AddressSanitizer a SIGSEGV becomes a DEADLYSIGNAL
+# report and exit code 1 rather than a signal death, so case 3 asserts
+# only "nonzero", and cases 1/2 assert the supervisor's documented codes
+# (which are identical under ASan — the parent survives either way).
+#
+# Usage: isolation_crash_e2e.sh <path-to-dftmsn_cli> [workdir]
+set -u
+
+CLI="${1:?usage: isolation_crash_e2e.sh <dftmsn_cli> [workdir]}"
+WORK="${2:-isolation_crash_e2e.tmp}"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+ARGS=(--protocol OPT --reps 2
+      scenario.seed=60309 scenario.num_sensors=12 scenario.num_sinks=2
+      scenario.field_m=140 scenario.duration_s=900
+      --isolate process --max-retries 1 --checkpoint-every 200)
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# 1. Gated segv: attempt 0 dies, attempt 1 completes. Exit 0.
+"$CLI" "${ARGS[@]}" --faults 'segv@300:attempts=1' \
+    --checkpoint-dir "$WORK/gated" > "$WORK/gated.txt" 2>&1
+RC=$?
+[ "$RC" -eq 0 ] || fail "gated segv sweep exited $RC (want 0)"
+grep -q 'completed=2' "$WORK/gated.txt" || fail "gated sweep did not complete"
+grep -q 'retried=2' "$WORK/gated.txt" \
+  || fail "gated sweep should have retried both replications"
+
+# 1b. Same through SIGABRT.
+"$CLI" "${ARGS[@]}" --faults 'abort@300:attempts=1' \
+    --checkpoint-dir "$WORK/abort" > "$WORK/abort.txt" 2>&1
+RC=$?
+[ "$RC" -eq 0 ] || fail "gated abort sweep exited $RC (want 0)"
+grep -q 'completed=2' "$WORK/abort.txt" || fail "abort sweep did not complete"
+
+# 2. Ungated segv: every attempt dies, both replications quarantined.
+"$CLI" "${ARGS[@]}" --faults 'segv@300' \
+    --checkpoint-dir "$WORK/ungated" > "$WORK/ungated.txt" 2>&1
+RC=$?
+[ "$RC" -eq 5 ] || fail "ungated segv sweep exited $RC (want 5)"
+grep -q 'quarantined=2' "$WORK/ungated.txt" \
+  || fail "ungated sweep should have quarantined both replications"
+
+# 3. The same gated plan in-process: the first SIGSEGV kills the sweep.
+"$CLI" --protocol OPT --reps 2 \
+    scenario.seed=60309 scenario.num_sensors=12 scenario.num_sinks=2 \
+    scenario.field_m=140 scenario.duration_s=900 \
+    --max-retries 1 --checkpoint-every 200 \
+    --faults 'segv@300:attempts=1' \
+    --checkpoint-dir "$WORK/inproc" > "$WORK/inproc.txt" 2>&1
+RC=$?
+[ "$RC" -ne 0 ] || fail "in-process segv sweep survived (isolation for free?)"
+
+echo "PASS: gated=0, ungated=5, in-process dies ($RC)"
+rm -rf "$WORK"

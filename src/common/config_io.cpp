@@ -11,10 +11,17 @@ namespace dftmsn {
 namespace {
 
 /// One addressable field: name + setter-from-string + getter-as-string.
+/// Double-typed fields additionally carry bit-exact accessors: the string
+/// form goes through default stream precision (6 significant digits), so
+/// it cannot round-trip an arbitrary double — but the worker protocol
+/// must hand a child process the parent's Config *bit for bit*, or the
+/// child's trajectory (and checkpoint digests) would silently drift.
 struct Field {
   std::string key;
   std::function<void(Config&, const std::string&)> set;
   std::function<std::string(const Config&)> get;
+  std::function<double(const Config&)> get_f64;   ///< doubles only
+  std::function<void(Config&, double)> set_f64;   ///< doubles only
 };
 
 double parse_double(const std::string& key, const std::string& v) {
@@ -96,7 +103,9 @@ std::string to_str(const T& v) {
     #path, [](Config& c, const std::string& v) {                          \
       c.path = parse_double(#path, v);                                    \
     },                                                                    \
-        [](const Config& c) { return to_str(c.path); }                    \
+        [](const Config& c) { return to_str(c.path); },                   \
+        [](const Config& c) { return c.path; },                           \
+        [](Config& c, double v) { c.path = v; }                           \
   }
 #define DFTMSN_FIELD_I(path, type)                                        \
   Field {                                                                 \
@@ -256,6 +265,49 @@ std::vector<std::string> list_config_keys(const Config& config) {
   out.reserve(fields().size());
   for (const Field& f : fields()) out.push_back(f.key + "=" + f.get(config));
   return out;
+}
+
+void save_config_exact(const Config& config, snapshot::Writer& w) {
+  w.begin_section("config");
+  w.size(fields().size());
+  for (const Field& f : fields()) {
+    w.str(f.key);
+    if (f.get_f64) {
+      w.u8(1);  // bit-exact double
+      w.f64(f.get_f64(config));
+    } else {
+      w.u8(0);  // string form (exact for ints, bools and enums)
+      w.str(f.get(config));
+    }
+  }
+  w.end_section();
+}
+
+void load_config_exact(Config& config, snapshot::Reader& r) {
+  r.begin_section("config");
+  const std::size_t n = r.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string key = r.str();
+    const Field* field = nullptr;
+    for (const Field& f : fields())
+      if (f.key == key) {
+        field = &f;
+        break;
+      }
+    if (field == nullptr)
+      throw std::invalid_argument("config: unknown key '" + key +
+                                  "' in exact-encoded config");
+    const std::uint8_t tag = r.u8();
+    if (tag == 1) {
+      if (!field->set_f64)
+        throw std::invalid_argument("config: key '" + key +
+                                    "' is not double-typed");
+      field->set_f64(config, r.f64());
+    } else {
+      field->set(config, r.str());
+    }
+  }
+  r.end_section();
 }
 
 }  // namespace dftmsn

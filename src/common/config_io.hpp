@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "snapshot/snapshot_io.hpp"
 
 namespace dftmsn {
 
@@ -25,5 +26,18 @@ void load_config_file(Config& config, const std::string& path);
 
 /// All recognized keys with their current values — the `--help` listing.
 std::vector<std::string> list_config_keys(const Config& config);
+
+/// Serializes every registered key into `w` ("config" section) with
+/// double-typed values as IEEE-754 bit patterns. The textual form above
+/// truncates doubles to stream precision; this form round-trips a Config
+/// *bit for bit*, which the worker protocol needs — a child process that
+/// reconstructed a subtly different Config would follow a different
+/// trajectory and fail its checkpoint verification instead of reproducing
+/// the parent's replication.
+void save_config_exact(const Config& config, snapshot::Writer& w);
+
+/// Inverse of save_config_exact. Throws std::invalid_argument on keys
+/// this build does not register (config drift between writer and reader).
+void load_config_exact(Config& config, snapshot::Reader& r);
 
 }  // namespace dftmsn

@@ -1,7 +1,13 @@
 #include "experiment/supervisor.hpp"
 
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -10,14 +16,18 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "common/thread_pool.hpp"
+#include "experiment/worker_protocol.hpp"
 #include "experiment/world.hpp"
 #include "snapshot/checkpoint.hpp"
+
+extern char** environ;
 
 namespace dftmsn {
 namespace {
@@ -42,6 +52,35 @@ std::string sanitize(std::string s) {
   for (char& c : s)
     if (c == '\n' || c == '\r') c = ' ';
   return s;
+}
+
+std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+bool from_hex(const std::string& s, std::vector<std::uint8_t>* out) {
+  if (s.size() % 2 != 0) return false;
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  out->clear();
+  out->reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    const int hi = nibble(s[i]);
+    const int lo = nibble(s[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<std::uint8_t>(hi * 16 + lo));
+  }
+  return true;
 }
 
 bool parse_status(const std::string& s, SpecStatus* out) {
@@ -93,6 +132,15 @@ struct Slot {
   std::atomic<bool> abort{false};
   std::atomic<bool> active{false};
   std::atomic<bool> watchdog_fired{false};
+  /// Process isolation: the spawned worker's pid while one is running
+  /// (-1 otherwise) — a hung or stopped worker cannot honor the abort
+  /// flag, so the watchdog SIGKILLs it instead.
+  std::atomic<long> child_pid{-1};
+  /// Process isolation: the worker's progress counter lives in a shared
+  /// file mapping, not in this Slot; non-null while the mapping exists
+  /// (the mapping itself outlives the watchdog thread, so a pointer read
+  /// here is always safe to follow).
+  std::atomic<const std::atomic<std::uint64_t>*> shared{nullptr};
 
   bool seen = false;
   std::uint64_t last_progress = 0;
@@ -183,6 +231,10 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
 
       slot.active.store(false);
       rec.result = reduce_world(*world);
+      // The accepted attempt replayed (or ran) the whole trajectory from
+      // event 0, so its registry covers the full run: one merge, no
+      // double-counted retry prefixes.
+      if (world->registry() != nullptr) rec.registry.merge(*world->registry());
       rec.status = SpecStatus::kCompleted;
       rec.retries = attempt;
       rec.detail.clear();
@@ -239,6 +291,167 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
   }
 }
 
+/// One spec under process isolation: each attempt is a spawned worker
+/// (`worker_exe --worker <request>`) that the parent reaps with waitpid
+/// and judges by exit status + sealed result file. Retry state lives in
+/// the spec's on-disk checkpoint instead of an in-memory image — the
+/// worker adopts a valid checkpoint itself and discards a torn one, so
+/// the parent only decides accept / retry / quarantine.
+void run_one_isolated(const RunSpec& spec, std::size_t index,
+                      const SupervisorOptions& opts,
+                      const std::string& workdir, Slot& slot,
+                      std::optional<SharedProgress>& progress_slot,
+                      SpecRecord& rec) {
+  const std::string ckpt =
+      opts.checkpoint_dir.empty()
+          ? std::string()
+          : spec_checkpoint_path(opts.checkpoint_dir, index);
+  // Workers adopt any valid on-disk checkpoint; a non-resume sweep must
+  // therefore clear leftovers the in-process path would simply ignore.
+  if (!ckpt.empty() && !opts.resume) std::remove(ckpt.c_str());
+
+  const std::string base = workdir + "/spec_" + std::to_string(index);
+  const std::string req_path = base + ".req";
+  const std::string result_path = base + ".result";
+  const std::string progress_path = base + ".progress";
+
+  progress_slot = SharedProgress::create(progress_path);
+  std::atomic<std::uint64_t>* counter = progress_slot->counter();
+  slot.shared.store(counter);
+
+  const auto cleanup_worker_files = [&] {
+    slot.shared.store(nullptr);
+    std::remove(req_path.c_str());
+    std::remove(result_path.c_str());
+    std::remove(progress_path.c_str());
+  };
+
+  int attempt = 0;
+  for (;;) {
+    if (opts.stop && opts.stop->load()) {
+      rec.status = SpecStatus::kInterrupted;
+      if (rec.detail.empty()) rec.detail = "stopped before start";
+      cleanup_worker_files();
+      return;
+    }
+
+    slot.watchdog_fired.store(false);
+    slot.abort.store(false);
+    counter->store(0);
+
+    WorkerRequest req;
+    req.config = spec.config;
+    req.kind = spec.kind;
+    req.attempt = attempt;
+    req.checkpoint_path = ckpt;
+    req.checkpoint_every_s = opts.checkpoint_every_s;
+    req.verify_on_resume = opts.verify_on_resume;
+    req.result_path = result_path;
+    req.progress_path = progress_path;
+
+    std::string fail;
+    std::remove(result_path.c_str());
+    try {
+      write_worker_request(req_path, req);
+
+      pid_t pid = -1;
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(opts.worker_exe.c_str()));
+      argv.push_back(const_cast<char*>("--worker"));
+      argv.push_back(const_cast<char*>(req_path.c_str()));
+      argv.push_back(nullptr);
+      const int rc = ::posix_spawn(&pid, opts.worker_exe.c_str(), nullptr,
+                                   nullptr, argv.data(), environ);
+      if (rc != 0)
+        throw std::runtime_error(std::string("cannot spawn worker ") +
+                                 opts.worker_exe + ": " + std::strerror(rc));
+
+      slot.child_pid.store(pid);
+      slot.active.store(true);
+      // An abort that raced the pid publication (external stop between
+      // spawn and store) could not kill the child — honor it here. The
+      // symmetric watchdog-side race (pid read just before a worker exits
+      // and the pid is reused) is accepted: the window is one poll
+      // interval and the stray SIGKILL would need a same-pid recycle
+      // within it.
+      if (slot.abort.load())
+        ::kill(pid, SIGKILL);
+
+      int status = 0;
+      pid_t waited = -1;
+      do {
+        waited = ::waitpid(pid, &status, 0);
+      } while (waited < 0 && errno == EINTR);
+      slot.active.store(false);
+      slot.child_pid.store(-1);
+      if (waited != pid)
+        throw std::runtime_error(std::string("waitpid: ") +
+                                 std::strerror(errno));
+
+      WorkerResult wres;
+      WorkerFileState fstate = WorkerFileState::kMissing;
+      try {
+        wres = read_worker_result(result_path);
+        fstate = wres.ok ? WorkerFileState::kOk : WorkerFileState::kError;
+      } catch (const std::exception&) {
+        fstate = std::filesystem::exists(result_path)
+                     ? WorkerFileState::kCorrupt
+                     : WorkerFileState::kMissing;
+      }
+      // Checkpoint counts come only from decodable result files; a
+      // SIGKILLed worker's partial writes are simply not counted.
+      if (fstate == WorkerFileState::kOk || fstate == WorkerFileState::kError)
+        rec.checkpoints += wres.checkpoints_written;
+
+      if (!slot.watchdog_fired.load() && opts.stop && opts.stop->load()) {
+        // External stop: the watchdog SIGKILLed the worker, so its last
+        // periodic checkpoint (unlike the in-process path, no final one
+        // can be flushed) keeps the spec resumable.
+        rec.status = SpecStatus::kInterrupted;
+        rec.retries = attempt;
+        rec.detail = "interrupted (worker stopped)";
+        cleanup_worker_files();
+        return;
+      }
+
+      const WorkerExitDecision verdict =
+          decode_worker_exit(status, fstate, wres.error);
+      if (verdict.accept) {
+        rec.result = wres.result;
+        rec.registry.merge(wres.registry);
+        rec.status = SpecStatus::kCompleted;
+        rec.retries = attempt;
+        rec.detail.clear();
+        if (!ckpt.empty()) std::remove(ckpt.c_str());
+        cleanup_worker_files();
+        return;
+      }
+      fail = verdict.detail;
+    } catch (const std::exception& e) {
+      slot.active.store(false);
+      slot.child_pid.store(-1);
+      fail = e.what();
+    }
+
+    if (slot.watchdog_fired.load())
+      fail = "watchdog: no event progress for " +
+             std::to_string(opts.watchdog_secs) + "s wall (worker killed)";
+
+    ++attempt;
+    rec.retries = attempt;
+    rec.detail = sanitize(fail);
+    if (attempt > opts.max_retries) {
+      rec.status = SpecStatus::kQuarantined;
+      cleanup_worker_files();
+      return;
+    }
+    const double backoff = std::min(
+        5.0, opts.retry_backoff_s * std::pow(2.0, attempt - 1));
+    if (backoff > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+}
+
 }  // namespace
 
 const char* spec_status_name(SpecStatus s) {
@@ -280,7 +493,7 @@ std::string spec_checkpoint_path(const std::string& checkpoint_dir,
 
 void write_manifest(const std::string& path, const SweepManifest& manifest) {
   std::ostringstream os;
-  os << "dftmsn-manifest v2\n";
+  os << "dftmsn-manifest v3\n";
   os << "specs " << manifest.specs.size() << "\n";
   for (std::size_t i = 0; i < manifest.specs.size(); ++i) {
     const SpecRecord& r = manifest.specs[i];
@@ -291,6 +504,14 @@ void write_manifest(const std::string& path, const SweepManifest& manifest) {
       os << "result " << i << ' ';
       put_result(os, r.result);
       os << "\n";
+      // v3 addition: the completed run's instrument registry, hex of its
+      // canonical byte form, so a resumed sweep reports the same merged
+      // telemetry a straight-through sweep would. Omitted when telemetry
+      // was off (the registry is empty) — deterministically, so the line
+      // set never depends on jobs or isolation mode.
+      if (!r.registry.empty())
+        os << "registry " << i << ' ' << to_hex(r.registry.serialize())
+           << "\n";
     }
   }
   const std::string s = os.str();
@@ -307,7 +528,10 @@ bool load_manifest(const std::string& path, SweepManifest* out) {
   };
 
   std::string line;
-  if (!std::getline(in, line) || line != "dftmsn-manifest v2")
+  // Strict version gate: v2 manifests (pre-registry) are rejected rather
+  // than half-loaded — a stale manifest means re-running the sweep, not
+  // silently resuming without telemetry.
+  if (!std::getline(in, line) || line != "dftmsn-manifest v3")
     bad("unrecognized header");
   std::size_t n = 0;
   {
@@ -345,6 +569,18 @@ bool load_manifest(const std::string& path, SweepManifest* out) {
       r.detail = at == std::string::npos ? "" : detail.substr(at + 7);
     } else if (tag == "result") {
       if (!get_result(is, &r.result)) bad("malformed result: " + line);
+    } else if (tag == "registry") {
+      std::string hex;
+      std::vector<std::uint8_t> bytes;
+      if (!(is >> hex) || !from_hex(hex, &bytes))
+        bad("malformed registry: " + line);
+      try {
+        snapshot::Reader rd(bytes);
+        r.registry = telemetry::Registry();
+        r.registry.load_state(rd);
+      } catch (const std::exception& e) {
+        bad("undecodable registry: " + std::string(e.what()));
+      }
     } else {
       bad("unknown tag: " + tag);
     }
@@ -363,6 +599,30 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
 
   const bool use_dir = !opts.checkpoint_dir.empty();
   if (use_dir) std::filesystem::create_directories(opts.checkpoint_dir);
+
+  // Process isolation needs a directory for worker request/result/
+  // progress files: the checkpoint dir when one is configured, the
+  // caller's scratch dir otherwise, or a unique temp dir we clean up.
+  const bool isolated = opts.isolate == IsolationMode::kProcess;
+  std::string workdir;
+  bool workdir_created = false;
+  if (isolated) {
+    if (opts.worker_exe.empty())
+      throw std::runtime_error(
+          "supervisor: process isolation needs a worker executable");
+    if (use_dir) {
+      workdir = opts.checkpoint_dir;
+    } else if (!opts.scratch_dir.empty()) {
+      workdir = opts.scratch_dir;
+      std::filesystem::create_directories(workdir);
+    } else {
+      workdir = (std::filesystem::temp_directory_path() /
+                 ("dftmsn-sup-" + std::to_string(::getpid())))
+                    .string();
+      workdir_created = !std::filesystem::exists(workdir);
+      std::filesystem::create_directories(workdir);
+    }
+  }
 
   if (opts.resume && use_dir) {
     SweepManifest prev;
@@ -404,6 +664,11 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
   };
 
   std::vector<Slot> slots(specs.size());
+  // Shared-progress mappings live here — not on runner stacks — so the
+  // watchdog can follow a Slot::shared pointer without racing a munmap;
+  // the vector is destroyed only after the watchdog thread has joined.
+  std::vector<std::optional<SharedProgress>> progress_maps(
+      isolated ? specs.size() : 0);
   std::atomic<bool> watchdog_quit{false};
   std::thread watchdog;
   if (opts.watchdog_secs > 0.0 || opts.stop) {
@@ -416,8 +681,15 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
         const bool ext = opts.stop && opts.stop->load();
         const Clock::time_point now = Clock::now();
         for (Slot& s : slots) {
+          // An isolated worker cannot observe the abort flag — SIGKILL
+          // is the only lever the parent has on a hung or stopped child.
+          const auto kill_child = [&s] {
+            const long pid = s.child_pid.load();
+            if (pid > 0) ::kill(static_cast<pid_t>(pid), SIGKILL);
+          };
           if (ext) {
             s.abort.store(true);
+            kill_child();
             continue;
           }
           if (!s.active.load()) {
@@ -425,7 +697,9 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
             continue;
           }
           if (opts.watchdog_secs <= 0.0) continue;
-          const std::uint64_t p = s.progress.load();
+          const std::atomic<std::uint64_t>* shared = s.shared.load();
+          const std::uint64_t p =
+              shared != nullptr ? shared->load() : s.progress.load();
           if (!s.seen || p != s.last_progress) {
             s.seen = true;
             s.last_progress = p;
@@ -436,6 +710,7 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
               opts.watchdog_secs) {
             s.watchdog_fired.store(true);
             s.abort.store(true);
+            kill_child();
           }
         }
         std::this_thread::sleep_for(poll);
@@ -450,7 +725,11 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
       rec = manifest.specs[i];
     }
     if (rec.status == SpecStatus::kCompleted) return;  // resumed as done
-    run_one_supervised(specs[i], i, opts, slots[i], rec);
+    if (isolated)
+      run_one_isolated(specs[i], i, opts, workdir, slots[i], progress_maps[i],
+                       rec);
+    else
+      run_one_supervised(specs[i], i, opts, slots[i], rec);
     publish(i, rec);
   });
 
@@ -460,6 +739,10 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
   if (use_dir) {
     std::lock_guard<std::mutex> lock(manifest_mu);
     write_manifest(manifest_path(opts.checkpoint_dir), manifest);
+  }
+  if (workdir_created) {
+    std::error_code ec;
+    std::filesystem::remove_all(workdir, ec);  // best-effort scratch cleanup
   }
   return manifest;
 }

@@ -23,6 +23,13 @@
 //   - external stop (SIGINT/SIGTERM flag) -> flush one final checkpoint
 //     at the clean event boundary the abort left us on, mark the
 //     replication interrupted, and keep the manifest resumable.
+//
+// With IsolationMode::kProcess the same taxonomy applies across a
+// process boundary: each attempt runs in a spawned worker process, a
+// worker that dies by signal (segfault, abort, OOM kill) or reports an
+// error is retried from the spec's on-disk checkpoint, and a hung or
+// stopped worker is SIGKILLed by the watchdog instead of cooperatively
+// aborted (see worker_protocol.hpp for the parent/worker wire format).
 #pragma once
 
 #include <atomic>
@@ -31,8 +38,22 @@
 #include <vector>
 
 #include "experiment/runner.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dftmsn {
+
+/// Where a replication attempt executes.
+enum class IsolationMode : std::uint8_t {
+  /// In this process, on a pool thread (default). Fast, but a fault that
+  /// raises a real signal (segv/abort plans, genuine memory bugs) takes
+  /// the whole sweep down.
+  kInProcess,
+  /// In a spawned child process (`worker_exe --worker <request>`), one
+  /// per attempt. The parent survives any worker death — segfault,
+  /// abort, OOM kill — and retries from the last checkpoint. Clean runs
+  /// are bit-identical to kInProcess (equivalence test-enforced).
+  kProcess,
+};
 
 struct SupervisorOptions {
   /// Directory for spec_<i>.ckpt files + manifest.txt. Empty: no
@@ -62,6 +83,16 @@ struct SupervisorOptions {
   /// has written this many periodic checkpoints (simulates a kill at a
   /// checkpoint boundary without signals). 0: off.
   int stop_after_checkpoints = 0;
+  /// Where replication attempts execute (see IsolationMode).
+  IsolationMode isolate = IsolationMode::kInProcess;
+  /// Worker executable for kProcess (the CLI passes its own path, so the
+  /// worker is always the very binary that built the sweep). Required
+  /// when isolate == kProcess.
+  std::string worker_exe;
+  /// Directory for worker request/result/progress files when no
+  /// checkpoint_dir is configured. Empty: a unique directory under the
+  /// system temp dir, removed when the sweep ends.
+  std::string scratch_dir;
 };
 
 enum class SpecStatus : std::uint8_t {
@@ -79,6 +110,12 @@ struct SpecRecord {
   std::uint64_t config_digest = 0;
   std::string detail;        ///< last failure message; empty when clean
   RunResult result;          ///< valid only when status == kCompleted
+  /// The completed run's instrument registry (empty when telemetry was
+  /// off or the spec did not complete). Captured from the final —
+  /// accepted — attempt only: a resume replays from event 0, so the
+  /// registry of the attempt that reached the horizon always covers the
+  /// whole run and retried prefixes are never double-counted.
+  telemetry::Registry registry;
 };
 
 struct SweepManifest {

@@ -1,0 +1,136 @@
+#include "experiment/worker.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "experiment/world.hpp"
+#include "experiment/worker_protocol.hpp"
+#include "faults/invariant_checker.hpp"
+#include "snapshot/checkpoint.hpp"
+
+namespace dftmsn {
+namespace {
+
+/// Best-effort: a worker that cannot even write its result file still
+/// exits with the right code; the parent then diagnoses from that alone.
+void try_write_result(const std::string& path, const WorkerResult& res) {
+  if (path.empty()) return;
+  try {
+    write_worker_result(path, res);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker: cannot write result %s: %s\n", path.c_str(),
+                 e.what());
+  }
+}
+
+int fail_result(const std::string& result_path, const std::string& error,
+                std::uint64_t checkpoints_written, int exit_code) {
+  WorkerResult res;
+  res.ok = false;
+  res.error = error;
+  res.checkpoints_written = checkpoints_written;
+  try_write_result(result_path, res);
+  return exit_code;
+}
+
+}  // namespace
+
+int run_worker(const std::string& request_path) {
+  WorkerRequest req;
+  try {
+    req = read_worker_request(request_path);
+    req.config.validate();
+  } catch (const std::exception& e) {
+    // No trustworthy result path yet — stderr + exit code is the report.
+    std::fprintf(stderr, "worker: bad request %s: %s\n", request_path.c_str(),
+                 e.what());
+    return kWorkerExitBadRequest;
+  }
+
+  std::uint64_t written = 0;
+  try {
+    Config cfg = req.config;
+    cfg.faults.attempt = req.attempt;
+
+    std::optional<SharedProgress> progress;
+    if (!req.progress_path.empty())
+      progress = SharedProgress::open(req.progress_path);
+    std::atomic<std::uint64_t>* counter =
+        progress ? progress->counter() : nullptr;
+
+    // Resume from the spec's checkpoint when one is present and belongs
+    // to this (config, protocol, seed). Unlike the in-process loop —
+    // which keeps the last good image in memory across retries — a fresh
+    // process can only trust the file: if it is torn or stale, delete it
+    // and restart this same attempt from scratch.
+    std::unique_ptr<World> world;
+    if (!req.checkpoint_path.empty()) {
+      std::vector<std::uint8_t> image;
+      try {
+        image = snapshot::read_file(req.checkpoint_path);
+      } catch (const std::exception&) {
+        image.clear();  // no checkpoint yet: first attempt from scratch
+      }
+      if (!image.empty()) {
+        try {
+          const CheckpointMeta meta = read_checkpoint_meta(image);
+          if (meta.config_digest == config_digest(req.config, req.kind) &&
+              meta.seed == cfg.scenario.seed)
+            world = resume_world(cfg, req.kind, image, req.verify_on_resume,
+                                 nullptr, counter);
+        } catch (const snapshot::SnapshotMismatch&) {
+          world.reset();
+        } catch (const snapshot::SnapshotError&) {
+          world.reset();
+        }
+        // Foreign digest falls through with world == nullptr too: either
+        // way the file cannot seed this run, so clear it before the
+        // fresh start overwrites it at the next boundary.
+        if (!world) std::remove(req.checkpoint_path.c_str());
+      }
+    }
+    if (!world) {
+      world = std::make_unique<World>(cfg, req.kind);
+      if (counter != nullptr) world->sim().set_progress_counter(counter);
+    }
+
+    // Same boundary arithmetic as the in-process supervisor: checkpoints
+    // land on multiples of the period regardless of where a resume
+    // started, so both modes write the same count for a clean run.
+    const double horizon = cfg.scenario.duration_s;
+    const double step =
+        req.checkpoint_every_s > 0 ? req.checkpoint_every_s : horizon;
+    while (world->sim().now() < horizon) {
+      const double next = std::min(
+          horizon, (std::floor(world->sim().now() / step) + 1.0) * step);
+      world->run_until(next);
+      if (world->sim().now() >= horizon) break;
+      if (!req.checkpoint_path.empty()) {
+        snapshot::write_file_atomic(req.checkpoint_path,
+                                    make_checkpoint(*world));
+        ++written;
+      }
+    }
+
+    WorkerResult res;
+    res.ok = true;
+    res.result = reduce_world(*world);
+    res.checkpoints_written = written;
+    if (world->registry() != nullptr) res.registry.merge(*world->registry());
+    write_worker_result(req.result_path, res);
+    return kWorkerExitOk;
+  } catch (const InvariantViolation& e) {
+    return fail_result(req.result_path, e.what(), written,
+                       kWorkerExitInvariant);
+  } catch (const std::exception& e) {
+    // SimulatedCrash, snapshot errors out of checkpoint writes, ...
+    return fail_result(req.result_path, e.what(), written,
+                       kWorkerExitRunFailed);
+  }
+}
+
+}  // namespace dftmsn

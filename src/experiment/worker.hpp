@@ -1,0 +1,25 @@
+// Child-process side of process-isolated supervision: executes exactly
+// one replication attempt described by a worker request file and reports
+// back through a sealed result file (see worker_protocol.hpp).
+//
+// The worker mirrors the in-process supervision loop — resume from the
+// spec's checkpoint when one is present and valid, run with periodic
+// boundary-aligned checkpoints, reduce at the horizon — so a clean run
+// produces bit-identical results and checkpoint counts in either mode.
+// It differs only where the process boundary forces it to: failures are
+// reported as an error result + exit code instead of a thrown exception,
+// and a stale/corrupt checkpoint is discarded inside the same attempt
+// (the parent cannot hand the retry loop an in-memory image).
+#pragma once
+
+#include <string>
+
+namespace dftmsn {
+
+/// Runs one replication attempt from a request file. Returns the process
+/// exit code (kWorkerExit*); never throws. Errors that occur after the
+/// request was decoded are also reported through the result file so the
+/// parent gets a structured message, not just an exit code.
+int run_worker(const std::string& request_path);
+
+}  // namespace dftmsn

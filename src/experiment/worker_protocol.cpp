@@ -1,0 +1,284 @@
+#include "experiment/worker_protocol.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/config_io.hpp"
+#include "snapshot/snapshot_io.hpp"
+
+namespace dftmsn {
+namespace {
+
+constexpr char kRequestMagic[] = "DFTMSNWQ";
+constexpr char kResultMagic[] = "DFTMSNWR";
+constexpr std::uint32_t kProtocolVersion = 1;
+
+// The six doubles go first as bit patterns, then the counters, in
+// RunResult declaration order — the same order the manifest uses.
+void save_run_result(const RunResult& r, snapshot::Writer& w) {
+  w.begin_section("run_result");
+  w.f64(r.delivery_ratio);
+  w.f64(r.mean_power_mw);
+  w.f64(r.mean_delay_s);
+  w.f64(r.mean_hops);
+  w.f64(r.overhead_bits_per_delivery);
+  w.f64(r.fairness_jain);
+  w.u64(r.generated);
+  w.u64(r.delivered);
+  w.u64(r.collisions);
+  w.u64(r.attempts);
+  w.u64(r.failed_attempts);
+  w.u64(r.data_transmissions);
+  w.u64(r.drops_overflow);
+  w.u64(r.drops_threshold);
+  w.u64(r.drops_delivered);
+  w.u64(r.events_executed);
+  w.u64(r.faults_injected);
+  w.u64(r.drops_node_failure);
+  w.u64(r.frames_fault_corrupted);
+  w.u64(r.invariant_sweeps);
+  w.end_section();
+}
+
+void load_run_result(RunResult& r, snapshot::Reader& rd) {
+  rd.begin_section("run_result");
+  r.delivery_ratio = rd.f64();
+  r.mean_power_mw = rd.f64();
+  r.mean_delay_s = rd.f64();
+  r.mean_hops = rd.f64();
+  r.overhead_bits_per_delivery = rd.f64();
+  r.fairness_jain = rd.f64();
+  r.generated = rd.u64();
+  r.delivered = rd.u64();
+  r.collisions = rd.u64();
+  r.attempts = rd.u64();
+  r.failed_attempts = rd.u64();
+  r.data_transmissions = rd.u64();
+  r.drops_overflow = rd.u64();
+  r.drops_threshold = rd.u64();
+  r.drops_delivered = rd.u64();
+  r.events_executed = rd.u64();
+  r.faults_injected = rd.u64();
+  r.drops_node_failure = rd.u64();
+  r.frames_fault_corrupted = rd.u64();
+  r.invariant_sweeps = rd.u64();
+  rd.end_section();
+}
+
+std::uint32_t check_version(snapshot::Reader& rd, const char* what) {
+  const std::uint32_t v = rd.u32();
+  if (v != kProtocolVersion)
+    throw snapshot::SnapshotError(std::string(what) + ": protocol version " +
+                                  std::to_string(v) + " (this build speaks " +
+                                  std::to_string(kProtocolVersion) + ")");
+  return v;
+}
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("shared progress: " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_worker_request(const WorkerRequest& req) {
+  snapshot::Writer w;
+  w.u32(kProtocolVersion);
+  w.begin_section("request");
+  save_config_exact(req.config, w);
+  w.u32(static_cast<std::uint32_t>(req.kind));
+  w.i64(req.attempt);
+  w.str(req.checkpoint_path);
+  w.f64(req.checkpoint_every_s);
+  w.boolean(req.verify_on_resume);
+  w.str(req.result_path);
+  w.str(req.progress_path);
+  w.end_section();
+  return snapshot::seal_container(kRequestMagic, w.bytes());
+}
+
+WorkerRequest decode_worker_request(const std::vector<std::uint8_t>& image) {
+  snapshot::Reader rd(snapshot::unseal_container(kRequestMagic, image));
+  check_version(rd, "worker request");
+  WorkerRequest req;
+  rd.begin_section("request");
+  load_config_exact(req.config, rd);
+  req.kind = static_cast<ProtocolKind>(rd.u32());
+  req.attempt = static_cast<int>(rd.i64());
+  req.checkpoint_path = rd.str();
+  req.checkpoint_every_s = rd.f64();
+  req.verify_on_resume = rd.boolean();
+  req.result_path = rd.str();
+  req.progress_path = rd.str();
+  rd.end_section();
+  return req;
+}
+
+void write_worker_request(const std::string& path, const WorkerRequest& req) {
+  snapshot::write_file_atomic(path, encode_worker_request(req));
+}
+
+WorkerRequest read_worker_request(const std::string& path) {
+  return decode_worker_request(snapshot::read_file(path));
+}
+
+std::vector<std::uint8_t> encode_worker_result(const WorkerResult& res) {
+  snapshot::Writer w;
+  w.u32(kProtocolVersion);
+  w.begin_section("result");
+  w.u8(res.ok ? 0 : 1);
+  w.str(res.error);
+  save_run_result(res.result, w);
+  w.u64(res.checkpoints_written);
+  res.registry.save_state(w);
+  w.end_section();
+  return snapshot::seal_container(kResultMagic, w.bytes());
+}
+
+WorkerResult decode_worker_result(const std::vector<std::uint8_t>& image) {
+  snapshot::Reader rd(snapshot::unseal_container(kResultMagic, image));
+  check_version(rd, "worker result");
+  WorkerResult res;
+  rd.begin_section("result");
+  res.ok = rd.u8() == 0;
+  res.error = rd.str();
+  load_run_result(res.result, rd);
+  res.checkpoints_written = rd.u64();
+  res.registry.load_state(rd);
+  rd.end_section();
+  return res;
+}
+
+void write_worker_result(const std::string& path, const WorkerResult& res) {
+  snapshot::write_file_atomic(path, encode_worker_result(res));
+}
+
+WorkerResult read_worker_result(const std::string& path) {
+  return decode_worker_result(snapshot::read_file(path));
+}
+
+std::string worker_signal_name(int sig) {
+  // Hand-mapped so manifest strings are identical across libcs.
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGABRT: return "SIGABRT";
+    case SIGKILL: return "SIGKILL";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGTERM: return "SIGTERM";
+    default: return "signal " + std::to_string(sig);
+  }
+}
+
+WorkerExitDecision decode_worker_exit(int wait_status, WorkerFileState file,
+                                      const std::string& reported_error) {
+  if (WIFSIGNALED(wait_status))
+    return {false,
+            "worker killed by " + worker_signal_name(WTERMSIG(wait_status))};
+  if (WIFEXITED(wait_status)) {
+    const int code = WEXITSTATUS(wait_status);
+    if (code == 0) {
+      switch (file) {
+        case WorkerFileState::kOk:
+          return {true, ""};
+        case WorkerFileState::kMissing:
+          return {false, "worker exited 0 but wrote no result file"};
+        case WorkerFileState::kCorrupt:
+          return {false, "worker exited 0 but its result file is corrupt"};
+        case WorkerFileState::kError:
+          return {false, reported_error.empty()
+                             ? "worker exited 0 with an error result"
+                             : reported_error};
+      }
+    }
+    // Nonzero exit: prefer the structured error the worker managed to
+    // write; a bare exit code is the fallback diagnosis.
+    return {false, reported_error.empty()
+                       ? "worker exit code " + std::to_string(code)
+                       : reported_error};
+  }
+  return {false, "worker wait status " + std::to_string(wait_status)};
+}
+
+// --- SharedProgress ----------------------------------------------------
+
+static_assert(sizeof(std::atomic<std::uint64_t>) == 8,
+              "shared progress mapping assumes an 8-byte atomic");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "cross-process progress needs a lock-free atomic");
+
+namespace {
+
+std::atomic<std::uint64_t>* map_counter(int fd) {
+  void* addr = ::mmap(nullptr, sizeof(std::atomic<std::uint64_t>),
+                      PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (addr == MAP_FAILED) sys_fail("mmap");
+  return static_cast<std::atomic<std::uint64_t>*>(addr);
+}
+
+}  // namespace
+
+SharedProgress SharedProgress::create(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) sys_fail("open " + path);
+  if (::ftruncate(fd, sizeof(std::atomic<std::uint64_t>)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    sys_fail("ftruncate " + path);
+  }
+  SharedProgress sp;
+  try {
+    sp.counter_ = map_counter(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);  // the mapping keeps the page alive
+  sp.counter_->store(0, std::memory_order_relaxed);
+  return sp;
+}
+
+SharedProgress SharedProgress::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) sys_fail("open " + path);
+  SharedProgress sp;
+  try {
+    sp.counter_ = map_counter(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return sp;
+}
+
+SharedProgress::SharedProgress(SharedProgress&& other) noexcept
+    : counter_(other.counter_) {
+  other.counter_ = nullptr;
+}
+
+SharedProgress& SharedProgress::operator=(SharedProgress&& other) noexcept {
+  if (this != &other) {
+    if (counter_ != nullptr)
+      ::munmap(counter_, sizeof(std::atomic<std::uint64_t>));
+    counter_ = other.counter_;
+    other.counter_ = nullptr;
+  }
+  return *this;
+}
+
+SharedProgress::~SharedProgress() {
+  if (counter_ != nullptr)
+    ::munmap(counter_, sizeof(std::atomic<std::uint64_t>));
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,126 @@
+// Wire format and process plumbing between a supervising sweep parent
+// and its isolated replication workers (`dftmsn_cli --worker FILE`).
+//
+// The parent hands each worker one *request file* — the full Config
+// (bit-exact encoding, see save_config_exact), the protocol kind, the
+// attempt number and the paths the worker must use — and the worker
+// hands back one *result file* with either the finished RunResult plus
+// its telemetry registry, or a structured error. Both files are sealed
+// containers (8-byte magic + payload + trailing FNV-1a digest, see
+// seal_container), so a torn write or a half-dead worker can never feed
+// the parent garbage: validation fails loudly and the parent retries.
+//
+// Progress crosses the process boundary through an 8-byte file-backed
+// shared mapping (SharedProgress): the worker's simulator stores its
+// executed-event count there and the parent's watchdog reads it exactly
+// like an in-process slot — MAP_ANONYMOUS would not survive the exec.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "experiment/runner.hpp"
+#include "protocol/mac_common.hpp"
+#include "telemetry/registry.hpp"
+
+namespace dftmsn {
+
+// Worker process exit codes. 0/2 deliberately line up with the CLI's own
+// ok/usage-error codes; 3 matches the CLI's invariant-violation code; 6
+// is worker-specific (run failed, structured error in the result file).
+inline constexpr int kWorkerExitOk = 0;
+inline constexpr int kWorkerExitBadRequest = 2;
+inline constexpr int kWorkerExitInvariant = 3;
+inline constexpr int kWorkerExitRunFailed = 6;
+
+/// Everything a worker needs to run one replication attempt.
+struct WorkerRequest {
+  Config config;
+  ProtocolKind kind = ProtocolKind::kOpt;
+  int attempt = 0;               ///< gates attempts=-qualified fault events
+  std::string checkpoint_path;   ///< empty: no checkpointing
+  double checkpoint_every_s = 0.0;
+  bool verify_on_resume = true;
+  std::string result_path;       ///< where the worker writes its result
+  std::string progress_path;     ///< SharedProgress file (empty: none)
+};
+
+/// What a worker reports back. On ok=false only `error` is meaningful.
+struct WorkerResult {
+  bool ok = false;
+  std::string error;
+  RunResult result;
+  std::uint64_t checkpoints_written = 0;
+  telemetry::Registry registry;  ///< empty when telemetry is disabled
+};
+
+std::vector<std::uint8_t> encode_worker_request(const WorkerRequest& req);
+WorkerRequest decode_worker_request(const std::vector<std::uint8_t>& image);
+void write_worker_request(const std::string& path, const WorkerRequest& req);
+WorkerRequest read_worker_request(const std::string& path);
+
+std::vector<std::uint8_t> encode_worker_result(const WorkerResult& res);
+WorkerResult decode_worker_result(const std::vector<std::uint8_t>& image);
+void write_worker_result(const std::string& path, const WorkerResult& res);
+WorkerResult read_worker_result(const std::string& path);
+
+/// What the parent found when it went to read a worker's result file.
+enum class WorkerFileState : std::uint8_t {
+  kOk,       ///< decoded cleanly, ok=true
+  kError,    ///< decoded cleanly, ok=false (worker reported a failure)
+  kMissing,  ///< no file (worker died before writing)
+  kCorrupt,  ///< file exists but failed digest/decoding
+};
+
+/// Supervisor verdict for one finished worker.
+struct WorkerExitDecision {
+  bool accept = false;    ///< take the result; false = retry/quarantine path
+  std::string detail;     ///< failure message for the manifest (retry path)
+};
+
+/// Maps a waitpid status + result-file state to the supervisor action.
+/// `reported_error` is the error string out of a decoded error-result
+/// (empty otherwise). Pure function — unit-testable against a table of
+/// crafted wait statuses.
+WorkerExitDecision decode_worker_exit(int wait_status, WorkerFileState file,
+                                      const std::string& reported_error);
+
+/// "SIGSEGV" for 11, "signal 42" for everything unnamed. Hand-mapped:
+/// strsignal() is locale-dependent and not async-signal relevant here,
+/// but its strings vary across libcs and would leak into manifest
+/// golden comparisons.
+std::string worker_signal_name(int sig);
+
+/// One 8-byte cross-process atomic counter backed by a file mapping.
+/// The parent creates the file (truncated to 8 zero bytes) and maps it;
+/// the worker opens and maps the same file; both sides then use plain
+/// std::atomic<uint64_t> operations on the shared page.
+class SharedProgress {
+ public:
+  /// Parent side: create/truncate the file and map it. Throws
+  /// std::runtime_error on any syscall failure.
+  static SharedProgress create(const std::string& path);
+  /// Worker side: map an existing file created by create().
+  static SharedProgress open(const std::string& path);
+
+  SharedProgress(SharedProgress&& other) noexcept;
+  SharedProgress& operator=(SharedProgress&& other) noexcept;
+  SharedProgress(const SharedProgress&) = delete;
+  SharedProgress& operator=(const SharedProgress&) = delete;
+  ~SharedProgress();
+
+  [[nodiscard]] std::atomic<std::uint64_t>* counter() { return counter_; }
+  [[nodiscard]] const std::atomic<std::uint64_t>* counter() const {
+    return counter_;
+  }
+
+ private:
+  SharedProgress() = default;
+
+  std::atomic<std::uint64_t>* counter_ = nullptr;
+};
+
+}  // namespace dftmsn

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -131,6 +133,15 @@ void FaultInjector::apply(const FaultEvent& e) {
     case FaultKind::kDie:
       if (e.attempts > 0 && attempt_ >= e.attempts) break;  // gated out
       throw SimulatedCrash(sim_.now());
+    case FaultKind::kSegv:
+      if (e.attempts > 0 && attempt_ >= e.attempts) break;  // gated out
+      // A real signal, not an exception: only a process boundary
+      // (--isolate=process) survives this. In-process the run dies.
+      std::raise(SIGSEGV);
+      break;
+    case FaultKind::kAbort:
+      if (e.attempts > 0 && attempt_ >= e.attempts) break;  // gated out
+      std::abort();
   }
 }
 

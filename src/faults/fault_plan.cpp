@@ -27,6 +27,8 @@ std::optional<FaultKind> parse_kind(const std::string& name) {
   if (name == "pressure") return FaultKind::kPressure;
   if (name == "hang") return FaultKind::kHang;
   if (name == "die") return FaultKind::kDie;
+  if (name == "segv") return FaultKind::kSegv;
+  if (name == "abort") return FaultKind::kAbort;
   return std::nullopt;
 }
 
@@ -57,7 +59,8 @@ FaultEvent parse_event(const std::string& text) {
   e.kind = *kind;
 
   const bool argless_ok =
-      e.kind == FaultKind::kHang || e.kind == FaultKind::kDie;
+      e.kind == FaultKind::kHang || e.kind == FaultKind::kDie ||
+      e.kind == FaultKind::kSegv || e.kind == FaultKind::kAbort;
   if (colon == std::string::npos && !argless_ok) fail(text, "missing ':args'");
 
   const std::string time_text =
@@ -146,10 +149,19 @@ FaultEvent parse_event(const std::string& text) {
       if (have_target) fail(text, "die is run-wide (no node=/frac=)");
       if (e.duration > 0) fail(text, "die takes no 'for='");
       break;
+    case FaultKind::kSegv:
+      if (have_target) fail(text, "segv is run-wide (no node=/frac=)");
+      if (e.duration > 0) fail(text, "segv takes no 'for='");
+      break;
+    case FaultKind::kAbort:
+      if (have_target) fail(text, "abort is run-wide (no node=/frac=)");
+      if (e.duration > 0) fail(text, "abort takes no 'for='");
+      break;
   }
   if (e.attempts > 0 && e.kind != FaultKind::kHang &&
-      e.kind != FaultKind::kDie)
-    fail(text, "attempts= only applies to hang/die");
+      e.kind != FaultKind::kDie && e.kind != FaultKind::kSegv &&
+      e.kind != FaultKind::kAbort)
+    fail(text, "attempts= only applies to hang/die/segv/abort");
   if (e.node != kInvalidNode && e.frac > 0.0)
     fail(text, "node= and frac= are mutually exclusive");
   return e;
@@ -166,6 +178,8 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kPressure: return "pressure";
     case FaultKind::kHang: return "hang";
     case FaultKind::kDie: return "die";
+    case FaultKind::kSegv: return "segv";
+    case FaultKind::kAbort: return "abort";
   }
   return "?";
 }

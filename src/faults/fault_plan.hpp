@@ -28,6 +28,12 @@
 //                              first K attempts of a supervised run.
 //   die@T[:attempts=K]         the run aborts with a SimulatedCrash at T —
 //                              exercises supervisor retry/quarantine.
+//   segv@T[:attempts=K]        the process raises a real SIGSEGV at T —
+//                              fatal in-process; survivable only under
+//                              --isolate=process (crash containment drill).
+//   abort@T[:attempts=K]       the process calls std::abort() (SIGABRT)
+//                              at T — same containment drill via the
+//                              abort path.
 //
 // Every argument key may appear at most once per event; duplicate keys,
 // non-finite numbers and out-of-range values are rejected with an error
@@ -49,6 +55,8 @@ enum class FaultKind {
   kPressure,  ///< queue capacity clamped (forces overflow evictions)
   kHang,      ///< run stops making progress (watchdog drill)
   kDie,       ///< run aborts with SimulatedCrash (retry/quarantine drill)
+  kSegv,      ///< process raises SIGSEGV (process-isolation drill)
+  kAbort,     ///< process calls std::abort (process-isolation drill)
 };
 
 const char* fault_kind_name(FaultKind k);

@@ -1,0 +1,143 @@
+// Supervised runs must carry telemetry: the regression here is the
+// supervised `--report-json` whose instrument sections came out empty
+// because the supervisor path never captured the per-spec registries.
+// These tests pin the whole chain — capture, manifest round-trip,
+// no-double-counting across retries, and jobs-independence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "experiment/runner.hpp"
+#include "experiment/supervisor.hpp"
+
+namespace dftmsn {
+namespace {
+
+Config small_config(std::uint64_t seed) {
+  Config c;
+  c.scenario.num_sensors = 10;
+  c.scenario.num_sinks = 2;
+  c.scenario.field_m = 120.0;
+  c.scenario.duration_s = 600.0;
+  c.scenario.warmup_s = 50.0;
+  c.scenario.speed_max_mps = 4.0;
+  c.scenario.seed = seed;
+  c.telemetry.enabled = true;
+  return c;
+}
+
+/// RAII scratch directory for checkpoints.
+struct TempDir {
+  explicit TempDir(const std::string& name) : path(name) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+TEST(SupervisorTelemetry, SupervisedRegistryMatchesUnsupervisedRun) {
+  TempDir dir("sup_tel_clean.tmp");
+  std::vector<RunSpec> specs(2);
+  specs[0].config = small_config(101);
+  specs[1].config = small_config(102);
+
+  SupervisorOptions opts;
+  opts.checkpoint_dir = dir.path;
+  const SweepManifest m = run_specs_supervised(specs, opts);
+  ASSERT_EQ(m.completed(), 2);
+
+  // Per-spec registries equal the plain runner's, byte for byte
+  // (serialize() is canonical).
+  std::vector<RunTelemetry> plain;
+  run_specs(specs, 1, &plain);
+  ASSERT_EQ(plain.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_FALSE(m.specs[i].registry.empty());
+    EXPECT_EQ(m.specs[i].registry.serialize(), plain[i].registry.serialize());
+  }
+}
+
+TEST(SupervisorTelemetry, RetriedSpecDoesNotDoubleCountInstruments) {
+  // die@300:attempts=1 crashes attempt 0 past several checkpoints; the
+  // retry replays from event 0. The accepted registry must equal a
+  // crash-free attempt-1 run — not attempt-0's prefix plus attempt-1.
+  TempDir dir("sup_tel_retry.tmp");
+  RunSpec spec;
+  spec.config = small_config(103);
+  spec.config.faults.plan = "die@300:attempts=1";
+
+  SupervisorOptions opts;
+  opts.checkpoint_dir = dir.path;
+  opts.checkpoint_every_s = 100.0;
+  opts.retry_backoff_s = 0.0;
+  const SweepManifest m = run_specs_supervised({spec}, opts);
+  ASSERT_EQ(m.completed(), 1);
+  ASSERT_EQ(m.specs[0].retries, 1);
+
+  Config straight = spec.config;
+  straight.faults.attempt = 1;
+  RunTelemetry tel;
+  run_once(straight, spec.kind, &tel);
+  ASSERT_FALSE(tel.registry.empty());
+  EXPECT_EQ(m.specs[0].registry.serialize(), tel.registry.serialize());
+}
+
+TEST(SupervisorTelemetry, RegistriesRoundTripThroughManifest) {
+  TempDir dir("sup_tel_manifest.tmp");
+  std::vector<RunSpec> specs(2);
+  specs[0].config = small_config(104);
+  specs[1].config = small_config(105);
+  specs[1].config.telemetry.enabled = false;  // mixed batch
+
+  SupervisorOptions opts;
+  opts.checkpoint_dir = dir.path;
+  const SweepManifest m = run_specs_supervised(specs, opts);
+  ASSERT_EQ(m.completed(), 2);
+  ASSERT_FALSE(m.specs[0].registry.empty());
+  EXPECT_TRUE(m.specs[1].registry.empty());
+
+  SweepManifest loaded;
+  ASSERT_TRUE(load_manifest(manifest_path(dir.path), &loaded));
+  ASSERT_EQ(loaded.specs.size(), 2u);
+  EXPECT_EQ(loaded.specs[0].registry.serialize(),
+            m.specs[0].registry.serialize());
+  EXPECT_TRUE(loaded.specs[1].registry.empty());
+
+  // Resuming an already-complete sweep reloads the registries from the
+  // manifest without rerunning anything.
+  opts.resume = true;
+  const SweepManifest again = run_specs_supervised(specs, opts);
+  ASSERT_EQ(again.completed(), 2);
+  EXPECT_EQ(again.specs[0].registry.serialize(),
+            m.specs[0].registry.serialize());
+}
+
+TEST(SupervisorTelemetry, ManifestBytesIdenticalAcrossJobs) {
+  // The report-json regression in full: both the captured registries and
+  // the manifest file itself must be byte-identical at any --jobs.
+  std::vector<RunSpec> specs(3);
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    specs[i].config = small_config(110 + i);
+
+  auto manifest_bytes = [&](const std::string& dirname, int jobs) {
+    TempDir dir(dirname);
+    SupervisorOptions opts;
+    opts.checkpoint_dir = dir.path;
+    opts.jobs = jobs;
+    const SweepManifest m = run_specs_supervised(specs, opts);
+    EXPECT_EQ(m.completed(), 3);
+    std::ifstream in(manifest_path(dir.path), std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+  const std::string serial = manifest_bytes("sup_tel_j1.tmp", 1);
+  const std::string parallel = manifest_bytes("sup_tel_j4.tmp", 4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace dftmsn

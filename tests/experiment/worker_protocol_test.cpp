@@ -1,0 +1,197 @@
+// Worker protocol: bit-exact request/result round-trips through the
+// sealed container files, the table of waitpid-status -> supervisor
+// decisions, and the cross-process shared progress counter.
+#include "experiment/worker_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "common/config_io.hpp"
+#include "snapshot/snapshot_io.hpp"
+
+namespace dftmsn {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// Linux wait-status encoding (what waitpid writes): a normal exit is
+// code << 8, a signal death is the raw signal number.
+int exited(int code) { return code << 8; }
+int signaled(int sig) { return sig; }
+
+TEST(WorkerProtocol, RequestRoundTripsConfigBitExactly) {
+  WorkerRequest req;
+  // Doubles that do NOT survive the 6-significant-digit textual config
+  // form — the whole reason the exact codec exists.
+  req.config.protocol.alpha = 0.1 + 0.2;  // 0.30000000000000004
+  req.config.scenario.duration_s = 1234.5678901234567;
+  req.config.scenario.seed = 0xdeadbeefcafeull;
+  req.config.faults.plan = "segv@300:attempts=1";
+  req.kind = ProtocolKind::kDirect;
+  req.attempt = 3;
+  req.checkpoint_path = "ck/spec_7.ckpt";
+  req.checkpoint_every_s = 250.25;
+  req.verify_on_resume = false;
+  req.result_path = "scratch/spec_7.result";
+  req.progress_path = "scratch/spec_7.progress";
+
+  const WorkerRequest got =
+      decode_worker_request(encode_worker_request(req));
+  EXPECT_TRUE(same_bits(got.config.protocol.alpha, req.config.protocol.alpha));
+  EXPECT_TRUE(same_bits(got.config.scenario.duration_s,
+                        req.config.scenario.duration_s));
+  EXPECT_EQ(got.config.scenario.seed, req.config.scenario.seed);
+  EXPECT_EQ(got.config.faults.plan, req.config.faults.plan);
+  EXPECT_EQ(got.kind, req.kind);
+  EXPECT_EQ(got.attempt, req.attempt);
+  EXPECT_EQ(got.checkpoint_path, req.checkpoint_path);
+  EXPECT_TRUE(same_bits(got.checkpoint_every_s, req.checkpoint_every_s));
+  EXPECT_FALSE(got.verify_on_resume);
+  EXPECT_EQ(got.result_path, req.result_path);
+  EXPECT_EQ(got.progress_path, req.progress_path);
+}
+
+TEST(WorkerProtocol, OkResultRoundTripsWithRegistry) {
+  WorkerResult res;
+  res.ok = true;
+  res.result.delivery_ratio = 0.1 + 0.2;
+  res.result.generated = 41;
+  res.result.delivered = 12;
+  res.result.events_executed = 987654;
+  res.checkpoints_written = 5;
+  res.registry.counter("mac.rts_sent")->inc(17);
+  res.registry.gauge("queue.peak_fill")->set(0.75);
+  res.registry.histogram("delay", 0.0, 100.0, 4)->observe(12.5);
+
+  const WorkerResult got = decode_worker_result(encode_worker_result(res));
+  EXPECT_TRUE(got.ok);
+  EXPECT_TRUE(got.error.empty());
+  EXPECT_TRUE(same_bits(got.result.delivery_ratio, res.result.delivery_ratio));
+  EXPECT_EQ(got.result.generated, 41u);
+  EXPECT_EQ(got.result.delivered, 12u);
+  EXPECT_EQ(got.result.events_executed, 987654u);
+  EXPECT_EQ(got.checkpoints_written, 5u);
+  EXPECT_EQ(got.registry.serialize(), res.registry.serialize());
+}
+
+TEST(WorkerProtocol, ErrorResultRoundTrips) {
+  WorkerResult res;
+  res.ok = false;
+  res.error = "simulated crash at t=300";
+  res.checkpoints_written = 2;
+
+  const WorkerResult got = decode_worker_result(encode_worker_result(res));
+  EXPECT_FALSE(got.ok);
+  EXPECT_EQ(got.error, "simulated crash at t=300");
+  EXPECT_EQ(got.checkpoints_written, 2u);
+  EXPECT_TRUE(got.registry.empty());
+}
+
+TEST(WorkerProtocol, CorruptImagesAreRejected) {
+  WorkerResult res;
+  res.ok = true;
+  std::vector<std::uint8_t> image = encode_worker_result(res);
+
+  // Every single-byte flip must fail the digest (or, for trailing-digest
+  // bytes, the magic/digest pair) — spot-check a spread of positions.
+  for (const std::size_t at :
+       {std::size_t{0}, std::size_t{3}, image.size() / 2, image.size() - 1}) {
+    std::vector<std::uint8_t> bad = image;
+    bad[at] ^= 0x40;
+    EXPECT_THROW(decode_worker_result(bad), snapshot::SnapshotError) << at;
+  }
+  // Truncation.
+  std::vector<std::uint8_t> shorter(image.begin(), image.end() - 9);
+  EXPECT_THROW(decode_worker_result(shorter), snapshot::SnapshotError);
+  // A request is not a result (foreign magic).
+  EXPECT_THROW(decode_worker_request(image), snapshot::SnapshotError);
+}
+
+TEST(WorkerProtocol, DecodeWorkerExitTable) {
+  struct Case {
+    const char* name;
+    int status;
+    WorkerFileState file;
+    const char* reported;
+    bool accept;
+    const char* detail_contains;  ///< nullptr: detail must be empty
+  };
+  const Case cases[] = {
+      {"clean exit + ok result", exited(0), WorkerFileState::kOk, "", true,
+       nullptr},
+      {"clean exit, no result file", exited(0), WorkerFileState::kMissing, "",
+       false, "no result file"},
+      {"clean exit, torn result file", exited(0), WorkerFileState::kCorrupt,
+       "", false, "corrupt"},
+      {"clean exit, error result", exited(0), WorkerFileState::kError,
+       "invariant I3 violated", false, "invariant I3 violated"},
+      {"run-failed exit with structured error", exited(kWorkerExitRunFailed),
+       WorkerFileState::kError, "simulated crash at t=300", false,
+       "simulated crash at t=300"},
+      {"bad-request exit, nothing written", exited(kWorkerExitBadRequest),
+       WorkerFileState::kMissing, "", false, "worker exit code 2"},
+      {"segfault", signaled(SIGSEGV), WorkerFileState::kMissing, "", false,
+       "worker killed by SIGSEGV"},
+      {"abort", signaled(SIGABRT), WorkerFileState::kMissing, "", false,
+       "worker killed by SIGABRT"},
+      {"watchdog/oom kill", signaled(SIGKILL), WorkerFileState::kMissing, "",
+       false, "worker killed by SIGKILL"},
+      {"unnamed signal", signaled(35), WorkerFileState::kMissing, "", false,
+       "worker killed by signal 35"},
+      // A signal death outranks whatever half-result made it to disk: the
+      // file may predate the kill.
+      {"signal death with stale ok file", signaled(SIGKILL),
+       WorkerFileState::kOk, "", false, "worker killed by SIGKILL"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const WorkerExitDecision d =
+        decode_worker_exit(c.status, c.file, c.reported);
+    EXPECT_EQ(d.accept, c.accept);
+    if (c.detail_contains == nullptr) {
+      EXPECT_TRUE(d.detail.empty()) << d.detail;
+    } else {
+      EXPECT_NE(d.detail.find(c.detail_contains), std::string::npos)
+          << d.detail;
+    }
+  }
+}
+
+TEST(WorkerProtocol, SignalNames) {
+  EXPECT_EQ(worker_signal_name(SIGSEGV), "SIGSEGV");
+  EXPECT_EQ(worker_signal_name(SIGBUS), "SIGBUS");
+  EXPECT_EQ(worker_signal_name(SIGABRT), "SIGABRT");
+  EXPECT_EQ(worker_signal_name(SIGKILL), "SIGKILL");
+  EXPECT_EQ(worker_signal_name(SIGTERM), "SIGTERM");
+  EXPECT_EQ(worker_signal_name(42), "signal 42");
+}
+
+TEST(WorkerProtocol, SharedProgressIsVisibleAcrossMappings) {
+  const std::string path = "worker_protocol_progress.tmp";
+  {
+    SharedProgress parent = SharedProgress::create(path);
+    EXPECT_EQ(parent.counter()->load(), 0u);  // create() zeroes
+
+    // Second mapping of the same file — what the worker process does.
+    SharedProgress child = SharedProgress::open(path);
+    child.counter()->store(12345);
+    EXPECT_EQ(parent.counter()->load(), 12345u);
+    parent.counter()->store(0);
+    EXPECT_EQ(child.counter()->load(), 0u);
+
+    // A fresh create() resets a leftover file.
+    child.counter()->store(99);
+    SharedProgress again = SharedProgress::create(path);
+    EXPECT_EQ(again.counter()->load(), 0u);
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(SharedProgress::open(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dftmsn

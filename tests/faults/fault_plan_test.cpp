@@ -159,7 +159,38 @@ TEST(FaultPlan, RejectsBadHangAndDieArguments) {
       "hang@10:attempts=0",   // attempts must be >= 1
       "hang@10:attempts=-1",
       "hang@10:attempts=x",
-      "crash@10:node=1,attempts=2",  // attempts= only gates hang/die
+      "crash@10:node=1,attempts=2",  // attempts= only gates process drills
+  };
+  for (const char* spec : bad)
+    EXPECT_THROW(parse_fault_plan(spec), std::invalid_argument) << spec;
+}
+
+TEST(FaultPlan, ParsesSegvAndAbort) {
+  const FaultPlan plan =
+      parse_fault_plan("segv@100;segv@200:attempts=1;abort@300;"
+                       "abort@400:attempts=2");
+  ASSERT_EQ(plan.events.size(), 4u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kSegv);
+  EXPECT_EQ(plan.events[0].attempts, 0);  // unbounded: kills every attempt
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kSegv);
+  EXPECT_EQ(plan.events[1].attempts, 1);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kAbort);
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kAbort);
+  EXPECT_EQ(plan.events[3].attempts, 2);
+  EXPECT_STREQ(fault_kind_name(FaultKind::kSegv), "segv");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kAbort), "abort");
+}
+
+TEST(FaultPlan, RejectsBadSegvAndAbortArguments) {
+  const char* bad[] = {
+      "segv@10:node=1",   // run-wide, not per-node
+      "segv@10:frac=0.5",
+      "segv@10:for=5",    // instantaneous
+      "abort@10:node=1",
+      "abort@10:frac=0.5",
+      "abort@10:for=5",
+      "segv@10:attempts=0",
+      "abort@10:attempts=-1",
   };
   for (const char* spec : bad)
     EXPECT_THROW(parse_fault_plan(spec), std::invalid_argument) << spec;

@@ -181,5 +181,29 @@ TEST(FaultScenario, AllProtocolsSurviveTheGauntlet) {
   }
 }
 
+TEST(FaultScenario, GatedOutProcessDrillsAreTrajectoryInvisible) {
+  // On an attempt past its attempts= gate, a segv/abort/die event is
+  // scheduled but fires as a no-op — so all three plans (and no plan at
+  // all, modulo the event count) must produce the same trajectory. This
+  // is what lets a supervisor retry a segv'd replication and get the
+  // numbers of a crash-free run.
+  Config base = small_config(31);
+  base.scenario.duration_s = 800.0;
+  base.faults.attempt = 1;  // past the attempts=1 gate
+
+  Config die = base;
+  die.faults.plan = "die@300:attempts=1";
+  Config segv = base;
+  segv.faults.plan = "segv@300:attempts=1";
+  Config abrt = base;
+  abrt.faults.plan = "abort@300:attempts=1";
+
+  const RunResult rd = run_once(die, ProtocolKind::kOpt);
+  const RunResult rs = run_once(segv, ProtocolKind::kOpt);
+  const RunResult ra = run_once(abrt, ProtocolKind::kOpt);
+  expect_equal_results(rd, rs);
+  expect_equal_results(rd, ra);
+}
+
 }  // namespace
 }  // namespace dftmsn
