@@ -1,0 +1,118 @@
+// SCHED-SCALE: scheduler + channel scale trajectory.
+//
+// Runs the paper scenario at constant node density for n = 100 / 1k /
+// 10k / 100k sensors and reports wall-clock events/sec, so every later
+// PR can prove (or refute) hot-path speedups against the committed
+// BENCH_scheduler.json baseline (format: docs/performance.md).
+//
+// Usage: scheduler_scale [--out FILE] [--max-n N]
+//   --out FILE   JSON output path (default: no JSON, stdout table only)
+//   --max-n N    largest population to run (default 100000)
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "experiment/world.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Point {
+  int n = 0;
+  double sim_duration_s = 0.0;
+  std::uint64_t events = 0;
+  double build_wall_s = 0.0;
+  double run_wall_s = 0.0;
+  double events_per_sec = 0.0;
+};
+
+Point run_point(int n, double sim_duration_s) {
+  using namespace dftmsn;
+  Config c;
+  // Constant density: the paper's 100 sensors / (150 m)^2 field, scaled.
+  const double scale = std::sqrt(n / 100.0);
+  c.scenario.num_sensors = n;
+  c.scenario.num_sinks = std::max(1, (3 * n) / 100);
+  c.scenario.field_m = 150.0 * scale;
+  c.scenario.duration_s = sim_duration_s;
+  c.scenario.seed = 42;
+
+  Point p;
+  p.n = n;
+  p.sim_duration_s = sim_duration_s;
+
+  const auto t0 = Clock::now();
+  World world(c, ProtocolKind::kOpt);
+  p.build_wall_s = seconds_since(t0);
+
+  const auto t1 = Clock::now();
+  world.run();
+  p.run_wall_s = seconds_since(t1);
+
+  p.events = world.sim().events_executed();
+  p.events_per_sec =
+      p.run_wall_s > 0 ? static_cast<double>(p.events) / p.run_wall_s : 0.0;
+  return p;
+}
+
+void write_json(const std::string& path, const std::vector<Point>& points) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"scheduler_scale\",\n  \"protocol\": \"OPT\",\n"
+      << "  \"seed\": 42,\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    out << "    {\"n\": " << p.n << ", \"sim_duration_s\": " << p.sim_duration_s
+        << ", \"events\": " << p.events << ", \"build_wall_s\": "
+        << p.build_wall_s << ", \"run_wall_s\": " << p.run_wall_s
+        << ", \"events_per_sec\": " << static_cast<std::uint64_t>(p.events_per_sec)
+        << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  int max_n = 100'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--max-n" && i + 1 < argc) {
+      max_n = std::stoi(argv[++i]);
+    } else {
+      std::cerr << "usage: scheduler_scale [--out FILE] [--max-n N]\n";
+      return 2;
+    }
+  }
+
+  // Sim horizons chosen so each point executes a few hundred thousand to a
+  // few million events: enough to amortize startup, bounded wall-clock.
+  const std::vector<std::pair<int, double>> schedule = {
+      {100, 1000.0}, {1000, 200.0}, {10'000, 50.0}, {100'000, 10.0}};
+
+  std::vector<Point> points;
+  std::cout << "SCHED-SCALE: events/sec at constant density (OPT, seed 42)\n";
+  std::cout << "       n     sim_s        events   build_s     run_s    events/s\n";
+  for (const auto& [n, dur] : schedule) {
+    if (n > max_n) continue;
+    const Point p = run_point(n, dur);
+    points.push_back(p);
+    std::printf("%8d  %8.0f  %12llu  %8.2f  %8.2f  %10.0f\n", p.n,
+                p.sim_duration_s, static_cast<unsigned long long>(p.events),
+                p.build_wall_s, p.run_wall_s, p.events_per_sec);
+  }
+  if (!out_path.empty()) write_json(out_path, points);
+  return 0;
+}

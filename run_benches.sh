@@ -11,3 +11,10 @@ cd "$(dirname "$0")"
   done
   echo "BENCH_SUITE_DONE"
 } > bench_output.txt 2>&1
+
+# Scheduler scaling trajectory: the machine-readable events/sec curve
+# (format: docs/performance.md) next to the human-readable table that the
+# loop above already dropped into bench_output.txt.
+if [ -x build/bench/scheduler_scale ]; then
+  build/bench/scheduler_scale --out BENCH_scheduler.json > /dev/null
+fi

@@ -21,6 +21,11 @@ World::World(Config config, ProtocolKind kind)
       metrics_(cfg_.scenario.warmup_s) {
   cfg_.validate();
 
+  // Neighbourhood queries (carrier sense, receiver discovery, contact
+  // probes) go through a radio-range-celled spatial index instead of the
+  // O(n) all-nodes scan. Bit-identical results, test-enforced.
+  mobility_.enable_spatial_index(cfg_.scenario.field_m, cfg_.radio.range_m);
+
   const int n = cfg_.scenario.num_sensors;
   const int k = cfg_.scenario.num_sinks;
 

@@ -9,10 +9,19 @@ MobilityManager::MobilityManager(Simulator& sim, double step)
   if (step <= 0) throw std::invalid_argument("MobilityManager: step <= 0");
 }
 
+void MobilityManager::enable_spatial_index(double field_edge,
+                                           double cell_edge) {
+  if (!models_.empty())
+    throw std::logic_error(
+        "MobilityManager: enable_spatial_index before adding nodes");
+  index_ = std::make_unique<SpatialIndex>(field_edge, cell_edge);
+}
+
 void MobilityManager::add_node(NodeId id, std::unique_ptr<MobilityModel> model) {
   if (id != models_.size())
     throw std::invalid_argument("MobilityManager: nodes must be added in id order");
   if (!model) throw std::invalid_argument("MobilityManager: null model");
+  if (index_) index_->insert(id, model->position());
   models_.push_back(std::move(model));
 }
 
@@ -22,11 +31,18 @@ void MobilityManager::start() {
   sim_.schedule_in(step_, [this] { tick(); });
 }
 
+void MobilityManager::refresh_index() {
+  if (!index_) return;
+  for (NodeId id = 0; id < models_.size(); ++id)
+    index_->update(id, models_[id]->position());
+}
+
 void MobilityManager::tick() {
   {
     telemetry::ScopedTimer timer(profiler_,
                                  telemetry::Subsystem::kMobilityUpdate);
     for (auto& m : models_) m->step(step_);
+    refresh_index();
   }
   sim_.schedule_in(step_, [this] { tick(); });
 }
@@ -37,6 +53,28 @@ Vec2 MobilityManager::position(NodeId id) const {
 
 std::vector<NodeId> MobilityManager::neighbors_of(NodeId id,
                                                   double range) const {
+  std::vector<NodeId> out;
+  neighbors_of(id, range, out);
+  return out;
+}
+
+void MobilityManager::neighbors_of(NodeId id, double range,
+                                   std::vector<NodeId>& out) const {
+  out.clear();
+  if (index_) {
+    index_->collect_in_disc(index_->position(id), range, id, out);
+    return;
+  }
+  const Vec2 p = position(id);
+  const double r2 = range * range;
+  for (NodeId other = 0; other < models_.size(); ++other) {
+    if (other == id) continue;
+    if (distance2(p, models_[other]->position()) <= r2) out.push_back(other);
+  }
+}
+
+std::vector<NodeId> MobilityManager::neighbors_of_scan(NodeId id,
+                                                       double range) const {
   const Vec2 p = position(id);
   const double r2 = range * range;
   std::vector<NodeId> out;
@@ -47,10 +85,25 @@ std::vector<NodeId> MobilityManager::neighbors_of(NodeId id,
   return out;
 }
 
+bool MobilityManager::any_neighbor_within(NodeId id, double range) const {
+  if (index_) return index_->any_in_disc(index_->position(id), range, id);
+  const Vec2 p = position(id);
+  const double r2 = range * range;
+  for (NodeId other = 0; other < models_.size(); ++other) {
+    if (other == id) continue;
+    if (distance2(p, models_[other]->position()) <= r2) return true;
+  }
+  return false;
+}
+
 std::vector<NodeId> MobilityManager::nodes_in_range(const Vec2& p,
                                                     double range) const {
-  const double r2 = range * range;
   std::vector<NodeId> out;
+  if (index_) {
+    index_->collect_in_disc(p, range, kInvalidNode, out);
+    return out;
+  }
+  const double r2 = range * range;
   for (NodeId id = 0; id < models_.size(); ++id) {
     if (distance2(p, models_[id]->position()) <= r2) out.push_back(id);
   }
@@ -76,6 +129,8 @@ void MobilityManager::load_state(snapshot::Reader& r) {
   if (n != models_.size())
     throw snapshot::SnapshotError("mobility: node population mismatch");
   for (const auto& m : models_) m->load_state(r);
+  // The index caches positions; re-sync it with the restored kinematics.
+  refresh_index();
   r.end_section();
 }
 

@@ -1,11 +1,14 @@
 // Owns every node's mobility model, advances them on a fixed simulator
-// tick, and answers position / neighbourhood queries for the channel.
+// tick, and answers position / neighbourhood queries for the channel —
+// through a zone-grid spatial index when one is enabled, so hot queries
+// scan neighboring cells instead of all n nodes.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "common/types.hpp"
+#include "geom/spatial_index.hpp"
 #include "mobility/mobility_model.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/profiler.hpp"
@@ -16,6 +19,14 @@ class MobilityManager {
  public:
   /// `step` is the mobility tick in seconds.
   MobilityManager(Simulator& sim, double step);
+
+  /// Switches neighbourhood queries to a uniform-grid spatial index with
+  /// `cell_edge`-sized cells (typically the radio range). Must be called
+  /// before the first add_node. Queries answer bit-identically to the
+  /// brute-force scan (test-enforced; see neighbors_of_scan) — only
+  /// their cost changes.
+  void enable_spatial_index(double field_edge, double cell_edge);
+  [[nodiscard]] bool spatial_index_enabled() const { return index_ != nullptr; }
 
   /// Registers a node's model; node ids must be added in order 0,1,2,...
   /// (they index the internal table).
@@ -33,9 +44,22 @@ class MobilityManager {
     return *models_.at(id);
   }
 
-  /// All nodes (other than `id`) within `range` metres of node `id`.
+  /// All nodes (other than `id`) within `range` metres of node `id`,
+  /// ascending by id.
   [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId id,
                                                  double range) const;
+
+  /// Allocation-free variant for hot paths: replaces `out`'s contents.
+  void neighbors_of(NodeId id, double range, std::vector<NodeId>& out) const;
+
+  /// Brute-force all-nodes reference scan — the oracle the spatial index
+  /// is property-tested against. Diagnostic/test use only (O(n)).
+  [[nodiscard]] std::vector<NodeId> neighbors_of_scan(NodeId id,
+                                                      double range) const;
+
+  /// True if any other node is within `range` of `id`; early-exits on
+  /// the first hit (carrier-sense fast path).
+  [[nodiscard]] bool any_neighbor_within(NodeId id, double range) const;
 
   /// All nodes within `range` of an arbitrary point.
   [[nodiscard]] std::vector<NodeId> nodes_in_range(const Vec2& p,
@@ -56,11 +80,13 @@ class MobilityManager {
 
  private:
   void tick();
+  void refresh_index();
 
   Simulator& sim_;
   double step_;
   bool started_ = false;
   std::vector<std::unique_ptr<MobilityModel>> models_;
+  std::unique_ptr<SpatialIndex> index_;  ///< null = brute-force queries
   telemetry::Profiler* profiler_ = nullptr;
 };
 

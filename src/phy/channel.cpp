@@ -40,7 +40,7 @@ SimTime Channel::tx_duration(std::size_t bits) const {
 bool Channel::busy(NodeId id) const { return !nodes_.at(id).hearing.empty(); }
 
 bool Channel::anyone_in_range(NodeId id) const {
-  return !mobility_.neighbors_of(id, range_m_).empty();
+  return mobility_.any_neighbor_within(id, range_m_);
 }
 
 bool Channel::erase_value(std::vector<TxId>& v, TxId value) {
@@ -78,8 +78,9 @@ SimTime Channel::transmit(NodeId sender, Frame frame) {
 
   // Audience snapshot at frame start: awake nodes in range that are not
   // themselves transmitting. A node that wakes mid-frame misses it.
+  mobility_.neighbors_of(sender, range_m_, scratch_neighbors_);
   std::vector<NodeId> audience;
-  for (const NodeId nb : mobility_.neighbors_of(sender, range_m_)) {
+  for (const NodeId nb : scratch_neighbors_) {
     if (nb >= nodes_.size()) continue;
     if (failed_[nb]) continue;
     NodeRx& n = nodes_[nb];

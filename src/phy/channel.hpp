@@ -125,6 +125,7 @@ class Channel {
   const MobilityManager& mobility_;
   double range_m_;
   double bandwidth_bps_;
+  std::vector<NodeId> scratch_neighbors_;  ///< per-transmit query reuse
   std::vector<NodeRx> nodes_;
   std::vector<char> failed_;  ///< parallel to nodes_: 1 = crashed/outage
   TxId next_tx_id_ = 1;

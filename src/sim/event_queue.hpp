@@ -1,107 +1,16 @@
 // Deterministic priority queue of timed events with cancellation support.
+//
+// Historically a binary heap; now an O(1)-amortized calendar queue with
+// the same API, the same (time, insertion-seq) total order, and the same
+// snapshot byte format. The kernel-facing name stays EventQueue; see
+// sim/calendar_queue.hpp for the structure and docs/performance.md for
+// the layout and the BENCH_scheduler.json trajectory guarding it.
 #pragma once
 
-#include <cstddef>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <utility>
-#include <vector>
-
-#include "common/types.hpp"
-#include "snapshot/snapshot_io.hpp"
+#include "sim/calendar_queue.hpp"
 
 namespace dftmsn {
 
-/// Handle to a scheduled event; lets the owner cancel it before it fires.
-/// Copyable; all copies refer to the same scheduled event.
-class EventHandle {
- public:
-  EventHandle() = default;
-
-  /// True if the event is still pending (not fired, not cancelled).
-  [[nodiscard]] bool pending() const { return state_ && !*state_; }
-
-  /// Cancels the event; a cancelled event is silently skipped when popped.
-  /// No-op on an empty or already-fired handle.
-  void cancel() {
-    if (state_) *state_ = true;
-  }
-
- private:
-  friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
-
-  std::shared_ptr<bool> state_;  ///< true once cancelled or fired
-};
-
-/// Min-heap of (time, insertion-seq) ordered events. Same-time events fire
-/// in insertion order, which makes runs bit-for-bit reproducible.
-class EventQueue {
- public:
-  using Callback = std::function<void()>;
-
-  /// Schedules `cb` at absolute time `at`. Returns a cancellation handle.
-  EventHandle schedule(SimTime at, Callback cb);
-
-  /// True when no live (non-cancelled) event remains.
-  [[nodiscard]] bool empty() const;
-
-  /// Time of the earliest live event; kTimeNever when empty.
-  [[nodiscard]] SimTime next_time() const;
-
-  /// Pops and runs the earliest live event; returns its timestamp.
-  /// Precondition: !empty().
-  SimTime pop_and_run();
-
-  /// Pops the earliest live event without running it, so the caller can
-  /// advance its clock first. Precondition: !empty().
-  struct Popped {
-    SimTime at;
-    Callback cb;
-  };
-  Popped pop();
-
-  /// Number of live events currently queued (O(n): test/diagnostic use).
-  [[nodiscard]] std::size_t size() const;
-
-  /// Total events ever scheduled (diagnostic counter).
-  [[nodiscard]] EventSeq scheduled_count() const { return next_seq_; }
-
-  /// (time, sequence) of every live event, ascending — the schedulable
-  /// identity of the queue without its (unserializable) callbacks.
-  [[nodiscard]] std::vector<std::pair<SimTime, EventSeq>> pending_schedule()
-      const;
-
-  /// Snapshot: scheduled_count plus the pending (time, seq) schedule.
-  /// Save-only: callbacks cannot be re-materialized from bytes, so resume
-  /// reconstructs the queue by deterministic replay and these bytes act
-  /// as the verification oracle (see snapshot_io.hpp).
-  void save_state(snapshot::Writer& w) const;
-
-  /// Consumes (and discards) a saved queue state from `r`, keeping the
-  /// read cursor aligned for callers restoring surrounding state.
-  static void skip_state(snapshot::Reader& r);
-
- private:
-  struct Entry {
-    SimTime at;
-    EventSeq seq;
-    Callback cb;
-    std::shared_ptr<bool> cancelled;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  /// Drops cancelled entries from the top of the heap.
-  void skip_cancelled() const;
-
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  EventSeq next_seq_ = 0;
-};
+using EventQueue = CalendarQueue;
 
 }  // namespace dftmsn

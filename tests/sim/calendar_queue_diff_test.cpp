@@ -1,0 +1,350 @@
+// Differential property suite: CalendarQueue vs a reference binary heap.
+//
+// The reference reimplements the historical EventQueue (std::priority_queue
+// ordered by (time, insertion-seq), shared_ptr<bool> cancellation flags,
+// lazy skip of cancelled tops). Both structures are driven with identical
+// seeded randomized workloads — schedules under several time distributions
+// (including same-timestamp bursts), cancels, cancel-then-pop, pops and
+// peeks — and must agree on every observable: pop sequence, timestamps,
+// next_time, size and pending_schedule. Timestamps are compared exactly
+// (==, not near): the queues store the scheduled doubles verbatim, so any
+// difference is an ordering bug, not rounding.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <random>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/calendar_queue.hpp"
+
+namespace dftmsn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference model: the pre-calendar binary-heap EventQueue, tags instead of
+// callbacks.
+
+class ReferenceHeap {
+ public:
+  using Handle = std::shared_ptr<bool>;  // *handle == true -> cancelled
+
+  Handle schedule(SimTime at, int tag) {
+    auto cancelled = std::make_shared<bool>(false);
+    heap_.push(Item{at, next_seq_++, tag, cancelled});
+    ++live_;
+    return cancelled;
+  }
+
+  void cancel(const Handle& h) {
+    if (h && !*h) {
+      *h = true;
+      --live_;
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  [[nodiscard]] SimTime next_time() {
+    skip_cancelled();
+    return heap_.empty() ? kTimeNever : heap_.top().at;
+  }
+
+  struct Popped {
+    SimTime at;
+    int tag;
+  };
+  Popped pop() {
+    skip_cancelled();
+    Item top = heap_.top();
+    heap_.pop();
+    --live_;
+    *top.cancelled = true;  // retire: cancel-after-fire must be a no-op
+    return Popped{top.at, top.tag};
+  }
+
+  [[nodiscard]] std::vector<std::pair<SimTime, EventSeq>> pending_schedule()
+      const {
+    std::vector<std::pair<SimTime, EventSeq>> out;
+    auto copy = heap_;  // priority_queue has no iteration; drain a copy
+    while (!copy.empty()) {
+      if (!*copy.top().cancelled) out.emplace_back(copy.top().at, copy.top().seq);
+      copy.pop();
+    }
+    return out;  // drained in heap order == ascending (at, seq)
+  }
+
+ private:
+  struct Item {
+    SimTime at;
+    EventSeq seq;
+    int tag;
+    Handle cancelled;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() {
+    while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  }
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  EventSeq next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Workload driver.
+
+// How schedule timestamps are drawn; each shape stresses a different part
+// of the calendar layout (bucket spread, same-bucket chains, width resize).
+enum class TimeShape {
+  kUniform,     // uniform over [0, 1000) — past-of-cursor inserts included
+  kBursty,      // ~half reuse the previous timestamp exactly
+  kAdvancing,   // near the last pop, like a real simulation clock
+  kWideRange,   // mix of [0,1) and [0,1e9) — extreme width estimates
+  kFewDistinct  // only 4 distinct timestamps — giant same-time chains
+};
+
+class Driver {
+ public:
+  Driver(std::uint64_t seed, TimeShape shape) : rng_(seed), shape_(shape) {}
+
+  void run(int ops) {
+    for (int i = 0; i < ops; ++i) {
+      const double roll = uniform01();
+      if (roll < 0.45) {
+        do_schedule();
+      } else if (roll < 0.60) {
+        do_cancel();
+        if (uniform01() < 0.5) do_pop();  // cancel-then-pop, back to back
+      } else if (roll < 0.90) {
+        do_pop();
+      } else {
+        do_peek();
+      }
+      ASSERT_EQ(q_.size(), ref_.size());
+      ASSERT_EQ(q_.empty(), ref_.empty());
+    }
+    check_pending_schedule();
+    drain();
+  }
+
+ private:
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+  }
+
+  SimTime draw_time() {
+    switch (shape_) {
+      case TimeShape::kUniform:
+        return uniform01() * 1000.0;
+      case TimeShape::kBursty:
+        if (last_time_ >= 0.0 && uniform01() < 0.5) return last_time_;
+        return uniform01() * 1000.0;
+      case TimeShape::kAdvancing:
+        return last_pop_ + uniform01() * 10.0;
+      case TimeShape::kWideRange:
+        return uniform01() < 0.5 ? uniform01() : uniform01() * 1e9;
+      case TimeShape::kFewDistinct: {
+        static const double kTimes[4] = {1.0, 2.5, 2.5000000001, 7.0};
+        return kTimes[rng_() % 4];
+      }
+    }
+    return 0.0;
+  }
+
+  void do_schedule() {
+    const SimTime at = draw_time();
+    last_time_ = at;
+    const int tag = next_tag_++;
+    EventHandle h = q_.schedule(at, [this, tag] { fired_.push_back(tag); });
+    ReferenceHeap::Handle rh = ref_.schedule(at, tag);
+    handles_.emplace_back(std::move(h), std::move(rh));
+  }
+
+  void do_cancel() {
+    if (handles_.empty()) return;
+    const std::size_t i = rng_() % handles_.size();
+    handles_[i].first.cancel();
+    ref_.cancel(handles_[i].second);
+    handles_.erase(handles_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
+  void do_pop() {
+    ASSERT_EQ(q_.empty(), ref_.empty());
+    if (q_.empty()) return;
+    CalendarQueue::Popped p = q_.pop();
+    p.cb();
+    const ReferenceHeap::Popped r = ref_.pop();
+    ASSERT_EQ(p.at, r.at);
+    ASSERT_FALSE(fired_.empty());
+    ASSERT_EQ(fired_.back(), r.tag);
+    last_pop_ = p.at;
+  }
+
+  void do_peek() {
+    ASSERT_EQ(q_.next_time(), ref_.next_time());
+  }
+
+  void check_pending_schedule() {
+    ASSERT_EQ(q_.pending_schedule(), ref_.pending_schedule());
+  }
+
+  void drain() {
+    while (!ref_.empty()) do_pop();
+    ASSERT_TRUE(q_.empty());
+    ASSERT_EQ(q_.next_time(), kTimeNever);
+  }
+
+  std::mt19937_64 rng_;
+  TimeShape shape_;
+  CalendarQueue q_;
+  ReferenceHeap ref_;
+  std::vector<std::pair<EventHandle, ReferenceHeap::Handle>> handles_;
+  std::vector<int> fired_;
+  int next_tag_ = 0;
+  SimTime last_time_ = -1.0;
+  SimTime last_pop_ = 0.0;
+};
+
+class CalendarQueueDiff
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, TimeShape>> {};
+
+TEST_P(CalendarQueueDiff, MatchesReferenceHeap) {
+  const auto [seed, shape] = GetParam();
+  Driver d(seed, shape);
+  d.run(4000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, CalendarQueueDiff,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 42u, 1234567u),
+                       ::testing::Values(TimeShape::kUniform,
+                                         TimeShape::kBursty,
+                                         TimeShape::kAdvancing,
+                                         TimeShape::kWideRange,
+                                         TimeShape::kFewDistinct)));
+
+// ---------------------------------------------------------------------------
+// Deterministic edge cases the random driver only hits probabilistically.
+
+TEST(CalendarQueueEdge, LargeSameTimestampBurstFiresInInsertionOrder) {
+  // One bucket absorbs everything; exercises the head-offset compaction.
+  CalendarQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 20000; ++i) q.schedule(5.0, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop_and_run();
+  ASSERT_EQ(fired.size(), 20000u);
+  for (int i = 0; i < 20000; ++i) ASSERT_EQ(fired[i], i);
+}
+
+TEST(CalendarQueueEdge, GrowShrinkCycleKeepsOrder) {
+  // Fill far past the grow threshold, drain under the shrink threshold,
+  // refill; pops must stay globally sorted throughout.
+  CalendarQueue q;
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> u(0.0, 500.0);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8000; ++i) q.schedule(u(rng), [] {});
+    SimTime prev = -1.0;
+    for (int i = 0; i < 7000; ++i) {
+      const SimTime at = q.pop_and_run();
+      ASSERT_GE(at, prev);
+      prev = at;
+    }
+  }
+  SimTime prev = -1.0;
+  while (!q.empty()) {
+    const SimTime at = q.pop_and_run();
+    ASSERT_GE(at, prev);
+    prev = at;
+  }
+}
+
+TEST(CalendarQueueEdge, CancelAllThenScheduleAgain) {
+  CalendarQueue q;
+  std::vector<EventHandle> hs;
+  hs.reserve(1000);
+  for (int i = 0; i < 1000; ++i) hs.push_back(q.schedule(double(i), [] {}));
+  for (auto& h : hs) h.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTimeNever);
+  bool ran = false;
+  q.schedule(0.25, [&] { ran = true; });
+  EXPECT_EQ(q.next_time(), 0.25);
+  EXPECT_EQ(q.pop_and_run(), 0.25);
+  EXPECT_TRUE(ran);
+}
+
+TEST(CalendarQueueEdge, CancelFrontExposesLaterEvent) {
+  // The front cache holds a lower bound, not necessarily a live entry;
+  // cancelling the cached minimum must not lose the successor.
+  CalendarQueue q;
+  EventHandle front = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.schedule(3.0, [] {});
+  EXPECT_EQ(q.next_time(), 1.0);
+  front.cancel();
+  EXPECT_EQ(q.next_time(), 2.0);
+  EXPECT_EQ(q.pop_and_run(), 2.0);
+  EXPECT_EQ(q.pop_and_run(), 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueueEdge, SchedulingBeforeCursorAfterPops) {
+  // A real simulator never does this, but the queue API allows it: after
+  // popping t=100 the scan cursor sits at t=100's bucket; a t=1 insert
+  // must still pop first.
+  CalendarQueue q;
+  q.schedule(100.0, [] {});
+  EXPECT_EQ(q.pop_and_run(), 100.0);
+  q.schedule(1.0, [] {});
+  q.schedule(200.0, [] {});
+  EXPECT_EQ(q.next_time(), 1.0);
+  EXPECT_EQ(q.pop_and_run(), 1.0);
+  EXPECT_EQ(q.pop_and_run(), 200.0);
+}
+
+TEST(CalendarQueueEdge, RejectsNonFiniteAndNegativeTimes) {
+  CalendarQueue q;
+  EXPECT_THROW(q.schedule(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::quiet_NaN(), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueueEdge, SaveStateMatchesHeapEncoding) {
+  // The snapshot byte layout is pinned to the historical heap encoding:
+  // u64 scheduled_count, u64 live size, then ascending (f64 at, u64 seq).
+  CalendarQueue q;
+  q.schedule(2.0, [] {});
+  EventHandle h = q.schedule(1.0, [] {});
+  q.schedule(3.0, [] {});
+  h.cancel();
+  snapshot::Writer w;
+  q.save_state(w);
+  snapshot::Reader r(w.bytes());
+  r.begin_section("event_queue");
+  EXPECT_EQ(r.u64(), 3u);  // scheduled_count: all schedules ever
+  EXPECT_EQ(r.u64(), 2u);  // live entries only
+  EXPECT_EQ(r.f64(), 2.0);
+  EXPECT_EQ(r.u64(), 0u);  // seq of the 2.0 event (first scheduled)
+  EXPECT_EQ(r.f64(), 3.0);
+  EXPECT_EQ(r.u64(), 2u);
+  r.end_section();
+}
+
+}  // namespace
+}  // namespace dftmsn
