@@ -39,6 +39,7 @@
 
 #include "common/config_io.hpp"
 #include "experiment/presets.hpp"
+#include "scenario/scenario.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/supervisor.hpp"
 #include "experiment/worker.hpp"
@@ -57,6 +58,11 @@ int usage(int code) {
       "usage: dftmsn_cli [options] [key=value ...]\n"
       "  --protocol NAME   OPT|NOOPT|NOSLEEP|ZBR|DIRECT|EPIDEMIC (default OPT)\n"
       "  --preset NAME     paper|air|flu|sparse|pressure scenario preset\n"
+      "  --scenario NAME   generate a trace-driven scenario-library world\n"
+      "                    (dense-urban|sparse-rural|convoy|mass-event) and\n"
+      "                    run it; the generated motion trace is written to\n"
+      "                    --scenario-dir (see docs/scenarios.md)\n"
+      "  --scenario-dir D  directory for generated trace files (default .)\n"
       "  --config FILE     load key=value assignments from FILE first\n"
       "  --reps N          replicated runs with seeds seed..seed+N-1 (default 1)\n"
       "  --jobs N          worker threads for replicated runs (default 1;\n"
@@ -137,6 +143,8 @@ int main(int argc, char** argv) {
   bool profile = false;
   SupervisorOptions sup;
   bool supervised = false;
+  std::string scenario_name;
+  std::string scenario_dir = ".";
   std::vector<std::string> overrides;
 
   for (int i = 1; i < argc; ++i) {
@@ -170,6 +178,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       config = *preset;
+      continue;
+    }
+    if (arg == "--scenario") {
+      scenario_name = next();
+      if (!is_scenario_name(scenario_name)) {
+        std::cerr << "unknown scenario: " << scenario_name << " (";
+        for (const std::string& s : scenario_names()) std::cerr << s << " ";
+        std::cerr << ")\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--scenario-dir") {
+      scenario_dir = next();
       continue;
     }
     if (arg == "--protocol") {
@@ -282,6 +304,19 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!scenario_name.empty()) {
+      // Like --preset, --scenario replaces the base config. The trace is
+      // a function of the seed, so resolve the final seed first (a
+      // scenario.seed=N override must regenerate the trace, not merely
+      // reseed the traffic/placement streams against a stale one).
+      Config probe = generate_scenario(scenario_name, config.scenario.seed)
+                         .config;
+      apply_config_overrides(probe, overrides);
+      config = materialize_scenario(scenario_name, probe.scenario.seed,
+                                    scenario_dir);
+      std::cout << "scenario=" << scenario_name << " trace="
+                << config.scenario.trace_path << "\n";
+    }
     apply_config_overrides(config, overrides);
     config.validate();
   } catch (const std::exception& e) {

@@ -1,0 +1,126 @@
+// SCENARIO-SWEEP: protocol rankings across the scenario library.
+//
+// Runs every registered scenario (dense-urban / sparse-rural / convoy /
+// mass-event, each a trace-driven world generated at seed 42) under the
+// paper's four protocol variants and ranks the variants per scenario by
+// delivery ratio — the cross-world generalization check behind the
+// paper's single-field comparison. Output: a stdout table plus, with
+// --out, the machine-readable BENCH_scenarios.json.
+//
+// Usage: scenario_sweep [--out FILE] [--dir DIR]
+//   --out FILE   JSON output path (default: stdout table only)
+//   --dir DIR    where generated trace files go (default .)
+// Budget knobs (DFTMSN_BENCH_REPS / DFTMSN_BENCH_JOBS) as in runner.hpp;
+// durations are scenario-defined, not budget-scaled.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "protocol/protocol_factory.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace dftmsn;
+
+constexpr std::uint64_t kSeed = 42;
+constexpr ProtocolKind kProtocols[] = {ProtocolKind::kOpt,
+                                       ProtocolKind::kNoOpt,
+                                       ProtocolKind::kNoSleep,
+                                       ProtocolKind::kZbr};
+
+struct ProtocolRow {
+  std::string protocol;
+  double delivery_ratio = 0.0;
+  double mean_delay_s = 0.0;
+  double mean_power_mw = 0.0;
+  int rank = 0;
+};
+
+struct ScenarioBlock {
+  std::string name;
+  std::vector<ProtocolRow> rows;  // ranked, best delivery first
+};
+
+void write_json(const std::string& path,
+                const std::vector<ScenarioBlock>& blocks, int replications) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"scenario_sweep\",\n  \"seed\": " << kSeed
+      << ",\n  \"replications\": " << replications
+      << ",\n  \"ranked_by\": \"delivery_ratio\",\n  \"scenarios\": [\n";
+  for (std::size_t s = 0; s < blocks.size(); ++s) {
+    const ScenarioBlock& b = blocks[s];
+    out << "    {\"name\": \"" << b.name << "\", \"protocols\": [\n";
+    for (std::size_t i = 0; i < b.rows.size(); ++i) {
+      const ProtocolRow& r = b.rows[i];
+      out << "      {\"protocol\": \"" << r.protocol << "\", \"rank\": "
+          << r.rank << ", \"delivery_ratio\": " << r.delivery_ratio
+          << ", \"mean_delay_s\": " << r.mean_delay_s
+          << ", \"mean_power_mw\": " << r.mean_power_mw << "}"
+          << (i + 1 < b.rows.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (s + 1 < blocks.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      std::cerr << "usage: scenario_sweep [--out FILE] [--dir DIR]\n";
+      return 2;
+    }
+  }
+
+  const BenchBudget budget = bench_budget_from_env();
+  std::cout << "SCENARIO-SWEEP: protocol rankings per scenario (seed "
+            << kSeed << ", " << budget.replications << " reps)\n";
+
+  std::vector<ScenarioBlock> blocks;
+  for (const std::string& name : scenario_names()) {
+    const Config base = materialize_scenario(name, kSeed, dir);
+    ScenarioBlock block;
+    block.name = name;
+    for (ProtocolKind kind : kProtocols) {
+      const ReplicatedResult r =
+          run_replicated(base, kind, budget.replications, budget.jobs);
+      ProtocolRow row;
+      row.protocol = protocol_kind_name(kind);
+      row.delivery_ratio = r.delivery_ratio.mean();
+      row.mean_delay_s = r.mean_delay_s.mean();
+      row.mean_power_mw = r.mean_power_mw.mean();
+      block.rows.push_back(row);
+    }
+    std::stable_sort(block.rows.begin(), block.rows.end(),
+                     [](const ProtocolRow& a, const ProtocolRow& b) {
+                       return a.delivery_ratio > b.delivery_ratio;
+                     });
+    for (std::size_t i = 0; i < block.rows.size(); ++i)
+      block.rows[i].rank = static_cast<int>(i) + 1;
+
+    std::cout << "\n-- " << name << " (" << scenario_description(name)
+              << ")\n";
+    std::cout << "  rank  protocol   delivery    delay_s   power_mw\n";
+    for (const ProtocolRow& r : block.rows)
+      std::printf("  %4d  %-8s  %8.4f  %9.1f  %9.4f\n", r.rank,
+                  r.protocol.c_str(), r.delivery_ratio, r.mean_delay_s,
+                  r.mean_power_mw);
+    blocks.push_back(std::move(block));
+  }
+
+  if (!out_path.empty()) write_json(out_path, blocks, budget.replications);
+  return 0;
+}

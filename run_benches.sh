@@ -18,3 +18,11 @@ cd "$(dirname "$0")"
 if [ -x build/bench/scheduler_scale ]; then
   build/bench/scheduler_scale --out BENCH_scheduler.json > /dev/null
 fi
+
+# Cross-scenario protocol rankings (format: docs/scenarios.md); trace
+# files land in a scratch dir so reruns stay tidy.
+if [ -x build/bench/scenario_sweep ]; then
+  mkdir -p build/scenario_traces
+  build/bench/scenario_sweep --dir build/scenario_traces \
+      --out BENCH_scenarios.json > /dev/null
+fi

@@ -90,6 +90,43 @@ if ! diff -u "$WORK/reference.txt" "$WORK/iso_summary.txt"; then
   fail "worker-killed sweep differs from uninterrupted run"
 fi
 
-echo "OK: killed=$KILLED worker_killed=$WKILLED," \
+# Part 3: the same SIGKILL/resume drill with trace-driven mobility (a
+# scenario-library world). The checkpoint stores only each node's replay
+# cursor; the resume re-materializes the trace file (deterministic, so
+# byte-identical) and must still finish bit-identically.
+SARGS=(--scenario convoy --scenario-dir "$WORK" --protocol OPT
+       --reps 4 --jobs 2 scenario.duration_s=1500)
+
+"$CLI" "${SARGS[@]}" > "$WORK/trace_reference.txt" \
+  || fail "trace reference run exited $?"
+
+"$CLI" "${SARGS[@]}" --checkpoint-dir "$WORK/trace_ckpt" \
+  --checkpoint-every 200 > "$WORK/trace_victim.txt" 2>&1 &
+PID=$!
+for _ in $(seq 1 200); do
+  if compgen -G "$WORK/trace_ckpt/spec_*.ckpt" > /dev/null; then break; fi
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.05
+done
+TKILLED=0
+if kill -0 "$PID" 2>/dev/null; then
+  kill -KILL "$PID"
+  wait "$PID" 2>/dev/null
+  TKILLED=1
+else
+  wait "$PID"
+fi
+[ -f "$WORK/trace_ckpt/manifest.txt" ] || fail "no trace manifest survived"
+
+"$CLI" "${SARGS[@]}" --checkpoint-dir "$WORK/trace_ckpt" --resume \
+  > "$WORK/trace_resumed.txt" || fail "trace resume exited $?"
+
+grep -v -e '^rep ' -e '^manifest:' -e '^over ' "$WORK/trace_resumed.txt" \
+  > "$WORK/trace_resumed_summary.txt"
+if ! diff -u "$WORK/trace_reference.txt" "$WORK/trace_resumed_summary.txt"; then
+  fail "resumed trace-mobility summary differs from uninterrupted run"
+fi
+
+echo "OK: killed=$KILLED worker_killed=$WKILLED trace_killed=$TKILLED," \
      "resumed + worker-killed sweeps bit-identical to reference"
 rm -rf "$WORK"

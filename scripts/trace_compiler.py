@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Compile text motion traces to the dftmsn binary trace format (and back).
+
+Usage:
+    trace_compiler.py compile   TRACE.txt TRACE.trc
+    trace_compiler.py decompile TRACE.trc TRACE.txt
+
+Text format: one waypoint sample per line, '#' starts a comment:
+
+    # t_seconds  node_id  x_m  y_m
+    0.0    0   10.0  20.0
+    30.5   0   45.0  20.0
+    0.0    1   99.0   1.5
+
+Node ids must form a contiguous range 0..N-1. Samples may appear in any
+line order; the compiler sorts each node's samples by time and rejects
+duplicate timestamps, non-finite values, and missing nodes — naming the
+offending node and sample. The binary layout (little-endian, trailing
+FNV-1a digest; authoritative definition in src/mobility/motion_trace.hpp):
+
+    magic "DFTMSNTR" | u32 version=1 | u32 node_count
+    per node: u64 sample_count, then sample_count x (f64 t, f64 x, f64 y)
+    u64 FNV-1a digest of every preceding byte
+
+Standard library only; exit 0 on success, 1 with a message on failure.
+"""
+import math
+import struct
+import sys
+
+MAGIC = b"DFTMSNTR"
+VERSION = 1
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = (1 << 64) - 1
+
+
+def fnv1a(data):
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def fail(message):
+    print(f"trace_compiler: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_text(path):
+    tracks = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                fail(f"{path}:{lineno}: expected 't node x y', got {line!r}")
+            try:
+                t, x, y = float(parts[0]), float(parts[2]), float(parts[3])
+                node = int(parts[1])
+            except ValueError:
+                fail(f"{path}:{lineno}: malformed number in {line!r}")
+            if node < 0:
+                fail(f"{path}:{lineno}: negative node id {node}")
+            if not all(math.isfinite(v) for v in (t, x, y)):
+                fail(f"{path}:{lineno}: non-finite value in {line!r}")
+            tracks.setdefault(node, []).append((t, x, y))
+    if not tracks:
+        fail(f"{path}: no samples")
+    n = max(tracks) + 1
+    for node in range(n):
+        if node not in tracks:
+            fail(f"{path}: node {node} has no samples "
+                 f"(ids must be contiguous 0..{n - 1})")
+    ordered = []
+    for node in range(n):
+        samples = sorted(tracks[node], key=lambda s: s[0])
+        for i in range(1, len(samples)):
+            if samples[i][0] <= samples[i - 1][0]:
+                fail(f"{path}: node {node} sample {i}: duplicate timestamp "
+                     f"t={samples[i][0]}")
+        ordered.append(samples)
+    return ordered
+
+
+def compile_trace(src, dst):
+    tracks = parse_text(src)
+    out = bytearray(MAGIC)
+    out += struct.pack("<II", VERSION, len(tracks))
+    for samples in tracks:
+        out += struct.pack("<Q", len(samples))
+        for t, x, y in samples:
+            out += struct.pack("<ddd", t, x, y)
+    out += struct.pack("<Q", fnv1a(out))
+    with open(dst, "wb") as f:
+        f.write(out)
+    total = sum(len(s) for s in tracks)
+    print(f"{dst}: {len(tracks)} nodes, {total} samples, {len(out)} bytes")
+
+
+def decompile_trace(src, dst):
+    with open(src, "rb") as f:
+        data = f.read()
+    if len(data) < len(MAGIC) + 8 + 8:
+        fail(f"{src}: truncated file")
+    stored = struct.unpack("<Q", data[-8:])[0]
+    if fnv1a(data[:-8]) != stored:
+        fail(f"{src}: digest mismatch (torn or corrupt file)")
+    if data[: len(MAGIC)] != MAGIC:
+        fail(f"{src}: bad magic")
+    pos = len(MAGIC)
+    version, nodes = struct.unpack_from("<II", data, pos)
+    pos += 8
+    if version != VERSION:
+        fail(f"{src}: unsupported format version {version}")
+    lines = ["# t_seconds  node_id  x_m  y_m"]
+    for node in range(nodes):
+        (count,) = struct.unpack_from("<Q", data, pos)
+        pos += 8
+        for _ in range(count):
+            t, x, y = struct.unpack_from("<ddd", data, pos)
+            pos += 24
+            lines.append(f"{t!r} {node} {x!r} {y!r}")
+    with open(dst, "w") as f:
+        f.write("\n".join(lines) + "\n")
+    print(f"{dst}: {nodes} nodes, {len(lines) - 1} samples")
+
+
+def main():
+    if len(sys.argv) != 4 or sys.argv[1] not in ("compile", "decompile"):
+        print(__doc__, file=sys.stderr)
+        return 1
+    if sys.argv[1] == "compile":
+        compile_trace(sys.argv[2], sys.argv[3])
+    else:
+        decompile_trace(sys.argv[2], sys.argv[3])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

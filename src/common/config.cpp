@@ -17,6 +17,7 @@ const char* mobility_kind_name(MobilityKind k) {
     case MobilityKind::kZone: return "zone";
     case MobilityKind::kWaypoint: return "waypoint";
     case MobilityKind::kPatrol: return "patrol";
+    case MobilityKind::kTrace: return "trace";
   }
   return "?";
 }
@@ -91,6 +92,9 @@ void Config::validate() const {
   require(scenario.mobility != MobilityKind::kPatrol ||
               scenario.speed_max_mps > 0,
           "patrol mobility needs speed_max > 0");
+  require(scenario.mobility != MobilityKind::kTrace ||
+              !scenario.trace_path.empty(),
+          "trace mobility needs scenario.trace_path");
   require(scenario.mobility_step_s > 0, "mobility step must be positive");
   require(scenario.data_interval_s > 0, "data interval must be positive");
   require(scenario.duration_s > 0, "duration must be positive");

@@ -96,10 +96,11 @@ struct ContentionConfig {
   double cts_collision_target = 0.1;  ///< target γ_o for Eq. (14)
 };
 
-/// Sensor mobility model selection. kZone is the paper's model; the
-/// others are extension scenarios (docs/checkpoint_resume.md uses all
-/// three for the resume property matrix).
-enum class MobilityKind { kZone, kWaypoint, kPatrol };
+/// Sensor mobility model selection. kZone is the paper's model; waypoint
+/// and patrol are synthetic extension scenarios, and kTrace replays a
+/// waypoint trace file (scenario.trace_path; see docs/scenarios.md). The
+/// resume property matrix in docs/checkpoint_resume.md covers all four.
+enum class MobilityKind { kZone, kWaypoint, kPatrol, kTrace };
 
 const char* mobility_kind_name(MobilityKind k);
 
@@ -109,8 +110,13 @@ struct ScenarioConfig {
   int zones_per_side = 5;       ///< 5x5 = 25 zones
   int num_sensors = 100;
   int num_sinks = 3;
-  /// Sensor mobility model: "zone" (paper default), "waypoint", "patrol".
+  /// Sensor mobility model: "zone" (paper default), "waypoint", "patrol",
+  /// or "trace" (replay trace_path).
   MobilityKind mobility = MobilityKind::kZone;
+  /// Motion trace file replayed when mobility == kTrace (binary format:
+  /// src/mobility/motion_trace.hpp; compile text traces with
+  /// scripts/trace_compiler.py). Must name a readable file.
+  std::string trace_path;
   double speed_min_mps = 0.0;
   double speed_max_mps = 5.0;
   double zone_exit_prob = 0.2;  ///< leave the zone when hitting its boundary

@@ -70,8 +70,9 @@ MobilityKind parse_mobility(const std::string& key, const std::string& v) {
   if (v == "zone") return MobilityKind::kZone;
   if (v == "waypoint") return MobilityKind::kWaypoint;
   if (v == "patrol") return MobilityKind::kPatrol;
+  if (v == "trace") return MobilityKind::kTrace;
   throw std::invalid_argument("config: bad mobility kind for " + key + ": " +
-                              v + " (zone|waypoint|patrol)");
+                              v + " (zone|waypoint|patrol|trace)");
 }
 
 QueuePolicy parse_policy(const std::string& key, const std::string& v) {
@@ -182,6 +183,11 @@ const std::vector<Field>& fields() {
       Field{"faults.plan",
             [](Config& c, const std::string& v) { c.faults.plan = v; },
             [](const Config& c) { return c.faults.plan; }},
+      // Free-form path; existence/readability is checked at config-file
+      // load time (below) and again when the World loads the trace.
+      Field{"scenario.trace_path",
+            [](Config& c, const std::string& v) { c.scenario.trace_path = v; },
+            [](const Config& c) { return c.scenario.trace_path; }},
       // Enumerated fields need custom parsers.
       Field{"scenario.mobility",
             [](Config& c, const std::string& v) {
@@ -257,6 +263,16 @@ void load_config_file(Config& config, const std::string& path) {
     config.validate();
   } catch (const std::invalid_argument& e) {
     throw std::invalid_argument(path + ": " + e.what());
+  }
+  // A trace-driven scenario whose trace file is missing or unreadable
+  // must also fail here, naming the trace file — not later, deep inside
+  // World construction on some worker thread.
+  if (config.scenario.mobility == MobilityKind::kTrace) {
+    std::ifstream trace(config.scenario.trace_path,
+                        std::ios::in | std::ios::binary);
+    if (!trace)
+      throw std::invalid_argument(path + ": scenario.trace_path: cannot open '" +
+                                  config.scenario.trace_path + "'");
   }
 }
 

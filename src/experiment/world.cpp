@@ -4,8 +4,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "mobility/motion_trace.hpp"
 #include "mobility/patrol_mobility.hpp"
 #include "mobility/random_waypoint.hpp"
+#include "mobility/trace_mobility.hpp"
 #include "mobility/zone_mobility.hpp"
 
 namespace dftmsn {
@@ -43,6 +45,22 @@ World::World(Config config, ProtocolKind kind)
   rwp_params.speed_min = cfg_.scenario.speed_min_mps;
   rwp_params.speed_max = cfg_.scenario.speed_max_mps;
 
+  // Trace-driven mobility replays scenario.trace_path: the file is loaded
+  // once and its tracks shared with the per-node models.
+  std::vector<std::shared_ptr<const MotionTrack>> tracks;
+  if (cfg_.scenario.mobility == MobilityKind::kTrace) {
+    MotionTrace trace = load_motion_trace(cfg_.scenario.trace_path);
+    if (trace.tracks.size() < static_cast<std::size_t>(n))
+      throw std::invalid_argument(
+          cfg_.scenario.trace_path + ": trace has " +
+          std::to_string(trace.tracks.size()) + " tracks but the scenario " +
+          "needs " + std::to_string(n) + " sensors");
+    tracks.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      tracks.push_back(std::make_shared<const MotionTrack>(
+          std::move(trace.tracks[static_cast<std::size_t>(i)])));
+  }
+
   for (int i = 0; i < n; ++i) {
     const NodeId id = static_cast<NodeId>(i);
     const Vec2 start{placement.uniform(0.0, grid_.field_edge()),
@@ -76,6 +94,12 @@ World::World(Config config, ProtocolKind kind)
             id, std::make_unique<PatrolMobility>(std::move(circuit), speed));
         break;
       }
+      case MobilityKind::kTrace:
+        // The placement draw above is deliberately kept (unused): sink
+        // positions must not shift between mobility kinds.
+        mobility_.add_node(id, std::make_unique<TraceMobility>(
+                                   tracks[static_cast<std::size_t>(i)]));
+        break;
     }
   }
 

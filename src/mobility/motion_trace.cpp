@@ -1,0 +1,184 @@
+#include "mobility/motion_trace.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "snapshot/snapshot_io.hpp"
+
+namespace dftmsn {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'F', 'T', 'M', 'S', 'N', 'T', 'R'};
+constexpr std::uint32_t kTraceVersion = 1;
+constexpr std::size_t kDigestBytes = 8;
+
+[[noreturn]] void bad_record(std::size_t node, std::size_t sample,
+                             const std::string& what) {
+  throw std::invalid_argument("motion trace: node " + std::to_string(node) +
+                              " sample " + std::to_string(sample) + ": " +
+                              what);
+}
+
+/// Flat little-endian primitive emitter (the format is shared with the
+/// Python compiler, which writes struct '<' packing — not the snapshot
+/// section framing).
+struct FlatWriter {
+  std::vector<std::uint8_t> buf;
+
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf.insert(buf.end(), b, b + n);
+  }
+  void u32(std::uint32_t v) {
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    raw(b, 4);
+  }
+  void u64(std::uint64_t v) {
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    raw(b, 8);
+  }
+  void f64(double v) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    u64(u);
+  }
+};
+
+struct FlatReader {
+  const std::vector<std::uint8_t>& buf;
+  std::size_t pos = 0;
+
+  void raw(void* p, std::size_t n) {
+    if (pos + n > buf.size())
+      throw snapshot::SnapshotError("motion trace: truncated file");
+    std::memcpy(p, buf.data() + pos, n);
+    pos += n;
+  }
+  std::uint32_t u32() {
+    std::uint8_t b[4];
+    raw(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint8_t b[8];
+    raw(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t u = u64();
+    double v = 0.0;
+    std::memcpy(&v, &u, sizeof(v));
+    return v;
+  }
+};
+
+}  // namespace
+
+void MotionTrace::validate() const {
+  for (std::size_t node = 0; node < tracks.size(); ++node) {
+    const MotionTrack& track = tracks[node];
+    if (track.empty())
+      throw std::invalid_argument("motion trace: node " +
+                                  std::to_string(node) + ": empty track");
+    for (std::size_t i = 0; i < track.size(); ++i) {
+      const MotionSample& s = track[i];
+      if (!std::isfinite(s.t)) bad_record(node, i, "non-finite timestamp");
+      if (!std::isfinite(s.pos.x) || !std::isfinite(s.pos.y))
+        bad_record(node, i, "non-finite position");
+      if (i > 0 && !(s.t > track[i - 1].t))
+        bad_record(node, i,
+                   "out-of-order timestamp (t=" + std::to_string(s.t) +
+                       " after t=" + std::to_string(track[i - 1].t) + ")");
+    }
+  }
+}
+
+std::vector<std::uint8_t> encode_motion_trace(const MotionTrace& trace) {
+  trace.validate();
+  FlatWriter w;
+  w.raw(kMagic, sizeof(kMagic));
+  w.u32(kTraceVersion);
+  w.u32(static_cast<std::uint32_t>(trace.tracks.size()));
+  for (const MotionTrack& track : trace.tracks) {
+    w.u64(track.size());
+    for (const MotionSample& s : track) {
+      w.f64(s.t);
+      w.f64(s.pos.x);
+      w.f64(s.pos.y);
+    }
+  }
+  snapshot::StateHash h;
+  h.update(w.buf.data(), w.buf.size());
+  w.u64(h.value());
+  return std::move(w.buf);
+}
+
+MotionTrace decode_motion_trace(const std::vector<std::uint8_t>& image) {
+  if (image.size() < sizeof(kMagic) + 4 + 4 + kDigestBytes)
+    throw snapshot::SnapshotError("motion trace: truncated file");
+
+  // Digest first: a torn write fails with one clear message, not as a
+  // downstream length-field parse error.
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < kDigestBytes; ++i)
+    stored |= static_cast<std::uint64_t>(image[image.size() - kDigestBytes + i])
+              << (8 * i);
+  snapshot::StateHash h;
+  h.update(image.data(), image.size() - kDigestBytes);
+  if (h.value() != stored)
+    throw snapshot::SnapshotError(
+        "motion trace: digest mismatch (torn or corrupt file)");
+  if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0)
+    throw snapshot::SnapshotError("motion trace: bad magic");
+
+  FlatReader r{image};
+  r.pos = sizeof(kMagic);
+  const std::uint32_t version = r.u32();
+  if (version != kTraceVersion)
+    throw snapshot::SnapshotError(
+        "motion trace: unsupported format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kTraceVersion) + ")");
+
+  MotionTrace trace;
+  const std::uint32_t nodes = r.u32();
+  trace.tracks.resize(nodes);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const std::uint64_t count = r.u64();
+    // An impossible count means a corrupt length field; fail before trying
+    // to allocate it.
+    if (count * 24 > image.size())
+      throw snapshot::SnapshotError("motion trace: implausible sample count");
+    trace.tracks[n].resize(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      MotionSample& s = trace.tracks[n][i];
+      s.t = r.f64();
+      s.pos.x = r.f64();
+      s.pos.y = r.f64();
+    }
+  }
+  if (r.pos != image.size() - kDigestBytes)
+    throw snapshot::SnapshotError("motion trace: trailing garbage");
+  trace.validate();
+  return trace;
+}
+
+void save_motion_trace(const std::string& path, const MotionTrace& trace) {
+  snapshot::write_file_atomic(path, encode_motion_trace(trace));
+}
+
+MotionTrace load_motion_trace(const std::string& path) {
+  try {
+    return decode_motion_trace(snapshot::read_file(path));
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,60 @@
+// Waypoint motion traces: the on-disk substrate of trace-driven mobility
+// (MobilityKind::kTrace) and of the scenario library's generators.
+//
+// A trace holds one track per sensor node; a track is a strictly
+// time-ascending sequence of (t, x, y) waypoint samples. TraceMobility
+// interpolates linearly between consecutive samples and clamps before the
+// first / after the last, so a track doubles as a compact polyline — no
+// dense resampling is needed.
+//
+// File format (flat little-endian, compiler-friendly — see
+// scripts/trace_compiler.py for the text front end and docs/scenarios.md
+// for the full spec):
+//   magic   "DFTMSNTR" (8 bytes)
+//   u32     format version (currently 1)
+//   u32     node count N
+//   N ×   { u64 sample count S; S × { f64 t; f64 x; f64 y } }
+//   u64     FNV-1a digest of every preceding byte (torn-file detection)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace dftmsn {
+
+struct MotionSample {
+  double t = 0.0;  ///< simulation time, seconds
+  Vec2 pos;
+};
+
+/// One node's waypoint sequence, strictly ascending in t.
+using MotionTrack = std::vector<MotionSample>;
+
+struct MotionTrace {
+  std::vector<MotionTrack> tracks;  ///< indexed by sensor node id
+
+  /// Throws std::invalid_argument naming the offending node and sample
+  /// index on the first malformed record: empty track, non-finite t/x/y,
+  /// or out-of-order (non-increasing) timestamps.
+  void validate() const;
+};
+
+/// Canonical byte image of a trace (the full file, digest included).
+/// Identical traces encode to identical bytes, so generator determinism
+/// can be asserted with a plain byte compare.
+std::vector<std::uint8_t> encode_motion_trace(const MotionTrace& trace);
+
+/// Parses and validates a trace image; throws snapshot::SnapshotError on
+/// structural corruption and std::invalid_argument on malformed records.
+MotionTrace decode_motion_trace(const std::vector<std::uint8_t>& image);
+
+/// Atomically writes encode_motion_trace(trace) to `path`.
+void save_motion_trace(const std::string& path, const MotionTrace& trace);
+
+/// Reads + decodes a trace file; every error message names `path`.
+MotionTrace load_motion_trace(const std::string& path);
+
+}  // namespace dftmsn

@@ -1,0 +1,45 @@
+#include "mobility/trace_mobility.hpp"
+
+#include <stdexcept>
+
+namespace dftmsn {
+
+TraceMobility::TraceMobility(std::shared_ptr<const MotionTrack> track)
+    : track_(std::move(track)) {
+  if (!track_ || track_->empty())
+    throw std::invalid_argument("TraceMobility: empty track");
+}
+
+Vec2 TraceMobility::position() const {
+  const MotionTrack& tr = *track_;
+  if (t_ <= tr.front().t) return tr.front().pos;        // before first sample
+  if (seg_ + 1 >= tr.size()) return tr.back().pos;      // after last sample
+  const MotionSample& a = tr[seg_];
+  const MotionSample& b = tr[seg_ + 1];
+  const double u = (t_ - a.t) / (b.t - a.t);
+  return a.pos + (b.pos - a.pos) * u;
+}
+
+void TraceMobility::step(double dt) {
+  t_ += dt;
+  const MotionTrack& tr = *track_;
+  while (seg_ + 1 < tr.size() && tr[seg_ + 1].t <= t_) ++seg_;
+}
+
+void TraceMobility::save_state(snapshot::Writer& w) const {
+  w.begin_section("trace_mobility");
+  w.f64(t_);
+  w.u64(seg_);
+  w.end_section();
+}
+
+void TraceMobility::load_state(snapshot::Reader& r) {
+  r.begin_section("trace_mobility");
+  t_ = r.f64();
+  seg_ = static_cast<std::size_t>(r.u64());
+  if (seg_ >= track_->size())
+    throw snapshot::SnapshotError("trace_mobility: cursor beyond track");
+  r.end_section();
+}
+
+}  // namespace dftmsn

@@ -1,0 +1,41 @@
+// Trace-driven mobility (MobilityKind::kTrace): replays one node's
+// waypoint track from a motion trace, interpolating linearly between
+// samples. Before the first sample and after the last the node stands
+// still at that sample's position.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "mobility/mobility_model.hpp"
+#include "mobility/motion_trace.hpp"
+
+namespace dftmsn {
+
+class TraceMobility final : public MobilityModel {
+ public:
+  /// `track` must be validated (non-empty, strictly ascending t); tracks
+  /// are shared so a 100k-node trace is stored once, not per model.
+  explicit TraceMobility(std::shared_ptr<const MotionTrack> track);
+
+  [[nodiscard]] Vec2 position() const override;
+  void step(double dt) override;
+
+  /// Replay clock (sim seconds since construction); the interpolation
+  /// cursor is exposed for tests.
+  [[nodiscard]] double time() const { return t_; }
+  [[nodiscard]] std::size_t segment() const { return seg_; }
+
+  /// Snapshot: the clock and the cursor. The track itself is config-derived
+  /// (rebuilt from scenario.trace_path by the World ctor), so the cursor
+  /// state is canonical and byte-stable across save/replay/load.
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
+ private:
+  std::shared_ptr<const MotionTrack> track_;
+  double t_ = 0.0;
+  std::size_t seg_ = 0;  ///< largest i with track[i].t <= t_ (0 before first)
+};
+
+}  // namespace dftmsn

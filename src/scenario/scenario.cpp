@@ -1,0 +1,300 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace dftmsn {
+namespace {
+
+/// Builds one node's waypoint track: every move_to appends a sample at
+/// the arrival time, so the track is the polyline itself (TraceMobility
+/// interpolates between samples — no dense resampling).
+class TrackBuilder {
+ public:
+  TrackBuilder(double field_edge, Vec2 start) : field_(field_edge) {
+    track_.push_back({0.0, clamp(start)});
+  }
+
+  [[nodiscard]] double time() const { return track_.back().t; }
+  [[nodiscard]] Vec2 pos() const { return track_.back().pos; }
+
+  /// Travels in a straight line to `dest` (clamped into the field) at
+  /// `speed` m/s. Zero-length legs are skipped (duplicate timestamps are
+  /// invalid trace records).
+  void move_to(Vec2 dest, double speed) {
+    dest = clamp(dest);
+    const double dist = distance(pos(), dest);
+    const double dt = dist / speed;
+    if (dt < 1e-9) return;
+    track_.push_back({time() + dt, dest});
+  }
+
+  /// Stands still for `seconds`.
+  void hold(double seconds) {
+    if (seconds < 1e-9) return;
+    track_.push_back({time() + seconds, pos()});
+  }
+
+  MotionTrack take() { return std::move(track_); }
+
+ private:
+  [[nodiscard]] Vec2 clamp(Vec2 p) const {
+    return {std::min(std::max(p.x, 0.0), field_),
+            std::min(std::max(p.y, 0.0), field_)};
+  }
+
+  double field_;
+  MotionTrack track_;
+};
+
+// ---------------------------------------------------------------------------
+// dense-urban: pedestrians on a Manhattan street grid. Nodes walk from
+// intersection to intersection along the streets, turning randomly.
+
+GeneratedScenario gen_dense_urban(std::uint64_t seed) {
+  GeneratedScenario out;
+  Config& c = out.config;
+  c.scenario.field_m = 120.0;
+  c.scenario.zones_per_side = 6;
+  c.scenario.num_sensors = 80;
+  c.scenario.num_sinks = 3;
+  c.scenario.duration_s = 2000.0;
+  c.scenario.data_interval_s = 60.0;
+  c.scenario.speed_min_mps = 0.6;
+  c.scenario.speed_max_mps = 1.8;
+  c.scenario.mobility = MobilityKind::kTrace;
+  c.scenario.seed = seed;
+
+  const int blocks = 6;  // street pitch = field/blocks = 20 m
+  const double pitch = c.scenario.field_m / blocks;
+  RandomSource src(seed);
+  for (int node = 0; node < c.scenario.num_sensors; ++node) {
+    RandomStream rng = src.stream("scenario-dense-urban",
+                                  static_cast<std::uint64_t>(node));
+    int ix = rng.uniform_int(0, blocks);
+    int iy = rng.uniform_int(0, blocks);
+    TrackBuilder tb(c.scenario.field_m, {ix * pitch, iy * pitch});
+    while (tb.time() < c.scenario.duration_s) {
+      // Step to a random adjacent intersection along a street.
+      const bool horizontal = rng.bernoulli(0.5);
+      int& axis = horizontal ? ix : iy;
+      if (axis == 0)
+        axis = 1;
+      else if (axis == blocks)
+        axis = blocks - 1;
+      else
+        axis += rng.bernoulli(0.5) ? 1 : -1;
+      tb.move_to({ix * pitch, iy * pitch},
+                 rng.uniform(c.scenario.speed_min_mps,
+                             c.scenario.speed_max_mps));
+    }
+    out.trace.tracks.push_back(tb.take());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// sparse-rural: a wide, thinly populated field. Long straight legs at
+// low speed with occasional rests — contacts are rare and short.
+
+GeneratedScenario gen_sparse_rural(std::uint64_t seed) {
+  GeneratedScenario out;
+  Config& c = out.config;
+  c.scenario.field_m = 400.0;
+  c.scenario.zones_per_side = 8;
+  c.scenario.num_sensors = 30;
+  c.scenario.num_sinks = 1;
+  c.scenario.duration_s = 3000.0;
+  c.scenario.data_interval_s = 180.0;
+  c.scenario.speed_min_mps = 0.5;
+  c.scenario.speed_max_mps = 2.0;
+  c.scenario.mobility = MobilityKind::kTrace;
+  c.scenario.seed = seed;
+
+  RandomSource src(seed);
+  for (int node = 0; node < c.scenario.num_sensors; ++node) {
+    RandomStream rng = src.stream("scenario-sparse-rural",
+                                  static_cast<std::uint64_t>(node));
+    TrackBuilder tb(c.scenario.field_m,
+                    {rng.uniform(0.0, c.scenario.field_m),
+                     rng.uniform(0.0, c.scenario.field_m)});
+    while (tb.time() < c.scenario.duration_s) {
+      tb.move_to({rng.uniform(0.0, c.scenario.field_m),
+                  rng.uniform(0.0, c.scenario.field_m)},
+                 rng.uniform(c.scenario.speed_min_mps,
+                             c.scenario.speed_max_mps));
+      if (rng.bernoulli(0.5)) tb.hold(rng.uniform(10.0, 60.0));
+    }
+    out.trace.tracks.push_back(tb.take());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// convoy: three vehicle columns, each looping its own shared route at
+// near-constant speed. Vehicles in a column start staggered by a headway
+// and carry a small fixed lateral jitter, so the column stays a column.
+
+GeneratedScenario gen_convoy(std::uint64_t seed) {
+  GeneratedScenario out;
+  Config& c = out.config;
+  c.scenario.field_m = 300.0;
+  c.scenario.zones_per_side = 5;
+  c.scenario.num_sensors = 24;  // 3 convoys x 8 vehicles
+  c.scenario.num_sinks = 2;
+  c.scenario.duration_s = 2000.0;
+  c.scenario.data_interval_s = 90.0;
+  c.scenario.speed_min_mps = 0.0;
+  c.scenario.speed_max_mps = 10.0;
+  c.scenario.mobility = MobilityKind::kTrace;
+  c.scenario.seed = seed;
+
+  constexpr int kConvoys = 3;
+  constexpr int kVehicles = 8;
+  constexpr int kRoutePoints = 5;
+  constexpr double kHeadwayS = 5.0;
+  RandomSource src(seed);
+  for (int convoy = 0; convoy < kConvoys; ++convoy) {
+    RandomStream route_rng = src.stream("scenario-convoy-route",
+                                        static_cast<std::uint64_t>(convoy));
+    std::vector<Vec2> route;
+    for (int p = 0; p < kRoutePoints; ++p)
+      route.push_back({route_rng.uniform(0.0, c.scenario.field_m),
+                       route_rng.uniform(0.0, c.scenario.field_m)});
+
+    for (int v = 0; v < kVehicles; ++v) {
+      const int node = convoy * kVehicles + v;
+      RandomStream rng = src.stream("scenario-convoy",
+                                    static_cast<std::uint64_t>(node));
+      const Vec2 jitter{rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)};
+      const double speed = 8.0 + rng.uniform(-0.5, 0.5);
+      TrackBuilder tb(c.scenario.field_m, route[0] + jitter);
+      tb.hold(v * kHeadwayS);  // staggered start forms the column
+      std::size_t next = 1;
+      while (tb.time() < c.scenario.duration_s) {
+        tb.move_to(route[next] + jitter, speed);
+        next = (next + 1) % route.size();
+      }
+      out.trace.tracks.push_back(tb.take());
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// mass-event: stadium/evacuation flow. Everyone gathers near the field
+// center, mills around the venue, then streams out to the boundary.
+
+GeneratedScenario gen_mass_event(std::uint64_t seed) {
+  GeneratedScenario out;
+  Config& c = out.config;
+  c.scenario.field_m = 200.0;
+  c.scenario.zones_per_side = 5;
+  c.scenario.num_sensors = 100;
+  c.scenario.num_sinks = 4;
+  c.scenario.duration_s = 1500.0;
+  c.scenario.data_interval_s = 60.0;
+  c.scenario.speed_min_mps = 0.5;
+  c.scenario.speed_max_mps = 3.0;
+  c.scenario.mobility = MobilityKind::kTrace;
+  c.scenario.seed = seed;
+
+  const double edge = c.scenario.field_m;
+  const Vec2 center{edge / 2.0, edge / 2.0};
+  RandomSource src(seed);
+  for (int node = 0; node < c.scenario.num_sensors; ++node) {
+    RandomStream rng = src.stream("scenario-mass-event",
+                                  static_cast<std::uint64_t>(node));
+    const auto venue_point = [&](double radius) {
+      constexpr double kTau = 6.283185307179586;
+      const Vec2 dir = unit_from_angle(rng.uniform(0.0, kTau));
+      return center + dir * rng.uniform(0.0, radius);
+    };
+    TrackBuilder tb(edge, {rng.uniform(0.0, edge), rng.uniform(0.0, edge)});
+    // Gather: walk from wherever you are to a seat near the center.
+    tb.move_to(venue_point(30.0), rng.uniform(0.8, 1.5));
+    // Mill about the venue until the event lets out.
+    const double evac_at = 900.0 + rng.uniform(0.0, 120.0);
+    while (tb.time() < evac_at) {
+      tb.move_to(venue_point(35.0), rng.uniform(0.5, 1.2));
+      tb.hold(rng.uniform(5.0, 40.0));
+    }
+    // Evacuate: pick a boundary exit and leave briskly, then stay there
+    // (the after-last clamp keeps the node parked at its exit).
+    const double coord = rng.uniform(0.0, edge);
+    const Vec2 exits[4] = {
+        {coord, 0.0}, {coord, edge}, {0.0, coord}, {edge, coord}};
+    tb.move_to(exits[rng.uniform_int(0, 3)], rng.uniform(1.5, 3.0));
+    out.trace.tracks.push_back(tb.take());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+struct ScenarioEntry {
+  const char* name;
+  const char* description;
+  GeneratedScenario (*generate)(std::uint64_t seed);
+};
+
+constexpr ScenarioEntry kScenarios[] = {
+    {"dense-urban", "Manhattan-grid street walkers, dense population",
+     gen_dense_urban},
+    {"sparse-rural", "wide field, few nodes, long slow legs with pauses",
+     gen_sparse_rural},
+    {"convoy", "vehicle columns looping shared routes at speed", gen_convoy},
+    {"mass-event", "stadium flow: gather, mill, evacuate", gen_mass_event},
+};
+
+const ScenarioEntry* find_scenario(const std::string& name) {
+  for (const ScenarioEntry& e : kScenarios)
+    if (name == e.name) return &e;
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> out;
+  for (const ScenarioEntry& e : kScenarios) out.emplace_back(e.name);
+  return out;
+}
+
+bool is_scenario_name(const std::string& name) {
+  return find_scenario(name) != nullptr;
+}
+
+std::string scenario_description(const std::string& name) {
+  const ScenarioEntry* e = find_scenario(name);
+  return e ? e->description : "";
+}
+
+GeneratedScenario generate_scenario(const std::string& name,
+                                    std::uint64_t seed) {
+  const ScenarioEntry* e = find_scenario(name);
+  if (!e) throw std::invalid_argument("unknown scenario: " + name);
+  GeneratedScenario out = e->generate(seed);
+  out.trace.validate();
+  // The emitted config is complete except for trace_path (set by
+  // materialize_scenario); validate everything else now.
+  Config check = out.config;
+  check.scenario.trace_path = "(unmaterialized)";
+  check.validate();
+  return out;
+}
+
+Config materialize_scenario(const std::string& name, std::uint64_t seed,
+                            const std::string& dir) {
+  GeneratedScenario gen = generate_scenario(name, seed);
+  const std::string path =
+      dir + "/" + name + "_seed" + std::to_string(seed) + ".trc";
+  save_motion_trace(path, gen.trace);
+  gen.config.scenario.trace_path = path;
+  return gen.config;
+}
+
+}  // namespace dftmsn

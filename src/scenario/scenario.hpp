@@ -1,0 +1,50 @@
+// Scenario library: named, seeded generators for whole evaluation worlds.
+//
+// Each generator emits a Config (field, population, traffic, speed caps)
+// plus a motion trace driving every sensor (MobilityKind::kTrace), so
+// protocol rankings can be compared across qualitatively different
+// worlds — not just the paper's one synthetic field. Generation is a pure
+// function of (name, seed): the same pair always yields a byte-identical
+// trace and an identical Config (conformance-suite enforced).
+//
+// Catalog (full parameters in docs/scenarios.md):
+//   dense-urban   Manhattan-grid street walkers, dense population
+//   sparse-rural  wide field, few nodes, long slow legs with pauses
+//   convoy        vehicle columns looping shared routes at speed
+//   mass-event    stadium flow: gather -> mill -> evacuate
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "mobility/motion_trace.hpp"
+
+namespace dftmsn {
+
+struct GeneratedScenario {
+  Config config;      ///< mobility == kTrace; trace_path left empty
+  MotionTrace trace;  ///< one track per sensor, covering the duration
+};
+
+/// All registered scenario names, in registration order.
+std::vector<std::string> scenario_names();
+
+[[nodiscard]] bool is_scenario_name(const std::string& name);
+
+/// One-line description for help listings; empty for unknown names.
+std::string scenario_description(const std::string& name);
+
+/// Generates the scenario deterministically from (name, seed). Throws
+/// std::invalid_argument for unknown names.
+GeneratedScenario generate_scenario(const std::string& name,
+                                    std::uint64_t seed);
+
+/// Generates, writes the trace to `dir`/<name>_seed<seed>.trc, and
+/// returns the Config with scenario.trace_path pointing at it — ready to
+/// run (World, run_specs, sweeps, worker processes).
+Config materialize_scenario(const std::string& name, std::uint64_t seed,
+                            const std::string& dir);
+
+}  // namespace dftmsn

@@ -9,9 +9,12 @@ namespace {
 
 constexpr char kMagic[8] = {'D', 'F', 'T', 'M', 'S', 'N', 'C', 'K'};
 // v2: world header gained a telemetry flag, the world stream a trailing
-// registry section, and metrics drops are keyed on DropReason. Strict
-// equality check: v1 files are rejected, not migrated.
-constexpr std::uint32_t kFormatVersion = 2;
+// registry section, and metrics drops are keyed on DropReason.
+// v3: trace-driven mobility (MobilityKind::kTrace) serializes a new
+// trace_mobility model section, and the registered config key set (which
+// feeds the meta config digest) gained scenario.trace_path. Strict
+// equality check: older files are rejected, not migrated.
+constexpr std::uint32_t kFormatVersion = 3;
 constexpr std::size_t kDigestBytes = 8;
 
 }  // namespace

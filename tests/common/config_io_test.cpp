@@ -149,8 +149,39 @@ TEST(ConfigIo, ParsesMobilityKind) {
   EXPECT_EQ(c.scenario.mobility, MobilityKind::kPatrol);
   apply_config_override(c, "scenario.mobility=zone");
   EXPECT_EQ(c.scenario.mobility, MobilityKind::kZone);
+  apply_config_override(c, "scenario.mobility=trace");
+  EXPECT_EQ(c.scenario.mobility, MobilityKind::kTrace);
+  EXPECT_EQ(mobility_kind_name(MobilityKind::kTrace),
+            std::string("trace"));
   EXPECT_THROW(apply_config_override(c, "scenario.mobility=brownian"),
                std::invalid_argument);
+}
+
+TEST(ConfigIo, TraceKindNeedsAReadableTraceFileAtLoadTime) {
+  // mobility=trace without a trace path fails validation; with a path to
+  // a file that does not exist, load_config_file fails fast naming the
+  // missing file — not later, deep inside World construction.
+  Config c;
+  c.scenario.mobility = MobilityKind::kTrace;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  const std::string path = "config_io_test_trace.cfg";
+  {
+    std::ofstream out(path);
+    out << "scenario.mobility=trace\n"
+        << "scenario.trace_path=no_such_dir/missing.trc\n";
+  }
+  Config loaded;
+  try {
+    load_config_file(loaded, path);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_dir/missing.trc"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(ConfigIo, LoadValidatesTheFinishedConfig) {

@@ -11,6 +11,7 @@
 #include <random>
 #include <vector>
 
+#include "../testutil/trace_fixtures.hpp"
 #include "experiment/world.hpp"
 #include "geom/spatial_index.hpp"
 #include "mobility/mobility_model.hpp"
@@ -169,6 +170,11 @@ TEST_P(SpatialIndexMobility, WorldQueriesMatchBruteForceOracle) {
   c.scenario.seed = 20240807;
   c.scenario.speed_min_mps = 0.5;  // waypoint rejects 0 (RWP stall)
   c.scenario.mobility = GetParam();
+  if (GetParam() == MobilityKind::kTrace) {
+    c.scenario.trace_path = testutil::write_test_trace(
+        "spatial_index_test.tmp.trc", c.scenario.num_sensors,
+        c.scenario.field_m, c.scenario.duration_s, c.scenario.seed);
+  }
   World w(c, ProtocolKind::kOpt);
   const MobilityManager& mm = w.mobility();
   ASSERT_TRUE(mm.spatial_index_enabled());
@@ -205,7 +211,8 @@ TEST_P(SpatialIndexMobility, WorldQueriesMatchBruteForceOracle) {
 INSTANTIATE_TEST_SUITE_P(AllKinds, SpatialIndexMobility,
                          ::testing::Values(MobilityKind::kZone,
                                            MobilityKind::kWaypoint,
-                                           MobilityKind::kPatrol),
+                                           MobilityKind::kPatrol,
+                                           MobilityKind::kTrace),
                          [](const auto& info) {
                            return mobility_kind_name(info.param);
                          });

@@ -1,0 +1,244 @@
+// Trace-driven mobility: interpolation against hand-computed positions,
+// exact-sample hits, clamping outside the track, malformed-trace rejection
+// naming the offending record, file round-trips, and cursor snapshots.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "../testutil/trace_fixtures.hpp"
+#include "mobility/motion_trace.hpp"
+#include "mobility/trace_mobility.hpp"
+#include "snapshot/snapshot_io.hpp"
+
+namespace dftmsn {
+namespace {
+
+std::shared_ptr<const MotionTrack> make_track(
+    std::initializer_list<MotionSample> samples) {
+  return std::make_shared<const MotionTrack>(samples);
+}
+
+// The canonical hand-checked track: three legs with distinct velocities.
+//   t in [0,10]:  (0,0)   -> (10,0)   at 1 m/s along x
+//   t in [10,30]: (10,0)  -> (10,40)  at 2 m/s along y
+//   t in [30,40]: (10,40) -> (50,80)  diagonal
+std::shared_ptr<const MotionTrack> reference_track() {
+  return make_track({{0.0, {0.0, 0.0}},
+                     {10.0, {10.0, 0.0}},
+                     {30.0, {10.0, 40.0}},
+                     {40.0, {50.0, 80.0}}});
+}
+
+TEST(TraceMobility, InterpolatesLinearlyBetweenSamples) {
+  TraceMobility m(reference_track());
+  m.step(2.5);  // t = 2.5, first leg, 25% in
+  EXPECT_DOUBLE_EQ(m.position().x, 2.5);
+  EXPECT_DOUBLE_EQ(m.position().y, 0.0);
+  m.step(12.5);  // t = 15, second leg, 25% in
+  EXPECT_DOUBLE_EQ(m.position().x, 10.0);
+  EXPECT_DOUBLE_EQ(m.position().y, 10.0);
+  m.step(20.0);  // t = 35, third leg, halfway
+  EXPECT_DOUBLE_EQ(m.position().x, 30.0);
+  EXPECT_DOUBLE_EQ(m.position().y, 60.0);
+}
+
+TEST(TraceMobility, ExactSampleHitsReturnTheSampleItself) {
+  TraceMobility m(reference_track());
+  EXPECT_DOUBLE_EQ(m.position().x, 0.0);  // t = 0 is sample 0
+  m.step(10.0);                           // t = 10, exactly sample 1
+  EXPECT_DOUBLE_EQ(m.position().x, 10.0);
+  EXPECT_DOUBLE_EQ(m.position().y, 0.0);
+  EXPECT_EQ(m.segment(), 1u);
+  m.step(20.0);  // t = 30, exactly sample 2
+  EXPECT_DOUBLE_EQ(m.position().x, 10.0);
+  EXPECT_DOUBLE_EQ(m.position().y, 40.0);
+  m.step(10.0);  // t = 40, exactly the last sample
+  EXPECT_DOUBLE_EQ(m.position().x, 50.0);
+  EXPECT_DOUBLE_EQ(m.position().y, 80.0);
+}
+
+TEST(TraceMobility, ClampsBeforeFirstAndAfterLastSample) {
+  // Track that only starts at t = 5: the node stands at the first sample
+  // until then, and parks at the last sample forever after.
+  TraceMobility m(make_track({{5.0, {3.0, 4.0}}, {15.0, {13.0, 4.0}}}));
+  EXPECT_DOUBLE_EQ(m.position().x, 3.0);  // t = 0 < first sample
+  m.step(2.0);                            // t = 2, still before
+  EXPECT_DOUBLE_EQ(m.position().x, 3.0);
+  EXPECT_DOUBLE_EQ(m.position().y, 4.0);
+  m.step(8.0);  // t = 10, mid-leg
+  EXPECT_DOUBLE_EQ(m.position().x, 8.0);
+  m.step(1000.0);  // far past the end
+  EXPECT_DOUBLE_EQ(m.position().x, 13.0);
+  EXPECT_DOUBLE_EQ(m.position().y, 4.0);
+  m.step(1.0);  // stepping further stays parked
+  EXPECT_DOUBLE_EQ(m.position().x, 13.0);
+}
+
+TEST(TraceMobility, ManySmallStepsMatchOneBigStep) {
+  TraceMobility fine(reference_track());
+  TraceMobility coarse(reference_track());
+  for (int i = 0; i < 370; ++i) fine.step(0.1);
+  coarse.step(37.0);
+  EXPECT_NEAR(fine.position().x, coarse.position().x, 1e-9);
+  EXPECT_NEAR(fine.position().y, coarse.position().y, 1e-9);
+  EXPECT_EQ(fine.segment(), coarse.segment());
+}
+
+TEST(TraceMobility, SingleSampleTrackIsAFixedPoint) {
+  TraceMobility m(make_track({{7.0, {1.0, 2.0}}}));
+  for (const double dt : {0.0, 3.0, 10.0, 500.0}) {
+    m.step(dt);
+    EXPECT_DOUBLE_EQ(m.position().x, 1.0);
+    EXPECT_DOUBLE_EQ(m.position().y, 2.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validation: malformed traces are rejected naming node + sample.
+
+void expect_invalid(const MotionTrace& trace, const std::string& fragment) {
+  try {
+    trace.validate();
+    FAIL() << "expected rejection mentioning '" << fragment << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(MotionTrace, RejectsOutOfOrderTimestampsNamingTheRecord) {
+  MotionTrace trace;
+  trace.tracks.push_back({{0.0, {0.0, 0.0}}, {5.0, {1.0, 1.0}}});
+  trace.tracks.push_back(
+      {{0.0, {0.0, 0.0}}, {9.0, {1.0, 1.0}}, {8.0, {2.0, 2.0}}});
+  expect_invalid(trace, "node 1 sample 2");
+  // Equal timestamps are out of order too (strictly ascending required).
+  trace.tracks[1][2].t = 9.0;
+  expect_invalid(trace, "node 1 sample 2");
+}
+
+TEST(MotionTrace, RejectsNonFiniteValuesNamingTheRecord) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  MotionTrace trace;
+  trace.tracks.push_back({{0.0, {0.0, 0.0}}, {5.0, {nan, 1.0}}});
+  expect_invalid(trace, "node 0 sample 1");
+  trace.tracks[0][1] = {nan, {1.0, 1.0}};
+  expect_invalid(trace, "node 0 sample 1");
+  trace.tracks[0][1] = {5.0, {1.0, inf}};
+  expect_invalid(trace, "node 0 sample 1");
+}
+
+TEST(MotionTrace, RejectsEmptyTracks) {
+  MotionTrace trace;
+  trace.tracks.push_back({{0.0, {0.0, 0.0}}});
+  trace.tracks.emplace_back();
+  expect_invalid(trace, "node 1");
+}
+
+// ---------------------------------------------------------------------------
+// Encode/decode and file round-trips.
+
+MotionTrace sample_trace() {
+  return testutil::make_test_trace(5, 100.0, 300.0, 99);
+}
+
+TEST(MotionTrace, EncodeDecodeRoundTripsExactly) {
+  const MotionTrace trace = sample_trace();
+  const auto image = encode_motion_trace(trace);
+  const MotionTrace back = decode_motion_trace(image);
+  ASSERT_EQ(back.tracks.size(), trace.tracks.size());
+  for (std::size_t n = 0; n < trace.tracks.size(); ++n) {
+    ASSERT_EQ(back.tracks[n].size(), trace.tracks[n].size());
+    for (std::size_t i = 0; i < trace.tracks[n].size(); ++i) {
+      EXPECT_EQ(back.tracks[n][i].t, trace.tracks[n][i].t);
+      EXPECT_EQ(back.tracks[n][i].pos.x, trace.tracks[n][i].pos.x);
+      EXPECT_EQ(back.tracks[n][i].pos.y, trace.tracks[n][i].pos.y);
+    }
+  }
+  // Canonical encoding: re-encoding the decoded trace is byte-identical.
+  EXPECT_EQ(encode_motion_trace(back), image);
+}
+
+TEST(MotionTrace, FileRoundTripAndErrorsNameThePath) {
+  const std::string path = "trace_mobility_test.tmp.trc";
+  save_motion_trace(path, sample_trace());
+  EXPECT_EQ(encode_motion_trace(load_motion_trace(path)),
+            encode_motion_trace(sample_trace()));
+
+  try {
+    load_motion_trace("no_such_trace_file.trc");
+    FAIL() << "expected missing-file rejection";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("no_such_trace_file.trc"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MotionTrace, DecodeRejectsCorruptImages) {
+  auto image = encode_motion_trace(sample_trace());
+  // Flip one payload byte: the trailing digest no longer matches.
+  auto corrupt = image;
+  corrupt[image.size() / 2] ^= 0x40;
+  EXPECT_THROW(decode_motion_trace(corrupt), snapshot::SnapshotError);
+  // Truncation.
+  auto truncated = image;
+  truncated.resize(image.size() - 9);
+  EXPECT_THROW(decode_motion_trace(truncated), snapshot::SnapshotError);
+  // Foreign magic (digest recomputed so only the magic check can fire).
+  auto foreign = image;
+  foreign[0] = 'X';
+  snapshot::StateHash rehash;
+  rehash.update(foreign.data(), foreign.size() - 8);
+  for (int i = 0; i < 8; ++i)
+    foreign[foreign.size() - 8 + i] =
+        static_cast<std::uint8_t>(rehash.value() >> (8 * i));
+  EXPECT_THROW(decode_motion_trace(foreign), snapshot::SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// Cursor snapshots.
+
+TEST(TraceMobility, SnapshotRoundTripRestoresCursorExactly) {
+  auto track = reference_track();
+  TraceMobility m(track);
+  m.step(17.25);  // mid-leg, non-trivial cursor
+  snapshot::Writer w;
+  m.save_state(w);
+
+  TraceMobility restored(track);
+  snapshot::Reader r(w.bytes());
+  restored.load_state(r);
+  EXPECT_EQ(restored.time(), m.time());
+  EXPECT_EQ(restored.segment(), m.segment());
+  EXPECT_EQ(restored.position().x, m.position().x);
+  EXPECT_EQ(restored.position().y, m.position().y);
+
+  // Both replicas keep evolving identically after the restore.
+  m.step(9.5);
+  restored.step(9.5);
+  EXPECT_EQ(restored.position().x, m.position().x);
+  EXPECT_EQ(restored.segment(), m.segment());
+}
+
+TEST(TraceMobility, LoadRejectsCursorBeyondTrack) {
+  TraceMobility m(reference_track());
+  snapshot::Writer w;
+  w.begin_section("trace_mobility");
+  w.f64(1.0);
+  w.u64(99);  // cursor far past the 4-sample track
+  w.end_section();
+  snapshot::Reader r(w.bytes());
+  EXPECT_THROW(m.load_state(r), snapshot::SnapshotError);
+}
+
+}  // namespace
+}  // namespace dftmsn

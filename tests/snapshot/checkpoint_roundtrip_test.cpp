@@ -9,6 +9,7 @@
 
 #include <cstring>
 
+#include "../testutil/trace_fixtures.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/world.hpp"
 
@@ -26,6 +27,11 @@ Config small_config(MobilityKind mobility) {
   c.scenario.speed_max_mps = 4.0;
   c.scenario.mobility = mobility;
   c.scenario.seed = 20260806;
+  if (mobility == MobilityKind::kTrace) {
+    c.scenario.trace_path = testutil::write_test_trace(
+        "checkpoint_roundtrip_test.tmp.trc", c.scenario.num_sensors,
+        c.scenario.field_m, c.scenario.duration_s, c.scenario.seed);
+  }
   return c;
 }
 
@@ -64,7 +70,8 @@ constexpr ProtocolKind kAllProtocols[] = {
     ProtocolKind::kSwim,
 };
 constexpr MobilityKind kAllMobility[] = {
-    MobilityKind::kZone, MobilityKind::kWaypoint, MobilityKind::kPatrol};
+    MobilityKind::kZone, MobilityKind::kWaypoint, MobilityKind::kPatrol,
+    MobilityKind::kTrace};
 
 TEST(CheckpointRoundTrip, EveryProtocolTimesEveryMobilityModel) {
   for (ProtocolKind kind : kAllProtocols) {

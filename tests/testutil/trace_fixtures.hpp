@@ -1,0 +1,44 @@
+// Shared test fixture: deterministic synthetic motion traces, for suites
+// that exercise MobilityKind::kTrace without depending on the scenario
+// library (spatial-index oracle, checkpoint round-trips, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "mobility/motion_trace.hpp"
+#include "sim/random.hpp"
+
+namespace dftmsn::testutil {
+
+/// Random-waypoint-style polylines: every node starts somewhere in the
+/// field x field square at t=0 and hops to fresh uniform waypoints until
+/// the track covers [0, duration_s]. Same arguments -> same trace.
+inline MotionTrace make_test_trace(std::size_t num_nodes, double field,
+                                   double duration_s, std::uint64_t seed) {
+  MotionTrace trace;
+  const RandomSource src(seed);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    RandomStream rs = src.stream("test-trace", n);
+    MotionTrack track;
+    track.push_back({0.0, {rs.uniform(0.0, field), rs.uniform(0.0, field)}});
+    double t = 0.0;
+    while (t < duration_s) {
+      t += rs.uniform(5.0, 40.0);
+      track.push_back({t, {rs.uniform(0.0, field), rs.uniform(0.0, field)}});
+    }
+    trace.tracks.push_back(std::move(track));
+  }
+  return trace;
+}
+
+/// Writes make_test_trace(...) to `path` and returns `path`.
+inline std::string write_test_trace(std::string path, std::size_t num_nodes,
+                                    double field, double duration_s,
+                                    std::uint64_t seed) {
+  save_motion_trace(path, make_test_trace(num_nodes, field, duration_s, seed));
+  return path;
+}
+
+}  // namespace dftmsn::testutil
