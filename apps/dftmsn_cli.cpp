@@ -13,14 +13,18 @@
 //              --watchdog-secs 30          (later: add --resume to continue)
 //   dftmsn_cli --list-params
 //
-// Exit codes (full contract in docs/checkpoint_resume.md):
-//   0  success (all replications completed)
-//   2  configuration / usage error
+// Exit codes (full contract in docs/checkpoint_resume.md and
+// docs/durability.md):
+//   0  success (all replications completed; for --fsck: directory clean)
+//   2  configuration / usage error (for --fsck: unrepairable damage)
 //   3  protocol invariant violation (unsupervised runs)
 //   4  interrupted (SIGINT/SIGTERM); checkpoints flushed, rerun with
 //      --resume to continue
 //   5  completed, but some replications were quarantined after
 //      exhausting their retries (see the printed manifest)
+//   7  --fsck applied repairs; the directory is resumable now
+//   9  a scripted I/O crash-point (DFTMSN_IO_FAULTS / --io-faults)
+//      terminated the process — test harnesses only
 //
 // Worker mode (`--worker FILE`, spawned by a supervising parent under
 // --isolate=process; not for interactive use) reuses 0/2/3 with the same
@@ -33,17 +37,20 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/config_io.hpp"
+#include "experiment/fsck.hpp"
 #include "experiment/presets.hpp"
 #include "scenario/scenario.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/supervisor.hpp"
 #include "experiment/worker.hpp"
 #include "experiment/world.hpp"
+#include "snapshot/io_env.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/sampler.hpp"
 #include "trace/contact_probe.hpp"
@@ -90,8 +97,9 @@ int usage(int code) {
       "  --trace-csv F     stream MAC handshake/sleep/data/drop trace\n"
       "                    events to F (single-run only)\n"
       "supervision (see docs/checkpoint_resume.md):\n"
-      "  --checkpoint-dir D   write spec_<i>.ckpt + manifest.txt under D;\n"
-      "                    enables the supervised runner\n"
+      "  --checkpoint-dir D   write the checkpoints.dcc container +\n"
+      "                    manifest.txt under D; enables the supervised\n"
+      "                    runner\n"
       "  --checkpoint-every S checkpoint every S simulated seconds\n"
       "                    (default 0: only on SIGINT/SIGTERM)\n"
       "  --resume          skip replications the manifest marks completed,\n"
@@ -105,7 +113,16 @@ int usage(int code) {
       "                    so the sweep survives segfaults/aborts; clean\n"
       "                    runs are bit-identical to in-process\n"
       "  --worker FILE     internal: run one replication attempt from a\n"
-      "                    sealed request file (spawned by --isolate=process)\n";
+      "                    sealed request file (spawned by --isolate=process)\n"
+      "durability (see docs/durability.md):\n"
+      "  --fsck DIR        scan DIR's container/manifest/worker/trace\n"
+      "                    files, repair torn tails and drop stale or\n"
+      "                    corrupt entries; exit 0 clean, 7 repaired,\n"
+      "                    2 unrepairable\n"
+      "  --io-faults SPEC  deterministic I/O fault schedule, e.g.\n"
+      "                    \"enospc@write#3\" or \"crash@rename#1\"\n"
+      "                    (also read from $DFTMSN_IO_FAULTS; crash\n"
+      "                    points _exit(9) — test harnesses only)\n";
   return code;
 }
 
@@ -132,6 +149,23 @@ extern "C" void handle_stop_signal(int) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Arm the I/O fault schedule before anything can touch the disk. The
+  // environment variable (not a flag) is the canonical carrier so an
+  // --isolate=process parent's schedule reaches the workers it spawns;
+  // scope=parent/worker tokens then pick which process a fault fires in.
+  if (const char* spec = std::getenv("DFTMSN_IO_FAULTS");
+      spec != nullptr && *spec != '\0') {
+    try {
+      snapshot::IoEnv::instance().set_schedule_spec(spec);
+      // An exiting process — not an unwinding exception — is the honest
+      // simulation of losing power at the scheduled boundary.
+      snapshot::IoEnv::instance().set_crash_exits(true);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+
   Config config;
   ProtocolKind kind = ProtocolKind::kOpt;
   int reps = 1;
@@ -160,7 +194,30 @@ int main(int argc, char** argv) {
     if (arg == "--worker") {
       // Worker mode short-circuits everything else: the request file is
       // the whole contract (see worker_protocol.hpp).
+      snapshot::IoEnv::instance().set_scope(snapshot::IoScope::kWorker);
       return run_worker(next());
+    }
+    if (arg == "--fsck") {
+      const std::string dir = next();
+      try {
+        return run_fsck(dir, std::cout).exit_code();
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+    }
+    if (arg == "--io-faults") {
+      const std::string spec = next();
+      try {
+        snapshot::IoEnv::instance().set_schedule_spec(spec);
+        snapshot::IoEnv::instance().set_crash_exits(true);
+        // Spawned workers inherit the schedule through the environment.
+        ::setenv("DFTMSN_IO_FAULTS", spec.c_str(), 1);
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+      continue;
     }
     if (arg == "--list-params") {
       for (const std::string& k : list_config_keys(config))

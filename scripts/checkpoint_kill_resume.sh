@@ -34,7 +34,7 @@ fail() { echo "FAIL: $*" >&2; exit 1; }
   > "$WORK/victim.txt" 2>&1 &
 PID=$!
 for _ in $(seq 1 200); do
-  if compgen -G "$WORK/ckpt/spec_*.ckpt" > /dev/null; then break; fi
+  if [ -s "$WORK/ckpt/checkpoints.dcc" ]; then break; fi
   kill -0 "$PID" 2>/dev/null || break
   sleep 0.05
 done
@@ -104,7 +104,7 @@ SARGS=(--scenario convoy --scenario-dir "$WORK" --protocol OPT
   --checkpoint-every 200 > "$WORK/trace_victim.txt" 2>&1 &
 PID=$!
 for _ in $(seq 1 200); do
-  if compgen -G "$WORK/trace_ckpt/spec_*.ckpt" > /dev/null; then break; fi
+  if [ -s "$WORK/trace_ckpt/checkpoints.dcc" ]; then break; fi
   kill -0 "$PID" 2>/dev/null || break
   sleep 0.05
 done

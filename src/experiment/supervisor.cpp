@@ -11,9 +11,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -26,6 +29,7 @@
 #include "experiment/worker_protocol.hpp"
 #include "experiment/world.hpp"
 #include "snapshot/checkpoint.hpp"
+#include "snapshot/ckpt_container.hpp"
 
 extern char** environ;
 
@@ -153,18 +157,20 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
   const std::string ckpt =
       opts.checkpoint_dir.empty()
           ? std::string()
-          : spec_checkpoint_path(opts.checkpoint_dir, index);
+          : checkpoint_container_path(opts.checkpoint_dir);
 
   // Last good checkpoint, kept in memory: the retry path must not depend
-  // on re-reading a file a torn write may have damaged.
+  // on re-reading an entry a torn write may have damaged.
   std::vector<std::uint8_t> image;
   if (opts.resume && !ckpt.empty()) {
     try {
-      std::vector<std::uint8_t> file = snapshot::read_file(ckpt);
-      const CheckpointMeta meta = read_checkpoint_meta(file);
-      if (meta.config_digest == rec.config_digest &&
-          meta.seed == spec.config.scenario.seed)
-        image = std::move(file);
+      auto entry = snapshot::container_get(ckpt, index);
+      if (entry) {
+        const CheckpointMeta meta = read_checkpoint_meta(*entry);
+        if (meta.config_digest == rec.config_digest &&
+            meta.seed == spec.config.scenario.seed)
+          image = std::move(*entry);
+      }
     } catch (const std::exception&) {
       // Missing, torn or foreign checkpoint: start the spec from scratch.
     }
@@ -214,7 +220,7 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
         if (world->sim().now() >= horizon) break;
         if (!ckpt.empty()) {
           image = make_checkpoint(*world);
-          snapshot::write_file_atomic(ckpt, image);
+          snapshot::container_put(ckpt, index, image);
           ++written;
           ++rec.checkpoints;
           if (opts.stop_after_checkpoints > 0 &&
@@ -238,7 +244,14 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
       rec.status = SpecStatus::kCompleted;
       rec.retries = attempt;
       rec.detail.clear();
-      if (!ckpt.empty()) std::remove(ckpt.c_str());
+      if (!ckpt.empty()) {
+        try {
+          snapshot::container_erase(ckpt, index);
+        } catch (const std::exception&) {
+          // The result is already accepted; a failed cleanup of the
+          // spent checkpoint entry must not turn into a retry.
+        }
+      }
       return;
     } catch (const RunAborted& e) {
       slot.active.store(false);
@@ -247,7 +260,7 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
         // flush one final checkpoint and leave the spec resumable.
         if (world && !ckpt.empty()) {
           try {
-            snapshot::write_file_atomic(ckpt, make_checkpoint(*world));
+            snapshot::container_put(ckpt, index, make_checkpoint(*world));
             ++rec.checkpoints;
           } catch (const std::exception&) {
             // Keep whatever checkpoint was already on disk.
@@ -305,10 +318,17 @@ void run_one_isolated(const RunSpec& spec, std::size_t index,
   const std::string ckpt =
       opts.checkpoint_dir.empty()
           ? std::string()
-          : spec_checkpoint_path(opts.checkpoint_dir, index);
+          : checkpoint_container_path(opts.checkpoint_dir);
   // Workers adopt any valid on-disk checkpoint; a non-resume sweep must
   // therefore clear leftovers the in-process path would simply ignore.
-  if (!ckpt.empty() && !opts.resume) std::remove(ckpt.c_str());
+  if (!ckpt.empty() && !opts.resume) {
+    try {
+      snapshot::container_erase(ckpt, index);
+    } catch (const std::exception&) {
+      // An unreadable container cannot seed the worker either; leave the
+      // damage for --fsck and run the spec from scratch.
+    }
+  }
 
   const std::string base = workdir + "/spec_" + std::to_string(index);
   const std::string req_path = base + ".req";
@@ -344,6 +364,7 @@ void run_one_isolated(const RunSpec& spec, std::size_t index,
     req.kind = spec.kind;
     req.attempt = attempt;
     req.checkpoint_path = ckpt;
+    req.checkpoint_spec = index;
     req.checkpoint_every_s = opts.checkpoint_every_s;
     req.verify_on_resume = opts.verify_on_resume;
     req.result_path = result_path;
@@ -422,7 +443,13 @@ void run_one_isolated(const RunSpec& spec, std::size_t index,
         rec.status = SpecStatus::kCompleted;
         rec.retries = attempt;
         rec.detail.clear();
-        if (!ckpt.empty()) std::remove(ckpt.c_str());
+        if (!ckpt.empty()) {
+          try {
+            snapshot::container_erase(ckpt, index);
+          } catch (const std::exception&) {
+            // Accepted result beats checkpoint cleanup; see above.
+          }
+        }
         cleanup_worker_files();
         return;
       }
@@ -486,14 +513,13 @@ std::string manifest_path(const std::string& checkpoint_dir) {
   return checkpoint_dir + "/manifest.txt";
 }
 
-std::string spec_checkpoint_path(const std::string& checkpoint_dir,
-                                 std::size_t index) {
-  return checkpoint_dir + "/spec_" + std::to_string(index) + ".ckpt";
+std::string checkpoint_container_path(const std::string& checkpoint_dir) {
+  return checkpoint_dir + "/checkpoints.dcc";
 }
 
 void write_manifest(const std::string& path, const SweepManifest& manifest) {
   std::ostringstream os;
-  os << "dftmsn-manifest v3\n";
+  os << "dftmsn-manifest v4\n";
   os << "specs " << manifest.specs.size() << "\n";
   for (std::size_t i = 0; i < manifest.specs.size(); ++i) {
     const SpecRecord& r = manifest.specs[i];
@@ -514,35 +540,86 @@ void write_manifest(const std::string& path, const SweepManifest& manifest) {
            << "\n";
     }
   }
-  const std::string s = os.str();
+  // v4 addition: a trailing whole-file FNV-1a digest line. The manifest
+  // is the one text-format durable file; without this a single flipped
+  // byte in a stored result would resume into silently wrong aggregates.
+  std::string s = os.str();
+  snapshot::StateHash h;
+  h.update(s.data(), s.size());
+  s += "digest " + std::to_string(h.value()) + "\n";
   snapshot::write_file_atomic(path,
                               std::vector<std::uint8_t>(s.begin(), s.end()));
 }
 
+namespace {
+
+/// strtoull with the failure modes closed: empty field, leading junk,
+/// trailing junk, sign, and overflow all throw via `bad`, naming the
+/// offending line.
+std::uint64_t parse_u64_field(
+    const std::string& kv, std::size_t prefix, const std::string& line,
+    const std::function<void(const std::string&)>& bad) {
+  const char* s = kv.c_str() + prefix;
+  if (*s == '\0' || *s == '-' || *s == '+')
+    bad("bad number \"" + std::string(s) + "\" in: " + line);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0')
+    bad("bad number \"" + std::string(s) + "\" in: " + line);
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
 bool load_manifest(const std::string& path, SweepManifest* out) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return false;
 
   const auto bad = [&path](const std::string& what) {
     throw std::runtime_error("manifest " + path + ": " + what);
   };
 
+  // Digest first (same discipline as every binary format here): the
+  // whole file must end with "digest <fnv>\n" covering everything before
+  // that line, so torn writes and bit flips fail with one clear message
+  // instead of parsing into wrong numbers.
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string whole = buf.str();
+  if (whole.empty() || whole.back() != '\n')
+    bad("truncated (no trailing newline)");
+  std::size_t dpos = whole.rfind("digest ", whole.size() - 1);
+  if (dpos == std::string::npos || (dpos != 0 && whole[dpos - 1] != '\n') ||
+      whole.find('\n', dpos) != whole.size() - 1)
+    bad("missing trailing digest line");
+  {
+    const std::string dline =
+        whole.substr(dpos, whole.size() - 1 - dpos);  // sans newline
+    const std::uint64_t stored = parse_u64_field(dline, 7, dline, bad);
+    snapshot::StateHash h;
+    h.update(whole.data(), dpos);
+    if (h.value() != stored)
+      bad("digest mismatch (torn or corrupt file)");
+  }
+
+  std::istringstream body(whole.substr(0, dpos));
   std::string line;
-  // Strict version gate: v2 manifests (pre-registry) are rejected rather
-  // than half-loaded — a stale manifest means re-running the sweep, not
-  // silently resuming without telemetry.
-  if (!std::getline(in, line) || line != "dftmsn-manifest v3")
+  // Strict version gate: older manifests (pre-registry v2, pre-digest
+  // v3) are rejected rather than half-loaded — a stale manifest means
+  // re-running the sweep, not silently resuming without telemetry.
+  if (!std::getline(body, line) || line != "dftmsn-manifest v4")
     bad("unrecognized header");
   std::size_t n = 0;
   {
-    if (!std::getline(in, line)) bad("missing spec count");
+    if (!std::getline(body, line)) bad("missing spec count");
     std::istringstream is(line);
     std::string tag;
     if (!(is >> tag >> n) || tag != "specs") bad("missing spec count");
   }
   SweepManifest m;
   m.specs.resize(n);
-  while (std::getline(in, line)) {
+  while (std::getline(body, line)) {
     if (line.empty()) continue;
     std::istringstream is(line);
     std::string tag;
@@ -556,13 +633,17 @@ bool load_manifest(const std::string& path, SweepManifest* out) {
       if (!parse_status(status, &r.status)) bad("bad status: " + status);
       if (!(is >> kv) || kv.rfind("retries=", 0) != 0)
         bad("missing retries: " + line);
-      r.retries = std::atoi(kv.c_str() + 8);
+      const std::uint64_t retries = parse_u64_field(kv, 8, line, bad);
+      if (retries > static_cast<std::uint64_t>(
+                        std::numeric_limits<int>::max()))
+        bad("retries out of range in: " + line);
+      r.retries = static_cast<int>(retries);
       if (!(is >> kv) || kv.rfind("checkpoints=", 0) != 0)
         bad("missing checkpoints: " + line);
-      r.checkpoints = std::strtoull(kv.c_str() + 12, nullptr, 10);
+      r.checkpoints = parse_u64_field(kv, 12, line, bad);
       if (!(is >> kv) || kv.rfind("digest=", 0) != 0)
         bad("missing digest: " + line);
-      r.config_digest = std::strtoull(kv.c_str() + 7, nullptr, 10);
+      r.config_digest = parse_u64_field(kv, 7, line, bad);
       std::string detail;
       std::getline(is, detail);
       const auto at = detail.find("detail=");

@@ -56,8 +56,8 @@ enum class IsolationMode : std::uint8_t {
 };
 
 struct SupervisorOptions {
-  /// Directory for spec_<i>.ckpt files + manifest.txt. Empty: no
-  /// checkpointing (failures retry from scratch, stop loses progress).
+  /// Directory for the checkpoints.dcc container + manifest.txt. Empty:
+  /// no checkpointing (failures retry from scratch, stop loses progress).
   std::string checkpoint_dir;
   /// Simulated seconds between periodic checkpoints. <= 0: checkpoint
   /// only on external stop.
@@ -161,8 +161,9 @@ std::vector<RunResult> completed_results(const SweepManifest& manifest);
 // --- manifest / checkpoint file layout ---------------------------------
 
 std::string manifest_path(const std::string& checkpoint_dir);
-std::string spec_checkpoint_path(const std::string& checkpoint_dir,
-                                 std::size_t index);
+/// The single indexed container every spec's checkpoint lives in
+/// ("DFTMSNCC", see snapshot/ckpt_container.hpp); spec index = entry key.
+std::string checkpoint_container_path(const std::string& checkpoint_dir);
 
 /// Writes the manifest as a line-oriented text file (atomic rewrite).
 /// RunResult doubles are stored as hexfloats so a resumed sweep reports

@@ -11,6 +11,7 @@
 #include "experiment/worker_protocol.hpp"
 #include "faults/invariant_checker.hpp"
 #include "snapshot/checkpoint.hpp"
+#include "snapshot/ckpt_container.hpp"
 
 namespace dftmsn {
 namespace {
@@ -62,18 +63,21 @@ int run_worker(const std::string& request_path) {
     std::atomic<std::uint64_t>* counter =
         progress ? progress->counter() : nullptr;
 
-    // Resume from the spec's checkpoint when one is present and belongs
-    // to this (config, protocol, seed). Unlike the in-process loop —
-    // which keeps the last good image in memory across retries — a fresh
-    // process can only trust the file: if it is torn or stale, delete it
-    // and restart this same attempt from scratch.
+    // Resume from the spec's container entry when one is present and
+    // belongs to this (config, protocol, seed). Unlike the in-process
+    // loop — which keeps the last good image in memory across retries —
+    // a fresh process can only trust the file: a torn tail simply hides
+    // the entry (container_get recovers what precedes it), and a stale
+    // or mismatched entry is erased so the fresh start owns the slot.
     std::unique_ptr<World> world;
     if (!req.checkpoint_path.empty()) {
       std::vector<std::uint8_t> image;
       try {
-        image = snapshot::read_file(req.checkpoint_path);
+        auto entry = snapshot::container_get(req.checkpoint_path,
+                                             req.checkpoint_spec);
+        if (entry) image = std::move(*entry);
       } catch (const std::exception&) {
-        image.clear();  // no checkpoint yet: first attempt from scratch
+        image.clear();  // unreadable container: attempt from scratch
       }
       if (!image.empty()) {
         try {
@@ -88,9 +92,16 @@ int run_worker(const std::string& request_path) {
           world.reset();
         }
         // Foreign digest falls through with world == nullptr too: either
-        // way the file cannot seed this run, so clear it before the
+        // way the entry cannot seed this run, so drop it before the
         // fresh start overwrites it at the next boundary.
-        if (!world) std::remove(req.checkpoint_path.c_str());
+        if (!world) {
+          try {
+            snapshot::container_erase(req.checkpoint_path,
+                                      req.checkpoint_spec);
+          } catch (const std::exception&) {
+            // Best effort; the next container_put supersedes it anyway.
+          }
+        }
       }
     }
     if (!world) {
@@ -110,8 +121,8 @@ int run_worker(const std::string& request_path) {
       world->run_until(next);
       if (world->sim().now() >= horizon) break;
       if (!req.checkpoint_path.empty()) {
-        snapshot::write_file_atomic(req.checkpoint_path,
-                                    make_checkpoint(*world));
+        snapshot::container_put(req.checkpoint_path, req.checkpoint_spec,
+                                make_checkpoint(*world));
         ++written;
       }
     }

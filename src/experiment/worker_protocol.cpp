@@ -18,7 +18,7 @@ namespace {
 
 constexpr char kRequestMagic[] = "DFTMSNWQ";
 constexpr char kResultMagic[] = "DFTMSNWR";
-constexpr std::uint32_t kProtocolVersion = 1;
+constexpr std::uint32_t kProtocolVersion = 2;  // v2: container checkpoints
 
 // The six doubles go first as bit patterns, then the counters, in
 // RunResult declaration order — the same order the manifest uses.
@@ -96,6 +96,7 @@ std::vector<std::uint8_t> encode_worker_request(const WorkerRequest& req) {
   w.u32(static_cast<std::uint32_t>(req.kind));
   w.i64(req.attempt);
   w.str(req.checkpoint_path);
+  w.u64(req.checkpoint_spec);
   w.f64(req.checkpoint_every_s);
   w.boolean(req.verify_on_resume);
   w.str(req.result_path);
@@ -113,6 +114,7 @@ WorkerRequest decode_worker_request(const std::vector<std::uint8_t>& image) {
   req.kind = static_cast<ProtocolKind>(rd.u32());
   req.attempt = static_cast<int>(rd.i64());
   req.checkpoint_path = rd.str();
+  req.checkpoint_spec = rd.u64();
   req.checkpoint_every_s = rd.f64();
   req.verify_on_resume = rd.boolean();
   req.result_path = rd.str();
@@ -126,7 +128,11 @@ void write_worker_request(const std::string& path, const WorkerRequest& req) {
 }
 
 WorkerRequest read_worker_request(const std::string& path) {
-  return decode_worker_request(snapshot::read_file(path));
+  try {
+    return decode_worker_request(snapshot::read_file(path));
+  } catch (const snapshot::SnapshotError& e) {
+    throw snapshot::SnapshotError("worker request " + path + ": " + e.what());
+  }
 }
 
 std::vector<std::uint8_t> encode_worker_result(const WorkerResult& res) {
@@ -161,7 +167,11 @@ void write_worker_result(const std::string& path, const WorkerResult& res) {
 }
 
 WorkerResult read_worker_result(const std::string& path) {
-  return decode_worker_result(snapshot::read_file(path));
+  try {
+    return decode_worker_result(snapshot::read_file(path));
+  } catch (const snapshot::SnapshotError& e) {
+    throw snapshot::SnapshotError("worker result " + path + ": " + e.what());
+  }
 }
 
 std::string worker_signal_name(int sig) {

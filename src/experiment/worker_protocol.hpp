@@ -41,7 +41,11 @@ struct WorkerRequest {
   Config config;
   ProtocolKind kind = ProtocolKind::kOpt;
   int attempt = 0;               ///< gates attempts=-qualified fault events
-  std::string checkpoint_path;   ///< empty: no checkpointing
+  /// Checkpoint container ("DFTMSNCC") the attempt reads/writes its
+  /// entry in. Empty: no checkpointing. (v1 of this protocol carried a
+  /// per-spec .ckpt file path here.)
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_spec = 0;  ///< this attempt's container entry
   double checkpoint_every_s = 0.0;
   bool verify_on_resume = true;
   std::string result_path;       ///< where the worker writes its result

@@ -119,7 +119,13 @@ CheckpointMeta read_checkpoint_meta(const std::vector<std::uint8_t>& image,
 
 CheckpointMeta read_checkpoint_file(const std::string& path,
                                     std::vector<std::uint8_t>* state) {
-  return read_checkpoint_meta(snapshot::read_file(path), state);
+  try {
+    return read_checkpoint_meta(snapshot::read_file(path), state);
+  } catch (const snapshot::SnapshotError& e) {
+    // Image-level validation doesn't know the file name; re-attach it so
+    // a torn or corrupt checkpoint is reported against its path.
+    throw snapshot::SnapshotError("checkpoint " + path + ": " + e.what());
+  }
 }
 
 std::unique_ptr<World> resume_world(const Config& config, ProtocolKind kind,

@@ -1,0 +1,91 @@
+// Indexed checkpoint container ("DFTMSNCC" v1): one append-only file
+// holding every spec's latest checkpoint, replacing the file-per-spec
+// `spec_<i>.ckpt` layout.
+//
+// Layout:
+//   header   8-byte magic "DFTMSNCC" + u32 version (12 bytes)
+//   records  back to back, each:
+//              u32 "RC01" | u32 kind | u64 spec | u64 seq |
+//              u64 payload_len | payload | u64 FNV-1a digest
+//            (digest covers the record header + payload)
+//   tail     one kind=index record (payload: u64 count, then count x
+//            (u64 spec, u64 offset) pairs sorted by spec) followed by a
+//            16-byte footer: u64 index_offset + magic "DFTMSNCF"
+//
+// Updates append: a new checkpoint record overwrites the old index
+// position, then a fresh index + footer go after it and the file is
+// truncated to the exact end. The record a spec previously owned stays
+// behind as a dead record until compaction. Crash tolerance falls out of
+// the layout: a torn append damages only bytes past the last intact
+// record, so recovery scans the records front to back, stops at the
+// first one whose digest fails, and rebuilds the index from what
+// survived — the previous checkpoint of the spec being written is one of
+// the surviving records.
+//
+// Every read validates digests; every mutation runs under an exclusive
+// flock(2) on a sibling `<path>.lock` file (never renamed, so the lock
+// stays valid across in-place compaction), which serializes both
+// concurrent sweep threads and isolated worker processes. Mutations go
+// through the IoEnv primitives and are therefore both durable (fsync
+// before the cut-over points) and fault-injectable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dftmsn::snapshot {
+
+/// One live index entry, as recovered by container_scan.
+struct ContainerEntry {
+  std::uint64_t spec = 0;
+  std::uint64_t seq = 0;          ///< write generation (monotonic per file)
+  std::uint64_t offset = 0;       ///< record start, from file offset 0
+  std::uint64_t payload_len = 0;
+};
+
+/// What a front-to-back validation scan found.
+struct ContainerScanResult {
+  bool exists = false;        ///< false: no file (all else defaulted)
+  bool clean = false;         ///< footer + index present and consistent
+  std::uint64_t file_size = 0;
+  std::uint64_t valid_end = 0;   ///< offset after the last intact record
+  std::uint64_t dead_bytes = 0;  ///< superseded record bytes (compactable)
+  std::vector<ContainerEntry> entries;  ///< live entries, sorted by spec
+};
+
+/// Validates `path` front to back without modifying it. A torn tail
+/// (bytes past valid_end that don't form intact records + footer) makes
+/// clean=false; the entries recovered before the tear are still
+/// returned. Throws SnapshotError (naming the path) only for damage a
+/// scan cannot step over: a missing/oversized header or an unreadable
+/// file. A nonexistent path is not an error (exists=false).
+ContainerScanResult container_scan(const std::string& path);
+
+/// Appends `payload` as spec's new checkpoint (creating the container if
+/// needed), then rewrites the index + footer. Durable on return. May
+/// compact in place when dead bytes dominate the file.
+void container_put(const std::string& path, std::uint64_t spec,
+                   const std::vector<std::uint8_t>& payload);
+
+/// Returns spec's latest intact payload, or nullopt when the container
+/// or the entry doesn't exist (including "lost to a torn tail" — the
+/// caller starts that spec from scratch, which is the recovery).
+std::optional<std::vector<std::uint8_t>> container_get(
+    const std::string& path, std::uint64_t spec);
+
+/// Drops spec's entry from the index (the record becomes dead bytes).
+/// No-op when the container or entry is absent.
+void container_erase(const std::string& path, std::uint64_t spec);
+
+/// Rewrites the container to exactly its live records. No-op (and no
+/// write) when the file is already clean and fully live.
+void container_compact(const std::string& path);
+
+/// Truncates a torn tail and rewrites the index + footer so a scan
+/// reports clean. Returns true when the file was modified (--fsck's
+/// "repaired" signal), false when it was already clean or absent.
+bool container_repair(const std::string& path);
+
+}  // namespace dftmsn::snapshot

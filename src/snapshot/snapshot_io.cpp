@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "snapshot/io_env.hpp"
+
 namespace dftmsn::snapshot {
 
 SnapshotMismatch::SnapshotMismatch(const std::string& section,
@@ -250,17 +252,10 @@ std::vector<std::uint8_t> unseal_container(const char* magic8,
 
 void write_file_atomic(const std::string& path,
                        const std::vector<std::uint8_t>& bytes) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw SnapshotError("cannot open " + tmp + " for writing");
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) throw SnapshotError("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    throw SnapshotError("cannot rename " + tmp + " to " + path);
+  // Durability (fsync before rename, parent-dir fsync after) and fault
+  // injection both live in the IoEnv layer; every persistence path that
+  // calls this inherits them.
+  IoEnv::instance().write_file_atomic_durable(path, bytes);
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {

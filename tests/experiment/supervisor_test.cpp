@@ -158,7 +158,7 @@ TEST(Supervisor, InterruptedSweepResumesAndSkipsCompleted) {
   EXPECT_EQ(m.interrupted(), 2);
   EXPECT_TRUE(std::filesystem::exists(manifest_path(dir.path)));
   EXPECT_TRUE(
-      std::filesystem::exists(spec_checkpoint_path(dir.path, 0)));
+      std::filesystem::exists(checkpoint_container_path(dir.path)));
 
   opts.stop_after_checkpoints = 0;
   opts.resume = true;
