@@ -36,10 +36,12 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/config_io.hpp"
@@ -51,7 +53,10 @@
 #include "experiment/worker.hpp"
 #include "experiment/world.hpp"
 #include "snapshot/io_env.hpp"
+#include "snapshot/snapshot_io.hpp"
+#include "telemetry/json_value.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/status.hpp"
 #include "telemetry/sampler.hpp"
 #include "trace/contact_probe.hpp"
 #include "trace/recorder.hpp"
@@ -114,6 +119,19 @@ int usage(int code) {
       "                    runs are bit-identical to in-process\n"
       "  --worker FILE     internal: run one replication attempt from a\n"
       "                    sealed request file (spawned by --isolate=process)\n"
+      "live status (purely observational; see docs/observability.md):\n"
+      "  --status-every S  atomically rewrite status.json every S wall\n"
+      "                    seconds (in --checkpoint-dir, or the current\n"
+      "                    directory without one)\n"
+      "  --status-port P   serve GET /status, /healthz and /metrics\n"
+      "                    (Prometheus text) on 127.0.0.1:P while the sweep\n"
+      "                    runs (0 = ephemeral port, printed at start)\n"
+      "  --trace-out F     append lifecycle spans (attempt/checkpoint/\n"
+      "                    retry/spawn/sigkill/quarantine) to F in Chrome\n"
+      "                    trace-event JSONL, viewable in Perfetto\n"
+      "  --status DIR      print the progress table from DIR/status.json\n"
+      "                    and exit (reader side; add --watch to refresh\n"
+      "                    every second until the sweep finishes)\n"
       "durability (see docs/durability.md):\n"
       "  --fsck DIR        scan DIR's container/manifest/worker/trace\n"
       "                    files, repair torn tails and drop stale or\n"
@@ -136,6 +154,36 @@ std::string self_executable(const char* argv0) {
     return std::string(buf);
   }
   return std::string(argv0);  // non-procfs fallback
+}
+
+/// `--status DIR` reader: DIR/status.json is the whole interface — the
+/// printing process never talks to the running sweep.
+int run_status_reader(const std::string& dir, bool watch) {
+  const std::string path = dir + "/status.json";
+  for (;;) {
+    telemetry::JsonValue doc;
+    try {
+      const std::vector<std::uint8_t> bytes = snapshot::read_file(path);
+      doc = telemetry::parse_json(std::string(bytes.begin(), bytes.end()));
+    } catch (const std::exception& e) {
+      std::cerr << path << ": " << e.what() << "\n";
+      return 2;
+    }
+    if (watch) std::cout << "\033[2J\033[H";  // clear screen, cursor home
+    std::cout << telemetry::render_status_table(doc) << std::flush;
+    if (!watch) return 0;
+    // The sweep is over once every spec reached a terminal phase.
+    const double total = doc.number_or("specs_total", 0.0);
+    double terminal = 0.0;
+    if (const telemetry::JsonValue* phases = doc.find("phases");
+        phases != nullptr) {
+      terminal = phases->number_or("done", 0.0) +
+                 phases->number_or("quarantined", 0.0) +
+                 phases->number_or("interrupted", 0.0);
+    }
+    if (total > 0.0 && terminal >= total) return 0;
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
 }
 
 std::atomic<bool> g_stop{false};
@@ -177,6 +225,8 @@ int main(int argc, char** argv) {
   bool profile = false;
   SupervisorOptions sup;
   bool supervised = false;
+  std::string status_read_dir;
+  bool status_watch = false;
   std::string scenario_name;
   std::string scenario_dir = ".";
   std::vector<std::string> overrides;
@@ -339,6 +389,37 @@ int main(int argc, char** argv) {
       supervised = true;
       continue;
     }
+    if (arg == "--status-every") {
+      sup.obs.status_every_s = std::atof(next().c_str());
+      if (sup.obs.status_every_s <= 0.0) {
+        std::cerr << "--status-every must be > 0\n";
+        return 2;
+      }
+      supervised = true;
+      continue;
+    }
+    if (arg == "--status-port") {
+      sup.obs.status_port = std::atoi(next().c_str());
+      if (sup.obs.status_port < 0 || sup.obs.status_port > 65535) {
+        std::cerr << "--status-port must be 0..65535\n";
+        return 2;
+      }
+      supervised = true;
+      continue;
+    }
+    if (arg == "--trace-out") {
+      sup.obs.trace_path = next();
+      supervised = true;
+      continue;
+    }
+    if (arg == "--status") {
+      status_read_dir = next();
+      continue;
+    }
+    if (arg == "--watch") {
+      status_watch = true;
+      continue;
+    }
     if (arg == "--isolate") {
       const std::string mode = next();
       if (mode == "in-process") {
@@ -359,6 +440,15 @@ int main(int argc, char** argv) {
     std::cerr << "--resume/--checkpoint-every need --checkpoint-dir\n";
     return 2;
   }
+  if (!status_read_dir.empty()) return run_status_reader(status_read_dir,
+                                                         status_watch);
+  if (status_watch) {
+    std::cerr << "--watch needs --status DIR\n";
+    return 2;
+  }
+  if (sup.obs.status_every_s > 0.0 && sup.obs.status_dir.empty())
+    sup.obs.status_dir =
+        sup.checkpoint_dir.empty() ? std::string(".") : sup.checkpoint_dir;
 
   try {
     if (!scenario_name.empty()) {
@@ -404,6 +494,7 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handle_stop_signal);
     sup.jobs = jobs;
     sup.stop = &g_stop;
+    sup.obs.announce = &std::cout;
     if (sup.isolate == IsolationMode::kProcess)
       sup.worker_exe = self_executable(argv[0]);
 

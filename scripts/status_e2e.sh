@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# End-to-end check of the live observability plane:
+#   A. a sweep whose first attempts hang (watchdog-recovered) with the
+#      status file, HTTP listener and lifecycle trace all on — /status
+#      and /metrics are fetched MID-RUN, the sweep still exits 0, the
+#      final status.json passes scripts/validate_status.py with every
+#      spec terminal and healthy=1, the trace is well-formed, and the
+#      reader mode (--status DIR) renders it;
+#   B. the same plan ungated — every attempt hangs, the watchdog trips
+#      until quarantine, /healthz is observed flipping to 503 while the
+#      sweep is still running, and the sweep exits 5 with a final
+#      unhealthy terminal document.
+#
+# The listener binds an ephemeral port (--status-port 0) and announces
+# it on stdout ("status: listening on 127.0.0.1:PORT"); the script
+# discovers the port by polling that line, the same way a harness would.
+#
+# Usage: status_e2e.sh <path-to-dftmsn_cli> [workdir]
+set -u
+
+CLI="${1:?usage: status_e2e.sh <dftmsn_cli> [workdir]}"
+WORK="${2:-status_e2e.tmp}"
+case "$WORK" in /*) ;; *) WORK="$PWD/$WORK" ;; esac
+case "$CLI" in /*) ;; *) CLI="$PWD/$CLI" ;; esac
+SCRIPTS="$(cd "$(dirname "$0")" && pwd)"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Poll a sweep's log for the ephemeral-port announce line.
+discover_port() {
+  local log="$1" port="" i
+  for i in $(seq 1 100); do
+    port=$(grep -oE 'listening on 127\.0\.0\.1:[0-9]+' "$log" 2>/dev/null \
+           | head -n1 | grep -oE '[0-9]+$' || true)
+    [ -n "$port" ] && { echo "$port"; return 0; }
+    sleep 0.1
+  done
+  return 1
+}
+
+ARGS=(--protocol OPT --reps 2
+      scenario.seed=60311 scenario.num_sensors=12 scenario.num_sinks=2
+      scenario.field_m=140 scenario.duration_s=900
+      --max-retries 1 --checkpoint-every 200 --watchdog-secs 2
+      --status-every 0.2 --status-port 0)
+
+# --- A. Gated hangs: watchdog aborts attempt 0, the retry completes. ---
+"$CLI" "${ARGS[@]}" --faults 'hang@500:attempts=1' \
+    --checkpoint-dir "$WORK/a" --trace-out "$WORK/a/trace.jsonl" \
+    > "$WORK/a.txt" 2>&1 &
+PID=$!
+PORT=$(discover_port "$WORK/a.txt") || fail "no announce line in a.txt"
+
+# Mid-run fetches: the sweep is still hanging/retrying while these land.
+curl -fsS "http://127.0.0.1:$PORT/status" > "$WORK/a_status_live.json" \
+  || fail "GET /status failed mid-run"
+grep -q 'dftmsn-status-v1' "$WORK/a_status_live.json" \
+  || fail "/status did not serve the status schema"
+curl -fsS "http://127.0.0.1:$PORT/metrics" > "$WORK/a_metrics.txt" \
+  || fail "GET /metrics failed mid-run"
+grep -q '^dftmsn_up 1' "$WORK/a_metrics.txt" \
+  || fail "/metrics did not expose dftmsn_up"
+grep -q '^# TYPE dftmsn_events_executed_total counter' "$WORK/a_metrics.txt" \
+  || fail "/metrics lacks Prometheus TYPE headers"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/nope")
+[ "$CODE" = "404" ] || fail "unknown path served $CODE (want 404)"
+
+wait "$PID"; RC=$?
+[ "$RC" -eq 0 ] || { cat "$WORK/a.txt" >&2; fail "gated sweep exited $RC"; }
+grep -q 'completed=2' "$WORK/a.txt" || fail "gated sweep did not complete"
+grep -q 'retried=2' "$WORK/a.txt" || fail "gated sweep should have retried"
+
+python3 "$SCRIPTS/validate_status.py" "$WORK/a/status.json" \
+    --expect-terminal --expect-healthy 1 --trace "$WORK/a/trace.jsonl" \
+  || fail "terminal status.json / trace validation failed"
+
+# Reader mode renders the terminal document and exits 0.
+"$CLI" --status "$WORK/a" > "$WORK/a_reader.txt" \
+  || fail "--status reader exited nonzero"
+grep -q 'done' "$WORK/a_reader.txt" || fail "reader table shows no done spec"
+
+# --- B. Ungated hangs: quarantine; /healthz flips to 503 mid-run. ---
+"$CLI" "${ARGS[@]}" --faults 'hang@500' \
+    --checkpoint-dir "$WORK/b" > "$WORK/b.txt" 2>&1 &
+PID=$!
+PORT=$(discover_port "$WORK/b.txt") || fail "no announce line in b.txt"
+
+SAW_503=0
+for i in $(seq 1 200); do
+  CODE=$(curl -s -o /dev/null -w '%{http_code}' \
+         "http://127.0.0.1:$PORT/healthz" || true)
+  if [ "$CODE" = "503" ]; then SAW_503=1; break; fi
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.1
+done
+[ "$SAW_503" -eq 1 ] || fail "never observed /healthz 503 during quarantine"
+
+wait "$PID"; RC=$?
+[ "$RC" -eq 5 ] || { cat "$WORK/b.txt" >&2; fail "ungated sweep exited $RC (want 5)"; }
+grep -q 'quarantined=2' "$WORK/b.txt" || fail "expected both reps quarantined"
+
+python3 "$SCRIPTS/validate_status.py" "$WORK/b/status.json" \
+    --expect-terminal --expect-healthy 0 \
+  || fail "unhealthy terminal status.json validation failed"
+grep -q 'attempt' "$WORK/b/status.json" \
+  || fail "quarantine detail lacks the attempt stamp"
+
+echo "PASS: live /status + /metrics, healthz 503 under quarantine, exit codes 0/5"
+rm -rf "$WORK"

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate a dftmsn status.json document (and optionally a trace file).
+
+Usage:
+    validate_status.py STATUS.json [--schema SCHEMA.json]
+                       [--expect-terminal] [--expect-healthy {0,1}]
+                       [--trace TRACE.jsonl]
+
+Checks STATUS.json against the (minimal, self-interpreted) schema in
+scripts/status_schema.json — the same schema dialect validate_report.py
+speaks: required keys, value types, const and pattern constraints, plus
+uniform member/item schemas. Cross-field invariants that a schema can't
+express are checked in code: phase counts sum to specs_total, the specs
+array length matches, progress stays in [0, 1].
+
+--expect-terminal additionally requires every spec to have reached a
+terminal phase (done / quarantined / interrupted). --expect-healthy pins
+the health bit. --trace checks a lifecycle trace: Chrome trace-event
+JSON lines (opening "[", one object per line with a trailing comma) with
+the required ph/name/pid/tid/ts members (docs/observability.md).
+
+Standard library only; exit 0 on success, 1 with a message on failure.
+"""
+import argparse
+import json
+import os
+import re
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+_TERMINAL = {"done", "quarantined", "interrupted"}
+
+
+def _fail(path, message):
+    raise ValueError(f"{path or '$'}: {message}")
+
+
+def _check(value, schema, path):
+    expected = schema.get("type")
+    if expected:
+        want = _TYPES[expected]
+        # bool is an int subclass in Python; keep the kinds distinct.
+        if isinstance(value, bool) and expected in ("number", "integer"):
+            _fail(path, f"expected {expected}, got boolean")
+        if not isinstance(value, want):
+            _fail(path, f"expected {expected}, got {type(value).__name__}")
+    if "const" in schema and value != schema["const"]:
+        _fail(path, f"expected {schema['const']!r}, got {value!r}")
+    if "pattern" in schema and not re.fullmatch(schema["pattern"], value):
+        _fail(path, f"{value!r} does not match {schema['pattern']!r}")
+    for key in schema.get("required", []):
+        if key not in value:
+            _fail(path, f"missing required key {key!r}")
+    for key, sub in schema.get("properties", {}).items():
+        if key in value:
+            _check(value[key], sub, f"{path}.{key}")
+    if "values" in schema:  # uniform schema for every (other) member
+        described = schema.get("properties", {})
+        for key, item in value.items():
+            if key not in described:
+                _check(item, schema["values"], f"{path}.{key}")
+    if "items" in schema:
+        for i, item in enumerate(value):
+            _check(item, schema["items"], f"{path}[{i}]")
+
+
+def _check_invariants(doc):
+    total = doc["specs_total"]
+    if sum(doc["phases"].values()) != total:
+        _fail("$.phases", f"counts sum to {sum(doc['phases'].values())}, "
+                          f"specs_total is {total}")
+    if len(doc["specs"]) != total:
+        _fail("$.specs", f"{len(doc['specs'])} rows for {total} specs")
+    if not 0.0 <= doc["progress"] <= 1.0:
+        _fail("$.progress", f"{doc['progress']} outside [0, 1]")
+    for i, spec in enumerate(doc["specs"]):
+        if spec["index"] != i:
+            _fail(f"$.specs[{i}].index", f"expected {i}, got {spec['index']}")
+
+
+def _check_trace(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines or lines[0] != "[":
+        _fail("trace", 'first line must be "["')
+    if len(lines) < 2:
+        _fail("trace", "no events recorded")
+    for n, line in enumerate(lines[1:], start=2):
+        if not line.endswith(","):
+            _fail(f"trace:{n}", "event line must end with a comma")
+        try:
+            ev = json.loads(line[:-1])
+        except json.JSONDecodeError as e:
+            _fail(f"trace:{n}", f"not JSON: {e}")
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in ev:
+                _fail(f"trace:{n}", f"missing required key {key!r}")
+        if ev["ph"] not in ("B", "E", "i"):
+            _fail(f"trace:{n}", f"unexpected phase {ev['ph']!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("status")
+    parser.add_argument("--schema", default=None)
+    parser.add_argument("--expect-terminal", action="store_true",
+                        help="require every spec to be done / quarantined "
+                             "/ interrupted")
+    parser.add_argument("--expect-healthy", type=int, choices=(0, 1),
+                        default=None, help="require the health bit")
+    parser.add_argument("--trace", default=None,
+                        help="lifecycle trace file to check as well")
+    args = parser.parse_args()
+
+    schema_path = args.schema
+    if schema_path is None:
+        schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                   "status_schema.json")
+
+    with open(args.status) as f:
+        doc = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    try:
+        _check(doc, schema, "")
+        _check_invariants(doc)
+        if args.expect_terminal:
+            for i, spec in enumerate(doc["specs"]):
+                if spec["phase"] not in _TERMINAL:
+                    _fail(f"$.specs[{i}]",
+                          f"phase {spec['phase']!r} is not terminal")
+        if args.expect_healthy is not None:
+            if doc["healthy"] != bool(args.expect_healthy):
+                _fail("$.healthy", f"expected {bool(args.expect_healthy)}, "
+                                   f"got {doc['healthy']}")
+        if args.trace:
+            _check_trace(args.trace)
+    except ValueError as e:
+        print(f"{args.status}: validation failure: {e}", file=sys.stderr)
+        return 1
+
+    print(f"{args.status}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

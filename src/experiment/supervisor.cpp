@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -30,6 +31,10 @@
 #include "experiment/world.hpp"
 #include "snapshot/checkpoint.hpp"
 #include "snapshot/ckpt_container.hpp"
+#include "snapshot/snapshot_io.hpp"
+#include "telemetry/lifecycle_trace.hpp"
+#include "telemetry/status.hpp"
+#include "telemetry/status_server.hpp"
 
 extern char** environ;
 
@@ -136,24 +141,42 @@ struct Slot {
   std::atomic<bool> abort{false};
   std::atomic<bool> active{false};
   std::atomic<bool> watchdog_fired{false};
+  /// In-process mirrors of the SharedProgress v2 fields: virtual
+  /// sim-time (double bits) and checkpoint sequence of the current
+  /// attempt, read by the status sampler exactly like `progress`.
+  std::atomic<std::uint64_t> sim_time_bits{0};
+  std::atomic<std::uint64_t> ckpt_seq{0};
   /// Process isolation: the spawned worker's pid while one is running
   /// (-1 otherwise) — a hung or stopped worker cannot honor the abort
   /// flag, so the watchdog SIGKILLs it instead.
   std::atomic<long> child_pid{-1};
-  /// Process isolation: the worker's progress counter lives in a shared
+  /// Process isolation: the worker's progress fields live in a shared
   /// file mapping, not in this Slot; non-null while the mapping exists
   /// (the mapping itself outlives the watchdog thread, so a pointer read
   /// here is always safe to follow).
   std::atomic<const std::atomic<std::uint64_t>*> shared{nullptr};
+  std::atomic<const std::atomic<std::uint64_t>*> shared_time{nullptr};
+  std::atomic<const std::atomic<std::uint64_t>*> shared_seq{nullptr};
 
   bool seen = false;
   std::uint64_t last_progress = 0;
   Clock::time_point last_change{};
+  /// Watchdog-thread scratch: last pid a SIGKILL was traced for, so the
+  /// repeated kill of one stubborn child logs a single sigkill event.
+  long last_killed_pid = -1;
+};
+
+/// Observability hooks threaded through the run functions. Both
+/// pointers null when the plane is off — every call site checks, so an
+/// observability-off sweep takes the exact same path it always did.
+struct Obs {
+  telemetry::StatusBoard* board = nullptr;
+  telemetry::LifecycleTrace* trace = nullptr;
 };
 
 void run_one_supervised(const RunSpec& spec, std::size_t index,
                         const SupervisorOptions& opts, Slot& slot,
-                        SpecRecord& rec) {
+                        const Obs& obs, SpecRecord& rec) {
   const std::string ckpt =
       opts.checkpoint_dir.empty()
           ? std::string()
@@ -181,6 +204,9 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
     if (opts.stop && opts.stop->load()) {
       rec.status = SpecStatus::kInterrupted;
       if (rec.detail.empty()) rec.detail = "stopped before start";
+      if (obs.board) obs.board->mark_interrupted(index, rec.detail);
+      if (obs.trace)
+        obs.trace->instant(index, "interrupted", {{"reason", rec.detail}});
       return;
     }
 
@@ -191,6 +217,12 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
     slot.watchdog_fired.store(false);
     slot.abort.store(false);
     slot.progress.store(0);
+    slot.sim_time_bits.store(0);
+    slot.ckpt_seq.store(0);
+    if (obs.board) obs.board->mark_running(index, attempt);
+    if (obs.trace)
+      obs.trace->begin(index, "attempt",
+                       {{"attempt", std::to_string(attempt)}});
 
     std::unique_ptr<World> world;
     std::string fail;
@@ -217,12 +249,16 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
         const double next = std::min(
             horizon, (std::floor(world->sim().now() / step) + 1.0) * step);
         world->run_until(next);
+        slot.sim_time_bits.store(double_bits(world->sim().now()),
+                                 std::memory_order_relaxed);
         if (world->sim().now() >= horizon) break;
         if (!ckpt.empty()) {
           image = make_checkpoint(*world);
           snapshot::container_put(ckpt, index, image);
           ++written;
           ++rec.checkpoints;
+          slot.ckpt_seq.store(static_cast<std::uint64_t>(written),
+                              std::memory_order_relaxed);
           if (opts.stop_after_checkpoints > 0 &&
               written >= opts.stop_after_checkpoints) {
             slot.active.store(false);
@@ -230,12 +266,23 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
             rec.retries = attempt;
             rec.detail = "test hook: stopped after " +
                          std::to_string(written) + " checkpoints";
+            if (obs.board) {
+              obs.board->sync_checkpoints(index, rec.checkpoints);
+              obs.board->mark_interrupted(index, rec.detail);
+            }
+            if (obs.trace) {
+              obs.trace->end(index, "attempt");
+              obs.trace->instant(index, "interrupted",
+                                 {{"reason", rec.detail}});
+            }
             return;
           }
         }
       }
 
       slot.active.store(false);
+      slot.sim_time_bits.store(double_bits(world->sim().now()),
+                               std::memory_order_relaxed);
       rec.result = reduce_world(*world);
       // The accepted attempt replayed (or ran) the whole trajectory from
       // event 0, so its registry covers the full run: one merge, no
@@ -252,6 +299,13 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
           // spent checkpoint entry must not turn into a retry.
         }
       }
+      if (obs.board) {
+        obs.board->update_progress(index, rec.result.events_executed, horizon);
+        obs.board->sync_checkpoints(index, rec.checkpoints);
+        obs.board->mark_done(index);
+        obs.board->absorb_registry(rec.registry);
+      }
+      if (obs.trace) obs.trace->end(index, "attempt");
       return;
     } catch (const RunAborted& e) {
       slot.active.store(false);
@@ -269,6 +323,14 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
         rec.status = SpecStatus::kInterrupted;
         rec.retries = attempt;
         rec.detail = "interrupted at t=" + std::to_string(e.at);
+        if (obs.board) {
+          obs.board->sync_checkpoints(index, rec.checkpoints);
+          obs.board->mark_interrupted(index, rec.detail);
+        }
+        if (obs.trace) {
+          obs.trace->end(index, "attempt");
+          obs.trace->instant(index, "interrupted", {{"reason", rec.detail}});
+        }
         return;
       }
       fail = "watchdog: no event progress for " +
@@ -290,13 +352,25 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
     }
 
     if (drop_checkpoint) image.clear();
+    rec.detail =
+        sanitize("attempt " + std::to_string(attempt) + ": " + fail);
     ++attempt;
     rec.retries = attempt;
-    rec.detail = sanitize(fail);
+    if (obs.trace) obs.trace->end(index, "attempt");
     if (attempt > opts.max_retries) {
       rec.status = SpecStatus::kQuarantined;
+      if (obs.board) obs.board->mark_quarantined(index, rec.detail);
+      if (obs.trace)
+        obs.trace->instant(index, "quarantine",
+                           {{"attempt", std::to_string(attempt - 1)},
+                            {"reason", rec.detail}});
       return;
     }
+    if (obs.board) obs.board->mark_retrying(index, attempt, rec.detail);
+    if (obs.trace)
+      obs.trace->instant(index, "retry",
+                         {{"attempt", std::to_string(attempt - 1)},
+                          {"reason", rec.detail}});
     const double backoff = std::min(
         5.0, opts.retry_backoff_s * std::pow(2.0, attempt - 1));
     if (backoff > 0.0)
@@ -312,7 +386,7 @@ void run_one_supervised(const RunSpec& spec, std::size_t index,
 /// the parent only decides accept / retry / quarantine.
 void run_one_isolated(const RunSpec& spec, std::size_t index,
                       const SupervisorOptions& opts,
-                      const std::string& workdir, Slot& slot,
+                      const std::string& workdir, Slot& slot, const Obs& obs,
                       std::optional<SharedProgress>& progress_slot,
                       SpecRecord& rec) {
   const std::string ckpt =
@@ -338,9 +412,13 @@ void run_one_isolated(const RunSpec& spec, std::size_t index,
   progress_slot = SharedProgress::create(progress_path);
   std::atomic<std::uint64_t>* counter = progress_slot->counter();
   slot.shared.store(counter);
+  slot.shared_time.store(progress_slot->sim_time_bits());
+  slot.shared_seq.store(progress_slot->checkpoint_seq());
 
   const auto cleanup_worker_files = [&] {
     slot.shared.store(nullptr);
+    slot.shared_time.store(nullptr);
+    slot.shared_seq.store(nullptr);
     std::remove(req_path.c_str());
     std::remove(result_path.c_str());
     std::remove(progress_path.c_str());
@@ -352,12 +430,21 @@ void run_one_isolated(const RunSpec& spec, std::size_t index,
       rec.status = SpecStatus::kInterrupted;
       if (rec.detail.empty()) rec.detail = "stopped before start";
       cleanup_worker_files();
+      if (obs.board) obs.board->mark_interrupted(index, rec.detail);
+      if (obs.trace)
+        obs.trace->instant(index, "interrupted", {{"reason", rec.detail}});
       return;
     }
 
     slot.watchdog_fired.store(false);
     slot.abort.store(false);
     counter->store(0);
+    progress_slot->sim_time_bits()->store(0, std::memory_order_relaxed);
+    progress_slot->checkpoint_seq()->store(0, std::memory_order_relaxed);
+    if (obs.board) obs.board->mark_running(index, attempt);
+    if (obs.trace)
+      obs.trace->begin(index, "attempt",
+                       {{"attempt", std::to_string(attempt)}});
 
     WorkerRequest req;
     req.config = spec.config;
@@ -389,6 +476,11 @@ void run_one_isolated(const RunSpec& spec, std::size_t index,
 
       slot.child_pid.store(pid);
       slot.active.store(true);
+      if (obs.board) obs.board->mark_worker_spawn(index);
+      if (obs.trace)
+        obs.trace->instant(index, "worker_spawn",
+                           {{"pid", std::to_string(pid)},
+                            {"attempt", std::to_string(attempt)}});
       // An abort that raced the pid publication (external stop between
       // spawn and store) could not kill the child — honor it here. The
       // symmetric watchdog-side race (pid read just before a worker exits
@@ -432,6 +524,14 @@ void run_one_isolated(const RunSpec& spec, std::size_t index,
         rec.retries = attempt;
         rec.detail = "interrupted (worker stopped)";
         cleanup_worker_files();
+        if (obs.board) {
+          obs.board->sync_checkpoints(index, rec.checkpoints);
+          obs.board->mark_interrupted(index, rec.detail);
+        }
+        if (obs.trace) {
+          obs.trace->end(index, "attempt");
+          obs.trace->instant(index, "interrupted", {{"reason", rec.detail}});
+        }
         return;
       }
 
@@ -451,6 +551,14 @@ void run_one_isolated(const RunSpec& spec, std::size_t index,
           }
         }
         cleanup_worker_files();
+        if (obs.board) {
+          obs.board->update_progress(index, rec.result.events_executed,
+                                     spec.config.scenario.duration_s);
+          obs.board->sync_checkpoints(index, rec.checkpoints);
+          obs.board->mark_done(index);
+          obs.board->absorb_registry(rec.registry);
+        }
+        if (obs.trace) obs.trace->end(index, "attempt");
         return;
       }
       fail = verdict.detail;
@@ -460,18 +568,34 @@ void run_one_isolated(const RunSpec& spec, std::size_t index,
       fail = e.what();
     }
 
+    // A watchdog SIGKILL shows up to waitpid as a plain signal death; keep
+    // the decoded verdict (signal name and all) inside the watchdog
+    // message instead of overwriting it.
     if (slot.watchdog_fired.load())
       fail = "watchdog: no event progress for " +
-             std::to_string(opts.watchdog_secs) + "s wall (worker killed)";
+             std::to_string(opts.watchdog_secs) + "s wall (" +
+             (fail.empty() ? std::string("worker killed") : fail) + ")";
 
+    rec.detail =
+        sanitize("attempt " + std::to_string(attempt) + ": " + fail);
     ++attempt;
     rec.retries = attempt;
-    rec.detail = sanitize(fail);
+    if (obs.trace) obs.trace->end(index, "attempt");
     if (attempt > opts.max_retries) {
       rec.status = SpecStatus::kQuarantined;
       cleanup_worker_files();
+      if (obs.board) obs.board->mark_quarantined(index, rec.detail);
+      if (obs.trace)
+        obs.trace->instant(index, "quarantine",
+                           {{"attempt", std::to_string(attempt - 1)},
+                            {"reason", rec.detail}});
       return;
     }
+    if (obs.board) obs.board->mark_retrying(index, attempt, rec.detail);
+    if (obs.trace)
+      obs.trace->instant(index, "retry",
+                         {{"attempt", std::to_string(attempt - 1)},
+                          {"reason", rec.detail}});
     const double backoff = std::min(
         5.0, opts.retry_backoff_s * std::pow(2.0, attempt - 1));
     if (backoff > 0.0)
@@ -750,6 +874,59 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
   // the vector is destroyed only after the watchdog thread has joined.
   std::vector<std::optional<SharedProgress>> progress_maps(
       isolated ? specs.size() : 0);
+
+  // --- observability plane (purely observational; see supervisor.hpp).
+  // Declaration order matters: the server thread reads the board and is
+  // a member declared last, so it is destroyed (and joined) first.
+  std::unique_ptr<telemetry::StatusBoard> board;
+  std::unique_ptr<telemetry::LifecycleTrace> ltrace;
+  std::unique_ptr<telemetry::StatusServer> server;
+  std::string status_dir;
+  if (opts.obs.enabled()) {
+    if (opts.obs.status_every_s > 0.0) {
+      status_dir = opts.obs.status_dir.empty() ? opts.checkpoint_dir
+                                               : opts.obs.status_dir;
+      if (status_dir.empty())
+        throw std::runtime_error(
+            "supervisor: --status-every needs a status directory "
+            "(or a checkpoint dir to default to)");
+      std::filesystem::create_directories(status_dir);
+    }
+    board = std::make_unique<telemetry::StatusBoard>();
+    std::vector<double> horizons(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      horizons[i] = specs[i].config.scenario.duration_s;
+    board->reset(specs.size(), horizons);
+    // Resume carry-over: completed specs never re-run, so the board
+    // learns about them here or never.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const SpecRecord& r = manifest.specs[i];
+      if (r.status != SpecStatus::kCompleted) continue;
+      board->update_progress(i, r.result.events_executed,
+                             specs[i].config.scenario.duration_s);
+      board->sync_checkpoints(i, r.checkpoints);
+      board->mark_done(i);
+      board->absorb_registry(r.registry);
+    }
+    if (!opts.obs.trace_path.empty())
+      ltrace = std::make_unique<telemetry::LifecycleTrace>(opts.obs.trace_path);
+    if (opts.obs.status_port >= 0) {
+      telemetry::StatusServer::Handlers handlers;
+      telemetry::StatusBoard* b = board.get();
+      handlers.status_json = [b] { return b->render_status_json(); };
+      handlers.metrics_text = [b] { return b->render_prometheus(); };
+      handlers.healthy = [b] { return b->healthy(); };
+      server = std::make_unique<telemetry::StatusServer>(
+          opts.obs.status_port, std::move(handlers));
+      // Flushed eagerly: harnesses discover an ephemeral port by polling
+      // this line, and a block-buffered redirect would starve them.
+      if (opts.obs.announce)
+        *opts.obs.announce << "status: listening on 127.0.0.1:"
+                           << server->port() << std::endl;
+    }
+  }
+  const Obs obs{board.get(), ltrace.get()};
+
   std::atomic<bool> watchdog_quit{false};
   std::thread watchdog;
   if (opts.watchdog_secs > 0.0 || opts.stop) {
@@ -761,12 +938,21 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
       while (!watchdog_quit.load()) {
         const bool ext = opts.stop && opts.stop->load();
         const Clock::time_point now = Clock::now();
-        for (Slot& s : slots) {
+        for (std::size_t si = 0; si < slots.size(); ++si) {
+          Slot& s = slots[si];
           // An isolated worker cannot observe the abort flag — SIGKILL
           // is the only lever the parent has on a hung or stopped child.
-          const auto kill_child = [&s] {
+          // Repeated kills of one stubborn pid trace a single sigkill.
+          const auto kill_child = [&s, si, &obs] {
             const long pid = s.child_pid.load();
-            if (pid > 0) ::kill(static_cast<pid_t>(pid), SIGKILL);
+            if (pid <= 0) return;
+            ::kill(static_cast<pid_t>(pid), SIGKILL);
+            if (pid == s.last_killed_pid) return;
+            s.last_killed_pid = pid;
+            if (obs.board) obs.board->mark_sigkill(si);
+            if (obs.trace)
+              obs.trace->instant(si, "sigkill",
+                                 {{"pid", std::to_string(pid)}});
           };
           if (ext) {
             s.abort.store(true);
@@ -789,11 +975,77 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
           }
           if (std::chrono::duration<double>(now - s.last_change).count() >
               opts.watchdog_secs) {
-            s.watchdog_fired.store(true);
+            // exchange() gives the trip *edge*: the flag is re-armed by
+            // the runner at each attempt start, so one stall counts once
+            // no matter how many polls see it.
+            if (!s.watchdog_fired.exchange(true)) {
+              if (obs.board) obs.board->mark_watchdog(si);
+              if (obs.trace)
+                obs.trace->instant(
+                    si, "watchdog",
+                    {{"stalled_s", std::to_string(opts.watchdog_secs)}});
+            }
             s.abort.store(true);
             kill_child();
           }
         }
+        std::this_thread::sleep_for(poll);
+      }
+    });
+  }
+
+  // Status sampling thread: mirrors live progress counters (the same
+  // ones the watchdog reads) onto the board, recomputes EMA/ETA, and
+  // atomically rewrites status.json on its cadence. Read-only with
+  // respect to the sweep.
+  std::atomic<bool> status_quit{false};
+  std::thread status_thread;
+  if (board) {
+    status_thread = std::thread([&] {
+      const Clock::time_point t0 = Clock::now();
+      std::vector<std::uint64_t> last_seq(specs.size(), 0);
+      double next_write = 0.0;  // first rewrite happens immediately
+      const double period = opts.obs.status_every_s;
+      const auto poll = std::chrono::duration<double>(
+          period > 0.0 ? std::clamp(period / 2.0, 0.01, 0.25) : 0.25);
+      for (;;) {
+        const bool quitting = status_quit.load();
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          Slot& s = slots[i];
+          if (!s.active.load()) continue;
+          const std::atomic<std::uint64_t>* shared = s.shared.load();
+          const std::atomic<std::uint64_t>* stime = s.shared_time.load();
+          const std::atomic<std::uint64_t>* sseq = s.shared_seq.load();
+          const std::uint64_t events =
+              shared != nullptr ? shared->load() : s.progress.load();
+          const std::uint64_t tbits =
+              stime != nullptr ? stime->load() : s.sim_time_bits.load();
+          const std::uint64_t seq =
+              sseq != nullptr ? sseq->load() : s.ckpt_seq.load();
+          board->update_progress(i, events, bits_double(tbits));
+          if (seq > last_seq[i]) {
+            board->mark_checkpoint(i, seq - last_seq[i]);
+            if (obs.trace)
+              obs.trace->instant(i, "checkpoint",
+                                 {{"seq", std::to_string(seq)}});
+          }
+          last_seq[i] = seq;  // retries reset the sequence; track down too
+        }
+        const double wall =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        board->sample(wall);
+        if (!status_dir.empty() && (quitting || wall >= next_write)) {
+          const std::string doc = board->render_status_json();
+          try {
+            snapshot::write_file_atomic(
+                status_dir + "/status.json",
+                std::vector<std::uint8_t>(doc.begin(), doc.end()));
+          } catch (const std::exception&) {
+            // Status is best-effort; a full disk must not kill the sweep.
+          }
+          next_write = wall + period;
+        }
+        if (quitting) break;
         std::this_thread::sleep_for(poll);
       }
     });
@@ -807,13 +1059,15 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
     }
     if (rec.status == SpecStatus::kCompleted) return;  // resumed as done
     if (isolated)
-      run_one_isolated(specs[i], i, opts, workdir, slots[i], progress_maps[i],
-                       rec);
+      run_one_isolated(specs[i], i, opts, workdir, slots[i], obs,
+                       progress_maps[i], rec);
     else
-      run_one_supervised(specs[i], i, opts, slots[i], rec);
+      run_one_supervised(specs[i], i, opts, slots[i], obs, rec);
     publish(i, rec);
   });
 
+  status_quit.store(true);
+  if (status_thread.joinable()) status_thread.join();
   watchdog_quit.store(true);
   if (watchdog.joinable()) watchdog.join();
 

@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,32 @@
 #include "telemetry/registry.hpp"
 
 namespace dftmsn {
+
+/// The live observability plane (telemetry/status.hpp). All of it is
+/// read-only with respect to the sweep: enabling any field leaves
+/// trajectories, manifest bytes and --report-json bit-identical at any
+/// jobs value (tier1-status enforces this).
+struct ObservabilityOptions {
+  /// Seconds between atomic rewrites of status_dir/status.json.
+  /// <= 0: no status file.
+  double status_every_s = 0.0;
+  /// Directory status.json lands in (required when status_every_s > 0;
+  /// the CLI defaults it to the checkpoint dir).
+  std::string status_dir;
+  /// HTTP listener on 127.0.0.1 serving /status, /healthz, /metrics.
+  /// -1: off. 0: ephemeral port (announced on `announce`).
+  int status_port = -1;
+  /// Append-only lifecycle trace in Chrome trace-event JSONL
+  /// (Perfetto-viewable). Empty: off.
+  std::string trace_path;
+  /// Where "status: listening on 127.0.0.1:PORT" is printed (needed to
+  /// discover an ephemeral port). nullptr: silent.
+  std::ostream* announce = nullptr;
+
+  [[nodiscard]] bool enabled() const {
+    return status_every_s > 0.0 || status_port >= 0 || !trace_path.empty();
+  }
+};
 
 /// Where a replication attempt executes.
 enum class IsolationMode : std::uint8_t {
@@ -93,6 +120,8 @@ struct SupervisorOptions {
   /// checkpoint_dir is configured. Empty: a unique directory under the
   /// system temp dir, removed when the sweep ends.
   std::string scratch_dir;
+  /// Live status/health/trace plane (purely observational).
+  ObservabilityOptions obs;
 };
 
 enum class SpecStatus : std::uint8_t {

@@ -115,15 +115,23 @@ int run_worker(const std::string& request_path) {
     const double horizon = cfg.scenario.duration_s;
     const double step =
         req.checkpoint_every_s > 0 ? req.checkpoint_every_s : horizon;
+    if (progress) progress->store_sim_time(world->sim().now());
     while (world->sim().now() < horizon) {
       const double next = std::min(
           horizon, (std::floor(world->sim().now() / step) + 1.0) * step);
       world->run_until(next);
+      // The sim-time and checkpoint-seq fields feed the parent's status
+      // plane only — chunk-boundary granularity is plenty for a human
+      // progress view, and the stores are free on the sim hot path.
+      if (progress) progress->store_sim_time(world->sim().now());
       if (world->sim().now() >= horizon) break;
       if (!req.checkpoint_path.empty()) {
         snapshot::container_put(req.checkpoint_path, req.checkpoint_spec,
                                 make_checkpoint(*world));
         ++written;
+        if (progress)
+          progress->checkpoint_seq()->store(written,
+                                            std::memory_order_relaxed);
       }
     }
 

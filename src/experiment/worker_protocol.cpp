@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -227,11 +228,11 @@ static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
 
 namespace {
 
-std::atomic<std::uint64_t>* map_counter(int fd) {
-  void* addr = ::mmap(nullptr, sizeof(std::atomic<std::uint64_t>),
-                      PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+void* map_block(int fd) {
+  void* addr = ::mmap(nullptr, kSharedProgressSize, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
   if (addr == MAP_FAILED) sys_fail("mmap");
-  return static_cast<std::atomic<std::uint64_t>*>(addr);
+  return addr;
 }
 
 }  // namespace
@@ -239,7 +240,7 @@ std::atomic<std::uint64_t>* map_counter(int fd) {
 SharedProgress SharedProgress::create(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
   if (fd < 0) sys_fail("open " + path);
-  if (::ftruncate(fd, sizeof(std::atomic<std::uint64_t>)) != 0) {
+  if (::ftruncate(fd, static_cast<off_t>(kSharedProgressSize)) != 0) {
     const int saved = errno;
     ::close(fd);
     errno = saved;
@@ -247,48 +248,86 @@ SharedProgress SharedProgress::create(const std::string& path) {
   }
   SharedProgress sp;
   try {
-    sp.counter_ = map_counter(fd);
+    sp.block_ = static_cast<Block*>(map_block(fd));
   } catch (...) {
     ::close(fd);
     throw;
   }
   ::close(fd);  // the mapping keeps the page alive
-  sp.counter_->store(0, std::memory_order_relaxed);
+  sp.block_->magic = kSharedProgressMagic;
+  sp.block_->version = kSharedProgressVersion;
+  sp.block_->events.store(0, std::memory_order_relaxed);
+  sp.block_->sim_time_bits.store(0, std::memory_order_relaxed);
+  sp.block_->checkpoint_seq.store(0, std::memory_order_relaxed);
   return sp;
 }
 
 SharedProgress SharedProgress::open(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) sys_fail("open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    sys_fail("fstat " + path);
+  }
+  if (static_cast<std::size_t>(st.st_size) != kSharedProgressSize) {
+    ::close(fd);
+    throw std::runtime_error(
+        "progress file " + path + ": " + std::to_string(st.st_size) +
+        " bytes (a v" + std::to_string(kSharedProgressVersion) +
+        " block is " + std::to_string(kSharedProgressSize) + ")");
+  }
   SharedProgress sp;
   try {
-    sp.counter_ = map_counter(fd);
+    sp.block_ = static_cast<Block*>(map_block(fd));
   } catch (...) {
     ::close(fd);
     throw;
   }
   ::close(fd);
+  if (sp.block_->magic != kSharedProgressMagic)
+    throw std::runtime_error("progress file " + path +
+                             ": not a shared-progress block (bad magic)");
+  if (sp.block_->version != kSharedProgressVersion)
+    throw std::runtime_error(
+        "progress file " + path + ": version " +
+        std::to_string(sp.block_->version) + " (this build speaks " +
+        std::to_string(kSharedProgressVersion) + ")");
   return sp;
 }
 
+void SharedProgress::store_sim_time(double t) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &t, sizeof(bits));
+  block_->sim_time_bits.store(bits, std::memory_order_relaxed);
+}
+
+double SharedProgress::load_sim_time() const {
+  const std::uint64_t bits =
+      block_->sim_time_bits.load(std::memory_order_relaxed);
+  double t = 0.0;
+  std::memcpy(&t, &bits, sizeof(t));
+  return t;
+}
+
 SharedProgress::SharedProgress(SharedProgress&& other) noexcept
-    : counter_(other.counter_) {
-  other.counter_ = nullptr;
+    : block_(other.block_) {
+  other.block_ = nullptr;
 }
 
 SharedProgress& SharedProgress::operator=(SharedProgress&& other) noexcept {
   if (this != &other) {
-    if (counter_ != nullptr)
-      ::munmap(counter_, sizeof(std::atomic<std::uint64_t>));
-    counter_ = other.counter_;
-    other.counter_ = nullptr;
+    if (block_ != nullptr) ::munmap(block_, kSharedProgressSize);
+    block_ = other.block_;
+    other.block_ = nullptr;
   }
   return *this;
 }
 
 SharedProgress::~SharedProgress() {
-  if (counter_ != nullptr)
-    ::munmap(counter_, sizeof(std::atomic<std::uint64_t>));
+  if (block_ != nullptr) ::munmap(block_, kSharedProgressSize);
 }
 
 }  // namespace dftmsn

@@ -10,10 +10,14 @@
 // seal_container), so a torn write or a half-dead worker can never feed
 // the parent garbage: validation fails loudly and the parent retries.
 //
-// Progress crosses the process boundary through an 8-byte file-backed
+// Progress crosses the process boundary through a small file-backed
 // shared mapping (SharedProgress): the worker's simulator stores its
 // executed-event count there and the parent's watchdog reads it exactly
 // like an in-process slot — MAP_ANONYMOUS would not survive the exec.
+// v2 widened the block from the original bare 8-byte counter to a
+// 32-byte versioned record that also carries the attempt's virtual
+// sim-time and checkpoint sequence, feeding the live status plane
+// (telemetry/status.hpp) without any extra IPC.
 #pragma once
 
 #include <atomic>
@@ -98,16 +102,33 @@ WorkerExitDecision decode_worker_exit(int wait_status, WorkerFileState file,
 /// golden comparisons.
 std::string worker_signal_name(int sig);
 
-/// One 8-byte cross-process atomic counter backed by a file mapping.
-/// The parent creates the file (truncated to 8 zero bytes) and maps it;
-/// the worker opens and maps the same file; both sides then use plain
-/// std::atomic<uint64_t> operations on the shared page.
+/// Shared-progress block format v2: a 32-byte file the parent creates
+/// and maps, the worker opens and maps, and both sides then touch only
+/// through lock-free 8-byte atomics on the shared page.
+///
+///   offset 0   u32  magic "DPRG" (0x47525044 little-endian)
+///   offset 4   u32  version (2)
+///   offset 8   u64  executed events        (simulator progress counter)
+///   offset 16  u64  sim-time, double bits  (virtual seconds reached)
+///   offset 24  u64  checkpoint sequence    (checkpoints this attempt)
+///
+/// open() rejects a wrong size, magic or version with a one-line error
+/// — a stale v1 file left by an older build fails loudly instead of
+/// feeding the status plane garbage (same idiom as the checkpoint
+/// format gate).
+inline constexpr std::uint32_t kSharedProgressMagic = 0x47525044;  // "DPRG"
+inline constexpr std::uint32_t kSharedProgressVersion = 2;
+inline constexpr std::size_t kSharedProgressSize = 32;
+
 class SharedProgress {
  public:
-  /// Parent side: create/truncate the file and map it. Throws
-  /// std::runtime_error on any syscall failure.
+  /// Parent side: create/truncate the file, map it, write the header
+  /// and zero the fields. Throws std::runtime_error on any syscall
+  /// failure.
   static SharedProgress create(const std::string& path);
-  /// Worker side: map an existing file created by create().
+  /// Worker side: map an existing file created by create(). Throws
+  /// std::runtime_error on syscall failure, wrong size, or a header
+  /// from a different format version.
   static SharedProgress open(const std::string& path);
 
   SharedProgress(SharedProgress&& other) noexcept;
@@ -116,15 +137,43 @@ class SharedProgress {
   SharedProgress& operator=(const SharedProgress&) = delete;
   ~SharedProgress();
 
-  [[nodiscard]] std::atomic<std::uint64_t>* counter() { return counter_; }
+  [[nodiscard]] std::atomic<std::uint64_t>* counter() {
+    return &block_->events;
+  }
   [[nodiscard]] const std::atomic<std::uint64_t>* counter() const {
-    return counter_;
+    return &block_->events;
+  }
+  [[nodiscard]] std::atomic<std::uint64_t>* sim_time_bits() {
+    return &block_->sim_time_bits;
+  }
+  [[nodiscard]] const std::atomic<std::uint64_t>* sim_time_bits() const {
+    return &block_->sim_time_bits;
+  }
+  [[nodiscard]] std::atomic<std::uint64_t>* checkpoint_seq() {
+    return &block_->checkpoint_seq;
+  }
+  [[nodiscard]] const std::atomic<std::uint64_t>* checkpoint_seq() const {
+    return &block_->checkpoint_seq;
   }
 
+  /// Convenience for the double-valued sim-time field.
+  void store_sim_time(double t);
+  [[nodiscard]] double load_sim_time() const;
+
  private:
+  struct Block {
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::atomic<std::uint64_t> events;
+    std::atomic<std::uint64_t> sim_time_bits;
+    std::atomic<std::uint64_t> checkpoint_seq;
+  };
+  static_assert(sizeof(Block) == kSharedProgressSize,
+                "shared progress block layout drifted");
+
   SharedProgress() = default;
 
-  std::atomic<std::uint64_t>* counter_ = nullptr;
+  Block* block_ = nullptr;
 };
 
 }  // namespace dftmsn

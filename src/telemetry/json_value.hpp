@@ -1,0 +1,49 @@
+// A deliberately small JSON reader for the documents this codebase
+// itself emits (status.json, lifecycle trace lines). Full JSON grammar
+// — objects, arrays, strings with escapes, numbers, booleans, null —
+// but none of the streaming/SAX machinery a general library carries.
+// Object member order is preserved (insertion order), matching the
+// canonical emitters on the write side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dftmsn::telemetry {
+
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  /// First member with this key, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  // Typed lookups with defaults — `find` + kind check in one call, for
+  // readers that tolerate missing fields.
+  [[nodiscard]] double number_or(const std::string& key, double def) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& def) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool def) const;
+};
+
+/// Parses one JSON document. Trailing content after the value (other
+/// than whitespace) is an error. Throws std::runtime_error naming the
+/// byte offset of the problem.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace dftmsn::telemetry

@@ -1,0 +1,57 @@
+// Append-only lifecycle trace for supervised sweeps, in the Chrome
+// trace-event JSON format (one event object per line). Perfetto and
+// chrome://tracing accept a truncated event array, so the file opens
+// with "[" and never needs a closing bracket — a supervisor that dies
+// mid-sweep (the exact situation a trace exists to diagnose) still
+// leaves a loadable file.
+//
+// Mapping: pid 1 is the sweep, tid = spec index, "B"/"E" spans bracket
+// each replication attempt, "i" instants mark checkpoints, watchdog
+// trips, worker spawns, SIGKILLs, retries and quarantines. Timestamps
+// are wall microseconds since the trace was opened (steady clock).
+//
+// Determinism note: the trace carries wall-clock timestamps and is
+// therefore *not* a canonical artifact — it never feeds back into a
+// manifest, report, or trajectory (test-enforced along with the rest of
+// the observability plane).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dftmsn::telemetry {
+
+class LifecycleTrace {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  /// Opens (truncates) the trace file and writes the array opener.
+  /// Throws std::runtime_error when the path cannot be opened.
+  explicit LifecycleTrace(const std::string& path);
+  ~LifecycleTrace();
+
+  LifecycleTrace(const LifecycleTrace&) = delete;
+  LifecycleTrace& operator=(const LifecycleTrace&) = delete;
+
+  /// Span open/close for one replication attempt of spec `spec`.
+  void begin(std::size_t spec, const std::string& name,
+             const Args& args = {});
+  void end(std::size_t spec, const std::string& name);
+  /// A point event (checkpoint, retry, sigkill, quarantine, ...).
+  void instant(std::size_t spec, const std::string& name,
+               const Args& args = {});
+
+ private:
+  void emit(char ph, std::size_t spec, const std::string& name,
+            const Args& args);
+
+  std::mutex mu_;
+  std::FILE* f_ = nullptr;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace dftmsn::telemetry

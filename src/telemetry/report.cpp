@@ -9,114 +9,11 @@
 #include "snapshot/checkpoint.hpp"
 #include "snapshot/snapshot_io.hpp"
 #include "stats/summary.hpp"
+#include "telemetry/json_writer.hpp"
 #include "telemetry/profiler.hpp"
 
 namespace dftmsn::telemetry {
 namespace {
-
-// Shortest decimal that round-trips an IEEE-754 double. Non-finite
-// values (which valid runs never produce, but a report must not emit
-// broken JSON for) degrade to 0.
-std::string fmt_double(double v) {
-  if (!std::isfinite(v)) v = 0.0;
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// Minimal ordered JSON emitter: the caller controls key order exactly,
-// which is what makes the document canonical.
-class JsonWriter {
- public:
-  void open_object() { punctuate(); out_ += '{'; depth_++; first_ = true; }
-  void close_object() {
-    depth_--;
-    if (!first_) newline();
-    out_ += '}';
-    first_ = false;
-  }
-  void open_array() { punctuate(); out_ += '['; depth_++; first_ = true; }
-  void close_array() {
-    depth_--;
-    if (!first_) newline();
-    out_ += ']';
-    first_ = false;
-  }
-  void key(const std::string& k) {
-    punctuate();
-    out_ += '"';
-    out_ += json_escape(k);
-    out_ += "\": ";
-    first_ = true;  // the value that follows needs no comma/indent
-    inline_value_ = true;
-  }
-  void str(const std::string& v) {
-    punctuate();
-    out_ += '"';
-    out_ += json_escape(v);
-    out_ += '"';
-    first_ = false;
-  }
-  void num(double v) { punctuate(); out_ += fmt_double(v); first_ = false; }
-  void num(std::uint64_t v) {
-    punctuate();
-    out_ += std::to_string(v);
-    first_ = false;
-  }
-  void num(int v) { num(static_cast<std::uint64_t>(v < 0 ? 0 : v)); }
-  void boolean(bool v) {
-    punctuate();
-    out_ += v ? "true" : "false";
-    first_ = false;
-  }
-
-  [[nodiscard]] std::string take() { return std::move(out_); }
-
- private:
-  void punctuate() {
-    if (inline_value_) {  // value directly after its key: stay on the line
-      inline_value_ = false;
-      first_ = false;
-      return;
-    }
-    if (!first_) out_ += ',';
-    if (depth_ > 0) newline();
-    first_ = false;
-  }
-  void newline() {
-    out_ += '\n';
-    out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
-  }
-
-  std::string out_;
-  int depth_ = 0;
-  bool first_ = true;
-  bool inline_value_ = false;
-};
 
 void emit_summary(JsonWriter& j, const char* name, const Summary& s) {
   j.key(name);

@@ -1,0 +1,169 @@
+#include "telemetry/status_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace dftmsn::telemetry {
+namespace {
+
+[[noreturn]] void sock_fail(const std::string& what) {
+  throw std::runtime_error("status server: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(int code, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+StatusServer::StatusServer(int port, Handlers handlers)
+    : handlers_(std::move(handlers)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) sock_fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    sock_fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    sock_fail("listen");
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    sock_fail("getsockname");
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  thread_ = std::thread([this] { serve(); });
+}
+
+StatusServer::~StatusServer() {
+  quit_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void StatusServer::serve() {
+  while (!quit_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc <= 0) continue;  // timeout or EINTR: re-check quit
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void StatusServer::handle_connection(int fd) {
+  // One small request per connection; a peer that stalls mid-request is
+  // dropped after a short poll so a misbehaving client cannot wedge the
+  // listener (and with it, the sweep's shutdown).
+  std::string req;
+  char buf[2048];
+  while (req.size() < 16 * 1024 &&
+         req.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, /*timeout_ms=*/1000) <= 0) return;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t eol = req.find("\r\n");
+  if (eol == std::string::npos) return;
+  const std::string line = req.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    write_all(fd, http_response(400, "Bad Request", "text/plain",
+                                "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    write_all(fd, http_response(405, "Method Not Allowed", "text/plain",
+                                "only GET is served here\n"));
+    return;
+  }
+  if (path == "/status") {
+    write_all(fd, http_response(200, "OK", "application/json",
+                                handlers_.status_json()));
+    return;
+  }
+  if (path == "/metrics") {
+    write_all(fd,
+              http_response(200, "OK", "text/plain; version=0.0.4",
+                            handlers_.metrics_text()));
+    return;
+  }
+  if (path == "/healthz") {
+    if (handlers_.healthy()) {
+      write_all(fd, http_response(200, "OK", "application/json",
+                                  "{\"status\": \"ok\"}\n"));
+    } else {
+      write_all(fd,
+                http_response(503, "Service Unavailable", "application/json",
+                              "{\"status\": \"unhealthy\"}\n"));
+    }
+    return;
+  }
+  write_all(fd, http_response(404, "Not Found", "text/plain",
+                              "try /status, /healthz or /metrics\n"));
+}
+
+}  // namespace dftmsn::telemetry

@@ -1,0 +1,55 @@
+// A dependency-free, single-threaded HTTP/1.1 listener that exposes a
+// running sweep's StatusBoard:
+//
+//   GET /status   application/json   the canonical status.json document
+//   GET /healthz  application/json   200 while healthy, 503 when any
+//                                    spec is stalled or quarantined
+//   GET /metrics  text/plain         Prometheus text exposition
+//
+// Design constraints, in order: zero third-party dependencies (POSIX
+// sockets only), zero influence on the sweep (the handlers only read
+// the board), and a clean shutdown (the accept loop polls with a short
+// timeout and re-checks a quit flag, so the destructor joins within one
+// poll interval). Binds 127.0.0.1 only — this is an operator's local
+// inspection port, not a service endpoint; port 0 asks the kernel for
+// an ephemeral port (retrieve it with port()).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace dftmsn::telemetry {
+
+class StatusServer {
+ public:
+  struct Handlers {
+    std::function<std::string()> status_json;   ///< body of GET /status
+    std::function<std::string()> metrics_text;  ///< body of GET /metrics
+    std::function<bool()> healthy;              ///< GET /healthz 200/503
+  };
+
+  /// Binds and starts serving immediately. Throws std::runtime_error on
+  /// any socket-layer failure (port in use, no permission, ...).
+  StatusServer(int port, Handlers handlers);
+  ~StatusServer();
+
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// The bound port (the kernel's pick when constructed with port 0).
+  [[nodiscard]] int port() const { return port_; }
+
+ private:
+  void serve();
+  void handle_connection(int fd);
+
+  Handlers handlers_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> quit_{false};
+  std::thread thread_;
+};
+
+}  // namespace dftmsn::telemetry

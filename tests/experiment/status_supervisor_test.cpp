@@ -1,0 +1,243 @@
+// The observability plane's hard contract: enabling any of it (status
+// file, HTTP port, lifecycle trace) leaves a supervised sweep's manifest
+// bytes — and therefore its trajectories and aggregates — bit-identical
+// at any jobs value, in both isolation modes, even when the sweep
+// retries and quarantines. Plus terminal status.json semantics, the
+// healthz/quarantine coupling, the attempt-stamped failure details
+// (worker signal names included), and trace well-formedness.
+//
+// DFTMSN_CLI_PATH is injected by CMake ($<TARGET_FILE:dftmsn_cli>).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "experiment/supervisor.hpp"
+#include "telemetry/json_value.hpp"
+#include "telemetry/status.hpp"
+
+namespace dftmsn {
+namespace {
+
+Config small_config(std::uint64_t seed) {
+  Config c;
+  c.scenario.num_sensors = 10;
+  c.scenario.num_sinks = 2;
+  c.scenario.field_m = 120.0;
+  c.scenario.duration_s = 600.0;
+  c.scenario.warmup_s = 50.0;
+  c.scenario.speed_max_mps = 4.0;
+  c.scenario.seed = seed;
+  return c;
+}
+
+struct TempDir {
+  explicit TempDir(const std::string& name) : path(name) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+SupervisorOptions base_options(const std::string& dir, IsolationMode mode) {
+  SupervisorOptions opts;
+  opts.checkpoint_dir = dir;
+  opts.checkpoint_every_s = 100.0;
+  opts.retry_backoff_s = 0.0;
+  opts.isolate = mode;
+  if (mode == IsolationMode::kProcess) opts.worker_exe = DFTMSN_CLI_PATH;
+  return opts;
+}
+
+/// Runs the same retrying sweep with the plane on or off and returns the
+/// final manifest bytes. The faulty spec dies on attempt 0 and succeeds
+/// on the retry, so the identity covers the retry path, not just the
+/// happy one.
+std::string manifest_with_observability(const std::string& dirname,
+                                        IsolationMode mode, int jobs,
+                                        bool observed) {
+  std::vector<RunSpec> specs(3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].config = small_config(300 + i);
+    specs[i].config.telemetry.enabled = true;
+  }
+  specs[1].config.faults.plan = "die@300:attempts=1";
+
+  TempDir dir(dirname);
+  SupervisorOptions opts = base_options(dir.path, mode);
+  opts.jobs = jobs;
+  opts.max_retries = 1;
+  if (observed) {
+    opts.obs.status_every_s = 0.05;
+    opts.obs.status_dir = dir.path;
+    opts.obs.status_port = 0;  // ephemeral; exercises the server too
+    opts.obs.trace_path = dir.path + "/trace.jsonl";
+  }
+  const SweepManifest m = run_specs_supervised(specs, opts);
+  EXPECT_EQ(m.completed(), 3);
+  EXPECT_EQ(m.specs[1].retries, 1);
+  return file_bytes(manifest_path(dir.path));
+}
+
+TEST(StatusIdentity, ObservabilityOnEqualsOffInProcess) {
+  const std::string off =
+      manifest_with_observability("st_off.tmp", IsolationMode::kInProcess, 1,
+                                  false);
+  ASSERT_FALSE(off.empty());
+  EXPECT_EQ(off, manifest_with_observability(
+                     "st_on1.tmp", IsolationMode::kInProcess, 1, true));
+  EXPECT_EQ(off, manifest_with_observability(
+                     "st_on4.tmp", IsolationMode::kInProcess, 4, true));
+}
+
+TEST(StatusIdentity, ObservabilityOnEqualsOffIsolated) {
+  const std::string off = manifest_with_observability(
+      "st_poff.tmp", IsolationMode::kProcess, 1, false);
+  ASSERT_FALSE(off.empty());
+  EXPECT_EQ(off, manifest_with_observability(
+                     "st_pon1.tmp", IsolationMode::kProcess, 1, true));
+  EXPECT_EQ(off, manifest_with_observability(
+                     "st_pon4.tmp", IsolationMode::kProcess, 4, true));
+}
+
+TEST(StatusFile, TerminalDocumentMatchesTheManifest) {
+  TempDir dir("st_doc.tmp");
+  std::vector<RunSpec> specs(2);
+  specs[0].config = small_config(310);
+  specs[1].config = small_config(311);
+  specs[1].config.faults.plan = "die@200";  // every attempt: quarantined
+
+  SupervisorOptions opts =
+      base_options(dir.path, IsolationMode::kInProcess);
+  opts.max_retries = 1;
+  opts.obs.status_every_s = 0.05;
+  opts.obs.status_dir = dir.path;
+  const SweepManifest m = run_specs_supervised(specs, opts);
+  ASSERT_EQ(m.completed(), 1);
+  ASSERT_EQ(m.quarantined(), 1);
+
+  const std::string doc = file_bytes(dir.path + "/status.json");
+  ASSERT_FALSE(doc.empty());
+  const telemetry::JsonValue v = telemetry::parse_json(doc);
+  EXPECT_EQ(v.string_or("schema", ""), "dftmsn-status-v1");
+  // A quarantined spec holds /healthz at 503; the final document says so.
+  EXPECT_FALSE(v.bool_or("healthy", true));
+  const telemetry::JsonValue* phases = v.find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_DOUBLE_EQ(phases->number_or("done", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(phases->number_or("quarantined", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(phases->number_or("running", -1.0), 0.0);
+
+  const telemetry::JsonValue* rows = v.find("specs");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items.size(), 2u);
+  EXPECT_EQ(rows->items[0].string_or("phase", ""), "done");
+  EXPECT_EQ(rows->items[1].string_or("phase", ""), "quarantined");
+  // Failure details carry the attempt stamp (satellite: quarantine
+  // forensics), and the manifest agrees with the board.
+  const std::string detail = rows->items[1].string_or("detail", "");
+  EXPECT_NE(detail.find("attempt 1:"), std::string::npos) << detail;
+  EXPECT_EQ(detail, m.specs[1].detail);
+  // events/sim_time survive into the terminal document.
+  EXPECT_DOUBLE_EQ(rows->items[0].number_or("sim_time_s", 0.0), 600.0);
+  EXPECT_GT(rows->items[0].number_or("events", 0.0), 0.0);
+}
+
+TEST(StatusFile, IsolatedQuarantineNamesTheWorkerSignal) {
+  TempDir dir("st_sig.tmp");
+  RunSpec spec;
+  spec.config = small_config(312);
+  spec.config.faults.plan = "segv@200";  // every attempt dies by SIGSEGV
+
+  SupervisorOptions opts = base_options(dir.path, IsolationMode::kProcess);
+  opts.max_retries = 0;
+  const SweepManifest m = run_specs_supervised({spec}, opts);
+  ASSERT_EQ(m.quarantined(), 1);
+  // "attempt 0: " prefix always; the decoded signal name ("SIGSEGV")
+  // appears unless a sanitizer intercepted the signal, in which case the
+  // worker exits with an error instead — accept either, but require the
+  // attempt stamp.
+  EXPECT_NE(m.specs[0].detail.find("attempt 0:"), std::string::npos)
+      << m.specs[0].detail;
+}
+
+TEST(LifecycleTraceE2E, SpansAndInstantsForARetryingSweep) {
+  TempDir dir("st_trace.tmp");
+  RunSpec spec;
+  spec.config = small_config(313);
+  spec.config.faults.plan = "die@300:attempts=1";
+
+  SupervisorOptions opts =
+      base_options(dir.path, IsolationMode::kInProcess);
+  opts.max_retries = 1;
+  opts.obs.trace_path = dir.path + "/trace.jsonl";
+  const SweepManifest m = run_specs_supervised({spec}, opts);
+  ASSERT_EQ(m.completed(), 1);
+  ASSERT_EQ(m.specs[0].retries, 1);
+
+  std::ifstream in(opts.obs.trace_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  ASSERT_EQ(line, "[");
+  int begins = 0, ends = 0, retries = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    ASSERT_EQ(line.back(), ',');
+    const telemetry::JsonValue v =
+        telemetry::parse_json(line.substr(0, line.size() - 1));
+    const std::string ph = v.string_or("ph", "");
+    const std::string name = v.string_or("name", "");
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (name == "retry") ++retries;
+  }
+  EXPECT_EQ(begins, 2);  // attempt 0 (failed) + attempt 1 (accepted)
+  EXPECT_EQ(ends, 2);
+  EXPECT_EQ(retries, 1);
+}
+
+TEST(StatusOptions, StatusEveryWithoutAnyDirThrows) {
+  RunSpec spec;
+  spec.config = small_config(314);
+  SupervisorOptions opts;  // no checkpoint dir either
+  opts.obs.status_every_s = 0.1;
+  EXPECT_THROW(run_specs_supervised({spec}, opts), std::runtime_error);
+}
+
+TEST(StatusOptions, ResumeCarryOverLandsOnTheBoard) {
+  // Run once to completion, then resume: the carried-over spec never
+  // re-runs, so the final status.json must still show it done.
+  TempDir dir("st_resume.tmp");
+  RunSpec spec;
+  spec.config = small_config(315);
+
+  SupervisorOptions opts =
+      base_options(dir.path, IsolationMode::kInProcess);
+  ASSERT_EQ(run_specs_supervised({spec}, opts).completed(), 1);
+
+  opts.resume = true;
+  opts.obs.status_every_s = 0.05;
+  opts.obs.status_dir = dir.path;
+  ASSERT_EQ(run_specs_supervised({spec}, opts).completed(), 1);
+
+  const telemetry::JsonValue v =
+      telemetry::parse_json(file_bytes(dir.path + "/status.json"));
+  const telemetry::JsonValue* phases = v.find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_DOUBLE_EQ(phases->number_or("done", 0.0), 1.0);
+  EXPECT_TRUE(v.bool_or("healthy", false));
+  const telemetry::JsonValue* rows = v.find("specs");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_GT(rows->items.at(0).number_or("events", 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dftmsn

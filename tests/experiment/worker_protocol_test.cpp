@@ -193,5 +193,65 @@ TEST(WorkerProtocol, SharedProgressIsVisibleAcrossMappings) {
   EXPECT_THROW(SharedProgress::open(path), std::runtime_error);
 }
 
+TEST(WorkerProtocol, SharedProgressV2FieldsRoundTrip) {
+  const std::string path = "worker_protocol_progress_v2.tmp";
+  {
+    SharedProgress parent = SharedProgress::create(path);
+    EXPECT_TRUE(same_bits(parent.load_sim_time(), 0.0));
+    EXPECT_EQ(parent.checkpoint_seq()->load(), 0u);
+
+    SharedProgress child = SharedProgress::open(path);
+    child.store_sim_time(1234.5625);  // exact in binary
+    child.checkpoint_seq()->store(7);
+    EXPECT_TRUE(same_bits(parent.load_sim_time(), 1234.5625));
+    EXPECT_EQ(parent.checkpoint_seq()->load(), 7u);
+
+    // The sim-time channel is raw IEEE bits: NaN and -0.0 survive too.
+    child.store_sim_time(-0.0);
+    EXPECT_TRUE(same_bits(parent.load_sim_time(), -0.0));
+
+    // create() wipes every v2 field, not just the event counter.
+    SharedProgress again = SharedProgress::create(path);
+    EXPECT_TRUE(same_bits(again.load_sim_time(), 0.0));
+    EXPECT_EQ(again.checkpoint_seq()->load(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WorkerProtocol, SharedProgressRejectsForeignHeaders) {
+  const std::string path = "worker_protocol_progress_bad.tmp";
+  const auto write_raw = [&](const std::string& bytes) {
+    std::remove(path.c_str());
+    snapshot::write_file_atomic(
+        path, std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  };
+  const auto expect_open_fails = [&](const char* needle) {
+    try {
+      SharedProgress sp = SharedProgress::open(path);
+      FAIL() << "open() accepted a corrupt progress file";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  // Truncated: a v1-sized 8-byte counter-only file.
+  write_raw(std::string(8, '\0'));
+  expect_open_fails("a v2 block is 32");
+
+  // Right size, wrong magic.
+  write_raw(std::string(32, '\0'));
+  expect_open_fails("magic");
+
+  // Right magic ("DPRG" little-endian), future version 3.
+  std::string hdr = "DPRG";
+  hdr += '\x03';
+  hdr += std::string(27, '\0');
+  write_raw(hdr);
+  expect_open_fails("version 3");
+
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace dftmsn

@@ -1,0 +1,358 @@
+// Unit coverage for the live observability plane: StatusBoard lifecycle
+// transitions and hand-computed EMA/ETA math, the canonical status.json
+// document (render -> parse_json round-trip), the Prometheus exposition,
+// the JSON reader's accept/reject behavior, the HTTP status server at
+// the socket level, and the lifecycle trace file format.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "telemetry/json_value.hpp"
+#include "telemetry/lifecycle_trace.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/status.hpp"
+#include "telemetry/status_server.hpp"
+
+namespace dftmsn::telemetry {
+namespace {
+
+// StatusBoard owns a mutex, so it can't be returned by value; tests
+// default-construct and reset in place.
+void make_board(StatusBoard& b, std::size_t n, double horizon = 100.0) {
+  b.reset(n, std::vector<double>(n, horizon));
+}
+
+TEST(StatusBoard, StartsAllPending) {
+  StatusBoard b;
+  make_board(b, 3);
+  const StatusSnapshot s = b.snapshot();
+  EXPECT_EQ(s.specs.size(), 3u);
+  EXPECT_EQ(s.phase_counts[static_cast<int>(SpecPhase::kPending)], 3u);
+  EXPECT_TRUE(s.healthy);
+  EXPECT_EQ(s.events_executed, 0u);
+  EXPECT_DOUBLE_EQ(s.eta_s, -1.0);
+}
+
+TEST(StatusBoard, LifecycleTransitions) {
+  StatusBoard b;
+  make_board(b, 2);
+  b.mark_running(0, 0);
+  EXPECT_EQ(b.snapshot().specs[0].phase, SpecPhase::kRunning);
+
+  b.mark_checkpoint(0, 2);
+  {
+    const SpecProgress p = b.snapshot().specs[0];
+    EXPECT_EQ(p.phase, SpecPhase::kCheckpointed);
+    EXPECT_EQ(p.checkpoints, 2u);
+  }
+
+  b.mark_retrying(0, 1, "attempt 0: boom");
+  {
+    const SpecProgress p = b.snapshot().specs[0];
+    EXPECT_EQ(p.phase, SpecPhase::kRetrying);
+    EXPECT_EQ(p.retries, 1);
+    EXPECT_EQ(p.detail, "attempt 0: boom");
+  }
+  EXPECT_EQ(b.snapshot().retries_total, 1u);
+
+  // A retry restarts the attempt: counters rewind, phase returns to
+  // running, the failure detail stays visible until done/quarantine.
+  b.update_progress(0, 500, 40.0);
+  b.mark_running(0, 1);
+  {
+    const SpecProgress p = b.snapshot().specs[0];
+    EXPECT_EQ(p.phase, SpecPhase::kRunning);
+    EXPECT_EQ(p.events, 0u);
+    EXPECT_DOUBLE_EQ(p.sim_time_s, 0.0);
+  }
+
+  b.update_progress(0, 1234, 80.0);
+  b.mark_done(0);
+  {
+    const SpecProgress p = b.snapshot().specs[0];
+    EXPECT_EQ(p.phase, SpecPhase::kDone);
+    EXPECT_EQ(p.events, 1234u);
+    EXPECT_DOUBLE_EQ(p.sim_time_s, 100.0);  // horizon, not last sample
+    EXPECT_TRUE(p.detail.empty());
+  }
+
+  b.mark_quarantined(1, "attempt 2: kept dying");
+  EXPECT_EQ(b.snapshot().specs[1].phase, SpecPhase::kQuarantined);
+  EXPECT_FALSE(b.healthy());
+}
+
+TEST(StatusBoard, TerminalRowsRejectStaleSamples) {
+  StatusBoard b;
+  make_board(b, 1);
+  b.mark_running(0, 0);
+  b.update_progress(0, 10, 5.0);
+  b.sync_checkpoints(0, 4);
+  b.mark_done(0);
+  // A sampler thread that raced the terminal transition must not rewind
+  // the final values or double-count checkpoints.
+  b.update_progress(0, 3, 1.0);
+  b.mark_checkpoint(0, 2);
+  const SpecProgress p = b.snapshot().specs[0];
+  EXPECT_EQ(p.events, 10u);
+  EXPECT_EQ(p.checkpoints, 4u);
+  EXPECT_EQ(p.phase, SpecPhase::kDone);
+}
+
+TEST(StatusBoard, WatchdogStallFlipsHealthUntilRetry) {
+  StatusBoard b;
+  make_board(b, 2);
+  b.mark_running(0, 0);
+  EXPECT_TRUE(b.healthy());
+  b.mark_watchdog(0);
+  EXPECT_FALSE(b.healthy());
+  EXPECT_EQ(b.snapshot().watchdog_trips, 1u);
+  b.mark_retrying(0, 1, "watchdog");
+  EXPECT_TRUE(b.healthy());  // the stall cleared with the restart
+}
+
+TEST(StatusBoard, EmaHandComputed) {
+  StatusBoard b;
+  make_board(b, 1, 1000.0);
+  b.mark_running(0, 0);
+  b.sample(0.0);  // seeds the window; no rate yet
+  EXPECT_DOUBLE_EQ(b.snapshot().events_per_sec_ema, 0.0);
+
+  b.update_progress(0, 100, 10.0);
+  b.sample(1.0);  // first instantaneous rate seeds the EMA directly
+  EXPECT_DOUBLE_EQ(b.snapshot().events_per_sec_ema, 100.0);
+
+  b.update_progress(0, 300, 30.0);
+  b.sample(2.0);  // inst = 200; ema = 0.25*200 + 0.75*100
+  EXPECT_DOUBLE_EQ(b.snapshot().events_per_sec_ema, 125.0);
+}
+
+TEST(StatusBoard, EmaClampsRetryRewind) {
+  StatusBoard b;
+  make_board(b, 1, 1000.0);
+  b.mark_running(0, 0);
+  b.sample(0.0);
+  b.update_progress(0, 500, 50.0);
+  b.sample(1.0);
+  EXPECT_DOUBLE_EQ(b.snapshot().events_per_sec_ema, 500.0);
+  // A retry rewinds the per-attempt counter; the instantaneous rate is
+  // clamped to 0 instead of going negative.
+  b.mark_running(0, 1);
+  b.sample(2.0);
+  EXPECT_DOUBLE_EQ(b.snapshot().events_per_sec_ema, 0.25 * 0.0 + 0.75 * 500.0);
+}
+
+TEST(StatusBoard, EtaHandComputed) {
+  StatusBoard b;
+  make_board(b, 2, 100.0);
+  b.mark_running(0, 0);
+  b.mark_done(0);  // fraction 1.0
+  b.mark_running(1, 0);
+  b.update_progress(1, 10, 50.0);  // fraction 0.5
+  b.sample(3.0);
+  const StatusSnapshot s = b.snapshot();
+  EXPECT_DOUBLE_EQ(s.progress, 0.75);
+  // eta = wall * (1 - p) / p = 3 * 0.25 / 0.75
+  EXPECT_DOUBLE_EQ(s.eta_s, 1.0);
+}
+
+TEST(StatusBoard, EtaUnknownAtZeroProgressAndZeroWhenDone) {
+  StatusBoard b;
+  make_board(b, 1, 100.0);
+  b.mark_running(0, 0);
+  b.sample(5.0);
+  EXPECT_DOUBLE_EQ(b.snapshot().eta_s, -1.0);
+  b.mark_done(0);
+  b.sample(6.0);
+  EXPECT_DOUBLE_EQ(b.snapshot().eta_s, 0.0);
+}
+
+TEST(StatusJson, RoundTripsThroughParser) {
+  StatusBoard b;
+  make_board(b, 2, 200.0);
+  b.mark_running(0, 0);
+  b.update_progress(0, 42, 100.0);
+  b.mark_checkpoint(0, 1);
+  b.mark_quarantined(1, "attempt 2: segv \"worker\"");
+  b.sample(4.0);
+
+  const std::string doc = b.render_status_json();
+  ASSERT_FALSE(doc.empty());
+  EXPECT_EQ(doc.back(), '\n');
+  const JsonValue v = parse_json(doc);
+
+  EXPECT_EQ(v.string_or("schema", ""), "dftmsn-status-v1");
+  EXPECT_DOUBLE_EQ(v.number_or("wall_s", -1.0), 4.0);
+  EXPECT_FALSE(v.bool_or("healthy", true));
+  EXPECT_DOUBLE_EQ(v.number_or("specs_total", 0.0), 2.0);
+  const JsonValue* phases = v.find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_DOUBLE_EQ(phases->number_or("checkpointed", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(phases->number_or("quarantined", 0.0), 1.0);
+  const JsonValue* specs = v.find("specs");
+  ASSERT_NE(specs, nullptr);
+  ASSERT_EQ(specs->items.size(), 2u);
+  EXPECT_EQ(specs->items[0].string_or("phase", ""), "checkpointed");
+  EXPECT_DOUBLE_EQ(specs->items[0].number_or("events", 0.0), 42.0);
+  EXPECT_EQ(specs->items[1].string_or("detail", ""),
+            "attempt 2: segv \"worker\"");
+}
+
+TEST(StatusJson, TableRendersParsedDocument) {
+  StatusBoard b;
+  make_board(b, 1, 100.0);
+  b.mark_running(0, 0);
+  b.update_progress(0, 7, 25.0);
+  b.sample(1.0);
+  const std::string table =
+      render_status_table(parse_json(b.render_status_json()));
+  EXPECT_NE(table.find("healthy"), std::string::npos);
+  EXPECT_NE(table.find("running"), std::string::npos);
+  EXPECT_NE(table.find("progress: 25.0%"), std::string::npos);
+}
+
+TEST(Prometheus, ExposesBoardAndRegistry) {
+  StatusBoard b;
+  make_board(b, 2, 100.0);
+  b.mark_running(0, 0);
+  b.mark_done(0);
+  Registry r;
+  r.counter("mac.rts_tx")->inc(7);
+  r.gauge("queue.fill")->set(0.5);
+  b.absorb_registry(r);
+  b.sample(1.0);
+
+  const std::string text = b.render_prometheus();
+  EXPECT_NE(text.find("# TYPE dftmsn_up gauge\ndftmsn_up 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dftmsn_healthy 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dftmsn_specs{phase=\"done\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dftmsn_specs{phase=\"pending\"} 1\n"),
+            std::string::npos);
+  // Registry names sanitize dots to underscores.
+  EXPECT_NE(text.find("dftmsn_registry_mac_rts_tx_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dftmsn_registry_queue_fill 0.5\n"), std::string::npos);
+}
+
+TEST(JsonParser, AcceptsTheFullGrammar) {
+  const JsonValue v = parse_json(
+      R"({"a": [1, -2.5e2, true, false, null], "s": "x\n\"A"})");
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 5u);
+  EXPECT_DOUBLE_EQ(a->items[0].num, 1.0);
+  EXPECT_DOUBLE_EQ(a->items[1].num, -250.0);
+  EXPECT_TRUE(a->items[2].b);
+  EXPECT_FALSE(a->items[3].b);
+  EXPECT_EQ(a->items[4].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.string_or("s", ""), "x\n\"A");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse_json("{} trailing"), std::runtime_error);
+  EXPECT_THROW(parse_json("nul"), std::runtime_error);
+}
+
+/// Minimal HTTP/1.1 GET against 127.0.0.1:port; returns the raw response.
+std::string http_get(int port, const std::string& target,
+                     const std::string& method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req =
+      method + " " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return out;
+}
+
+TEST(StatusServer, ServesStatusHealthzAndMetrics) {
+  bool healthy = true;
+  StatusServer::Handlers h;
+  h.status_json = [] { return std::string("{\"ok\": true}\n"); };
+  h.metrics_text = [] { return std::string("dftmsn_up 1\n"); };
+  h.healthy = [&healthy] { return healthy; };
+  StatusServer server(0, std::move(h));  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+
+  const std::string status = http_get(server.port(), "/status");
+  EXPECT_NE(status.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(status.find("application/json"), std::string::npos);
+  EXPECT_NE(status.find("{\"ok\": true}"), std::string::npos);
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("dftmsn_up 1"), std::string::npos);
+
+  EXPECT_NE(http_get(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  healthy = false;
+  EXPECT_NE(http_get(server.port(), "/healthz").find("503"),
+            std::string::npos);
+
+  EXPECT_NE(http_get(server.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/status", "POST").find("405"),
+            std::string::npos);
+  // Query strings are stripped before routing.
+  EXPECT_NE(http_get(server.port(), "/status?x=1").find("200 OK"),
+            std::string::npos);
+}
+
+TEST(LifecycleTraceFile, EveryLineIsAChromeTraceEvent) {
+  const std::string path = "lifecycle_trace_test.tmp.jsonl";
+  {
+    LifecycleTrace t(path);
+    t.begin(0, "attempt", {{"attempt", "0"}});
+    t.instant(0, "checkpoint", {{"seq", "1"}});
+    t.instant(1, "worker_spawn", {{"pid", "123"}, {"attempt", "0"}});
+    t.end(0, "attempt");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "[");
+  int events = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    ASSERT_EQ(line.back(), ',');  // truncated-array form Perfetto accepts
+    const JsonValue v = parse_json(line.substr(0, line.size() - 1));
+    EXPECT_FALSE(v.string_or("name", "").empty());
+    EXPECT_EQ(v.string_or("cat", ""), "sweep");
+    EXPECT_DOUBLE_EQ(v.number_or("pid", 0.0), 1.0);
+    const std::string ph = v.string_or("ph", "");
+    EXPECT_TRUE(ph == "B" || ph == "E" || ph == "i") << ph;
+    ++events;
+  }
+  EXPECT_EQ(events, 4);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dftmsn::telemetry
