@@ -32,6 +32,12 @@
 //   6  the replication failed (structured error in the result file)
 // A worker killed by a signal (segv/abort fault plans, OOM, the parent's
 // watchdog) has no exit code; the parent decodes the wait status instead.
+//
+// Dispatch worker mode (`--connect HOST:PORT`, docs/distributed_sweeps.md)
+// exits 0 when the dispatcher reports the sweep done (or hangs up
+// cleanly) and 2 on a connect or wire-protocol failure. Simulation
+// failures are *reported* to the dispatcher inside result frames, never
+// through this process's exit code.
 #include <limits.h>
 #include <unistd.h>
 
@@ -119,6 +125,19 @@ int usage(int code) {
       "                    runs are bit-identical to in-process\n"
       "  --worker FILE     internal: run one replication attempt from a\n"
       "                    sealed request file (spawned by --isolate=process)\n"
+      "distributed dispatch (see docs/distributed_sweeps.md):\n"
+      "  --dispatch-port P serve the sweep as a lease-based work queue on\n"
+      "                    TCP port P (0 = ephemeral port, announced as\n"
+      "                    \"dispatch: listening on HOST:PORT\"); specs run\n"
+      "                    on connected --connect workers; incompatible\n"
+      "                    with --isolate process\n"
+      "  --dispatch-bind A bind address for --dispatch-port\n"
+      "                    (default 127.0.0.1)\n"
+      "  --lease-secs S    lease duration per granted batch; heartbeats\n"
+      "                    showing event progress extend it (default 30)\n"
+      "  --batch-size N    specs granted per lease (default 1)\n"
+      "  --connect H:P     run as a pull-mode dispatch worker against the\n"
+      "                    dispatcher at H:P until the sweep is done\n"
       "live status (purely observational; see docs/observability.md):\n"
       "  --status-every S  atomically rewrite status.json every S wall\n"
       "                    seconds (in --checkpoint-dir, or the current\n"
@@ -246,6 +265,21 @@ int main(int argc, char** argv) {
       // the whole contract (see worker_protocol.hpp).
       snapshot::IoEnv::instance().set_scope(snapshot::IoScope::kWorker);
       return run_worker(next());
+    }
+    if (arg == "--connect") {
+      // Dispatch-worker mode short-circuits the same way: the wire
+      // protocol (experiment/dispatch.hpp) is the whole contract.
+      const std::string hostport = next();
+      const std::size_t colon = hostport.rfind(':');
+      const int port = colon == std::string::npos
+                           ? -1
+                           : std::atoi(hostport.c_str() + colon + 1);
+      if (colon == std::string::npos || colon == 0 || port < 1 ||
+          port > 65535) {
+        std::cerr << "--connect needs HOST:PORT (port 1..65535)\n";
+        return 2;
+      }
+      return run_dispatch_worker(hostport.substr(0, colon), port);
     }
     if (arg == "--fsck") {
       const std::string dir = next();
@@ -420,6 +454,38 @@ int main(int argc, char** argv) {
       status_watch = true;
       continue;
     }
+    if (arg == "--dispatch-port") {
+      sup.dispatch.port = std::atoi(next().c_str());
+      if (sup.dispatch.port < 0 || sup.dispatch.port > 65535) {
+        std::cerr << "--dispatch-port must be 0..65535\n";
+        return 2;
+      }
+      supervised = true;
+      continue;
+    }
+    if (arg == "--dispatch-bind") {
+      sup.dispatch.bind = next();
+      supervised = true;
+      continue;
+    }
+    if (arg == "--lease-secs") {
+      sup.dispatch.lease_secs = std::atof(next().c_str());
+      if (sup.dispatch.lease_secs <= 0.0) {
+        std::cerr << "--lease-secs must be > 0\n";
+        return 2;
+      }
+      supervised = true;
+      continue;
+    }
+    if (arg == "--batch-size") {
+      sup.dispatch.batch_size = std::atoi(next().c_str());
+      if (sup.dispatch.batch_size < 1) {
+        std::cerr << "--batch-size must be >= 1\n";
+        return 2;
+      }
+      supervised = true;
+      continue;
+    }
     if (arg == "--isolate") {
       const std::string mode = next();
       if (mode == "in-process") {
@@ -438,6 +504,11 @@ int main(int argc, char** argv) {
   if ((sup.resume || sup.checkpoint_every_s > 0) &&
       sup.checkpoint_dir.empty()) {
     std::cerr << "--resume/--checkpoint-every need --checkpoint-dir\n";
+    return 2;
+  }
+  if (sup.dispatch.enabled() && sup.isolate == IsolationMode::kProcess) {
+    std::cerr << "--dispatch-port runs specs on connected workers; it is "
+                 "incompatible with --isolate process\n";
     return 2;
   }
   if (!status_read_dir.empty()) return run_status_reader(status_read_dir,

@@ -1,0 +1,195 @@
+// Lease-based TCP work queue for supervised sweeps (worker protocol
+// v3's framed wire variant).
+//
+// The dispatcher runs inside the sweep parent (`--dispatch-port`): it
+// listens on a TCP socket (loopback by default, bindable for LAN) and
+// hands out batches of replication specs under time-bounded leases.
+// Pull-mode workers (`dftmsn_cli --connect HOST:PORT`) request work,
+// heartbeat while running, and stream back results. Every message is
+// one *frame*:
+//
+//   offset 0  u32   magic "DFW3" (0x33574644 little-endian)
+//   offset 4  u8    frame type (FrameType)
+//   offset 5  u32   payload length (hard-capped; a hostile length field
+//                   cannot drive an allocation)
+//   offset 9  payload — snapshot::Writer-encoded fields per type
+//   tail      u64   FNV-1a digest of everything before it
+//
+// Spec configs and results cross the wire as the *same sealed container
+// images* the file-based worker protocol uses (encode_worker_request /
+// encode_worker_result), so both transports validate identical bytes.
+// A torn, truncated or tampered frame throws and drops the connection —
+// never a crash, never a silently wrong accept.
+//
+// Failure semantics (docs/distributed_sweeps.md):
+//  - crash / hang / partition: the worker stops heartbeating (or its
+//    heartbeats stop showing progress), the lease expires, and the
+//    batch is requeued with bounded backoff. Transport losses do not
+//    consume the spec's simulation retry budget.
+//  - simulation failure (the worker *reports* an error result): the
+//    normal retry/quarantine path, identical to the local modes.
+//  - duplicates: completion is idempotent — the first accepted result
+//    per spec wins; later results for a terminal spec are discarded by
+//    spec id (a resurrected worker cannot double-publish).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "experiment/worker_protocol.hpp"
+
+namespace dftmsn {
+
+namespace telemetry {
+class StatusBoard;
+}
+
+/// CLI-facing dispatcher knobs (a member of SupervisorOptions).
+struct DispatchOptions {
+  int port = -1;                  ///< -1: dispatch off; 0: ephemeral port
+  std::string bind = "127.0.0.1";
+  double lease_secs = 30.0;       ///< heartbeat-extended lease duration
+  int batch_size = 1;             ///< specs granted per lease
+  /// Test hook: the bound port is published here once listening (the
+  /// CLI announces it on stdout instead).
+  std::atomic<int>* port_out = nullptr;
+  [[nodiscard]] bool enabled() const { return port >= 0; }
+};
+
+inline constexpr std::uint32_t kDispatchFrameMagic = 0x33574644;  // "DFW3"
+inline constexpr std::size_t kDispatchFrameHeader = 9;
+inline constexpr std::size_t kDispatchFrameTrailer = 8;
+inline constexpr std::size_t kMaxDispatchPayload = 64u << 20;
+
+/// Version a worker announces in its hello frame; must match the
+/// dispatcher's build (the sealed payload images carry the worker
+/// protocol version gate on top of this).
+inline constexpr std::uint32_t kDispatchWireVersion = 3;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      ///< worker -> dispatcher: version + worker name
+  kRequest = 2,    ///< worker -> dispatcher: give me a batch
+  kGrant = 3,      ///< dispatcher -> worker: lease + spec batch
+  kNoWork = 4,     ///< dispatcher -> worker: nothing now (done=sweep over)
+  kResult = 5,     ///< worker -> dispatcher: one spec's sealed result
+  kHeartbeat = 6,  ///< worker -> dispatcher: liveness + progress
+};
+
+/// One spec of a lease grant: the sealed worker-request image plus the
+/// identifiers the worker echoes back with its result.
+struct GrantItem {
+  std::uint64_t spec = 0;
+  std::int64_t attempt = 0;
+  std::vector<std::uint8_t> request;  ///< sealed encode_worker_request image
+};
+
+/// A decoded frame; only the fields of `type` are meaningful.
+struct WireFrame {
+  FrameType type = FrameType::kHello;
+  // kHello
+  std::uint32_t version = 0;
+  std::string worker_name;
+  // kGrant / kResult / kHeartbeat
+  std::uint64_t lease_id = 0;
+  double lease_secs = 0.0;
+  std::vector<GrantItem> items;
+  // kNoWork
+  bool done = false;
+  // kResult / kHeartbeat
+  std::uint64_t spec = 0;
+  std::int64_t attempt = 0;
+  std::vector<std::uint8_t> result;  ///< sealed encode_worker_result image
+  std::uint64_t events = 0;
+  std::uint64_t sim_time_bits = 0;
+};
+
+std::vector<std::uint8_t> encode_hello_frame(const std::string& worker_name);
+std::vector<std::uint8_t> encode_request_frame();
+std::vector<std::uint8_t> encode_grant_frame(std::uint64_t lease_id,
+                                             double lease_secs,
+                                             const std::vector<GrantItem>& items);
+std::vector<std::uint8_t> encode_nowork_frame(bool done);
+std::vector<std::uint8_t> encode_result_frame(std::uint64_t lease_id,
+                                              std::uint64_t spec,
+                                              std::int64_t attempt,
+                                              const std::vector<std::uint8_t>& sealed_result);
+std::vector<std::uint8_t> encode_heartbeat_frame(std::uint64_t lease_id,
+                                                 std::uint64_t spec,
+                                                 std::uint64_t events,
+                                                 std::uint64_t sim_time_bits);
+
+/// Tries to extract one complete frame from the front of `data`.
+/// Returns 0 when more bytes are needed, else the number of bytes
+/// consumed with *out filled. Throws snapshot::SnapshotError naming
+/// `context` on a damaged frame (bad magic/type/length/digest, torn
+/// payload); the caller must drop the connection.
+std::size_t try_extract_frame(const std::uint8_t* data, std::size_t len,
+                              const std::string& context, WireFrame* out);
+
+/// Retry/requeue policy the supervisor hands the dispatcher; mirrors
+/// the local supervision loop so a dispatched sweep makes the identical
+/// accept/retry/quarantine decisions.
+struct DispatchPolicy {
+  int max_retries = 2;          ///< simulation-failure retry budget
+  double retry_backoff_s = 0.05;
+  /// Transport losses (lost connection / expired lease) do not consume
+  /// the sim retry budget; they have their own generous bound so a
+  /// truly cursed spec still terminates.
+  int max_transport_requeues = 32;
+  const std::atomic<bool>* stop = nullptr;
+  /// Advisory lease journal (fsck classifies leftovers); empty: none.
+  std::string lease_journal_path;
+};
+
+/// Terminal + lifecycle callbacks out of the dispatcher event loop. All
+/// callbacks fire on the dispatcher's (single) thread, in spec index
+/// submission order for make_request and acceptance order otherwise.
+struct DispatchCallbacks {
+  /// Sealed worker-request image for (spec, attempt).
+  std::function<std::vector<std::uint8_t>(std::size_t, int)> make_request;
+  /// Spec granted under a lease; `attempt` is its sim attempt number.
+  std::function<void(std::size_t, int)> on_started;
+  /// Result accepted: spec completed on `attempt` with this decoded,
+  /// digest-validated result. First accepted result per spec wins.
+  std::function<void(std::size_t, int, WorkerResult&&)> on_completed;
+  /// Terminal failure: sim retry budget (or the transport requeue
+  /// bound) exhausted; `retries` and `detail` follow the local loop's
+  /// manifest conventions.
+  std::function<void(std::size_t, int, const std::string&)> on_quarantined;
+  /// External stop: spec will not run. `detail` is empty for a spec
+  /// that never started (callers substitute their "stopped before
+  /// start" convention).
+  std::function<void(std::size_t, const std::string&)> on_interrupted;
+  /// A sim-failure retry is scheduled: next attempt number + detail.
+  std::function<void(std::size_t, int, const std::string&)> on_retrying;
+  /// A batch was requeued after a transport loss (trace bookkeeping
+  /// only — transport losses do not touch manifest retries).
+  std::function<void(std::size_t, int, const std::string&)> on_requeued;
+  /// Heartbeat progress for a running spec: events, sim-time seconds.
+  std::function<void(std::size_t, std::uint64_t, double)> on_progress;
+  /// One human line (the "dispatch: listening on ..." announce).
+  std::function<void(const std::string&)> announce;
+};
+
+/// Runs the dispatcher event loop on the calling thread until every
+/// non-skipped spec is terminal (or stop is raised). `skip[i]` true
+/// marks spec i already terminal (resume carry-over) — it is never
+/// granted. Returns normally even when workers crash, hang or vanish;
+/// throws net::NetError only if the listener cannot bind.
+void run_dispatch_queue(std::size_t num_specs, const std::vector<char>& skip,
+                        const DispatchOptions& opts,
+                        const DispatchPolicy& policy,
+                        telemetry::StatusBoard* board, DispatchCallbacks cb);
+
+/// Worker side: connect to a dispatcher and pull spec batches until it
+/// reports the sweep done. Runs specs in-process (no checkpointing —
+/// fault recovery is the dispatcher's lease machinery), heartbeats
+/// while running, and streams sealed results back. Returns a process
+/// exit code: 0 clean, kWorkerExitBadRequest on connect/protocol
+/// failure.
+int run_dispatch_worker(const std::string& host, int port);
+
+}  // namespace dftmsn

@@ -120,13 +120,32 @@ FsckReport run_fsck(const std::string& dir, std::ostream& log) {
       have_manifest = load_manifest(mpath, &manifest);
       if (have_manifest) note(rep, log, mpath, "valid", "");
     } catch (const std::exception& e) {
-      // The manifest is the only file holding completed results; fsck
-      // never deletes it on its own.
-      note(rep, log, mpath, "corrupt",
-           std::string(e.what()) +
-               "; holds completed results, not auto-deleted — delete it "
-               "and re-run the sweep to rebuild");
-      rep.unrepairable = true;
+      // A streamed manifest killed mid-append has a torn tail; cutting
+      // it back to the last validating cumulative digest line loses only
+      // the block being appended (those specs simply re-run on resume).
+      bool salvaged = false;
+      std::size_t removed = 0;
+      try {
+        salvaged = salvage_manifest_tail(mpath, &removed) && removed > 0 &&
+                   load_manifest(mpath, &manifest);
+      } catch (const std::exception&) {
+        salvaged = false;
+      }
+      if (salvaged) {
+        have_manifest = true;
+        note(rep, log, mpath, "torn",
+             "truncated " + std::to_string(removed) +
+                 " torn tail bytes back to the last validating digest line",
+             /*repaired=*/true);
+      } else {
+        // Interior damage. The manifest is the only file holding
+        // completed results; fsck never deletes it on its own.
+        note(rep, log, mpath, "corrupt",
+             std::string(e.what()) +
+                 "; holds completed results, not auto-deleted — delete it "
+                 "and re-run the sweep to rebuild");
+        rep.unrepairable = true;
+      }
     }
   }
 
@@ -148,6 +167,13 @@ FsckReport run_fsck(const std::string& dir, std::ostream& log) {
     if (ext == ".tmp") {
       cls = "leftover";
       detail = "interrupted atomic-write staging file";
+    } else if (ext == ".leases") {
+      // Advisory dispatch lease journal (experiment/dispatch.hpp); the
+      // dispatcher removes it on a clean return, so one on disk means
+      // the parent died with leases outstanding. Leases are re-granted
+      // from the manifest, never from this file.
+      cls = "leftover";
+      detail = "dispatch lease journal from an unclean shutdown";
     } else if (ext == ".req") {
       try {
         read_worker_request(path);

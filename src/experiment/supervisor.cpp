@@ -17,6 +17,7 @@
 #include <fstream>
 #include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -27,10 +28,12 @@
 #include <utility>
 
 #include "common/thread_pool.hpp"
+#include "experiment/dispatch.hpp"
 #include "experiment/worker_protocol.hpp"
 #include "experiment/world.hpp"
 #include "snapshot/checkpoint.hpp"
 #include "snapshot/ckpt_container.hpp"
+#include "snapshot/io_env.hpp"
 #include "snapshot/snapshot_io.hpp"
 #include "telemetry/lifecycle_trace.hpp"
 #include "telemetry/status.hpp"
@@ -113,6 +116,25 @@ void put_result(std::ostream& os, const RunResult& r) {
      << r.events_executed << ' ' << r.faults_injected << ' '
      << r.drops_node_failure << ' ' << r.frames_fault_corrupted << ' '
      << r.invariant_sweeps;
+}
+
+void put_spec_block(std::ostream& os, std::size_t i, const SpecRecord& r) {
+  os << "spec " << i << ' ' << spec_status_name(r.status) << " retries="
+     << r.retries << " checkpoints=" << r.checkpoints << " digest="
+     << r.config_digest << " detail=" << sanitize(r.detail) << "\n";
+  if (r.status == SpecStatus::kCompleted) {
+    os << "result " << i << ' ';
+    put_result(os, r.result);
+    os << "\n";
+    // v3 addition: the completed run's instrument registry, hex of its
+    // canonical byte form, so a resumed sweep reports the same merged
+    // telemetry a straight-through sweep would. Omitted when telemetry
+    // was off (the registry is empty) — deterministically, so the line
+    // set never depends on jobs or isolation mode.
+    if (!r.registry.empty())
+      os << "registry " << i << ' ' << to_hex(r.registry.serialize())
+         << "\n";
+  }
 }
 
 bool get_result(std::istream& is, RunResult* r) {
@@ -645,25 +667,8 @@ void write_manifest(const std::string& path, const SweepManifest& manifest) {
   std::ostringstream os;
   os << "dftmsn-manifest v4\n";
   os << "specs " << manifest.specs.size() << "\n";
-  for (std::size_t i = 0; i < manifest.specs.size(); ++i) {
-    const SpecRecord& r = manifest.specs[i];
-    os << "spec " << i << ' ' << spec_status_name(r.status) << " retries="
-       << r.retries << " checkpoints=" << r.checkpoints << " digest="
-       << r.config_digest << " detail=" << sanitize(r.detail) << "\n";
-    if (r.status == SpecStatus::kCompleted) {
-      os << "result " << i << ' ';
-      put_result(os, r.result);
-      os << "\n";
-      // v3 addition: the completed run's instrument registry, hex of its
-      // canonical byte form, so a resumed sweep reports the same merged
-      // telemetry a straight-through sweep would. Omitted when telemetry
-      // was off (the registry is empty) — deterministically, so the line
-      // set never depends on jobs or isolation mode.
-      if (!r.registry.empty())
-        os << "registry " << i << ' ' << to_hex(r.registry.serialize())
-           << "\n";
-    }
-  }
+  for (std::size_t i = 0; i < manifest.specs.size(); ++i)
+    put_spec_block(os, i, manifest.specs[i]);
   // v4 addition: a trailing whole-file FNV-1a digest line. The manifest
   // is the one text-format durable file; without this a single flipped
   // byte in a stored result would resume into silently wrong aggregates.
@@ -747,8 +752,13 @@ bool load_manifest(const std::string& path, SweepManifest* out) {
     if (line.empty()) continue;
     std::istringstream is(line);
     std::string tag;
+    is >> tag;
+    // Streamed manifests carry a fresh cumulative digest line after
+    // every appended block; all of them are covered by the trailing
+    // digest already verified above, so the body parser skips them.
+    if (tag == "digest") continue;
     std::size_t i = 0;
-    is >> tag >> i;
+    is >> i;
     if (!is || i >= n) bad("malformed line: " + line);
     SpecRecord& r = m.specs[i];
     if (tag == "spec") {
@@ -794,13 +804,132 @@ bool load_manifest(const std::string& path, SweepManifest* out) {
   return true;
 }
 
-SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
-                                   const SupervisorOptions& opts) {
-  SweepManifest manifest;
-  manifest.specs.resize(specs.size());
+bool salvage_manifest_tail(const std::string& path,
+                           std::size_t* bytes_removed) {
+  if (bytes_removed != nullptr) *bytes_removed = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string whole = buf.str();
+
+  // Scan complete lines, tracking the hash of every byte consumed so
+  // far. Each "digest <v>" line whose value matches the hash of the
+  // bytes *before* it marks a self-consistent prefix a torn tail can be
+  // cut back to.
+  snapshot::StateHash h;
+  std::size_t pos = 0;
+  std::size_t good_end = 0;  // end offset of the last validating prefix
+  while (pos < whole.size()) {
+    const std::size_t nl = whole.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn final line
+    const std::string line = whole.substr(pos, nl - pos);
+    if (line.rfind("digest ", 0) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long v = std::strtoull(line.c_str() + 7, &end, 10);
+      if (errno != ERANGE && end != line.c_str() + 7 && *end == '\0' &&
+          h.value() == v)
+        good_end = nl + 1;
+    }
+    h.update(whole.data() + pos, nl + 1 - pos);
+    pos = nl + 1;
+  }
+  if (good_end == 0) return false;  // nothing validates: not salvageable
+  if (good_end == whole.size()) return true;  // already clean
+
+  auto& io = snapshot::IoEnv::instance();
+  const int fd = io.open_rw(path);
+  try {
+    io.ftruncate_file(fd, path, good_end);
+    io.fsync_file(fd, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (bytes_removed != nullptr) *bytes_removed = whole.size() - good_end;
+  return true;
+}
+
+namespace {
+
+/// Streams a manifest: an atomic, durable all-pending scaffold up front,
+/// then one appended block per terminal spec record, each append ending
+/// with a fresh cumulative digest line and an fsync. The file is
+/// loadable after every append (load_manifest takes the *last* digest
+/// line; later spec records win), and a torn tail truncates back to the
+/// previous digest line (salvage_manifest_tail / --fsck).
+class ManifestWriter {
+ public:
+  ManifestWriter(std::string path, std::size_t num_specs,
+                 const std::vector<std::uint64_t>& config_digests)
+      : path_(std::move(path)) {
+    std::ostringstream os;
+    os << "dftmsn-manifest v4\n";
+    os << "specs " << num_specs << "\n";
+    for (std::size_t i = 0; i < num_specs; ++i)
+      os << "spec " << i << " pending retries=0 checkpoints=0 digest="
+         << config_digests[i] << " detail=\n";
+    std::string s = os.str();
+    hash_.update(s.data(), s.size());
+    const std::string dline =
+        "digest " + std::to_string(hash_.value()) + "\n";
+    hash_.update(dline.data(), dline.size());
+    s += dline;
+    // The scaffold lands atomically before any spec runs: a SIGKILL
+    // before the first completion still leaves a loadable manifest next
+    // to whatever checkpoints made it to disk.
+    snapshot::write_file_atomic(
+        path_, std::vector<std::uint8_t>(s.begin(), s.end()));
+    fd_ = snapshot::IoEnv::instance().open_rw(path_);
+    offset_ = s.size();
+  }
+  ManifestWriter(const ManifestWriter&) = delete;
+  ManifestWriter& operator=(const ManifestWriter&) = delete;
+  ~ManifestWriter() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Appends spec i's terminal block + new cumulative digest line as one
+  /// pwrite + fsync: a tear can only ever cost the block being written,
+  /// never reach back past the previous digest line.
+  void append(std::size_t i, const SpecRecord& r) {
+    std::ostringstream os;
+    put_spec_block(os, i, r);
+    std::string s = os.str();
+    hash_.update(s.data(), s.size());
+    const std::string dline =
+        "digest " + std::to_string(hash_.value()) + "\n";
+    hash_.update(dline.data(), dline.size());
+    s += dline;
+    auto& io = snapshot::IoEnv::instance();
+    io.pwrite_all(fd_, path_, s.data(), s.size(), offset_);
+    io.fsync_file(fd_, path_);
+    offset_ += s.size();
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t offset_ = 0;
+  snapshot::StateHash hash_;
+};
+
+}  // namespace
+
+StreamStats run_specs_streamed(const std::vector<RunSpec>& specs,
+                               const SupervisorOptions& opts,
+                               const SpecSink& sink) {
+  const bool dispatched = opts.dispatch.enabled();
+  if (dispatched && opts.isolate == IsolationMode::kProcess)
+    throw std::runtime_error(
+        "supervisor: dispatch mode runs specs on connected workers; "
+        "process isolation is incompatible with --dispatch-port");
+
+  std::vector<std::uint64_t> digests(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i)
-    manifest.specs[i].config_digest =
-        config_digest(specs[i].config, specs[i].kind);
+    digests[i] = config_digest(specs[i].config, specs[i].kind);
 
   const bool use_dir = !opts.checkpoint_dir.empty();
   if (use_dir) std::filesystem::create_directories(opts.checkpoint_dir);
@@ -829,6 +958,15 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
     }
   }
 
+  // Per-spec seed records. `carried[i]` starts as a fresh record holding
+  // only the config digest; a resume fills in carried-over completions
+  // (skip[i] = 1), which skip execution and re-emit through the reorder
+  // buffer. Everything else reruns with a fresh retry budget (its
+  // checkpoint, if any, is picked up by the worker).
+  std::vector<SpecRecord> carried(specs.size());
+  std::vector<char> skip(specs.size(), 0);
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    carried[i].config_digest = digests[i];
   if (opts.resume && use_dir) {
     SweepManifest prev;
     if (load_manifest(manifest_path(opts.checkpoint_dir), &prev)) {
@@ -838,34 +976,46 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
             std::to_string(prev.specs.size()) + " specs but this sweep has " +
             std::to_string(specs.size()) + " — refusing to resume");
       for (std::size_t i = 0; i < specs.size(); ++i) {
-        if (prev.specs[i].config_digest != manifest.specs[i].config_digest)
+        if (prev.specs[i].config_digest != digests[i])
           throw std::runtime_error(
               "supervisor: manifest was written by a different sweep "
               "(config digest mismatch at spec " + std::to_string(i) +
               ") — refusing to resume");
-        // Completed replications carry over verbatim; everything else
-        // reruns with a fresh retry budget (its checkpoint, if any, is
-        // picked up by the worker).
-        if (prev.specs[i].status == SpecStatus::kCompleted)
-          manifest.specs[i] = prev.specs[i];
+        if (prev.specs[i].status == SpecStatus::kCompleted) {
+          carried[i] = std::move(prev.specs[i]);
+          skip[i] = 1;
+        }
       }
     }
   }
 
-  // Write the starting manifest (all pending, minus any carried-over
-  // completions) before any worker runs: a SIGKILL landing before the
-  // first spec finishes must still leave a resumable manifest next to
-  // whatever periodic checkpoints made it to disk.
-  if (use_dir) write_manifest(manifest_path(opts.checkpoint_dir), manifest);
+  // The streamed manifest: an all-pending scaffold before any spec runs
+  // (a SIGKILL landing before the first completion must still leave a
+  // resumable manifest), then one appended block per terminal record.
+  std::optional<ManifestWriter> writer;
+  if (use_dir)
+    writer.emplace(manifest_path(opts.checkpoint_dir), specs.size(), digests);
 
-  std::mutex manifest_mu;
-  const auto publish = [&](std::size_t i, const SpecRecord& rec) {
-    std::lock_guard<std::mutex> lock(manifest_mu);
-    manifest.specs[i] = rec;
-    // Incremental rewrite after every finished spec: a hard kill of the
-    // supervisor process itself loses at most the in-flight specs.
-    if (use_dir)
-      write_manifest(manifest_path(opts.checkpoint_dir), manifest);
+  // Index-order reorder buffer: terminal records publish in completion
+  // order but emit (manifest append + sink) in strict spec-index order,
+  // so manifest bytes are identical at every jobs value and downstream
+  // aggregation can fold incrementally. Peak memory is the out-of-order
+  // window, not the whole sweep.
+  StreamStats stats;
+  std::mutex emit_mu;
+  std::map<std::size_t, SpecRecord> buffered;
+  std::size_t next_emit = 0;
+  const auto publish = [&](std::size_t i, SpecRecord&& rec) {
+    std::lock_guard<std::mutex> lock(emit_mu);
+    buffered.emplace(i, std::move(rec));
+    stats.peak_buffered = std::max(stats.peak_buffered, buffered.size());
+    for (auto it = buffered.find(next_emit); it != buffered.end();
+         it = buffered.find(next_emit)) {
+      if (writer) writer->append(next_emit, it->second);
+      if (sink) sink(next_emit, std::move(it->second));
+      buffered.erase(it);
+      ++next_emit;
+    }
   };
 
   std::vector<Slot> slots(specs.size());
@@ -900,7 +1050,7 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
     // Resume carry-over: completed specs never re-run, so the board
     // learns about them here or never.
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      const SpecRecord& r = manifest.specs[i];
+      const SpecRecord& r = carried[i];
       if (r.status != SpecStatus::kCompleted) continue;
       board->update_progress(i, r.result.events_executed,
                              specs[i].config.scenario.duration_s);
@@ -929,7 +1079,10 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
 
   std::atomic<bool> watchdog_quit{false};
   std::thread watchdog;
-  if (opts.watchdog_secs > 0.0 || opts.stop) {
+  // Dispatch mode has no slots to watch and no children to kill: lease
+  // expiry is its hang detector, and the dispatcher polls opts.stop
+  // itself.
+  if (!dispatched && (opts.watchdog_secs > 0.0 || opts.stop)) {
     const auto poll = std::chrono::duration<double>(
         opts.watchdog_secs > 0.0
             ? std::clamp(opts.watchdog_secs / 4.0, 0.01, 0.25)
@@ -1051,34 +1204,150 @@ SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
     });
   }
 
-  parallel_for(specs.size(), resolve_jobs(opts.jobs), [&](std::size_t i) {
-    SpecRecord rec;
-    {
-      std::lock_guard<std::mutex> lock(manifest_mu);
-      rec = manifest.specs[i];
+  // Seed carried-over completions into the reorder buffer: they emit
+  // (in index order) without re-running.
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    if (skip[i]) publish(i, SpecRecord(carried[i]));
+
+  const auto join_threads = [&] {
+    status_quit.store(true);
+    if (status_thread.joinable()) status_thread.join();
+    watchdog_quit.store(true);
+    if (watchdog.joinable()) watchdog.join();
+  };
+
+  try {
+    if (dispatched) {
+      // The dispatcher event loop drives the same lifecycle the local
+      // loops do, through callbacks that mirror their manifest/board/
+      // trace conventions exactly — a clean dispatched sweep is
+      // byte-identical to an in-process one.
+      DispatchPolicy policy;
+      policy.max_retries = opts.max_retries;
+      policy.retry_backoff_s = opts.retry_backoff_s;
+      policy.stop = opts.stop;
+      if (use_dir)
+        policy.lease_journal_path = opts.checkpoint_dir + "/dispatch.leases";
+
+      DispatchCallbacks cb;
+      cb.make_request = [&](std::size_t i, int attempt) {
+        WorkerRequest req;
+        req.config = specs[i].config;
+        req.kind = specs[i].kind;
+        req.attempt = attempt;
+        req.verify_on_resume = opts.verify_on_resume;
+        return encode_worker_request(req);
+      };
+      cb.on_started = [&](std::size_t i, int attempt) {
+        if (obs.board) obs.board->mark_running(i, attempt);
+        if (obs.trace)
+          obs.trace->begin(i, "attempt",
+                           {{"attempt", std::to_string(attempt)}});
+      };
+      cb.on_completed = [&](std::size_t i, int attempt, WorkerResult&& w) {
+        SpecRecord rec = std::move(carried[i]);
+        rec.status = SpecStatus::kCompleted;
+        rec.retries = attempt;
+        rec.detail.clear();
+        rec.result = w.result;
+        rec.registry.merge(w.registry);
+        if (obs.board) {
+          obs.board->update_progress(i, rec.result.events_executed,
+                                     specs[i].config.scenario.duration_s);
+          obs.board->sync_checkpoints(i, rec.checkpoints);
+          obs.board->mark_done(i);
+          obs.board->absorb_registry(rec.registry);
+        }
+        if (obs.trace) obs.trace->end(i, "attempt");
+        publish(i, std::move(rec));
+      };
+      cb.on_quarantined = [&](std::size_t i, int attempt,
+                              const std::string& detail) {
+        SpecRecord rec = std::move(carried[i]);
+        rec.status = SpecStatus::kQuarantined;
+        rec.retries = attempt;
+        rec.detail = detail;
+        if (obs.board) obs.board->mark_quarantined(i, detail);
+        if (obs.trace) {
+          obs.trace->end(i, "attempt");
+          obs.trace->instant(
+              i, "quarantine",
+              {{"attempt", std::to_string(std::max(0, attempt - 1))},
+               {"reason", detail}});
+        }
+        publish(i, std::move(rec));
+      };
+      cb.on_interrupted = [&](std::size_t i, const std::string& detail) {
+        SpecRecord rec = std::move(carried[i]);
+        rec.status = SpecStatus::kInterrupted;
+        rec.detail = detail.empty() ? "stopped before start" : detail;
+        if (obs.board) obs.board->mark_interrupted(i, rec.detail);
+        if (obs.trace) {
+          if (!detail.empty()) obs.trace->end(i, "attempt");
+          obs.trace->instant(i, "interrupted", {{"reason", rec.detail}});
+        }
+        publish(i, std::move(rec));
+      };
+      cb.on_retrying = [&](std::size_t i, int attempt,
+                           const std::string& detail) {
+        carried[i].retries = attempt;
+        carried[i].detail = detail;
+        if (obs.board) obs.board->mark_retrying(i, attempt, detail);
+        if (obs.trace) {
+          obs.trace->end(i, "attempt");
+          obs.trace->instant(i, "retry",
+                             {{"attempt", std::to_string(attempt - 1)},
+                              {"reason", detail}});
+        }
+      };
+      cb.on_requeued = [&](std::size_t i, int count,
+                           const std::string& reason) {
+        if (obs.trace)
+          obs.trace->instant(i, "requeue",
+                             {{"count", std::to_string(count)},
+                              {"reason", sanitize(reason)}});
+      };
+      cb.on_progress = [&](std::size_t i, std::uint64_t events, double t) {
+        if (obs.board) obs.board->update_progress(i, events, t);
+      };
+      cb.announce = [&](const std::string& line) {
+        if (opts.obs.announce) *opts.obs.announce << line << std::endl;
+      };
+      run_dispatch_queue(specs.size(), skip, opts.dispatch, policy,
+                         board.get(), std::move(cb));
+    } else {
+      parallel_for(specs.size(), resolve_jobs(opts.jobs), [&](std::size_t i) {
+        if (skip[i]) return;  // resumed as done, already seeded
+        SpecRecord rec = carried[i];
+        if (isolated)
+          run_one_isolated(specs[i], i, opts, workdir, slots[i], obs,
+                           progress_maps[i], rec);
+        else
+          run_one_supervised(specs[i], i, opts, slots[i], obs, rec);
+        publish(i, std::move(rec));
+      });
     }
-    if (rec.status == SpecStatus::kCompleted) return;  // resumed as done
-    if (isolated)
-      run_one_isolated(specs[i], i, opts, workdir, slots[i], obs,
-                       progress_maps[i], rec);
-    else
-      run_one_supervised(specs[i], i, opts, slots[i], obs, rec);
-    publish(i, rec);
-  });
-
-  status_quit.store(true);
-  if (status_thread.joinable()) status_thread.join();
-  watchdog_quit.store(true);
-  if (watchdog.joinable()) watchdog.join();
-
-  if (use_dir) {
-    std::lock_guard<std::mutex> lock(manifest_mu);
-    write_manifest(manifest_path(opts.checkpoint_dir), manifest);
+  } catch (...) {
+    join_threads();
+    throw;
   }
+
+  join_threads();
   if (workdir_created) {
     std::error_code ec;
     std::filesystem::remove_all(workdir, ec);  // best-effort scratch cleanup
   }
+  return stats;
+}
+
+SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
+                                   const SupervisorOptions& opts) {
+  SweepManifest manifest;
+  manifest.specs.resize(specs.size());
+  run_specs_streamed(specs, opts,
+                     [&manifest](std::size_t i, SpecRecord&& rec) {
+                       manifest.specs[i] = std::move(rec);
+                     });
   return manifest;
 }
 
@@ -1105,19 +1374,26 @@ SupervisedSweep run_sweep_supervised(const std::vector<SweepPoint>& points,
   }
 
   SupervisedSweep out;
-  out.manifest = run_specs_supervised(specs, opts);
+  out.manifest.specs.resize(specs.size());
   out.points.reserve(points.size());
-  for (std::size_t pi = 0; pi < points.size(); ++pi) {
-    std::vector<RunResult> done;
-    for (int rep = 0; rep < replications; ++rep) {
-      const SpecRecord& r =
-          out.manifest
-              .specs[pi * static_cast<std::size_t>(replications) +
-                     static_cast<std::size_t>(rep)];
-      if (r.status == SpecStatus::kCompleted) done.push_back(r.result);
+  const std::size_t reps = static_cast<std::size_t>(replications);
+  // Streaming aggregation: records arrive in strict spec-index order
+  // (replication order within each point), so a point's aggregate folds
+  // the moment its last replication emits — the fold only ever holds
+  // one point's completed results, and is bit-identical to aggregating
+  // after the fact (reduce_results folds in input order either way).
+  std::vector<RunResult> fold;
+  run_specs_streamed(specs, opts, [&](std::size_t i, SpecRecord&& rec) {
+    if (rec.status == SpecStatus::kCompleted) fold.push_back(rec.result);
+    out.manifest.specs[i] = std::move(rec);
+    if (reps != 0 && (i + 1) % reps == 0) {
+      out.points.push_back(reduce_results(fold));
+      fold.clear();
     }
-    out.points.push_back(reduce_results(done));
-  }
+  });
+  // replications == 0: no specs ran, every point aggregates over nothing.
+  while (out.points.size() < points.size())
+    out.points.push_back(reduce_results(std::vector<RunResult>()));
   return out;
 }
 

@@ -34,10 +34,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "experiment/dispatch.hpp"
 #include "experiment/runner.hpp"
 #include "telemetry/registry.hpp"
 
@@ -122,6 +124,11 @@ struct SupervisorOptions {
   std::string scratch_dir;
   /// Live status/health/trace plane (purely observational).
   ObservabilityOptions obs;
+  /// Lease-based TCP dispatch (experiment/dispatch.hpp). When enabled,
+  /// specs run on connected pull-mode workers instead of pool threads;
+  /// incompatible with IsolationMode::kProcess. Clean dispatched sweeps
+  /// produce manifests and reports byte-identical to in-process runs.
+  DispatchOptions dispatch;
 };
 
 enum class SpecStatus : std::uint8_t {
@@ -166,9 +173,32 @@ struct SweepManifest {
   [[nodiscard]] std::uint64_t total_checkpoints() const;
 };
 
+/// Counters out of the streaming core (memory-behaviour test surface).
+struct StreamStats {
+  /// High-water mark of the index-order reorder buffer: the most
+  /// terminal records ever held waiting for a lower index to finish.
+  /// jobs=1 keeps this at 1 — nothing retains the whole sweep.
+  std::size_t peak_buffered = 0;
+};
+
+/// Receives spec `i`'s terminal record, exactly once per spec, in strict
+/// spec-index order (a reorder buffer holds out-of-order completions).
+using SpecSink = std::function<void(std::size_t, SpecRecord&&)>;
+
+/// Streaming core of supervised execution: runs every spec (thread pool,
+/// process isolation, or the dispatch queue per opts), appends each
+/// terminal record to checkpoint_dir/manifest.txt as it is emitted (one
+/// block + fresh cumulative digest line per record, fsynced), and hands
+/// it to `sink` instead of accumulating a SweepManifest. Peak memory is
+/// O(reorder window), not O(specs).
+StreamStats run_specs_streamed(const std::vector<RunSpec>& specs,
+                               const SupervisorOptions& opts,
+                               const SpecSink& sink);
+
 /// Runs every spec under supervision, up to opts.jobs at a time. The
 /// manifest has one record per spec, in input order; it is also written
-/// to checkpoint_dir/manifest.txt (atomically) when a dir is configured.
+/// to checkpoint_dir/manifest.txt (streamed, see run_specs_streamed)
+/// when a dir is configured. Collecting wrapper over the streaming core.
 SweepManifest run_specs_supervised(const std::vector<RunSpec>& specs,
                                    const SupervisorOptions& opts);
 
@@ -199,9 +229,18 @@ std::string checkpoint_container_path(const std::string& checkpoint_dir);
 /// bit-identical aggregates.
 void write_manifest(const std::string& path, const SweepManifest& manifest);
 
-/// Loads a manifest written by write_manifest. Returns false if the file
-/// does not exist; throws std::runtime_error if it exists but is
-/// malformed.
+/// Loads a manifest written by write_manifest or streamed by
+/// run_specs_streamed (interior cumulative digest lines are skipped;
+/// later records for a spec win). Returns false if the file does not
+/// exist; throws std::runtime_error if it exists but is malformed.
 bool load_manifest(const std::string& path, SweepManifest* out);
+
+/// Salvages a streamed manifest with a torn tail: truncates the file
+/// back to its last line-aligned prefix that ends in a validating
+/// cumulative digest line. Returns true when the file validates after
+/// the call (*bytes_removed = 0 if it already did); false when no
+/// validating prefix exists (the file stays untouched).
+bool salvage_manifest_tail(const std::string& path,
+                           std::size_t* bytes_removed);
 
 }  // namespace dftmsn

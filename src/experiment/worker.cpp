@@ -1,12 +1,25 @@
 #include "experiment/worker.hpp"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
+#include "common/net_util.hpp"
+#include "experiment/dispatch.hpp"
 #include "experiment/world.hpp"
 #include "experiment/worker_protocol.hpp"
 #include "faults/invariant_checker.hpp"
@@ -150,6 +163,162 @@ int run_worker(const std::string& request_path) {
     return fail_result(req.result_path, e.what(), written,
                        kWorkerExitRunFailed);
   }
+}
+
+namespace {
+
+/// Runs one leased spec in-process and reports its outcome as a
+/// WorkerResult — the same structured ok/error split the file-based
+/// worker writes, so the dispatcher's retry/quarantine decisions match
+/// the local modes byte for byte. A heartbeat thread streams the spec's
+/// live event counter back for the whole run; a frozen counter (SIGSTOP,
+/// wedged sim) stops extending the lease even though frames keep (or
+/// stop) flowing.
+WorkerResult run_leased_spec(
+    const GrantItem& item, std::uint64_t lease_id, double lease_secs,
+    const std::function<void(const std::vector<std::uint8_t>&)>& send) {
+  WorkerResult res;
+  WorkerRequest req;
+  try {
+    req = decode_worker_request(item.request);
+    req.config.validate();
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.error = std::string("bad request image: ") + e.what();
+    return res;
+  }
+
+  Config cfg = req.config;
+  cfg.faults.attempt = req.attempt;
+
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<std::uint64_t> time_bits{0};
+  std::atomic<bool> hb_stop{false};
+  const double period = std::clamp(lease_secs / 4.0, 0.05, 5.0);
+  std::thread heartbeat([&] {
+    for (;;) {
+      // Sleep in short slices so shutdown is prompt.
+      for (double waited = 0.0; waited < period && !hb_stop.load();
+           waited += 0.01)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (hb_stop.load()) return;
+      try {
+        send(encode_heartbeat_frame(lease_id, item.spec, events.load(),
+                                    time_bits.load()));
+      } catch (const std::exception&) {
+        return;  // socket gone; the main loop will notice on its own
+      }
+    }
+  });
+
+  try {
+    World world(cfg, req.kind);
+    world.sim().set_progress_counter(&events);
+    const double horizon = cfg.scenario.duration_s;
+    const double step = horizon > 0.0 ? horizon / 16.0 : 1.0;
+    while (world.sim().now() < horizon) {
+      const double next = std::min(
+          horizon, (std::floor(world.sim().now() / step) + 1.0) * step);
+      world.run_until(next);
+      std::uint64_t bits = 0;
+      const double t = world.sim().now();
+      std::memcpy(&bits, &t, sizeof(bits));
+      time_bits.store(bits);
+    }
+    res.ok = true;
+    res.result = reduce_world(world);
+    if (world.registry() != nullptr) res.registry.merge(*world.registry());
+  } catch (const std::exception& e) {
+    // InvariantViolation, SimulatedCrash, ... — a *reported* failure,
+    // which consumes the spec's sim retry budget dispatcher-side.
+    res.ok = false;
+    res.error = e.what();
+  }
+  hb_stop.store(true);
+  heartbeat.join();
+  return res;
+}
+
+}  // namespace
+
+int run_dispatch_worker(const std::string& host, int port) {
+  int fd = -1;
+  try {
+    fd = net::connect_tcp(host, port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker: cannot connect to %s:%d: %s\n", host.c_str(),
+                 port, e.what());
+    return kWorkerExitBadRequest;
+  }
+
+  // The heartbeat thread and the main loop share the socket; frames must
+  // not interleave mid-write.
+  std::mutex send_mu;
+  const auto send = [&](const std::vector<std::uint8_t>& bytes) {
+    std::lock_guard<std::mutex> lock(send_mu);
+    net::write_full(fd, bytes.data(), bytes.size());
+  };
+
+  std::vector<std::uint8_t> buf;
+  std::vector<std::uint8_t> chunk(64 * 1024);
+  // Blocks until one whole frame arrived; false on clean dispatcher EOF.
+  const auto read_frame = [&](WireFrame* out) {
+    for (;;) {
+      const std::size_t used =
+          try_extract_frame(buf.data(), buf.size(), "dispatch stream", out);
+      if (used > 0) {
+        buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(used));
+        return true;
+      }
+      const ssize_t got = net::recv_some(fd, chunk.data(), chunk.size());
+      if (got == 0) return false;
+      if (got < 0)
+        throw net::NetError(std::string("recv: ") + std::strerror(errno));
+      buf.insert(buf.end(), chunk.data(), chunk.data() + got);
+    }
+  };
+
+  // Chaos-test hook: sever the connection (no goodbye, no flush beyond
+  // what TCP already carried) after the Nth result frame.
+  long drop_after = -1;
+  if (const char* env = std::getenv("DFTMSN_DISPATCH_DROP_AFTER"))
+    drop_after = std::atol(env);
+  long results_sent = 0;
+
+  try {
+    send(encode_hello_frame("worker-" + std::to_string(::getpid())));
+    for (;;) {
+      send(encode_request_frame());
+      WireFrame f;
+      if (!read_frame(&f)) break;  // dispatcher gone: sweep is over for us
+      if (f.type == FrameType::kNoWork) {
+        if (f.done) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      if (f.type != FrameType::kGrant)
+        throw snapshot::SnapshotError(
+            "dispatch stream: expected grant or nowork");
+      for (const GrantItem& item : f.items) {
+        WorkerResult res =
+            run_leased_spec(item, f.lease_id, f.lease_secs, send);
+        send(encode_result_frame(f.lease_id, item.spec, item.attempt,
+                                 encode_worker_result(res)));
+        ++results_sent;
+        if (drop_after >= 0 && results_sent >= drop_after) {
+          ::shutdown(fd, SHUT_RDWR);
+          ::close(fd);
+          return kWorkerExitOk;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker: dispatch failure: %s\n", e.what());
+    ::close(fd);
+    return kWorkerExitBadRequest;
+  }
+  ::close(fd);
+  return kWorkerExitOk;
 }
 
 }  // namespace dftmsn

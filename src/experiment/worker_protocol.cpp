@@ -19,7 +19,7 @@ namespace {
 
 constexpr char kRequestMagic[] = "DFTMSNWQ";
 constexpr char kResultMagic[] = "DFTMSNWR";
-constexpr std::uint32_t kProtocolVersion = 2;  // v2: container checkpoints
+constexpr std::uint32_t kProtocolVersion = 3;  // v3: framed dispatch wire
 
 // The six doubles go first as bit patterns, then the counters, in
 // RunResult declaration order — the same order the manifest uses.

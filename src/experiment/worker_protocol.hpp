@@ -9,6 +9,10 @@
 // containers (8-byte magic + payload + trailing FNV-1a digest, see
 // seal_container), so a torn write or a half-dead worker can never feed
 // the parent garbage: validation fails loudly and the parent retries.
+// Protocol v3 carries the same sealed request/result images over TCP as
+// length-framed, digest-checked wire frames (experiment/dispatch.hpp)
+// so pull-mode workers (`--connect HOST:PORT`) speak the identical
+// container format; a torn or tampered frame drops the connection.
 //
 // Progress crosses the process boundary through a small file-backed
 // shared mapping (SharedProgress): the worker's simulator stores its

@@ -71,6 +71,31 @@ void StatusBoard::reset(std::size_t n, const std::vector<double>& horizons) {
   progress_ = 0.0;
   eta_ = -1.0;
   retries_ = trips_ = spawns_ = sigkills_ = 0;
+  dispatch_enabled_ = false;
+  dispatch_ = DispatchCounters{};
+  dispatch_workers_.clear();
+}
+
+void StatusBoard::dispatch_enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dispatch_enabled_ = true;
+}
+
+void StatusBoard::dispatch_worker(const std::string& name, bool connected,
+                                  std::uint64_t active_specs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (DispatchWorkerRow& w : dispatch_workers_) {
+    if (w.name != name) continue;
+    w.connected = connected;
+    w.active_specs = active_specs;
+    return;
+  }
+  dispatch_workers_.push_back({name, connected, active_specs});
+}
+
+void StatusBoard::dispatch_update(const DispatchCounters& totals) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dispatch_ = totals;
 }
 
 void StatusBoard::mark_running(std::size_t i, int attempt) {
@@ -243,6 +268,9 @@ StatusSnapshot StatusBoard::snapshot_locked() const {
     s.checkpoints_total += r.p.checkpoints;
     if (r.stalled || r.p.phase == SpecPhase::kQuarantined) s.healthy = false;
   }
+  s.dispatch_enabled = dispatch_enabled_;
+  s.dispatch = dispatch_;
+  s.dispatch_workers = dispatch_workers_;
   return s;
 }
 
@@ -276,6 +304,29 @@ std::string StatusBoard::render_status_json() const {
   j.key("worker_spawns"); j.num(s.worker_spawns);
   j.key("sigkills"); j.num(s.sigkills);
   j.key("checkpoints_total"); j.num(s.checkpoints_total);
+  if (s.dispatch_enabled) {
+    // Only dispatched sweeps carry this section: the validator ignores
+    // unknown keys, and non-dispatched documents stay byte-identical to
+    // pre-dispatch builds.
+    j.key("dispatch");
+    j.open_object();
+    j.key("batches_granted"); j.num(s.dispatch.batches_granted);
+    j.key("results_accepted"); j.num(s.dispatch.results_accepted);
+    j.key("duplicates_discarded"); j.num(s.dispatch.duplicates_discarded);
+    j.key("requeues"); j.num(s.dispatch.requeues);
+    j.key("leases_expired"); j.num(s.dispatch.leases_expired);
+    j.key("workers");
+    j.open_array();
+    for (const DispatchWorkerRow& w : s.dispatch_workers) {
+      j.open_object();
+      j.key("name"); j.str(w.name);
+      j.key("connected"); j.boolean(w.connected);
+      j.key("active_specs"); j.num(w.active_specs);
+      j.close_object();
+    }
+    j.close_array();
+    j.close_object();
+  }
   j.key("specs");
   j.open_array();
   for (std::size_t i = 0; i < s.specs.size(); ++i) {
@@ -351,6 +402,40 @@ std::string StatusBoard::render_prometheus() const {
               "Checkpoints written across all specs and attempts.");
   prom_line(os, "dftmsn_checkpoints_total", "",
             std::to_string(s.checkpoints_total));
+
+  if (s.dispatch_enabled) {
+    prom_header(os, "dftmsn_dispatch_batches_granted_total", "counter",
+                "Spec batches granted under a lease.");
+    prom_line(os, "dftmsn_dispatch_batches_granted_total", "",
+              std::to_string(s.dispatch.batches_granted));
+    prom_header(os, "dftmsn_dispatch_results_accepted_total", "counter",
+                "Worker results accepted (first per spec wins).");
+    prom_line(os, "dftmsn_dispatch_results_accepted_total", "",
+              std::to_string(s.dispatch.results_accepted));
+    prom_header(os, "dftmsn_dispatch_duplicates_discarded_total", "counter",
+                "Duplicate results discarded by spec id.");
+    prom_line(os, "dftmsn_dispatch_duplicates_discarded_total", "",
+              std::to_string(s.dispatch.duplicates_discarded));
+    prom_header(os, "dftmsn_dispatch_requeues_total", "counter",
+                "Specs requeued after a lost connection or lease.");
+    prom_line(os, "dftmsn_dispatch_requeues_total", "",
+              std::to_string(s.dispatch.requeues));
+    prom_header(os, "dftmsn_dispatch_leases_expired_total", "counter",
+                "Leases expired without completion.");
+    prom_line(os, "dftmsn_dispatch_leases_expired_total", "",
+              std::to_string(s.dispatch.leases_expired));
+    prom_header(os, "dftmsn_dispatch_worker_connected", "gauge",
+                "1 while the named pull worker is connected.");
+    for (const DispatchWorkerRow& w : s.dispatch_workers)
+      prom_line(os, "dftmsn_dispatch_worker_connected",
+                "worker=\"" + w.name + "\"", w.connected ? "1" : "0");
+    prom_header(os, "dftmsn_dispatch_worker_active_specs", "gauge",
+                "Specs currently leased to the named worker.");
+    for (const DispatchWorkerRow& w : s.dispatch_workers)
+      prom_line(os, "dftmsn_dispatch_worker_active_specs",
+                "worker=\"" + w.name + "\"",
+                std::to_string(w.active_specs));
+  }
 
   // The merged instrument registry of completed specs, under a
   // dftmsn_registry_ prefix (docs/observability.md lists the mapping).

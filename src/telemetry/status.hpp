@@ -53,6 +53,25 @@ struct SpecProgress {
   std::string detail;            ///< last failure message; empty when clean
 };
 
+/// One connected pull-mode worker as the dispatcher reports it
+/// (--dispatch-port sweeps only; see experiment/dispatch.hpp).
+struct DispatchWorkerRow {
+  std::string name;
+  bool connected = false;
+  std::uint64_t active_specs = 0;  ///< specs currently leased to it
+};
+
+/// Dispatcher lifecycle counters. The dispatcher owns the authoritative
+/// tallies and pushes whole snapshots (it is single-threaded), so the
+/// board never has to reconstruct them from events.
+struct DispatchCounters {
+  std::uint64_t batches_granted = 0;
+  std::uint64_t results_accepted = 0;
+  std::uint64_t duplicates_discarded = 0;
+  std::uint64_t requeues = 0;        ///< transport requeues (lost lease/conn)
+  std::uint64_t leases_expired = 0;
+};
+
 /// A consistent copy of the whole board (one lock, then render/inspect
 /// without holding it).
 struct StatusSnapshot {
@@ -69,6 +88,11 @@ struct StatusSnapshot {
   std::uint64_t sigkills = 0;
   std::uint64_t checkpoints_total = 0;
   std::vector<SpecProgress> specs;
+  /// Dispatch plane; rendered only when a dispatcher armed the board,
+  /// so non-dispatched sweeps keep byte-identical status documents.
+  bool dispatch_enabled = false;
+  DispatchCounters dispatch;
+  std::vector<DispatchWorkerRow> dispatch_workers;
 };
 
 class StatusBoard {
@@ -96,6 +120,16 @@ class StatusBoard {
   void mark_watchdog(std::size_t i);
   void mark_worker_spawn(std::size_t i);
   void mark_sigkill(std::size_t i);
+
+  // --- dispatch plane (dispatcher thread) ------------------------------
+  /// Arms the dispatch section of status.json and /metrics. Called once
+  /// by the dispatcher before it starts granting leases.
+  void dispatch_enable();
+  /// Upserts one worker row (keyed by name, insertion-ordered).
+  void dispatch_worker(const std::string& name, bool connected,
+                       std::uint64_t active_specs);
+  /// Overwrites the dispatcher counter totals.
+  void dispatch_update(const DispatchCounters& totals);
 
   // --- sampled data (sampling thread) ----------------------------------
   void update_progress(std::size_t i, std::uint64_t events, double sim_time_s);
@@ -138,6 +172,9 @@ class StatusBoard {
   std::uint64_t trips_ = 0;
   std::uint64_t spawns_ = 0;
   std::uint64_t sigkills_ = 0;
+  bool dispatch_enabled_ = false;
+  DispatchCounters dispatch_;
+  std::vector<DispatchWorkerRow> dispatch_workers_;
 };
 
 /// Renders the human progress table `dftmsn_cli --status DIR` prints,

@@ -1,33 +1,29 @@
 #include "telemetry/status_server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
+#include <chrono>
 #include <stdexcept>
+
+#include "common/net_util.hpp"
 
 namespace dftmsn::telemetry {
 namespace {
 
-[[noreturn]] void sock_fail(const std::string& what) {
-  throw std::runtime_error("status server: " + what + ": " +
-                           std::strerror(errno));
-}
+// A single request may not exceed this, and a connection may not hold
+// the listener's attention for longer than kConnDeadline overall — a
+// slow-drip client that trickles one byte per poll is cut off exactly
+// like a stalled one.
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+constexpr double kConnDeadlineS = 2.0;
 
 void write_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return;  // peer went away; nothing useful to do
-    }
-    off += static_cast<std::size_t>(n);
+  try {
+    net::write_full(fd, data.data(), data.size());
+  } catch (const net::NetError&) {
+    // peer went away; nothing useful to do
   }
 }
 
@@ -41,40 +37,24 @@ std::string http_response(int code, const char* reason,
   return out;
 }
 
+double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 StatusServer::StatusServer(int port, Handlers handlers)
     : handlers_(std::move(handlers)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) sock_fail("socket");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int saved = errno;
-    ::close(listen_fd_);
+  try {
+    listen_fd_ = net::listen_tcp("127.0.0.1", port, /*backlog=*/16);
+    port_ = net::bound_port(listen_fd_);
+  } catch (const net::NetError& e) {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
     listen_fd_ = -1;
-    errno = saved;
-    sock_fail("bind 127.0.0.1:" + std::to_string(port));
+    throw std::runtime_error(std::string("status server: ") + e.what());
   }
-  if (::listen(listen_fd_, 16) != 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    errno = saved;
-    sock_fail("listen");
-  }
-
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
-    sock_fail("getsockname");
-  port_ = static_cast<int>(ntohs(addr.sin_port));
-
   thread_ = std::thread([this] { serve(); });
 }
 
@@ -89,9 +69,19 @@ void StatusServer::serve() {
     pollfd pfd{};
     pfd.fd = listen_fd_;
     pfd.events = POLLIN;
-    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (rc <= 0) continue;  // timeout or EINTR: re-check quit
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int rc = 0;
+    try {
+      rc = net::poll_retry(&pfd, 1, /*timeout_ms=*/100);
+    } catch (const net::NetError&) {
+      return;  // listener fd is gone; shut the serving loop down
+    }
+    if (rc <= 0) continue;  // timeout: re-check quit
+    int fd = -1;
+    try {
+      fd = net::accept_retry(listen_fd_);
+    } catch (const net::NetError&) {
+      return;
+    }
     if (fd < 0) continue;
     handle_connection(fd);
     ::close(fd);
@@ -99,22 +89,30 @@ void StatusServer::serve() {
 }
 
 void StatusServer::handle_connection(int fd) {
-  // One small request per connection; a peer that stalls mid-request is
-  // dropped after a short poll so a misbehaving client cannot wedge the
-  // listener (and with it, the sweep's shutdown).
+  // One small request per connection, read under both a size cap and an
+  // overall wall-clock deadline: a peer that stalls mid-request — or
+  // drips one byte per poll round — is dropped so a misbehaving client
+  // cannot wedge the listener (and with it, the sweep's shutdown).
   std::string req;
   char buf[2048];
-  while (req.size() < 16 * 1024 &&
+  const double deadline = steady_now_s() + kConnDeadlineS;
+  while (req.size() < kMaxRequestBytes &&
          req.find("\r\n\r\n") == std::string::npos) {
+    const double remain = deadline - steady_now_s();
+    if (remain <= 0.0) return;
     pollfd pfd{};
     pfd.fd = fd;
     pfd.events = POLLIN;
-    if (::poll(&pfd, 1, /*timeout_ms=*/1000) <= 0) return;
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      break;
+    try {
+      if (net::poll_retry(&pfd, 1,
+                          static_cast<int>(remain * 1000.0) + 1) <= 0)
+        continue;
+    } catch (const net::NetError&) {
+      return;
     }
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n <= 0) break;
     req.append(buf, static_cast<std::size_t>(n));
   }
 

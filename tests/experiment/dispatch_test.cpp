@@ -1,0 +1,548 @@
+// Dispatch-plane suite (docs/distributed_sweeps.md): the wire frame
+// codec (round-trips, partial prefixes, damage rejection), the lease
+// machinery against real loopback sockets (expiry without progress,
+// requeue, duplicate-result idempotency, heartbeat-gated extension),
+// and the headline robustness contract — a dispatched sweep's manifest
+// is byte-identical to an in-process run of the same specs.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/net_util.hpp"
+#include "experiment/dispatch.hpp"
+#include "experiment/supervisor.hpp"
+#include "experiment/worker_protocol.hpp"
+#include "snapshot/snapshot_io.hpp"
+#include "telemetry/status.hpp"
+
+namespace dftmsn {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const std::string& name) : path(name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+Config small_config(std::uint64_t seed) {
+  Config c;
+  c.scenario.num_sensors = 6;
+  c.scenario.num_sinks = 1;
+  c.scenario.field_m = 100.0;
+  c.scenario.duration_s = 150.0;
+  c.scenario.speed_max_mps = 4.0;
+  c.scenario.seed = seed;
+  return c;
+}
+
+std::vector<RunSpec> make_specs(int n) {
+  std::vector<RunSpec> specs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    specs[static_cast<std::size_t>(i)].config =
+        small_config(40 + static_cast<std::uint64_t>(i));
+    specs[static_cast<std::size_t>(i)].kind = ProtocolKind::kDirect;
+  }
+  return specs;
+}
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Spins until `pred` holds; fails the test (and stops spinning) after
+/// `secs` of wall time so a dispatcher bug cannot hang the suite.
+template <typename Pred>
+void wait_for(const Pred& pred, double secs, const char* what) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(secs);
+  while (!pred()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "timed out waiting for " << what;
+    sleep_ms(5);
+  }
+}
+
+// --- frame codec -------------------------------------------------------
+
+TEST(DispatchFrames, RoundTripEveryType) {
+  WireFrame f;
+
+  const auto hello = encode_hello_frame("worker-a");
+  ASSERT_EQ(try_extract_frame(hello.data(), hello.size(), "t", &f),
+            hello.size());
+  EXPECT_EQ(f.type, FrameType::kHello);
+  EXPECT_EQ(f.version, kDispatchWireVersion);
+  EXPECT_EQ(f.worker_name, "worker-a");
+
+  const auto request = encode_request_frame();
+  ASSERT_EQ(try_extract_frame(request.data(), request.size(), "t", &f),
+            request.size());
+  EXPECT_EQ(f.type, FrameType::kRequest);
+
+  GrantItem item;
+  item.spec = 5;
+  item.attempt = -3;  // the i64 lane must survive negatives intact
+  item.request = {1, 2, 3, 4, 5};
+  GrantItem item2;
+  item2.spec = 7;
+  item2.attempt = 2;
+  const auto grant = encode_grant_frame(9, 2.5, {item, item2});
+  ASSERT_EQ(try_extract_frame(grant.data(), grant.size(), "t", &f),
+            grant.size());
+  EXPECT_EQ(f.type, FrameType::kGrant);
+  EXPECT_EQ(f.lease_id, 9u);
+  EXPECT_EQ(f.lease_secs, 2.5);
+  ASSERT_EQ(f.items.size(), 2u);
+  EXPECT_EQ(f.items[0].spec, 5u);
+  EXPECT_EQ(f.items[0].attempt, -3);
+  EXPECT_EQ(f.items[0].request, item.request);
+  EXPECT_EQ(f.items[1].spec, 7u);
+  EXPECT_TRUE(f.items[1].request.empty());
+
+  for (const bool done : {false, true}) {
+    const auto nowork = encode_nowork_frame(done);
+    ASSERT_EQ(try_extract_frame(nowork.data(), nowork.size(), "t", &f),
+              nowork.size());
+    EXPECT_EQ(f.type, FrameType::kNoWork);
+    EXPECT_EQ(f.done, done);
+  }
+
+  const std::vector<std::uint8_t> sealed = {9, 8, 7};
+  const auto result = encode_result_frame(11, 5, 2, sealed);
+  ASSERT_EQ(try_extract_frame(result.data(), result.size(), "t", &f),
+            result.size());
+  EXPECT_EQ(f.type, FrameType::kResult);
+  EXPECT_EQ(f.lease_id, 11u);
+  EXPECT_EQ(f.spec, 5u);
+  EXPECT_EQ(f.attempt, 2);
+  EXPECT_EQ(f.result, sealed);
+
+  const auto hb = encode_heartbeat_frame(11, 5, 12345, 0x3ff0000000000000u);
+  ASSERT_EQ(try_extract_frame(hb.data(), hb.size(), "t", &f), hb.size());
+  EXPECT_EQ(f.type, FrameType::kHeartbeat);
+  EXPECT_EQ(f.lease_id, 11u);
+  EXPECT_EQ(f.spec, 5u);
+  EXPECT_EQ(f.events, 12345u);
+  EXPECT_EQ(f.sim_time_bits, 0x3ff0000000000000u);
+}
+
+TEST(DispatchFrames, EveryPartialPrefixAsksForMoreBytes) {
+  GrantItem item;
+  item.spec = 1;
+  item.request = {42, 43, 44};
+  const auto grant = encode_grant_frame(3, 1.0, {item});
+  WireFrame f;
+  for (std::size_t len = 0; len < grant.size(); ++len)
+    EXPECT_EQ(try_extract_frame(grant.data(), len, "t", &f), 0u)
+        << "prefix of " << len << " bytes";
+}
+
+TEST(DispatchFrames, ConcatenatedStreamExtractsInOrder) {
+  std::vector<std::uint8_t> stream;
+  for (const auto& frame :
+       {encode_hello_frame("w"), encode_request_frame(),
+        encode_heartbeat_frame(1, 2, 3, 4), encode_nowork_frame(true)})
+    stream.insert(stream.end(), frame.begin(), frame.end());
+
+  std::vector<FrameType> seen;
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    WireFrame f;
+    const std::size_t used =
+        try_extract_frame(stream.data() + off, stream.size() - off, "t", &f);
+    ASSERT_GT(used, 0u);
+    seen.push_back(f.type);
+    off += used;
+  }
+  EXPECT_EQ(seen, (std::vector<FrameType>{FrameType::kHello,
+                                          FrameType::kRequest,
+                                          FrameType::kHeartbeat,
+                                          FrameType::kNoWork}));
+}
+
+TEST(DispatchFrames, DamageIsRejectedNamingTheContext) {
+  const auto good = encode_heartbeat_frame(1, 2, 3, 4);
+  WireFrame f;
+
+  const auto expect_throw = [&](std::vector<std::uint8_t> bytes,
+                                const char* what) {
+    try {
+      try_extract_frame(bytes.data(), bytes.size(), "ctx", &f);
+      ADD_FAILURE() << what << ": damage accepted";
+    } catch (const std::exception& e) {
+      EXPECT_NE(std::string(e.what()).find("ctx"), std::string::npos)
+          << what << ": error does not name the context: " << e.what();
+    }
+  };
+
+  auto bad_magic = good;
+  bad_magic[0] ^= 0xff;
+  expect_throw(bad_magic, "bad magic");
+
+  auto bad_type = good;
+  bad_type[4] = 77;
+  expect_throw(bad_type, "unknown type");
+
+  auto huge_len = good;
+  huge_len[5] = 0xff;  // length field little-endian low byte
+  huge_len[6] = 0xff;
+  huge_len[7] = 0xff;
+  huge_len[8] = 0xff;  // ~4 GiB: over the cap, rejected before allocating
+  expect_throw(huge_len, "oversized length");
+
+  auto bad_digest = good;
+  bad_digest.back() ^= 0x01;
+  expect_throw(bad_digest, "digest flip");
+
+  auto torn_payload = good;
+  torn_payload[kDispatchFrameHeader] ^= 0xa5;
+  expect_throw(torn_payload, "payload flip");
+}
+
+// --- lease machinery over real sockets ---------------------------------
+
+/// Minimal raw-socket worker stub: speaks just enough of the protocol to
+/// act out misbehaviour the real worker never exhibits.
+struct Stub {
+  int fd = -1;
+  std::vector<std::uint8_t> buf;
+
+  explicit Stub(int port) { fd = net::connect_tcp("127.0.0.1", port); }
+  ~Stub() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send(const std::vector<std::uint8_t>& bytes) const {
+    net::write_full(fd, bytes.data(), bytes.size());
+  }
+
+  WireFrame read_frame() {
+    std::vector<std::uint8_t> chunk(4096);
+    for (;;) {
+      WireFrame f;
+      const std::size_t used =
+          try_extract_frame(buf.data(), buf.size(), "stub", &f);
+      if (used > 0) {
+        buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(used));
+        return f;
+      }
+      const ssize_t got = net::recv_some(fd, chunk.data(), chunk.size());
+      if (got <= 0) throw net::NetError("stub: dispatcher hung up");
+      buf.insert(buf.end(), chunk.data(), chunk.data() + got);
+    }
+  }
+};
+
+TEST(DispatchQueue, LeaseExpiryRequeuesAndDuplicateResultIsDiscarded) {
+  telemetry::StatusBoard board;
+  board.reset(3, {150.0, 150.0, 150.0});
+
+  std::atomic<int> port{0};
+  DispatchOptions opts;
+  opts.port = 0;
+  opts.port_out = &port;
+  opts.lease_secs = 0.2;  // expires fast: the stub never heartbeats
+  DispatchPolicy pol;
+  pol.retry_backoff_s = 0.0;
+
+  WorkerRequest req;
+  req.config = small_config(50);
+  const auto image = encode_worker_request(req);
+
+  std::atomic<int> requeued{0};
+  std::atomic<int> completed{0};
+  std::atomic<int> quarantined{0};
+  DispatchCallbacks cb;
+  cb.make_request = [&](std::size_t, int) { return image; };
+  cb.on_started = [](std::size_t, int) {};
+  cb.on_completed = [&](std::size_t, int, WorkerResult&&) { ++completed; };
+  cb.on_quarantined = [&](std::size_t, int, const std::string&) {
+    ++quarantined;
+  };
+  cb.on_interrupted = [](std::size_t, const std::string&) {};
+  cb.on_retrying = [](std::size_t, int, const std::string&) {};
+  cb.on_requeued = [&](std::size_t, int, const std::string&) { ++requeued; };
+  cb.on_progress = [](std::size_t, std::uint64_t, double) {};
+  cb.announce = [](const std::string&) {};
+
+  std::thread dispatcher([&] {
+    run_dispatch_queue(3, std::vector<char>(3, 0), opts, pol, &board, cb);
+  });
+  wait_for([&] { return port.load() > 0; }, 10.0, "listener port");
+
+  // Stub 1 takes a lease and goes silent: no heartbeat, no result. The
+  // lease must expire and the batch requeue (to the back of the ready
+  // queue) without consuming the sim retry budget.
+  Stub s1(port.load());
+  s1.send(encode_hello_frame("stalled"));
+  s1.send(encode_request_frame());
+  const WireFrame g1 = s1.read_frame();
+  ASSERT_EQ(g1.type, FrameType::kGrant);
+  ASSERT_EQ(g1.items.size(), 1u);
+  const std::uint64_t spec0 = g1.items[0].spec;
+  EXPECT_EQ(spec0, 0u);
+  wait_for([&] { return requeued.load() > 0; }, 10.0, "lease expiry requeue");
+
+  WorkerResult ok;
+  ok.ok = true;
+  ok.result.delivery_ratio = 1.0;
+  ok.result.generated = 4;
+  ok.result.delivered = 4;
+
+  // Stub 2 drains spec 1, parks a lease on spec 2, then picks the
+  // requeued spec 0 up and completes it — leaving spec 2 in flight so
+  // the queue stays alive for the duplicate to arrive.
+  Stub s2(port.load());
+  s2.send(encode_hello_frame("healthy"));
+  s2.send(encode_request_frame());
+  const WireFrame g2 = s2.read_frame();
+  ASSERT_EQ(g2.type, FrameType::kGrant);
+  ASSERT_EQ(g2.items.size(), 1u);
+  EXPECT_EQ(g2.items[0].spec, 1u);
+  s2.send(encode_result_frame(g2.lease_id, 1, g2.items[0].attempt,
+                              encode_worker_result(ok)));
+  wait_for([&] { return completed.load() == 1; }, 10.0, "spec 1 completion");
+
+  s2.send(encode_request_frame());
+  const WireFrame g3 = s2.read_frame();
+  ASSERT_EQ(g3.type, FrameType::kGrant);
+  EXPECT_EQ(g3.items[0].spec, 2u);  // parked: completed last
+
+  s2.send(encode_request_frame());
+  const WireFrame g4 = s2.read_frame();
+  ASSERT_EQ(g4.type, FrameType::kGrant);
+  EXPECT_EQ(g4.items[0].spec, spec0);
+  EXPECT_EQ(g4.items[0].attempt, g1.items[0].attempt)
+      << "a transport loss must not consume the sim retry budget";
+  s2.send(encode_result_frame(g4.lease_id, spec0, g4.items[0].attempt,
+                              encode_worker_result(ok)));
+  wait_for([&] { return completed.load() == 2; }, 10.0, "spec 0 completion");
+
+  // The resurrected stub 1 now publishes its stale result for the
+  // already-terminal spec 0: discarded by spec id, not double-completed.
+  s1.send(encode_result_frame(g1.lease_id, spec0, g1.items[0].attempt,
+                              encode_worker_result(ok)));
+  wait_for(
+      [&] { return board.snapshot().dispatch.duplicates_discarded >= 1; },
+      10.0, "duplicate discard");
+  EXPECT_EQ(completed.load(), 2);
+
+  // Unpark spec 2 so the queue can finish. (Its lease may have expired
+  // and requeued meanwhile — a late result for a non-terminal spec is
+  // still the first accepted one, so it completes either way.)
+  s2.send(encode_result_frame(g3.lease_id, 2, g3.items[0].attempt,
+                              encode_worker_result(ok)));
+  dispatcher.join();
+
+  EXPECT_EQ(completed.load(), 3);
+  EXPECT_EQ(quarantined.load(), 0);
+  const telemetry::StatusSnapshot snap = board.snapshot();
+  EXPECT_TRUE(snap.dispatch_enabled);
+  EXPECT_GE(snap.dispatch.leases_expired, 1u);
+  EXPECT_EQ(snap.dispatch.duplicates_discarded, 1u);
+  EXPECT_EQ(snap.dispatch.results_accepted, 3u);
+}
+
+TEST(DispatchQueue, HeartbeatsExtendLeaseOnlyWithEventProgress) {
+  telemetry::StatusBoard board;
+  board.reset(1, {150.0});
+
+  std::atomic<int> port{0};
+  DispatchOptions opts;
+  opts.port = 0;
+  opts.port_out = &port;
+  opts.lease_secs = 0.3;
+  DispatchPolicy pol;
+  pol.retry_backoff_s = 0.0;
+
+  WorkerRequest req;
+  req.config = small_config(51);
+  const auto image = encode_worker_request(req);
+
+  std::atomic<int> requeued{0};
+  std::atomic<bool> done{false};
+  DispatchCallbacks cb;
+  cb.make_request = [&](std::size_t, int) { return image; };
+  cb.on_started = [](std::size_t, int) {};
+  cb.on_completed = [&](std::size_t, int, WorkerResult&&) {};
+  cb.on_quarantined = [](std::size_t, int, const std::string&) {};
+  cb.on_interrupted = [](std::size_t, const std::string&) {};
+  cb.on_retrying = [](std::size_t, int, const std::string&) {};
+  cb.on_requeued = [&](std::size_t, int, const std::string&) { ++requeued; };
+  cb.on_progress = [](std::size_t, std::uint64_t, double) {};
+  cb.announce = [](const std::string&) {};
+
+  std::thread dispatcher([&] {
+    run_dispatch_queue(1, std::vector<char>(1, 0), opts, pol, &board, cb);
+    done.store(true);
+  });
+  wait_for([&] { return port.load() > 0; }, 10.0, "listener port");
+
+  Stub s(port.load());
+  s.send(encode_hello_frame("hb"));
+  s.send(encode_request_frame());
+  const WireFrame g = s.read_frame();
+  ASSERT_EQ(g.type, FrameType::kGrant);
+
+  // Progressing heartbeats (events strictly increasing) hold the lease
+  // well past several base durations.
+  std::uint64_t events = 1;
+  for (int i = 0; i < 10; ++i) {
+    s.send(encode_heartbeat_frame(g.lease_id, g.items[0].spec, events++, 0));
+    sleep_ms(100);
+  }
+  EXPECT_EQ(requeued.load(), 0)
+      << "a progressing worker's lease must not expire";
+
+  // A frozen counter (the SIGSTOP signature: frames may flow, progress
+  // does not) stops extending it.
+  for (int i = 0; i < 10 && requeued.load() == 0; ++i) {
+    s.send(encode_heartbeat_frame(g.lease_id, g.items[0].spec, events, 0));
+    sleep_ms(100);
+  }
+  wait_for([&] { return requeued.load() > 0; }, 10.0,
+           "expiry under frozen progress");
+
+  WorkerResult ok;
+  ok.ok = true;
+  s.send(encode_request_frame());
+  const WireFrame g2 = s.read_frame();
+  ASSERT_EQ(g2.type, FrameType::kGrant);
+  s.send(encode_result_frame(g2.lease_id, g2.items[0].spec,
+                             g2.items[0].attempt, encode_worker_result(ok)));
+  dispatcher.join();
+  EXPECT_TRUE(done.load());
+}
+
+// --- end-to-end byte identity ------------------------------------------
+
+TEST(DispatchQueue, DispatchedSweepMatchesInProcessManifestBytes) {
+  TempDir ref_dir("dispatch_ref.tmp");
+  TempDir run_dir("dispatch_run.tmp");
+  const std::vector<RunSpec> specs = make_specs(5);
+
+  SupervisorOptions ref_opts;
+  ref_opts.checkpoint_dir = ref_dir.path;
+  ref_opts.jobs = 1;
+  const SweepManifest ref = run_specs_supervised(specs, ref_opts);
+  ASSERT_EQ(ref.completed(), 5);
+
+  SupervisorOptions opts;
+  opts.checkpoint_dir = run_dir.path;
+  std::atomic<int> port{0};
+  opts.dispatch.port = 0;
+  opts.dispatch.port_out = &port;
+  opts.dispatch.batch_size = 2;
+
+  SweepManifest got;
+  std::thread supervisor([&] { got = run_specs_supervised(specs, opts); });
+  wait_for([&] { return port.load() > 0; }, 10.0, "dispatch port");
+  std::thread w1([&] {
+    EXPECT_EQ(run_dispatch_worker("127.0.0.1", port.load()), 0);
+  });
+  std::thread w2([&] {
+    EXPECT_EQ(run_dispatch_worker("127.0.0.1", port.load()), 0);
+  });
+  supervisor.join();
+  w1.join();
+  w2.join();
+
+  ASSERT_EQ(got.completed(), 5);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(got.specs[i].retries, ref.specs[i].retries);
+    EXPECT_EQ(got.specs[i].result.delivered, ref.specs[i].result.delivered);
+  }
+  EXPECT_EQ(snapshot::read_file(manifest_path(run_dir.path)),
+            snapshot::read_file(manifest_path(ref_dir.path)))
+      << "dispatched manifest must be byte-identical to in-process";
+  // The lease journal is advisory scaffolding; a clean return removes it.
+  EXPECT_FALSE(fs::exists(run_dir.path + "/dispatch.leases"));
+}
+
+TEST(DispatchQueue, SimFailureRetriesThenQuarantinesLikeLocalModes) {
+  // An invariant-violating config quarantines after max_retries + 1
+  // reported failures — the dispatcher must mirror the local loop's
+  // retry bookkeeping, not treat a reported failure as a transport loss.
+  std::atomic<int> port{0};
+  DispatchOptions opts;
+  opts.port = 0;
+  opts.port_out = &port;
+  DispatchPolicy pol;
+  pol.max_retries = 1;
+  pol.retry_backoff_s = 0.0;
+
+  WorkerRequest req;
+  req.config = small_config(52);
+  const auto image = encode_worker_request(req);
+
+  std::vector<int> retry_attempts;
+  std::atomic<int> quarantined_attempt{-1};
+  std::string quarantine_detail;
+  std::mutex mu;
+  DispatchCallbacks cb;
+  cb.make_request = [&](std::size_t, int) { return image; };
+  cb.on_started = [](std::size_t, int) {};
+  cb.on_completed = [&](std::size_t, int, WorkerResult&&) {
+    ADD_FAILURE() << "failing spec must not complete";
+  };
+  cb.on_quarantined = [&](std::size_t, int attempt,
+                          const std::string& detail) {
+    std::lock_guard<std::mutex> lock(mu);
+    quarantine_detail = detail;
+    quarantined_attempt.store(attempt);
+  };
+  cb.on_interrupted = [](std::size_t, const std::string&) {};
+  cb.on_retrying = [&](std::size_t, int attempt, const std::string&) {
+    std::lock_guard<std::mutex> lock(mu);
+    retry_attempts.push_back(attempt);
+  };
+  cb.on_requeued = [](std::size_t, int, const std::string&) {};
+  cb.on_progress = [](std::size_t, std::uint64_t, double) {};
+  cb.announce = [](const std::string&) {};
+
+  std::thread dispatcher([&] {
+    run_dispatch_queue(1, std::vector<char>(1, 0), opts, pol, nullptr, cb);
+  });
+  wait_for([&] { return port.load() > 0; }, 10.0, "listener port");
+
+  Stub s(port.load());
+  s.send(encode_hello_frame("failer"));
+  WorkerResult bad;
+  bad.ok = false;
+  bad.error = "simulated failure";
+  for (int round = 0; round < 2; ++round) {
+    s.send(encode_request_frame());
+    const WireFrame g = s.read_frame();
+    ASSERT_EQ(g.type, FrameType::kGrant);
+    EXPECT_EQ(g.items[0].attempt, round);
+    s.send(encode_result_frame(g.lease_id, g.items[0].spec,
+                               g.items[0].attempt,
+                               encode_worker_result(bad)));
+  }
+  dispatcher.join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(retry_attempts, std::vector<int>{1});
+  EXPECT_EQ(quarantined_attempt.load(), 2);
+  EXPECT_NE(quarantine_detail.find("attempt 1: simulated failure"),
+            std::string::npos)
+      << quarantine_detail;
+}
+
+}  // namespace
+}  // namespace dftmsn

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "experiment/dispatch.hpp"
 #include "experiment/supervisor.hpp"
 #include "experiment/worker_protocol.hpp"
 #include "mobility/motion_trace.hpp"
@@ -198,6 +199,51 @@ TEST(CorruptionFuzz, WorkerRequestAndResult) {
   write_worker_result(dir.path + "/w.result", res);
   fuzz_file(slurp(dir.path + "/w.result"), dir.path + "/fuzzed.result",
             [](const std::string& p) { read_worker_result(p); });
+}
+
+TEST(CorruptionFuzz, DispatchFrames) {
+  TempDir dir("fuzz_frames.tmp");
+
+  // A realistic dispatch stream: every frame type in conversation order,
+  // the grant and result carrying real sealed container images (so flips
+  // inside a digest-clean frame's payload still hit validated bytes).
+  WorkerRequest req;
+  req.config = small_config(31);
+  req.attempt = 1;
+  GrantItem item;
+  item.spec = 2;
+  item.attempt = 1;
+  item.request = encode_worker_request(req);
+  WorkerResult res;
+  res.ok = true;
+  res.result.delivery_ratio = 0.25;
+  res.result.generated = 8;
+  res.result.delivered = 2;
+
+  std::vector<std::uint8_t> stream;
+  for (const auto& frame :
+       {encode_hello_frame("fuzz-worker"), encode_request_frame(),
+        encode_grant_frame(7, 1.5, {item}),
+        encode_heartbeat_frame(7, 2, 99, 0),
+        encode_result_frame(7, 2, 1, encode_worker_result(res)),
+        encode_nowork_frame(true)})
+    stream.insert(stream.end(), frame.begin(), frame.end());
+
+  // The probe replays the dispatcher's receive loop: extract greedily,
+  // stop on an incomplete tail (a live stream would wait for more
+  // bytes). Damage must throw naming the context — the event loops drop
+  // the connection on that, never crash, never accept a torn frame.
+  fuzz_file(stream, dir.path + "/fuzzed.frames", [](const std::string& p) {
+    const auto bytes = slurp(p);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      WireFrame f;
+      const std::size_t used =
+          try_extract_frame(bytes.data() + off, bytes.size() - off, p, &f);
+      if (used == 0) break;
+      off += used;
+    }
+  });
 }
 
 TEST(CorruptionFuzz, MotionTrace) {
